@@ -1,0 +1,31 @@
+# Convenience targets for the SDX reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-results examples docs clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-results: bench
+	@cat benchmarks/results/*.txt
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script; \
+		echo; \
+	done
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Ablation — composition optimisations on vs off (Section 4.3.1).
+
+Compiles the same IXP with the optimised composition (disjoint stacking,
+indexed sequential composition, memoized inbound pipelines) and with the
+paper's starting point (full parallel cross product + unindexed
+sequential composition). The optimised path must examine far fewer rule
+pairs and finish faster; both must produce semantically equal tables
+(checked packet-wise in the integration suite).
+
+The naive path is quadratic in participants, so this ablation runs at a
+deliberately small scale.
+"""
+
+from conftest import publish
+
+from repro.experiments.metrics import render_table
+from repro.workloads.policies import generate_policies, install_assignments
+from repro.workloads.topology import generate_ixp
+
+PARTICIPANTS = 30
+PREFIXES = 400
+
+
+def _compile(optimized: bool):
+    ixp = generate_ixp(PARTICIPANTS, PREFIXES, seed=0)
+    controller = ixp.build_controller(optimized=optimized)
+    install_assignments(controller, generate_policies(ixp, seed=1))
+    return controller.start()
+
+
+def _run():
+    return _compile(True), _compile(False)
+
+
+def test_ablation_composition(benchmark):
+    optimized, naive = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("ablation_compose", render_table(
+        ["variant", "rule pairs examined", "compile seconds", "flow rules"],
+        [["optimized (Sec 4.3)", optimized.report.stats.rule_pairs_examined,
+          f"{optimized.total_seconds:.3f}", optimized.flow_rule_count],
+         ["naive cross product", naive.report.stats.rule_pairs_examined,
+          f"{naive.total_seconds:.3f}", naive.flow_rule_count]]))
+
+    # The optimisations cut composition work by well over an order of
+    # magnitude even at this tiny scale.
+    assert (naive.report.stats.rule_pairs_examined
+            > 10 * optimized.report.stats.rule_pairs_examined)
+    assert naive.total_seconds > optimized.total_seconds

@@ -1,0 +1,99 @@
+"""Extension — multi-switch fabric partitioning (Section 4.1).
+
+The paper notes the SDX "may consist of multiple physical switches, each
+connected to a subset of the participants", relying on topology
+abstraction to keep the policy model a single big switch. This benchmark
+partitions a compiled 100-participant table over 2- and 4-switch fabrics
+(chained by trunks) and reports how the rule load distributes: each
+physical switch must hold substantially fewer rules than the big switch,
+since participant-pinned rules install only where that participant
+attaches.
+"""
+
+from conftest import publish
+
+from repro.dataplane.multiswitch import SdxTopology, partition_classifier
+from repro.experiments.metrics import render_table
+from repro.workloads.policies import generate_policies, install_assignments
+from repro.workloads.topology import generate_ixp
+
+PARTICIPANTS = 100
+PREFIXES = 2_000
+
+
+def _compiled_controller():
+    ixp = generate_ixp(PARTICIPANTS, PREFIXES, seed=0)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=1))
+    result = controller.start()
+    return controller, result
+
+
+def _topology_for(controller, switch_count: int) -> SdxTopology:
+    topology = SdxTopology()
+    names = [f"s{i + 1}" for i in range(switch_count)]
+    for name in names:
+        topology.add_switch(name)
+    ports = controller.topology.physical_ports()
+    for index, port in enumerate(ports):
+        topology.assign_port(port, names[index % switch_count])
+    trunk_base = 50_000
+    for index in range(switch_count - 1):
+        topology.add_link(names[index], trunk_base + 2 * index,
+                          names[index + 1], trunk_base + 2 * index + 1)
+    return topology
+
+
+def _pinned_count(classifier, trunk_ports=frozenset()):
+    """Rules tied to a specific non-trunk ingress port."""
+    return sum(
+        1 for rule in classifier.rules
+        if rule.match.get("port") is not None
+        and rule.match.get("port") not in trunk_ports)
+
+
+def _run():
+    controller, result = _compiled_controller()
+    big_pinned = _pinned_count(result.classifier)
+    rows = []
+    for switch_count in (2, 4):
+        topology = _topology_for(controller, switch_count)
+        tables = partition_classifier(result.classifier, topology)
+        sizes = {}
+        pinned = {}
+        for name, classifier in tables.items():
+            trunks = frozenset(topology.trunk_ports(name))
+            sizes[name] = len(classifier)
+            pinned[name] = _pinned_count(classifier, trunks)
+        rows.append((switch_count, len(result.classifier), big_pinned,
+                     sizes, pinned))
+    return rows
+
+
+def test_ext_multiswitch_partitioning(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("ext_multiswitch", render_table(
+        ["switches", "big rules", "big pinned", "per-switch total",
+         "per-switch pinned"],
+        [[count, total, big_pinned,
+          ", ".join(f"{name}={sizes[name]}" for name in sorted(sizes)),
+          ", ".join(f"{name}={pinned[name]}" for name in sorted(pinned))]
+         for count, total, big_pinned, sizes, pinned in rows]))
+
+    for switch_count, total, big_pinned, sizes, pinned in rows:
+        assert len(sizes) == switch_count
+        # Ingress-pinned rules (participant policies and default
+        # exceptions) localise exactly: no duplication across switches,
+        # and each switch holds only its attached participants' share.
+        assert sum(pinned.values()) == big_pinned
+        for count_pinned in pinned.values():
+            assert count_pinned < big_pinned or big_pinned == 0
+        # Ingress-wildcard rules (shared defaults, MAC learning) must
+        # replicate, so per-switch totals exceed an even split — but each
+        # switch stays bounded by the full table plus one transit rule
+        # per delivered MAC per trunk port.
+        for size in sizes.values():
+            assert size <= 2 * total
+    # More switches -> smaller per-switch pinned share.
+    two, four = rows[0][4], rows[1][4]
+    assert max(four.values()) <= max(two.values())

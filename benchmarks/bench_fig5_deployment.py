@@ -1,0 +1,60 @@
+"""Figures 5a & 5b — the deployment ("in the wild") experiments.
+
+Replays both Section 5.2 timelines through the simulated fabric at 10x
+compression and asserts the published traffic shapes:
+
+* 5a — three 1 Mbps flows from the client ISP all ride AS A; at the
+  policy event, the port-80 flow shifts to AS B; at the route
+  withdrawal, everything returns to AS A.
+* 5b — both client flows hit AWS instance #1 until the remote tenant
+  installs the load-balance policy, after which one flow is rewritten
+  to instance #2.
+"""
+
+from conftest import publish
+
+from repro.experiments.harness import run_fig5a, run_fig5b
+from repro.experiments.metrics import render_series
+
+TIME_SCALE = 0.1
+
+
+def test_fig5a_application_specific_peering(benchmark):
+    series, events = benchmark.pedantic(
+        run_fig5a, kwargs={"time_scale": TIME_SCALE}, rounds=1, iterations=1)
+    text = "\n".join(f"t={when:.0f}s: {label}" for when, label in events)
+    text += "\n\n" + render_series(
+        [series[label] for label in sorted(series)],
+        "time(s)", "Mbps", max_rows=20)
+    publish("fig5a_app_peering", text)
+
+    a_ys, b_ys = series["A"].ys(), series["B"].ys()
+    steps = len(a_ys)
+    policy_step = int(steps * 565 / 1800) + 1
+    withdraw_step = int(steps * 1253 / 1800) + 1
+    # Before the policy: all three flows via A.
+    assert a_ys[policy_step - 2] == 3.0 and b_ys[policy_step - 2] == 0.0
+    # Between policy and withdrawal: port-80 flow via B.
+    assert a_ys[withdraw_step - 2] == 2.0 and b_ys[withdraw_step - 2] == 1.0
+    # After the withdrawal: back to A, nothing dropped.
+    assert a_ys[-1] == 3.0 and b_ys[-1] == 0.0
+    assert "dropped" not in series
+
+
+def test_fig5b_wide_area_load_balance(benchmark):
+    series, events = benchmark.pedantic(
+        run_fig5b, kwargs={"time_scale": TIME_SCALE}, rounds=1, iterations=1)
+    text = "\n".join(f"t={when:.0f}s: {label}" for when, label in events)
+    text += "\n\n" + render_series(
+        [series[label] for label in sorted(series)],
+        "time(s)", "Mbps", max_rows=20)
+    publish("fig5b_load_balance", text)
+
+    one, two = series["AWS instance #1"].ys(), series["AWS instance #2"].ys()
+    steps = len(one)
+    policy_step = int(steps * 246 / 600) + 1
+    # Before the policy: both flows to instance #1.
+    assert one[policy_step - 2] == 2.0 and two[policy_step - 2] == 0.0
+    # After: balanced 1/1.
+    assert one[-1] == 1.0 and two[-1] == 1.0
+    assert "dropped" not in series

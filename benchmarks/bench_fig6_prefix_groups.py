@@ -1,0 +1,46 @@
+"""Figure 6 — number of prefix groups vs number of policy prefixes.
+
+Runs the Minimum Disjoint Subsets computation over the announced-prefix
+sets of the top-N synthetic participants, for N in {100, 200, 300} and
+policy-prefix samples up to 25,000 — the paper's exact experiment. The
+expected shape: sub-linear growth in prefixes, ordered by participant
+count, with group counts in the hundreds-to-~1,500 range (far below the
+prefix count).
+"""
+
+from conftest import publish
+
+from repro.experiments.harness import run_fig6
+from repro.experiments.metrics import render_chart, render_series
+
+PARTICIPANTS = (100, 200, 300)
+PREFIX_COUNTS = (5_000, 10_000, 15_000, 20_000, 25_000)
+
+
+def _run():
+    return run_fig6(participant_counts=PARTICIPANTS,
+                    prefix_counts=PREFIX_COUNTS, total_prefixes=25_000)
+
+
+def test_fig6_prefix_groups(benchmark):
+    series_list = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig6_prefix_groups",
+            render_series(series_list, "prefixes", "prefix groups")
+            + "\n\n" + render_chart(series_list, x_label="prefixes",
+                                    y_label="prefix groups"))
+
+    by_label = {series.label: series for series in series_list}
+    for count in PARTICIPANTS:
+        series = by_label[f"{count} participants"]
+        xs, ys = series.xs(), series.ys()
+        # Monotone growth...
+        assert ys == sorted(ys)
+        # ...but sub-linear: doubling prefixes far less than doubles groups.
+        assert ys[-1] / ys[0] < xs[-1] / xs[0]
+        # Groups stay well below the prefix count (the point of grouping).
+        assert ys[-1] < xs[-1] / 5
+    # More participants -> more groups at every x (the paper's ordering).
+    for x_index in range(len(PREFIX_COUNTS)):
+        column = [by_label[f"{count} participants"].ys()[x_index]
+                  for count in PARTICIPANTS]
+        assert column == sorted(column)

@@ -1,0 +1,47 @@
+"""Figure 7 — number of forwarding rules vs number of prefix groups.
+
+Full compilations of generated IXPs with the Section 6.1 policy mix,
+for 100/200/300 participants across a prefix sweep. Expected shape:
+flow rules grow roughly linearly with prefix groups (each group operates
+on a disjoint slice of flow space), with more participants producing
+more rules at comparable group counts.
+"""
+
+from conftest import publish, scaled
+
+from repro.experiments.harness import run_compilation_sweep
+from repro.experiments.metrics import render_table
+
+PARTICIPANTS = (100, 200, 300)
+PREFIXES = tuple(scaled(v) for v in (2_000, 5_000, 10_000, 15_000))
+
+
+def _run():
+    return run_compilation_sweep(
+        participant_counts=PARTICIPANTS, prefix_counts=PREFIXES)
+
+
+def test_fig7_flow_rules(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig7_flow_rules", render_table(
+        ["participants", "prefixes", "prefix groups", "flow rules"],
+        [[p.participants, p.prefixes, p.prefix_groups, p.flow_rules]
+         for p in points]))
+
+    by_count = {}
+    for point in points:
+        by_count.setdefault(point.participants, []).append(point)
+    for count, column in by_count.items():
+        column.sort(key=lambda p: p.prefix_groups)
+        rules = [p.flow_rules for p in column]
+        groups = [p.prefix_groups for p in column]
+        # Rules grow with groups...
+        assert rules == sorted(rules)
+        # ...roughly linearly: the rules-per-group ratio stays within a
+        # factor of ~3 across the sweep (no quadratic blowup).
+        ratios = [r / g for r, g in zip(rules, groups)]
+        assert max(ratios) / min(ratios) < 3.0
+    # More participants -> more rules at the largest sweep point.
+    largest = [max(by_count[count], key=lambda p: p.prefixes).flow_rules
+               for count in sorted(by_count)]
+    assert largest == sorted(largest)

@@ -1,0 +1,42 @@
+"""Figure 8 — initial compilation time vs number of prefix groups.
+
+Times the full pipeline (FEC computation, VNH assignment, policy
+transformation, composition) over the same grid as Figure 7. Expected
+shape: compilation time grows super-linearly with prefix groups and with
+participant count. Our absolute times are far below the paper's minutes
+— its substrate was the Pyretic interpreter; the *growth* is what must
+match.
+"""
+
+from conftest import publish, scaled
+
+from repro.experiments.harness import run_compilation_sweep
+from repro.experiments.metrics import render_table
+
+PARTICIPANTS = (100, 200, 300)
+PREFIXES = tuple(scaled(v) for v in (2_000, 5_000, 10_000, 15_000))
+
+
+def _run():
+    return run_compilation_sweep(
+        participant_counts=PARTICIPANTS, prefix_counts=PREFIXES)
+
+
+def test_fig8_compile_time(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig8_compile_time", render_table(
+        ["participants", "prefixes", "prefix groups", "compile seconds"],
+        [[p.participants, p.prefixes, p.prefix_groups, f"{p.seconds:.3f}"]
+         for p in points]))
+
+    by_count = {}
+    for point in points:
+        by_count.setdefault(point.participants, []).append(point)
+    for count, column in by_count.items():
+        column.sort(key=lambda p: p.prefix_groups)
+        # Time grows with prefix groups (allowing timer noise at the
+        # small end: compare the ends of the sweep).
+        assert column[-1].seconds > column[0].seconds
+    # Largest configuration is the slowest overall.
+    slowest = max(points, key=lambda p: p.seconds)
+    assert slowest.participants == max(PARTICIPANTS)

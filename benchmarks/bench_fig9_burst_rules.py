@@ -1,0 +1,43 @@
+"""Figure 9 — additional forwarding rules vs BGP update burst size.
+
+Replays worst-case bursts (every update moves a distinct prefix's best
+path) against compiled SDXs and counts the fast-path rules that must sit
+in the table until the background re-optimisation coalesces them.
+Expected shape: linear in burst size, with a slope that grows with the
+number of participants carrying policies.
+"""
+
+from conftest import publish, scaled
+
+from repro.experiments.harness import run_fig9
+from repro.experiments.metrics import render_chart, render_series
+
+BURSTS = (1, 5, 10, 20, 40, 60, 80, 100)
+PARTICIPANTS = (100, 200, 300)
+
+
+def _run():
+    return run_fig9(burst_sizes=BURSTS, participant_counts=PARTICIPANTS,
+                    prefixes=scaled(2_000))
+
+
+def test_fig9_burst_rules(benchmark):
+    series_list = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig9_burst_rules", render_series(
+        series_list, "burst size (updates)", "additional rules")
+        + "\n\n" + render_chart(series_list, x_label="burst size",
+                                y_label="additional rules"))
+
+    for series in series_list:
+        ys = series.ys()
+        xs = series.xs()
+        # Strictly growing with burst size.
+        assert ys == sorted(ys)
+        # Roughly linear: per-update rule cost stays within a 2.5x band.
+        # (The burst-size-1 point is excluded: a single prefix's rule
+        # count varies with how many policies happen to cover it.)
+        per_update = [y / x for x, y in zip(xs, ys) if x >= 5]
+        assert max(per_update) / min(per_update) < 2.5
+    # Bigger exchanges pay more rules for the same burst.
+    finals = [series.ys()[-1] for series in series_list]
+    assert finals == sorted(finals)

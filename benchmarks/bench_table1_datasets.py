@@ -1,0 +1,55 @@
+"""Table 1 — IXP dataset statistics.
+
+Regenerates the paper's dataset table from the synthetic trace generator
+(scaled down 500x by default) and validates that the generator hits the
+published per-IXP statistics: update volume, table size, and the
+fraction of prefixes that see any update (9.9-13.6%), plus the Section
+4.3 burst statistics the incremental compiler is designed around.
+"""
+
+from conftest import publish
+
+from repro.experiments.harness import run_table1
+from repro.experiments.metrics import render_table
+
+SCALE = 0.002
+
+
+def _run():
+    return run_table1(scale=SCALE)
+
+
+def test_table1_datasets(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rendered = render_table(
+        ["IXP", "peers (paper)", "prefixes (paper)", "updates (paper)",
+         "%upd (paper)", f"prefixes (x{SCALE})", f"updates (x{SCALE})",
+         "%upd (measured)", "small-burst frac", "gap>=10s frac"],
+        [[row.profile.name,
+          f"{row.profile.collector_peers}/{row.profile.total_peers}",
+          f"{row.profile.prefixes:,}",
+          f"{row.profile.bgp_updates:,}",
+          f"{row.profile.fraction_prefixes_updated:.2%}",
+          f"{row.measured_prefixes:,}",
+          f"{row.measured_updates:,}",
+          f"{row.measured_fraction_updated:.2%}",
+          f"{row.measured_fraction_small_bursts:.2f}",
+          f"{row.measured_fraction_gaps_over_10s:.2f}"]
+         for row in rows])
+    publish("table1_datasets", rendered)
+
+    assert [row.profile.name for row in rows] == ["AMS-IX", "DE-CIX", "LINX"]
+    for row in rows:
+        # Update counts scale exactly; the churn fraction must land near
+        # the paper's measurement for each IXP.
+        assert row.measured_updates == row.profile.scaled(SCALE).bgp_updates
+        assert abs(row.measured_fraction_updated
+                   - row.profile.fraction_prefixes_updated) < 0.02
+        # Section 4.3 burst shape: ~75% of bursts touch <= 3 prefixes,
+        # ~75% of gaps >= 10 s.
+        assert 0.6 <= row.measured_fraction_small_bursts <= 0.9
+        assert 0.6 <= row.measured_fraction_gaps_over_10s <= 0.9
+    # DE-CIX has the highest churn in the paper; the ordering must hold.
+    churn = {row.profile.name: row.measured_fraction_updated for row in rows}
+    assert churn["DE-CIX"] > churn["AMS-IX"]

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation. Because ``pytest-benchmark`` captures stdout, each benchmark
+also writes its rendered rows/series to ``benchmarks/results/<name>.txt``
+so the regenerated numbers are inspectable after a run; run with ``-s``
+to see them inline.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Multiplier on benchmark workload sizes; set SDX_BENCH_SCALE=5 to run
+#: the sweeps five times larger (closer to the paper's scale).
+BENCH_SCALE = float(os.environ.get("SDX_BENCH_SCALE", "1"))
+
+
+def scaled(value: int) -> int:
+    """A workload size adjusted by ``SDX_BENCH_SCALE``."""
+    return max(1, round(value * BENCH_SCALE))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

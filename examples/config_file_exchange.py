@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Operating an SDX from a configuration file.
+
+A production exchange is configuration, not code: this example builds an
+exchange programmatically, snapshots it to JSON, rebuilds an identical
+controller from the file, and verifies both forward identically — the
+adoption workflow for operators reviewing changes in version control.
+
+Run with::
+
+    python examples/config_file_exchange.py
+"""
+
+import json
+import tempfile
+
+from repro import SdxController, fwd, match
+from repro.bgp.asn import AsPath
+from repro.config import load_config, save_config
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+
+
+def build_exchange() -> SdxController:
+    sdx = SdxController()
+    client = sdx.add_participant("ClientISP", 64500)
+    sdx.add_participant("CDN", 64501)
+    sdx.add_participant("Transit", 64502)
+    content = IPv4Prefix("60.0.0.0/8")
+    sdx.announce_route("CDN", content, AsPath([64501, 15169]))
+    sdx.announce_route("Transit", content, AsPath([64502, 3356, 15169]))
+    # Hide one sensitive block from the client at announcement level.
+    sdx.announce_route("Transit", IPv4Prefix("61.0.0.0/8"),
+                       AsPath([64502, 3356]), communities={(0, 64500)})
+    client.add_outbound(match(dstport=443) >> fwd("Transit"))
+    return sdx
+
+
+def main() -> None:
+    original = build_exchange()
+    original.start()
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        save_config(original, handle.name)
+        size = len(handle.read())
+        print(f"wrote exchange configuration: {handle.name} ({size} bytes)")
+        document = json.loads(open(handle.name).read())
+        print(f"  participants: {len(document['participants'])}, "
+              f"routes: {len(document['routes'])}, "
+              f"policies: {len(document['policies'])}")
+        clone = load_config(handle.name)
+    clone.start()
+
+    probes = [
+        Packet(dstip="60.1.2.3", dstport=443, srcip="10.0.0.1", protocol=6),
+        Packet(dstip="60.1.2.3", dstport=80, srcip="10.0.0.1", protocol=6),
+        Packet(dstip="61.0.0.1", dstport=80, srcip="10.0.0.1", protocol=6),
+    ]
+    print()
+    for probe in probes:
+        left = original.egress_of("ClientISP", probe)
+        right = clone.egress_of("ClientISP", probe)
+        marker = "ok" if left == right else "MISMATCH"
+        print(f"dst={probe['dstip']}:{probe['dstport']}  "
+              f"original -> {left}  clone -> {right}  [{marker}]")
+        assert left == right
+    print()
+    print("the reloaded exchange forwards identically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Middlebox redirection: steering suspect traffic through a scrubber.
+
+When measurements suggest a DoS attack, an ISP today "hijacks" the
+offending traffic with internal BGP tricks, pulling far more traffic than
+necessary (Section 2). At an SDX the ISP redirects *exactly* the targeted
+subset — here, UDP toward the victim prefix — through a scrubbing
+middlebox, leaving everything else on its BGP path. The policy also uses
+the AS-path RIB filter from Section 3.2 to group prefixes by origin.
+
+Run with::
+
+    python examples/middlebox_redirection.py
+"""
+
+from repro import SdxController, fwd, match
+from repro.bgp.asn import AsPath
+from repro.core.dynamic import rib_match
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+
+
+def main() -> None:
+    sdx = SdxController()
+    isp = sdx.add_participant("ISP", 64500)
+    sdx.add_participant("Victim", 64510)
+    sdx.add_participant("Scrubber", 64520)
+
+    target = IPv4Prefix("80.0.0.0/8")
+    sdx.announce_route("Victim", target, AsPath([64510, 33010]))
+    # The scrubber advertises the victim's space too (it tunnels cleaned
+    # traffic onward), making it a BGP-eligible next hop.
+    sdx.announce_route("Scrubber", target, AsPath([64520, 64510, 33010]))
+    sdx.start()
+
+    # Group every prefix originated by the victim's customer AS 33010
+    # with a *live* AS-path filter: the set re-resolves on every
+    # recompilation, so newly announced victim prefixes join the
+    # redirection automatically (a snapshot via isp.filter_rib would not).
+    print(f"prefixes currently originated by AS 33010: "
+          f"{[str(p) for p in isp.filter_rib('as_path', r'.*33010$')]}")
+
+    # Redirect only UDP toward that space through the scrubber.
+    isp.add_outbound(
+        (rib_match("dstip", "as_path", r".*33010$") & match(protocol=17))
+        >> fwd("Scrubber"))
+
+    attack = Packet(dstip="80.0.0.1", dstport=53, srcip="6.6.6.6", protocol=17)
+    normal = Packet(dstip="80.0.0.1", dstport=443, srcip="9.9.9.9", protocol=6)
+    print(f"UDP flood traffic egresses via: {sdx.egress_of('ISP', attack)}")
+    print(f"normal TCP traffic egresses via: {sdx.egress_of('ISP', normal)}")
+
+    print()
+    print("attack subsides; removing the redirection ...")
+    isp.clear_policies()
+    print(f"UDP traffic egresses via: {sdx.egress_of('ISP', attack)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: a three-participant SDX with one outbound policy.
+
+Builds the smallest interesting exchange — a client ISP (AS A) and two
+transit providers (B and C) that both announce the same destination —
+installs the paper's application-specific peering policy, and shows how
+traffic moves before and after a route withdrawal.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SdxController, fwd, match
+from repro.bgp.asn import AsPath
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+
+
+def main() -> None:
+    sdx = SdxController()
+    client = sdx.add_participant("A", 65001)
+    sdx.add_participant("B", 65002)
+    sdx.add_participant("C", 65003)
+
+    # B and C both provide transit to the same content prefix; C's path
+    # is shorter, so plain BGP would always pick C.
+    content = IPv4Prefix("60.0.0.0/8")
+    sdx.announce_route("B", content, AsPath([65002, 7018, 15169]))
+    sdx.announce_route("C", content, AsPath([65003, 15169]))
+
+    # Application-specific peering: web traffic via B, rest follows BGP.
+    client.add_outbound(match(dstport=80) >> fwd("B"))
+
+    result = sdx.start()
+    print(f"compiled {result.flow_rule_count} flow rules over "
+          f"{result.prefix_group_count} prefix group(s) in "
+          f"{result.total_seconds * 1000:.1f} ms")
+    print()
+    print("switch flow table:")
+    print(sdx.table.render())
+    print()
+
+    web = Packet(dstip="60.1.2.3", dstport=80, srcip="10.0.0.1", protocol=6)
+    ssh = web.modify(dstport=22)
+    print(f"web traffic egresses via: {sdx.egress_of('A', web)}   (policy)")
+    print(f"ssh traffic egresses via: {sdx.egress_of('A', ssh)}   (BGP best)")
+    print()
+
+    print("withdrawing B's route ...")
+    sdx.withdraw_route("B", content)
+    print(f"web traffic egresses via: {sdx.egress_of('A', web)}   "
+          f"(policy no longer eligible)")
+
+    print("running background re-optimisation ...")
+    sdx.run_background_recompilation()
+    print(f"web traffic egresses via: {sdx.egress_of('A', web)}   (stable)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so ``pip install -e .`` works on
+environments without the ``wheel`` package (pip then falls back to the
+``setup.py develop`` editable path). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

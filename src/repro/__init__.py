@@ -1,0 +1,72 @@
+"""Reproduction of "SDX: A Software Defined Internet Exchange" (SIGCOMM 2014).
+
+The package is organised as a stack of substrates with the paper's
+contribution — the SDX controller — on top:
+
+- :mod:`repro.net` — addressing and packet primitives (IPv4 prefixes, MAC
+  addresses, header/packet models).
+- :mod:`repro.policy` — a Pyretic-like policy language with classifier
+  compilation to OpenFlow-style rules.
+- :mod:`repro.bgp` — BGP messages, RIBs, decision process, and a
+  multi-participant route server.
+- :mod:`repro.dataplane` — flow-table/switch simulation, border routers,
+  and the IXP layer-2 fabric.
+- :mod:`repro.core` — the SDX controller: virtual-switch abstraction,
+  policy transformations, FEC/VNH computation, and incremental compilation.
+- :mod:`repro.workloads` — synthetic IXP topology/policy/update generators
+  calibrated to the paper's evaluation section.
+- :mod:`repro.experiments` — shared measurement harness used by the
+  benchmark suite.
+
+Quickstart::
+
+    from repro import SdxController, match, fwd
+
+    sdx = SdxController.build(participants={"A": 65001, "B": 65002})
+    sdx.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+    sdx.start()
+
+See ``examples/quickstart.py`` for a complete runnable scenario.
+
+Top-level names are loaded lazily so that importing one substrate never
+drags in the rest of the stack.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+#: Maps each public top-level name to the module that defines it.
+_EXPORTS = {
+    "IPv4Address": "repro.net.addresses",
+    "IPv4Prefix": "repro.net.addresses",
+    "MacAddress": "repro.net.mac",
+    "Packet": "repro.net.packet",
+    "Participant": "repro.core.participant",
+    "RouteServer": "repro.bgp.routeserver",
+    "SdxController": "repro.core.controller",
+    "drop": "repro.policy.policies",
+    "fwd": "repro.policy.policies",
+    "identity": "repro.policy.policies",
+    "if_": "repro.policy.policies",
+    "match": "repro.policy.policies",
+    "modify": "repro.policy.policies",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list:
+    return __all__

@@ -1,0 +1,205 @@
+"""Command-line entry point: regenerate any table or figure directly.
+
+Examples::
+
+    python -m repro table1
+    python -m repro fig6 --participants 100 200 300
+    python -m repro fig10 --updates 100
+    python -m repro replay --participants 80 --prefixes 1000 --updates 200
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.harness import (
+    run_compilation_sweep,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+from repro.experiments.metrics import render_series, render_table
+
+EXPERIMENTS = {
+    "table1": "Table 1 - IXP dataset statistics",
+    "fig5a": "Figure 5a - application-specific peering timeline",
+    "fig5b": "Figure 5b - wide-area load balance timeline",
+    "fig6": "Figure 6 - prefix groups vs prefixes",
+    "fig7": "Figure 7 - flow rules vs prefix groups",
+    "fig8": "Figure 8 - compilation time vs prefix groups",
+    "fig9": "Figure 9 - additional rules vs burst size",
+    "fig10": "Figure 10 - per-update processing CDF",
+    "replay": "burst-aware trace replay (Section 4.3.2 scheduling)",
+    "check": "load a JSON exchange config, compile it, report",
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SDX paper's evaluation results.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+
+    def common(name: str) -> argparse.ArgumentParser:
+        command = sub.add_parser(name, help=EXPERIMENTS[name])
+        command.add_argument("--seed", type=int, default=0)
+        return command
+
+    table1 = common("table1")
+    table1.add_argument("--scale", type=float, default=0.002,
+                        help="dataset scale factor (default 0.002)")
+
+    for name in ("fig5a", "fig5b"):
+        fig5 = common(name)
+        fig5.add_argument("--time-scale", type=float, default=0.1,
+                          help="timeline compression (1.0 = real time)")
+
+    fig6 = common("fig6")
+    fig6.add_argument("--participants", type=int, nargs="+",
+                      default=[100, 200, 300])
+    fig6.add_argument("--prefixes", type=int, nargs="+",
+                      default=[5_000, 10_000, 15_000, 20_000, 25_000])
+
+    for name in ("fig7", "fig8"):
+        sweep = common(name)
+        sweep.add_argument("--participants", type=int, nargs="+",
+                           default=[100, 200, 300])
+        sweep.add_argument("--prefixes", type=int, nargs="+",
+                           default=[2_000, 5_000, 10_000, 15_000])
+
+    fig9 = common("fig9")
+    fig9.add_argument("--participants", type=int, nargs="+",
+                      default=[100, 200, 300])
+    fig9.add_argument("--bursts", type=int, nargs="+",
+                      default=[1, 5, 10, 20, 40, 60, 80, 100])
+    fig9.add_argument("--prefixes", type=int, default=2_000)
+
+    fig10 = common("fig10")
+    fig10.add_argument("--participants", type=int, nargs="+",
+                       default=[100, 200, 300])
+    fig10.add_argument("--updates", type=int, default=150)
+    fig10.add_argument("--prefixes", type=int, default=2_000)
+
+    check = sub.add_parser("check", help=EXPERIMENTS["check"])
+    check.add_argument("config", help="path to a JSON exchange config")
+
+    replay = common("replay")
+    replay.add_argument("--participants", type=int, default=80)
+    replay.add_argument("--prefixes", type=int, default=1_000)
+    replay.add_argument("--updates", type=int, default=200)
+    replay.add_argument("--gap", type=float, default=10.0,
+                        help="background-recompilation gap threshold (s)")
+    return parser
+
+
+def _run_table1(args) -> str:
+    rows = run_table1(scale=args.scale, seed=args.seed)
+    return render_table(
+        ["IXP", "prefixes", "updates", "%updated (paper)", "%updated"],
+        [[row.profile.name, row.measured_prefixes, row.measured_updates,
+          f"{row.profile.fraction_prefixes_updated:.2%}",
+          f"{row.measured_fraction_updated:.2%}"] for row in rows])
+
+
+def _run_fig5(args, runner) -> str:
+    series, events = runner(time_scale=args.time_scale)
+    header = "\n".join(f"t={when:.0f}s: {label}" for when, label in events)
+    body = render_series([series[label] for label in sorted(series)],
+                         "time(s)", "Mbps", max_rows=20)
+    return header + "\n\n" + body
+
+
+def _run_sweep(args, value_label: str, value) -> str:
+    points = run_compilation_sweep(
+        participant_counts=args.participants,
+        prefix_counts=args.prefixes, seed=args.seed)
+    return render_table(
+        ["participants", "prefixes", "prefix groups", value_label],
+        [[p.participants, p.prefixes, p.prefix_groups, value(p)]
+         for p in points])
+
+
+def _run_replay(args) -> str:
+    from repro.experiments.replay import TraceReplayer
+    from repro.workloads.policies import generate_policies, install_assignments
+    from repro.workloads.topology import generate_ixp
+    from repro.workloads.updates import generate_trace
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=args.seed + 1))
+    result = controller.start()
+    events = generate_trace(ixp, seed=args.seed + 2, max_updates=args.updates)
+    stats = TraceReplayer(
+        controller, background_gap_seconds=args.gap).replay(events)
+    return (f"initial table: {result.flow_rule_count} rules, "
+            f"{result.prefix_group_count} groups\n" + stats.summary())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command in (None, "list"):
+        print(render_table(
+            ["experiment", "description"],
+            [[name, text] for name, text in EXPERIMENTS.items()]))
+        return 0
+    if args.command == "table1":
+        print(_run_table1(args))
+    elif args.command == "fig5a":
+        print(_run_fig5(args, run_fig5a))
+    elif args.command == "fig5b":
+        print(_run_fig5(args, run_fig5b))
+    elif args.command == "fig6":
+        series = run_fig6(participant_counts=args.participants,
+                          prefix_counts=args.prefixes,
+                          total_prefixes=max(args.prefixes), seed=args.seed)
+        print(render_series(series, "prefixes", "prefix groups"))
+    elif args.command == "fig7":
+        print(_run_sweep(args, "flow rules", lambda p: p.flow_rules))
+    elif args.command == "fig8":
+        print(_run_sweep(args, "compile seconds",
+                         lambda p: f"{p.seconds:.3f}"))
+    elif args.command == "fig9":
+        series = run_fig9(burst_sizes=args.bursts,
+                          participant_counts=args.participants,
+                          prefixes=args.prefixes, seed=args.seed)
+        print(render_series(series, "burst size", "additional rules"))
+    elif args.command == "fig10":
+        cdfs = run_fig10(updates=args.updates,
+                         participant_counts=args.participants,
+                         prefixes=args.prefixes, seed=args.seed)
+        print(render_table(
+            ["participants", "median ms", "p90 ms", "P(<=100ms)"],
+            [[count,
+              f"{cdf.median * 1000:.1f}",
+              f"{cdf.quantile(0.9) * 1000:.1f}",
+              f"{cdf.fraction_below(0.1):.2f}"]
+             for count, cdf in sorted(cdfs.items())]))
+    elif args.command == "replay":
+        print(_run_replay(args))
+    elif args.command == "check":
+        from repro.config import load_config
+        from repro.core.analysis import analyze_sdx
+
+        controller = load_config(args.config)
+        result = controller.start()
+        print(f"compiled: {result.flow_rule_count} flow rules over "
+              f"{result.prefix_group_count} prefix groups in "
+              f"{result.total_seconds * 1000:.0f} ms")
+        report = analyze_sdx(controller)
+        print(report.render())
+        if report.total_overlaps:
+            print(f"warning: {report.total_overlaps} overlapping clause "
+                  f"pair(s); earlier clauses win")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Reusable SDX applications (the paper's Section 2 catalogue).
+
+Each helper packages one wide-area traffic-delivery application as
+library code over the participant policy API:
+
+- :func:`repro.apps.peering.application_specific_peering` — peer with a
+  neighbour only for chosen applications;
+- :func:`repro.apps.inbound_te.split_inbound_by_source` — direct control
+  over which port traffic enters on;
+- :class:`repro.apps.load_balancer.WideAreaLoadBalancer` — anycast +
+  in-network destination rewriting instead of DNS tricks;
+- :class:`repro.apps.chaining.ServiceChain` — steer a traffic subset
+  through a sequence of middleboxes (the Section 8 "service chaining"
+  extension).
+"""
+
+from repro.apps.peering import application_specific_peering
+from repro.apps.inbound_te import split_inbound_by_source
+from repro.apps.load_balancer import WideAreaLoadBalancer
+from repro.apps.chaining import ServiceChain, run_through_chain
+
+__all__ = [
+    "ServiceChain",
+    "WideAreaLoadBalancer",
+    "application_specific_peering",
+    "run_through_chain",
+    "split_inbound_by_source",
+]

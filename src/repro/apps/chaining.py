@@ -1,0 +1,142 @@
+"""Middlebox redirection and service chaining (Sections 2 and 8).
+
+Single-middlebox redirection needs one outbound clause; a *chain*
+("service chaining through middleboxes", the paper's Section 8 vision)
+needs each middlebox to hand matching traffic to the next hop after
+processing. :class:`ServiceChain` installs the per-hop policies, and
+:func:`run_through_chain` simulates the packet's full journey — each
+middlebox participant re-injects the (optionally transformed) packet
+into the fabric, exactly how a scrubber or transcoder behaves.
+
+Every middlebox must announce routes covering the chained destinations
+(so the BGP-consistency guard admits the detour); use
+:meth:`ServiceChain.announce_coverage` to emit suitably path-prepended
+announcements that never win best-path selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.exceptions import PolicyError
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import Policy, Predicate, fwd
+
+#: A middlebox's packet transformation (identity for pass-through boxes).
+PacketFunction = Callable[[Packet], Packet]
+
+
+class ServiceChain:
+    """Steer a traffic subset through an ordered list of middleboxes.
+
+    ``owner`` is the participant whose traffic detours; ``middleboxes``
+    the ordered middlebox participant names; matching traffic leaves the
+    last middlebox toward its normal BGP destination.
+    """
+
+    def __init__(self, controller: SdxController, owner: str,
+                 selector: Predicate, middleboxes: Sequence[str]):
+        if not middleboxes:
+            raise PolicyError("a service chain needs at least one middlebox")
+        if len(set(middleboxes)) != len(middleboxes):
+            raise PolicyError("middleboxes in a chain must be distinct")
+        if owner in middleboxes:
+            raise PolicyError("the chain owner cannot be its own middlebox")
+        self.controller = controller
+        self.owner = owner
+        self.selector = selector
+        self.middleboxes = tuple(middleboxes)
+        self._installed: List[Tuple[str, Policy]] = []
+        self._functions: Dict[str, PacketFunction] = {}
+
+    def set_function(self, middlebox: str, function: PacketFunction) -> None:
+        """Attach the packet transformation a middlebox applies."""
+        if middlebox not in self.middleboxes:
+            raise PolicyError(f"{middlebox!r} is not in this chain")
+        self._functions[middlebox] = function
+
+    def announce_coverage(self, prefixes: Iterable[IPv4Prefix],
+                          prepend: int = 5) -> None:
+        """Make every middlebox a BGP-eligible next hop for ``prefixes``.
+
+        Announcements are AS-path prepended ``prepend`` times so they are
+        always *eligible* but never *best* when a genuine route exists —
+        default traffic keeps its normal path.
+        """
+        for name in self.middleboxes:
+            participant = self.controller.topology.participant(name)
+            for prefix in prefixes:
+                path = AsPath([participant.asn] * prepend
+                              + [participant.asn])
+                self.controller.announce_route(name, prefix, path)
+
+    def install(self) -> None:
+        """Install the owner's detour and each middlebox's hand-off."""
+        if self._installed:
+            raise PolicyError("service chain already installed")
+        hops = [self.owner] + list(self.middleboxes)
+        for position in range(len(hops) - 1):
+            sender, next_hop = hops[position], hops[position + 1]
+            policy = self.selector >> fwd(next_hop)
+            self.controller.participant(sender).add_outbound(policy)
+            self._installed.append((sender, policy))
+
+    def uninstall(self) -> None:
+        """Remove every policy the chain installed."""
+        for sender, policy in self._installed:
+            self.controller.participant(sender).remove_outbound(policy)
+        self._installed.clear()
+
+    @property
+    def is_installed(self) -> bool:
+        """True while the chain's policies are in place."""
+        return bool(self._installed)
+
+    def function_of(self, middlebox: str) -> PacketFunction:
+        """The middlebox's transformation (identity by default)."""
+        return self._functions.get(middlebox, lambda packet: packet)
+
+
+@dataclass
+class ChainTraversal:
+    """The observed journey of one packet through a chain."""
+
+    hops: List[str] = field(default_factory=list)
+    final_egress: Optional[str] = None
+    final_packet: Optional[Packet] = None
+
+    @property
+    def completed(self) -> bool:
+        """True if the packet ultimately left the exchange somewhere."""
+        return self.final_egress is not None
+
+
+def run_through_chain(chain: ServiceChain, source: str,
+                      packet: Packet, max_hops: int = 10) -> ChainTraversal:
+    """Simulate a packet's full trip: fabric hop, middlebox re-injection,
+    repeat — until the packet egresses at a non-middlebox or drops."""
+    controller = chain.controller
+    traversal = ChainTraversal()
+    current_source = source
+    current_packet = packet
+    for _ in range(max_hops):
+        deliveries = [d for d in controller.send(current_source, current_packet)
+                      if d.accepted]
+        if not deliveries:
+            return traversal
+        egress = deliveries[0].participant
+        if egress not in chain.middleboxes:
+            traversal.final_egress = egress
+            traversal.final_packet = deliveries[0].packet
+            return traversal
+        traversal.hops.append(egress)
+        processed = chain.function_of(egress)(deliveries[0].packet)
+        # The middlebox re-injects from inside its own AS; strip the
+        # fabric location fields so its border router re-frames it.
+        current_packet = processed.modify(port=None, dstmac=None, srcmac=None)
+        current_source = egress
+    raise PolicyError(f"packet still inside the chain after {max_hops} hops")

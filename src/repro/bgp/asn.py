@@ -1,0 +1,123 @@
+"""AS numbers, AS paths, and AS-path regular expressions.
+
+The SDX lets participants group traffic by BGP attributes (Section 3.2),
+e.g. ``RIB.filter('as_path', '.*43515$')`` to select every route whose
+path ends at YouTube's AS. :class:`AsPathPattern` implements that matching
+over the conventional space-separated textual rendering of the path.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Tuple
+
+from repro.exceptions import BgpError
+
+#: Largest 4-byte AS number.
+MAX_ASN = 0xFFFFFFFF
+
+
+def check_asn(asn: int) -> int:
+    """Validate an AS number, returning it unchanged."""
+    if isinstance(asn, bool) or not isinstance(asn, int):
+        raise BgpError(f"AS number must be an int, got {asn!r}")
+    if not 0 < asn <= MAX_ASN:
+        raise BgpError(f"AS number out of range: {asn}")
+    return asn
+
+
+class AsPath:
+    """An immutable BGP AS path (AS_SEQUENCE only).
+
+    The leftmost AS is the most recent hop (the announcing neighbour); the
+    rightmost is the originating AS.
+    """
+
+    __slots__ = ("_asns",)
+
+    def __init__(self, asns: Iterable[int] = ()):
+        self._asns: Tuple[int, ...] = tuple(check_asn(asn) for asn in asns)
+
+    @property
+    def asns(self) -> Tuple[int, ...]:
+        """The AS numbers, most recent hop first."""
+        return self._asns
+
+    @property
+    def origin_asn(self) -> int:
+        """The AS that originated the route."""
+        if not self._asns:
+            raise BgpError("empty AS path has no origin")
+        return self._asns[-1]
+
+    @property
+    def neighbour_asn(self) -> int:
+        """The AS the route was most recently learned from."""
+        if not self._asns:
+            raise BgpError("empty AS path has no neighbour")
+        return self._asns[0]
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """A new path with ``asn`` prepended ``count`` times."""
+        check_asn(asn)
+        if count < 1:
+            raise BgpError(f"prepend count must be positive, got {count}")
+        return AsPath((asn,) * count + self._asns)
+
+    def contains_loop(self, asn: int) -> bool:
+        """True if ``asn`` already appears in the path (loop detection)."""
+        return check_asn(asn) in self._asns
+
+    @property
+    def length(self) -> int:
+        """Path length as used by the decision process (with repeats)."""
+        return len(self._asns)
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._asns)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AsPath):
+            return self._asns == other._asns
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._asns)
+
+    def __str__(self) -> str:
+        return " ".join(str(asn) for asn in self._asns)
+
+    def __repr__(self) -> str:
+        return f"AsPath({str(self)!r})"
+
+
+class AsPathPattern:
+    """A compiled regular expression over textual AS paths.
+
+    Anchoring conventions follow routing-policy practice: the pattern is
+    searched against the space-separated path, so ``.*43515$`` matches any
+    path originated by AS 43515 and ``^7018`` any path learned via AS 7018.
+    """
+
+    __slots__ = ("_pattern",)
+
+    def __init__(self, pattern: str):
+        try:
+            self._pattern = re.compile(pattern)
+        except re.error as exc:
+            raise BgpError(f"bad AS-path pattern {pattern!r}: {exc}") from exc
+
+    @property
+    def pattern(self) -> str:
+        """The original regular-expression text."""
+        return self._pattern.pattern
+
+    def matches(self, path: AsPath) -> bool:
+        """True if the rendered path matches the pattern."""
+        return self._pattern.search(str(path)) is not None
+
+    def __repr__(self) -> str:
+        return f"AsPathPattern({self.pattern!r})"

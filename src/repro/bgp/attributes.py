@@ -1,0 +1,74 @@
+"""BGP path attributes carried with every announcement."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Tuple
+
+from repro.bgp.asn import AsPath
+from repro.exceptions import BgpError
+from repro.net.addresses import IPv4Address
+
+#: Default LOCAL_PREF when a neighbour does not set one (RFC 4271 suggests 100).
+DEFAULT_LOCAL_PREF = 100
+
+
+class Origin(enum.IntEnum):
+    """The ORIGIN attribute; lower is preferred by the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+#: A BGP community, conventionally written ``asn:value``.
+Community = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RouteAttributes:
+    """The attribute bundle of one BGP route.
+
+    Immutable — derive modified copies with the ``with_*`` helpers, which
+    mirror how a route server rewrites attributes on re-advertisement.
+    """
+
+    next_hop: IPv4Address
+    as_path: AsPath
+    origin: Origin = Origin.IGP
+    med: int = 0
+    local_pref: int = DEFAULT_LOCAL_PREF
+    communities: FrozenSet[Community] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.next_hop, IPv4Address):
+            object.__setattr__(self, "next_hop", IPv4Address(self.next_hop))
+        if self.med < 0:
+            raise BgpError(f"MED must be non-negative, got {self.med}")
+        if self.local_pref < 0:
+            raise BgpError(f"LOCAL_PREF must be non-negative, got {self.local_pref}")
+
+    def with_next_hop(self, next_hop: IPv4Address) -> "RouteAttributes":
+        """A copy with the NEXT_HOP rewritten (used for VNH assignment)."""
+        return replace(self, next_hop=IPv4Address(next_hop))
+
+    def with_prepended(self, asn: int, count: int = 1) -> "RouteAttributes":
+        """A copy with ``asn`` prepended to the AS path."""
+        return replace(self, as_path=self.as_path.prepend(asn, count))
+
+    def with_local_pref(self, local_pref: int) -> "RouteAttributes":
+        """A copy with a different LOCAL_PREF."""
+        return replace(self, local_pref=local_pref)
+
+    def with_communities(self, communities: FrozenSet[Community]) -> "RouteAttributes":
+        """A copy carrying a different community set."""
+        return replace(self, communities=frozenset(communities))
+
+    def has_community(self, community: Community) -> bool:
+        """True if the route carries ``community``."""
+        return community in self.communities
+
+    def __repr__(self) -> str:
+        return (f"RouteAttributes(nh={self.next_hop}, path=[{self.as_path}], "
+                f"lp={self.local_pref}, med={self.med}, origin={self.origin.name})")

@@ -1,0 +1,52 @@
+"""The BGP decision process: pick one best route per prefix.
+
+Implements the standard route-server subset of RFC 4271 tie-breaking:
+
+1. highest LOCAL_PREF;
+2. shortest AS path;
+3. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+4. lowest MED — compared across *all* candidates rather than only between
+   routes from the same neighbouring AS ("always-compare-med", the common
+   route-server configuration; documented deviation from strict RFC 4271);
+5. lowest NEXT_HOP address, then lowest peer name — deterministic stand-ins
+   for the router-ID tie-breakers.
+
+The function is a pure total order, so repeated runs over the same
+candidate set always pick the same route — a property the SDX relies on
+when recompiling policies incrementally, and one the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.bgp.rib import RouteEntry
+
+
+def preference_key(entry: RouteEntry) -> Tuple:
+    """Sort key such that the minimum is the best route."""
+    attributes = entry.attributes
+    return (
+        -attributes.local_pref,
+        attributes.as_path.length,
+        int(attributes.origin),
+        attributes.med,
+        int(attributes.next_hop),
+        entry.learned_from,
+    )
+
+
+def best_route(candidates: Iterable[RouteEntry]) -> Optional[RouteEntry]:
+    """The single best route among ``candidates`` (``None`` if empty)."""
+    best: Optional[RouteEntry] = None
+    best_key: Optional[Tuple] = None
+    for entry in candidates:
+        key = preference_key(entry)
+        if best_key is None or key < best_key:
+            best, best_key = entry, key
+    return best
+
+
+def rank_routes(candidates: Iterable[RouteEntry]) -> List[RouteEntry]:
+    """All candidates ordered best-first (used by tests and diagnostics)."""
+    return sorted(candidates, key=preference_key)

@@ -1,0 +1,66 @@
+"""BGP UPDATE messages exchanged between participants and the route server.
+
+One :class:`Update` may carry several announcements and withdrawals, the
+way real UPDATE messages pack NLRI; the route server applies them in
+withdrawals-then-announcements order (an announcement of a prefix in the
+same message implicitly replaces the withdrawal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.bgp.attributes import RouteAttributes
+from repro.net.addresses import IPv4Prefix
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """Advertise reachability of ``prefix`` with the given attributes."""
+
+    prefix: IPv4Prefix
+    attributes: RouteAttributes
+
+    def __repr__(self) -> str:
+        return f"Announcement({self.prefix} via {self.attributes.next_hop})"
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """Withdraw a previously announced prefix."""
+
+    prefix: IPv4Prefix
+
+    def __repr__(self) -> str:
+        return f"Withdrawal({self.prefix})"
+
+
+@dataclass(frozen=True)
+class Update:
+    """One BGP UPDATE: withdrawals plus announcements from one sender."""
+
+    sender: str
+    announcements: Tuple[Announcement, ...] = field(default_factory=tuple)
+    withdrawals: Tuple[Withdrawal, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def announce(cls, sender: str, prefix: IPv4Prefix,
+                 attributes: RouteAttributes) -> "Update":
+        """A single-announcement update."""
+        return cls(sender=sender, announcements=(Announcement(prefix, attributes),))
+
+    @classmethod
+    def withdraw(cls, sender: str, prefix: IPv4Prefix) -> "Update":
+        """A single-withdrawal update."""
+        return cls(sender=sender, withdrawals=(Withdrawal(prefix),))
+
+    @property
+    def prefixes(self) -> Tuple[IPv4Prefix, ...]:
+        """Every prefix touched by this update."""
+        return tuple(w.prefix for w in self.withdrawals) + tuple(
+            a.prefix for a in self.announcements)
+
+    def __repr__(self) -> str:
+        return (f"Update(from={self.sender}, +{len(self.announcements)}"
+                f"/-{len(self.withdrawals)})")

@@ -1,0 +1,455 @@
+"""The SDX route server (Section 3.2 / Figure 3, right pipeline).
+
+Participants peer with the route server exactly as at a conventional IXP:
+they send UPDATE messages, and the server selects one best route per
+prefix *on behalf of each participant* and re-advertises it. Two SDX
+extensions sit on top of the conventional behaviour:
+
+* every best-route change is reported to registered listeners (the SDX
+  policy compiler subscribes, Section 5.1);
+* outgoing announcements pass through a next-hop rewriter hook, which the
+  SDX uses to substitute the virtual next-hop (VNH) of the prefix's
+  forwarding equivalence class (Section 4.2).
+
+Per-participant views share the per-prefix candidate index rather than
+materialising a Loc-RIB per participant, keeping memory linear in the
+number of announcements instead of participants × prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.decision import best_route
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.bgp.rib import AdjRibIn, RibView, RouteEntry
+from repro.bgp.session import BgpSession
+from repro.exceptions import BgpError, ParticipantError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+#: Hook rewriting the next hop of a route re-advertised to a participant.
+#: Receives (participant, prefix, chosen route) and returns the next-hop
+#: address to place in the announcement.
+NextHopRewriter = Callable[[str, IPv4Prefix, RouteEntry], IPv4Address]
+
+#: Listener invoked with the per-participant best-route changes caused by
+#: one inbound update.
+ChangeListener = Callable[[List["BestRouteChange"]], None]
+
+#: Listener invoked with (update, best-route changes) for *every* processed
+#: update, even when no best route changed. The SDX needs this because an
+#: announcement can change policy *eligibility* (which next hops may carry
+#: a prefix) without moving anyone's best route.
+UpdateListener = Callable[["Update", List["BestRouteChange"]], None]
+
+
+@dataclass(frozen=True)
+class BestRouteChange:
+    """One participant's best route for one prefix changed."""
+
+    participant: str
+    prefix: IPv4Prefix
+    old: Optional[RouteEntry]
+    new: Optional[RouteEntry]
+
+    def __repr__(self) -> str:
+        def render(entry: Optional[RouteEntry]) -> str:
+            return "none" if entry is None else f"via {entry.learned_from}"
+        return (f"BestRouteChange({self.participant}: {self.prefix} "
+                f"{render(self.old)} -> {render(self.new)})")
+
+
+#: ASN conventionally used in blocking communities ("0:peer-asn").
+BLOCK_COMMUNITY_ASN = 0
+
+
+class RouteServer:
+    """A multi-participant BGP route server with SDX hooks.
+
+    Export control operates at two granularities, mirroring operational
+    IXP route servers:
+
+    * **per session** via :meth:`set_export_policy` (allow/deny peer
+      lists);
+    * **per announcement** via BGP communities: ``(0, 0)`` blocks export
+      to everyone, ``(0, peer-asn)`` blocks one peer, and the presence of
+      any ``(server-asn, x)`` community switches the route to allow-list
+      mode where only peers named by ``(server-asn, peer-asn)`` receive
+      it.
+    """
+
+    def __init__(self, asn: int = 64_496) -> None:
+        self.asn = asn
+        self._sessions: Dict[str, BgpSession] = {}
+        self._adj_in: Dict[str, AdjRibIn] = {}
+        self._announcers: Dict[IPv4Prefix, Set[str]] = {}
+        self._export_deny: Dict[str, Set[str]] = {}
+        self._export_allow: Dict[str, Optional[Set[str]]] = {}
+        self._community_filtering_peers: Set[str] = set()
+        self._listeners: List[ChangeListener] = []
+        self._update_listeners: List[UpdateListener] = []
+        self._next_hop_rewriter: Optional[NextHopRewriter] = None
+        self.updates_processed = 0
+
+    # ------------------------------------------------------------------
+    # Peering management
+    # ------------------------------------------------------------------
+
+    def add_peer(self, name: str, asn: int, connect: bool = True) -> BgpSession:
+        """Create (and by default establish) a session with ``name``."""
+        if name in self._sessions:
+            raise ParticipantError(f"peer {name!r} already exists")
+        session = BgpSession(name, asn, on_update=self._process_update)
+        self._sessions[name] = session
+        self._adj_in[name] = AdjRibIn(name)
+        if connect:
+            session.connect()
+        return session
+
+    def remove_peer(self, name: str) -> List[BestRouteChange]:
+        """Drop a peer and withdraw everything it announced."""
+        session = self._sessions.pop(name, None)
+        if session is None:
+            raise ParticipantError(f"unknown peer {name!r}")
+        adj = self._adj_in[name]
+        update = Update(sender=name, withdrawals=tuple(
+            Withdrawal(p) for p in adj.prefixes()))
+        changes = self._apply_and_diff(name, update)
+        del self._adj_in[name]
+        self._export_deny.pop(name, None)
+        self._export_allow.pop(name, None)
+        self._notify(update, changes)
+        return changes
+
+    def session(self, name: str) -> BgpSession:
+        """The session for peer ``name``."""
+        try:
+            return self._sessions[name]
+        except KeyError:
+            raise ParticipantError(f"unknown peer {name!r}") from None
+
+    def peers(self) -> Tuple[str, ...]:
+        """Every peer name, sorted."""
+        return tuple(sorted(self._sessions))
+
+    def reset_session(self, name: str) -> List[BestRouteChange]:
+        """Simulate a session reset: flush the peer's routes, reconnect."""
+        session = self.session(name)
+        adj = self._adj_in[name]
+        update = Update(sender=name, withdrawals=tuple(
+            Withdrawal(p) for p in adj.prefixes()))
+        changes = self._apply_and_diff(name, update)
+        session.reset()
+        session.connect()
+        self._notify(update, changes)
+        return changes
+
+    # ------------------------------------------------------------------
+    # Export policy
+    # ------------------------------------------------------------------
+
+    def set_export_policy(self, announcer: str, *,
+                          deny: Iterable[str] = (),
+                          allow: Optional[Iterable[str]] = None) -> None:
+        """Control which peers receive ``announcer``'s routes.
+
+        ``deny`` blacklists receivers; ``allow``, when given, whitelists
+        them (deny still wins). The paper's Figure 1b example — AS B not
+        exporting p4 to AS A — is modelled at this session granularity.
+        """
+        if announcer not in self._sessions:
+            raise ParticipantError(f"unknown peer {announcer!r}")
+        self._export_deny[announcer] = set(deny)
+        self._export_allow[announcer] = None if allow is None else set(allow)
+
+    def has_export_restrictions(self, announcer: str) -> bool:
+        """True if ``announcer`` filters which peers receive its routes,
+        either per session or via communities on some announcement."""
+        if self._export_deny.get(announcer):
+            return True
+        if self._export_allow.get(announcer) is not None:
+            return True
+        return announcer in self._community_filtering_peers
+
+    def exports_to(self, announcer: str, receiver: str) -> bool:
+        """True if routes from ``announcer`` may reach ``receiver``
+        (session-level check; per-route communities apply on top)."""
+        if announcer == receiver:
+            return False
+        if receiver in self._export_deny.get(announcer, ()):  # deny wins
+            return False
+        allowed = self._export_allow.get(announcer)
+        return allowed is None or receiver in allowed
+
+    def export_control_communities(self, attributes) -> frozenset:
+        """The communities of a route that affect its export."""
+        return frozenset(
+            community for community in attributes.communities
+            if community[0] in (BLOCK_COMMUNITY_ASN, self.asn))
+
+    def route_exported(self, entry: RouteEntry, receiver: str) -> bool:
+        """True if one specific route may be given to ``receiver``.
+
+        Besides session policy and communities, this applies standard
+        AS-path loop prevention: a route whose path already contains the
+        receiver's AS number is never exported to it (the receiver's
+        router would reject it anyway, RFC 4271 §9.1.2).
+        """
+        if not self.exports_to(entry.learned_from, receiver):
+            return False
+        receiver_session = self._sessions.get(receiver)
+        if receiver_session is None:
+            return False  # no session (peer removed), nothing to export to
+        receiver_asn = receiver_session.asn
+        if entry.attributes.as_path.contains_loop(receiver_asn):
+            return False
+        communities = entry.attributes.communities
+        if not communities:
+            return True
+        if (BLOCK_COMMUNITY_ASN, 0) in communities:
+            return False
+        if (BLOCK_COMMUNITY_ASN, receiver_asn) in communities:
+            return False
+        allow_mode = any(community[0] == self.asn for community in communities)
+        if allow_mode:
+            return (self.asn, receiver_asn) in communities
+        return True
+
+    def _note_community_filters(self, update: Update) -> None:
+        for announcement in update.announcements:
+            if self.export_control_communities(announcement.attributes):
+                self._community_filtering_peers.add(update.sender)
+                return
+
+    # ------------------------------------------------------------------
+    # Update processing
+    # ------------------------------------------------------------------
+
+    def submit(self, update: Update) -> None:
+        """Deliver an update through the sender's session."""
+        self.session(update.sender).receive(update)
+
+    def announce(self, sender: str, prefix: IPv4Prefix, attributes) -> None:
+        """Convenience: submit a single announcement."""
+        self.submit(Update.announce(sender, prefix, attributes))
+
+    def withdraw(self, sender: str, prefix: IPv4Prefix) -> None:
+        """Convenience: submit a single withdrawal."""
+        self.submit(Update.withdraw(sender, prefix))
+
+    def bulk_load(self, updates: Iterable[Update]) -> int:
+        """Apply many updates without per-change diffing or notification.
+
+        This is the initial-table-transfer path: when a peer first comes
+        up it sends its whole table, and diffing every prefix against
+        every receiver would be quadratic waste — the SDX controller runs
+        one full recompilation afterwards instead (Section 4.3 treats
+        initial compilation separately from incremental updates for the
+        same reason). Returns the number of updates applied.
+        """
+        count = 0
+        for update in updates:
+            session = self.session(update.sender)
+            if not session.is_established:
+                raise BgpError(f"bulk load from unestablished peer {update.sender!r}")
+            session.updates_received += 1
+            self._note_community_filters(update)
+            adj = self._adj_in[update.sender]
+            for prefix in adj.apply(update):
+                announcers = self._announcers.setdefault(prefix, set())
+                if adj.route(prefix) is None:
+                    announcers.discard(update.sender)
+                    if not announcers:
+                        del self._announcers[prefix]
+                else:
+                    announcers.add(update.sender)
+            self.updates_processed += 1
+            count += 1
+        return count
+
+    def _process_update(self, update: Update) -> None:
+        changes = self._apply_and_diff(update.sender, update)
+        self.updates_processed += 1
+        self._notify(update, changes)
+
+    def _notify(self, update: Update,
+                changes: List[BestRouteChange]) -> None:
+        if changes:
+            for listener in self._listeners:
+                listener(changes)
+        for listener in self._update_listeners:
+            listener(update, changes)
+
+    def _apply_and_diff(self, sender: str, update: Update) -> List[BestRouteChange]:
+        """Apply ``update`` to the sender's Adj-RIB-In and report every
+        per-participant best-route change it caused."""
+        self._note_community_filters(update)
+        adj = self._adj_in[sender]
+        receivers = [name for name in self._sessions
+                     if self.exports_to(sender, name)]
+        touched = set(update.prefixes)
+        before: Dict[Tuple[str, IPv4Prefix], Optional[RouteEntry]] = {
+            (receiver, prefix): self.best_route_for(receiver, prefix)
+            for receiver in receivers
+            for prefix in touched
+        }
+        changed_prefixes = adj.apply(update)
+        for prefix in changed_prefixes:
+            announcers = self._announcers.setdefault(prefix, set())
+            if adj.route(prefix) is None:
+                announcers.discard(sender)
+                if not announcers:
+                    del self._announcers[prefix]
+            else:
+                announcers.add(sender)
+        changes: List[BestRouteChange] = []
+        for receiver in receivers:
+            for prefix in touched:
+                old = before[(receiver, prefix)]
+                new = self.best_route_for(receiver, prefix)
+                if old != new:
+                    changes.append(BestRouteChange(receiver, prefix, old, new))
+        return changes
+
+    # ------------------------------------------------------------------
+    # Route queries (the SDX controller's read API)
+    # ------------------------------------------------------------------
+
+    def candidates_for(self, participant: str,
+                       prefix: IPv4Prefix) -> List[RouteEntry]:
+        """Routes for ``prefix`` that ``participant`` may use."""
+        out: List[RouteEntry] = []
+        for announcer in self._announcers.get(prefix, ()):
+            entry = self._adj_in[announcer].route(prefix)
+            if entry is not None and self.route_exported(entry, participant):
+                out.append(entry)
+        return out
+
+    def all_routes_for(self, prefix: IPv4Prefix) -> List[RouteEntry]:
+        """Every route announced for ``prefix``, regardless of export policy.
+
+        Used by the FEC computation: the preference-ranked announcer list
+        determines each participant's default next hop, so prefixes with
+        the same ranking share default behaviour everywhere.
+        """
+        out: List[RouteEntry] = []
+        for announcer in self._announcers.get(prefix, ()):
+            entry = self._adj_in[announcer].route(prefix)
+            if entry is not None:
+                out.append(entry)
+        return out
+
+    def best_route_for(self, participant: str,
+                       prefix: IPv4Prefix) -> Optional[RouteEntry]:
+        """The best route the server selects for ``participant``."""
+        return best_route(self.candidates_for(participant, prefix))
+
+    def reachable_prefixes(self, participant: str,
+                           via: str) -> Tuple[IPv4Prefix, ...]:
+        """Prefixes ``participant`` may forward to next-hop ``via``.
+
+        This is the BGP-consistency filter of Section 4.1: only prefixes
+        ``via`` announced *and* exports to ``participant`` are eligible.
+        """
+        if via not in self._adj_in:
+            raise ParticipantError(f"unknown peer {via!r}")
+        if not self.exports_to(via, participant):
+            return ()
+        return tuple(sorted(
+            entry.prefix for entry in self._adj_in[via].routes()
+            if self.route_exported(entry, participant)))
+
+    def is_reachable(self, participant: str, prefix: IPv4Prefix,
+                     via: str) -> bool:
+        """True if ``participant`` may forward ``prefix`` to next-hop ``via``.
+
+        Constant-time variant of :meth:`reachable_prefixes` for the
+        incremental fast path.
+        """
+        if via not in self._adj_in:
+            raise ParticipantError(f"unknown peer {via!r}")
+        entry = self._adj_in[via].route(prefix)
+        return entry is not None and self.route_exported(entry, participant)
+
+    def announced_by(self, participant: str) -> Tuple[IPv4Prefix, ...]:
+        """Prefixes currently announced by ``participant``."""
+        return tuple(sorted(self._adj_in[participant].prefixes()))
+
+    def routes_from(self, participant: str) -> Tuple[RouteEntry, ...]:
+        """Every route ``participant`` currently announces, sorted."""
+        try:
+            adj = self._adj_in[participant]
+        except KeyError:
+            raise ParticipantError(f"unknown peer {participant!r}") from None
+        return tuple(sorted(adj.routes(), key=lambda entry: entry.prefix))
+
+    def export_policy(self, announcer: str) -> Tuple[Tuple[str, ...],
+                                                     Optional[Tuple[str, ...]]]:
+        """The (deny, allow) session-level export policy of ``announcer``."""
+        if announcer not in self._sessions:
+            raise ParticipantError(f"unknown peer {announcer!r}")
+        deny = tuple(sorted(self._export_deny.get(announcer, ())))
+        allowed = self._export_allow.get(announcer)
+        return deny, None if allowed is None else tuple(sorted(allowed))
+
+    def all_prefixes(self) -> Tuple[IPv4Prefix, ...]:
+        """Every prefix announced by anyone, sorted."""
+        return tuple(sorted(self._announcers))
+
+    def view_for(self, participant: str) -> RibView:
+        """The participant's Loc-RIB view (best route per prefix)."""
+        routes: Dict[IPv4Prefix, RouteEntry] = {}
+        for prefix in self._announcers:
+            best = self.best_route_for(participant, prefix)
+            if best is not None:
+                routes[prefix] = best
+        return RibView(routes)
+
+    # ------------------------------------------------------------------
+    # Re-advertisement
+    # ------------------------------------------------------------------
+
+    def set_next_hop_rewriter(self, rewriter: Optional[NextHopRewriter]) -> None:
+        """Install the VNH rewriting hook used on re-advertisement."""
+        self._next_hop_rewriter = rewriter
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        """Register for per-participant best-route change notifications."""
+        self._listeners.append(listener)
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register for every processed update (see :data:`UpdateListener`)."""
+        self._update_listeners.append(listener)
+
+    def readvertise(self, changes: Sequence[BestRouteChange]) -> List[Update]:
+        """Build and send the UPDATEs that propagate ``changes``.
+
+        Each change produces an announcement (or withdrawal) on the
+        affected participant's session, with the next hop rewritten by the
+        installed hook.
+        """
+        sent: List[Update] = []
+        for change in changes:
+            session = self._sessions.get(change.participant)
+            if session is None or not session.is_established:
+                continue
+            if change.new is None:
+                update = Update(sender="route-server",
+                                withdrawals=(Withdrawal(change.prefix),))
+            else:
+                next_hop = change.new.attributes.next_hop
+                if self._next_hop_rewriter is not None:
+                    next_hop = self._next_hop_rewriter(
+                        change.participant, change.prefix, change.new)
+                attributes = change.new.attributes.with_next_hop(next_hop)
+                update = Update(
+                    sender="route-server",
+                    announcements=(Announcement(change.prefix, attributes),))
+            session.send(update)
+            sent.append(update)
+        return sent
+
+    def __repr__(self) -> str:
+        return (f"RouteServer({len(self._sessions)} peers, "
+                f"{len(self._announcers)} prefixes)")

@@ -1,0 +1,100 @@
+"""BGP peering sessions between participant routers and the route server.
+
+A deliberately small finite-state machine: the evaluation (Table 1) needs
+session *resets* — RIPE collector traces are cleaned of reset-induced
+churn, and our synthetic trace generator injects and then discards resets
+the same way — but not keepalive timers or TCP emulation. States follow
+RFC 4271 naming with the connect-phase states collapsed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.bgp.messages import Update
+from repro.exceptions import SessionStateError
+
+
+class SessionState(enum.Enum):
+    """Collapsed RFC 4271 session states."""
+
+    IDLE = "idle"
+    OPEN_SENT = "open_sent"
+    ESTABLISHED = "established"
+
+
+class BgpSession:
+    """One peering session, counting traffic and enforcing state rules.
+
+    ``on_update`` is invoked for every update received while ESTABLISHED —
+    the route server wires this to its RIB processing.
+    """
+
+    def __init__(self, peer: str, asn: int,
+                 on_update: Optional[Callable[[Update], None]] = None):
+        self.peer = peer
+        self.asn = asn
+        self.state = SessionState.IDLE
+        self.updates_received = 0
+        self.updates_sent = 0
+        self.resets = 0
+        self._on_update = on_update
+        self._sent_log: List[Update] = []
+
+    def open(self) -> None:
+        """Begin session establishment (IDLE -> OPEN_SENT)."""
+        if self.state is not SessionState.IDLE:
+            raise SessionStateError(f"cannot open session to {self.peer} in {self.state}")
+        self.state = SessionState.OPEN_SENT
+
+    def establish(self) -> None:
+        """Complete establishment (OPEN_SENT -> ESTABLISHED)."""
+        if self.state is not SessionState.OPEN_SENT:
+            raise SessionStateError(
+                f"cannot establish session to {self.peer} in {self.state}")
+        self.state = SessionState.ESTABLISHED
+
+    def connect(self) -> None:
+        """Convenience: open and establish in one call."""
+        self.open()
+        self.establish()
+
+    @property
+    def is_established(self) -> bool:
+        """True when updates may flow."""
+        return self.state is SessionState.ESTABLISHED
+
+    def receive(self, update: Update) -> None:
+        """Process an update arriving from the peer."""
+        if not self.is_established:
+            raise SessionStateError(
+                f"update from {self.peer} while session {self.state.value}")
+        if update.sender != self.peer:
+            raise SessionStateError(
+                f"session with {self.peer} received update from {update.sender}")
+        self.updates_received += 1
+        if self._on_update is not None:
+            self._on_update(update)
+
+    def send(self, update: Update) -> None:
+        """Record an update sent to the peer (kept for inspection)."""
+        if not self.is_established:
+            raise SessionStateError(
+                f"cannot send to {self.peer} while session {self.state.value}")
+        self.updates_sent += 1
+        self._sent_log.append(update)
+
+    @property
+    def sent_log(self) -> List[Update]:
+        """Updates sent on this session, oldest first."""
+        return list(self._sent_log)
+
+    def reset(self) -> None:
+        """Tear the session down (any state -> IDLE), counting the reset."""
+        self.state = SessionState.IDLE
+        self.resets += 1
+
+    def __repr__(self) -> str:
+        return (f"BgpSession(peer={self.peer!r}, asn={self.asn}, "
+                f"state={self.state.value})")

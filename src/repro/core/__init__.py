@@ -1,0 +1,37 @@
+"""The SDX controller — the paper's primary contribution.
+
+The pipeline (Figure 3) turns per-participant Pyretic-style policies plus
+live BGP state into one flow table for the IXP switch:
+
+1. :mod:`repro.core.isolation` — restrict each policy to the owner's
+   virtual switch (Section 4.1, transformation 1);
+2. :mod:`repro.core.augmentation` — insert BGP reachability guards on
+   every outbound forwarding action (transformation 2);
+3. :mod:`repro.core.defaults` — default forwarding along the best BGP
+   route via virtual-MAC tags (transformation 3, Section 4.2);
+4. :mod:`repro.core.composition` — compose all participants into one
+   policy with the Section 4.3 optimisations (transformation 4);
+
+supported by :mod:`repro.core.fec` (prefix grouping / minimum disjoint
+subsets), :mod:`repro.core.vnh` (virtual next-hop and VMAC allocation),
+:mod:`repro.core.incremental` (the two-stage update path), and
+:mod:`repro.core.controller` (the top-level :class:`SdxController`).
+"""
+
+from repro.core.participant import Participant
+from repro.core.vswitch import VirtualTopology
+from repro.core.fec import PrefixGroup, compute_prefix_groups
+from repro.core.vnh import VnhAllocator
+from repro.core.compiler import CompilationResult, SdxCompiler
+from repro.core.controller import SdxController
+
+__all__ = [
+    "CompilationResult",
+    "Participant",
+    "PrefixGroup",
+    "SdxCompiler",
+    "SdxController",
+    "VirtualTopology",
+    "VnhAllocator",
+    "compute_prefix_groups",
+]

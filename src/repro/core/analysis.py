@@ -1,0 +1,183 @@
+"""Policy-interaction analysis: overlap detection and coverage reports.
+
+The SDX "resolv[es] conflicts that arise between participants" by
+construction — isolation makes different participants' policies disjoint,
+and one participant's overlapping clauses resolve by priority. This
+module gives operators *visibility* into those resolutions before they
+bite:
+
+* :func:`find_clause_overlaps` — pairs of one participant's clauses that
+  can match the same packet, with a concrete witness packet and which
+  clause wins;
+* :func:`analyze_sdx` — an exchange-wide report: per-participant clause
+  counts, overlaps, forwarding targets, and eligible-prefix coverage per
+  outbound target.
+
+Detection is sound for the clause fragment (conjunctive predicates and
+prefix/value sets); predicates containing negation are flagged as
+*possible* overlaps (the match regions are over-approximated by their
+positive parts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clauses import Clause
+from repro.core.participant import Participant
+from repro.net.packet import Packet
+from repro.policy.classifier import Classifier
+from repro.policy.headerspace import HeaderSpace
+from repro.policy.policies import Negation, Policy, Predicate
+
+
+def _contains_negation(predicate: Predicate) -> bool:
+    stack: List[Policy] = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Negation):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def _positive_regions(predicate: Predicate) -> List[HeaderSpace]:
+    """The identity-rule matches of the compiled filter (its match set,
+    over-approximated when the predicate contains negation masks)."""
+    classifier = predicate.compile()
+    return [rule.match for rule in classifier.rules if rule.is_identity]
+
+
+@dataclass(frozen=True)
+class ClauseOverlap:
+    """Two clauses of one participant that can match the same packet."""
+
+    participant: str
+    direction: str
+    winner_index: int
+    loser_index: int
+    witness: Packet
+    exact: bool
+
+    def describe(self) -> str:
+        """A one-line operator-facing description."""
+        certainty = "overlap" if self.exact else "possible overlap"
+        return (f"{self.participant} ({self.direction}): clause "
+                f"#{self.winner_index} shadows #{self.loser_index} "
+                f"({certainty}; e.g. {self.witness!r})")
+
+
+def find_clause_overlaps(participant: Participant,
+                         direction: str = "out") -> List[ClauseOverlap]:
+    """Overlapping clause pairs within one participant's policy list.
+
+    ``direction`` is ``"out"`` or ``"in"``. The earlier (winning) clause
+    is reported first in each pair.
+    """
+    if direction == "out":
+        clauses: Sequence[Clause] = participant.outbound_clauses()
+    elif direction == "in":
+        clauses = participant.inbound_clauses()
+    else:
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    from repro.core.dynamic import contains_dynamic
+
+    # Dynamic RIB predicates have no static match region; they are
+    # excluded from overlap analysis (empty region = never reported).
+    regions = [
+        [] if contains_dynamic(clause.predicate)
+        else _positive_regions(clause.predicate)
+        for clause in clauses
+    ]
+    negated = [_contains_negation(clause.predicate) for clause in clauses]
+    overlaps: List[ClauseOverlap] = []
+    for first in range(len(clauses)):
+        for second in range(first + 1, len(clauses)):
+            witness_space = _first_intersection(regions[first], regions[second])
+            if witness_space is None:
+                continue
+            witness = witness_space.concretise(port=0)
+            exact = not (negated[first] or negated[second])
+            if exact and not (clauses[first].predicate.holds(witness)
+                              and clauses[second].predicate.holds(witness)):
+                continue
+            overlaps.append(ClauseOverlap(
+                participant=participant.name, direction=direction,
+                winner_index=first, loser_index=second,
+                witness=witness, exact=exact))
+    return overlaps
+
+
+def _first_intersection(left: Sequence[HeaderSpace],
+                        right: Sequence[HeaderSpace]) -> Optional[HeaderSpace]:
+    for space_l in left:
+        for space_r in right:
+            merged = space_l.intersect(space_r)
+            if merged is not None:
+                return merged
+    return None
+
+
+@dataclass
+class ParticipantReport:
+    """One participant's policy summary."""
+
+    name: str
+    outbound_clauses: int
+    inbound_clauses: int
+    targets: Tuple[str, ...]
+    overlaps: List[ClauseOverlap] = field(default_factory=list)
+    eligible_prefixes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SdxReport:
+    """An exchange-wide policy-interaction report."""
+
+    participants: List[ParticipantReport]
+
+    @property
+    def total_overlaps(self) -> int:
+        """Overlapping clause pairs across the whole exchange."""
+        return sum(len(report.overlaps) for report in self.participants)
+
+    def render(self) -> str:
+        """A printable multi-line summary."""
+        lines: List[str] = []
+        for report in self.participants:
+            lines.append(
+                f"{report.name}: {report.outbound_clauses} outbound / "
+                f"{report.inbound_clauses} inbound clauses"
+                + (f", targets {', '.join(report.targets)}"
+                   if report.targets else ""))
+            for target, count in sorted(report.eligible_prefixes.items()):
+                lines.append(f"  eligible via {target}: {count} prefixes")
+            for overlap in report.overlaps:
+                lines.append(f"  ! {overlap.describe()}")
+        if not lines:
+            return "(no policies installed)"
+        return "\n".join(lines)
+
+
+def analyze_sdx(controller) -> SdxReport:
+    """Build the policy-interaction report for a controller's participants."""
+    reports: List[ParticipantReport] = []
+    for participant in controller.topology.participants():
+        if not participant.has_policies:
+            continue
+        report = ParticipantReport(
+            name=participant.name,
+            outbound_clauses=len(participant.outbound_clauses())
+            if not participant.is_remote else 0,
+            inbound_clauses=len(participant.inbound_clauses()),
+            targets=participant.outbound_targets())
+        if not participant.is_remote:
+            report.overlaps.extend(find_clause_overlaps(participant, "out"))
+        report.overlaps.extend(find_clause_overlaps(participant, "in"))
+        for target in report.targets:
+            report.eligible_prefixes[target] = len(
+                controller.route_server.reachable_prefixes(
+                    participant.name, via=target))
+        reports.append(report)
+    return SdxReport(participants=reports)

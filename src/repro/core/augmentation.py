@@ -1,0 +1,66 @@
+"""Transformation 2: BGP-reachability guards for outbound clauses.
+
+"The SDX only applies a match() predicate to the portion of traffic that
+is eligible for forwarding to the specified next-hop AS" (Section 3.2):
+a participant may steer traffic to next-hop B only for prefixes B both
+announced and exported to it.
+
+The guard has two equivalent encodings, selected by the compiler:
+
+* **VMAC-based** (the paper's scalable data plane, Section 4.2): packets
+  arrive tagged with the VMAC of their prefix group, and the eligible
+  groups for an (A → B) context are known from the FEC computation, so
+  the guard is ``dstmac in {eligible VMACs}`` — one rule per group.
+* **Prefix-based** (the naive baseline the paper argues against, kept for
+  the ablation benchmark): ``dstip in {eligible prefixes}`` — one rule
+  per prefix, which is what explodes the table.
+
+:func:`rewrite_forwards` is the generic AST walker used by tooling that
+manipulates raw policies (tests, examples) outside the clause pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.bgp.routeserver import RouteServer
+from repro.core.fec import PrefixGroup
+from repro.core.vnh import VnhAllocator
+from repro.policy.policies import Forward, Parallel, Policy, Predicate, Sequential
+from repro.policy.predicates import match_any_prefix, match_any_value
+
+#: Maps a Forward node to its replacement policy.
+ForwardRewriter = Callable[[Forward], Policy]
+
+
+def rewrite_forwards(policy: Policy, rewriter: ForwardRewriter) -> Policy:
+    """Rebuild a policy tree with every :class:`Forward` leaf rewritten.
+
+    Predicates contain no forwarding actions, so only composition nodes
+    are descended into.
+    """
+    if isinstance(policy, Forward):
+        return rewriter(policy)
+    if isinstance(policy, (Parallel, Sequential)):
+        return type(policy)(
+            rewrite_forwards(part, rewriter) for part in policy.parts)
+    return policy
+
+
+def vmac_guard(participant: str, target: str,
+               groups: Iterable[PrefixGroup],
+               allocator: VnhAllocator) -> Predicate:
+    """The VMAC-set eligibility guard for one (participant → target) pair."""
+    vmacs = [
+        allocator.vmac_for_group(group.group_id)
+        for group in groups
+        if (participant, target) in group.contexts
+    ]
+    return match_any_value("dstmac", vmacs)
+
+
+def prefix_guard(participant: str, target: str,
+                 route_server: RouteServer) -> Predicate:
+    """The naive dstip-prefix eligibility guard (ablation baseline)."""
+    prefixes = route_server.reachable_prefixes(participant, via=target)
+    return match_any_prefix("dstip", prefixes)

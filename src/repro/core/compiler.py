@@ -1,0 +1,486 @@
+"""The SDX policy compiler: policies + BGP state -> one flow table.
+
+Runs the four syntactic transformations of Section 4.1 with the Section
+4.2/4.3 scalability machinery:
+
+1. **FEC computation** — group prefixes into forwarding equivalence
+   classes (:mod:`repro.core.fec`) and assign VNH/VMAC pairs
+   (:mod:`repro.core.vnh`).
+2. **Default forwarding** — VMAC group clauses plus MAC-learning clauses
+   (:mod:`repro.core.defaults`), layered *under* the policy rules.
+3. **Per-participant outbound pipelines** — clause form with an ingress
+   isolation guard and a VMAC (or prefix) eligibility guard per clause;
+   traffic failing a clause's predicate or guard falls through to the
+   default layer exactly (the paper's ``if_(matched, policy, default)``).
+4. **Inbound pipelines** — per participant, memoized across compilations
+   (the paper's caching of partial compilation results); remote
+   participants' pipelines are composed through the physical ones.
+5. **Composition** — disjoint stacking plus index-pruned sequential
+   composition (:mod:`repro.core.composition`), or the naive cross
+   product when ``optimized=False`` (ablation).
+
+Flags:
+
+``use_vnh=False``
+    disables the whole tag architecture: eligibility guards match
+    destination prefixes directly and no VNHs are advertised — the naive
+    data plane whose rule explosion the MDS ablation quantifies.
+``optimized=False``
+    disables the control-plane composition optimisations (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.routeserver import RouteServer
+from repro.core.clauses import Clause, clause_dstip
+from repro.core.dynamic import contains_dynamic, resolve_dynamic
+from repro.core.composition import (
+    CompositionReport,
+    compose_naive,
+    compose_optimized,
+    sequential_compose_indexed,
+    stack_disjoint,
+    stack_fallback,
+)
+from repro.core.defaults import (
+    build_default_forwarding,
+    build_participant_defaults,
+)
+from repro.core.fec import PrefixGroup, compute_prefix_groups
+from repro.core.participant import Participant
+from repro.core.vnh import VnhAllocator
+from repro.core.vswitch import VirtualTopology
+from repro.exceptions import CompilationError
+from repro.policy.classifier import Action, Classifier, ComposeStats, Rule
+from repro.policy.optimize import merge_drop_tail, remove_shadowed
+from repro.policy.policies import Conjunction, Predicate, match, modify
+from repro.policy.predicates import match_any_value
+
+#: Above this rule count the quadratic shadow-elimination pass is skipped.
+REDUCTION_LIMIT = 4_000
+
+#: A guard factory: (participant, target, optional dstip constraint) ->
+#: eligibility predicate.
+GuardFactory = Callable[..., Predicate]
+
+
+def compile_clause_rules(predicate: Predicate, actions: Tuple[Action, ...],
+                         fallback: Optional[Classifier],
+                         stats: Optional[ComposeStats] = None) -> List[Rule]:
+    """Rules for "``predicate`` → ``actions``, otherwise fall through".
+
+    Compiles the predicate to a filter classifier and keeps only what the
+    clause owns: identity rules become action rules, interior drop rules
+    (negation masks) are expanded against ``fallback`` so masked traffic
+    gets default treatment instead of vanishing, and the trailing
+    "predicate didn't match" drops are removed so lower layers see the
+    traffic. With ``fallback=None`` masks stay as drops.
+    """
+    filter_classifier = predicate.compile(stats)
+    rules = filter_classifier.rules
+    if not any(rule.is_identity for rule in rules):
+        return []
+    out: List[Rule] = []
+    for index, rule in enumerate(rules):
+        if rule.is_identity:
+            out.append(Rule(rule.match, actions))
+            continue
+        if not rule.is_drop:
+            raise CompilationError(
+                f"clause predicate compiled to a non-filter rule: {rule!r}")
+        # A drop rule here means "the predicate does not hold". It only
+        # needs to stay if it *masks* a later identity rule (negation
+        # produces these); plain fall-through drops are removed so lower
+        # layers see the traffic.
+        masks_later_match = any(
+            later.is_identity and rule.match.intersect(later.match) is not None
+            for later in rules[index + 1:])
+        if not masks_later_match:
+            continue
+        if fallback is None:
+            out.append(rule)
+        else:
+            for fallback_rule in fallback.rules:
+                merged = rule.match.intersect(fallback_rule.match)
+                if merged is not None:
+                    out.append(Rule(merged, fallback_rule.actions))
+    return out
+
+
+def compile_guarded_clauses(pairs: Iterable[Tuple[Predicate, Tuple[Action, ...]]],
+                            fallback: Optional[Classifier],
+                            stats: Optional[ComposeStats] = None) -> Classifier:
+    """A (partial) classifier stacking clause rules in priority order.
+
+    Compiled bottom-up so that a clause's negation masks expand against
+    everything *below it* — later clauses first, then ``fallback`` — and
+    masked traffic gets exactly the treatment it would get if the clause
+    did not exist. Mask expansion copies below-stack rules, so it is paid
+    only by clauses that actually contain negation.
+    """
+    pair_list = list(pairs)
+    below = fallback
+    layers: List[List[Rule]] = []
+    for predicate, actions in reversed(pair_list):
+        rules = compile_clause_rules(predicate, actions, below, stats)
+        layers.append(rules)
+        if below is None:
+            below = Classifier(rules)
+        else:
+            below = Classifier(tuple(rules) + below.rules)
+    out: List[Rule] = []
+    for rules in reversed(layers):
+        out.extend(rules)
+    return Classifier(out)
+
+
+def clause_action(clause: Clause, port: Optional[int]) -> Tuple[Action, ...]:
+    """The action tuple a clause installs (empty = drop)."""
+    if clause.drops:
+        return ()
+    assignments = dict(clause.modifications)
+    if port is not None:
+        assignments["port"] = port
+    return (Action(**assignments),)
+
+
+@dataclass
+class CompilationResult:
+    """Everything one compiler run produced."""
+
+    classifier: Classifier
+    groups: Tuple[PrefixGroup, ...]
+    report: CompositionReport
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def flow_rule_count(self) -> int:
+        """Rules in the final table."""
+        return len(self.classifier)
+
+    @property
+    def prefix_group_count(self) -> int:
+        """Forwarding equivalence classes in this compilation."""
+        return len(self.groups)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock time of the whole compilation."""
+        return self.timings.get("total", 0.0)
+
+
+class SdxCompiler:
+    """Compiles the SDX's current policies and routes to a flow table."""
+
+    def __init__(self, topology: VirtualTopology, route_server: RouteServer,
+                 allocator: VnhAllocator, *, use_vnh: bool = True,
+                 optimized: bool = True, reduce_table: bool = True):
+        self.topology = topology
+        self.route_server = route_server
+        self.allocator = allocator
+        self.use_vnh = use_vnh
+        self.optimized = optimized
+        self.reduce_table = reduce_table
+        self._inbound_cache: Dict[str, Tuple[int, Classifier]] = {}
+        # Lazily materialised Loc-RIB views for dynamic predicates,
+        # valid for one compilation only.
+        self._rib_views: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompilationResult:
+        """Run the full pipeline against current state."""
+        timings: Dict[str, float] = {}
+        report = CompositionReport()
+        stats = report.stats
+        self._rib_views.clear()
+        started = time.perf_counter()
+
+        step = time.perf_counter()
+        groups = self._compute_groups()
+        timings["fec"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        if self.use_vnh:
+            self.allocator.assign_groups(groups)
+        timings["vnh"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        defaults = build_default_forwarding(
+            self.topology.participants(), groups, self.allocator,
+            self.topology, self.route_server)
+        defaults_classifier = stack_fallback([
+            compile_guarded_clauses(
+                ((c.predicate, clause_action(c, c.target)) for c in defaults.exceptions),
+                None, stats),
+            compile_guarded_clauses(
+                ((c.predicate, clause_action(c, c.target)) for c in defaults.shared),
+                None, stats),
+        ])
+        timings["defaults"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        guard_for = self._guard_factory(groups)
+        policy_parts = [
+            self._outbound_part(participant, guard_for, defaults_classifier, stats)
+            for participant in self.topology.participants()
+            if not participant.is_remote and participant.outbound_clauses()
+        ]
+        timings["outbound"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        inbound_parts = self._inbound_parts(stats)
+        timings["inbound"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        if self.optimized:
+            stage1 = stack_fallback(
+                [stack_disjoint(policy_parts), defaults_classifier])
+            stage2 = stack_disjoint(inbound_parts)
+            classifier = compose_optimized(stage1, stage2, report)
+        else:
+            out_parts = self._naive_out_parts(groups, guard_for, stats)
+            classifier = compose_naive(out_parts, inbound_parts, report)
+        timings["composition"] = time.perf_counter() - step
+
+        step = time.perf_counter()
+        classifier = merge_drop_tail(classifier)
+        if self.reduce_table and len(classifier) <= REDUCTION_LIMIT:
+            classifier = remove_shadowed(classifier)
+        timings["reduction"] = time.perf_counter() - step
+
+        timings["total"] = time.perf_counter() - started
+        return CompilationResult(
+            classifier=classifier,
+            groups=tuple(groups),
+            report=report,
+            timings=timings)
+
+    # ------------------------------------------------------------------
+    # Pipeline pieces
+    # ------------------------------------------------------------------
+
+    def _compute_groups(self) -> List[PrefixGroup]:
+        if not self.use_vnh:
+            return []
+        return compute_prefix_groups(self.topology.participants(), self.route_server)
+
+    def _guard_factory(self, groups: Sequence[PrefixGroup]) -> GuardFactory:
+        if self.use_vnh:
+            group_trie = self._group_trie(groups)
+
+            def vnh_guard(participant: str, target: str,
+                          dstip_limit=None) -> Predicate:
+                eligible = [
+                    group for group in groups
+                    if (participant, target) in group.contexts
+                ]
+                if dstip_limit is not None:
+                    allowed = self._groups_overlapping(
+                        group_trie, groups, dstip_limit)
+                    if allowed is not None:
+                        eligible = [g for g in eligible if g.group_id in allowed]
+                vmacs = [self.allocator.vmac_for_group(g.group_id)
+                         for g in eligible]
+                from repro.policy.predicates import match_any_value as mav
+                return mav("dstmac", vmacs)
+
+            return vnh_guard
+
+        def naive_guard(participant: str, target: str,
+                        dstip_limit=None) -> Predicate:
+            from repro.policy.predicates import match_any_prefix
+            prefixes = self.route_server.reachable_prefixes(
+                participant, via=target)
+            if dstip_limit is not None:
+                prefixes = tuple(
+                    p for p in prefixes if p.overlaps(dstip_limit))
+            return match_any_prefix("dstip", prefixes)
+
+        return naive_guard
+
+    @staticmethod
+    def _group_trie(groups: Sequence[PrefixGroup]):
+        from repro.bgp.rib import PrefixTrie
+        trie: "PrefixTrie[int]" = PrefixTrie()
+        for group in groups:
+            for prefix in group.prefixes:
+                trie.insert(prefix, group.group_id)
+        return trie
+
+    @staticmethod
+    def _groups_overlapping(group_trie, groups: Sequence[PrefixGroup],
+                            dstip_limit) -> Optional[set]:
+        """Group ids whose prefixes overlap ``dstip_limit``.
+
+        The common case — the clause pins an exactly-announced prefix or
+        a subnet of one — resolves with O(1) trie probes; a shorter
+        constraint falls back to a covered-by scan.
+        """
+        allowed = set()
+        exact = group_trie.exact(dstip_limit)
+        if exact is not None:
+            allowed.add(exact)
+        for _prefix, group_id in group_trie.covering(dstip_limit):
+            allowed.add(group_id)
+        if dstip_limit.length < 32:
+            for _prefix, group_id in group_trie.covered_by(dstip_limit):
+                allowed.add(group_id)
+        return allowed
+
+    def _resolved_predicate(self, participant: Participant,
+                            clause: Clause) -> Predicate:
+        """The clause predicate with live RIB filters bound to the owner.
+
+        The Loc-RIB view is materialised lazily, once per participant per
+        compilation, and only when some clause actually uses a dynamic
+        predicate.
+        """
+        if not contains_dynamic(clause.predicate):
+            return clause.predicate
+        view = self._rib_views.get(participant.name)
+        if view is None:
+            view = self.route_server.view_for(participant.name)
+            self._rib_views[participant.name] = view
+        return resolve_dynamic(clause.predicate, view)
+
+    def _outbound_part(self, participant: Participant, guard_for: GuardFactory,
+                       fallback: Classifier,
+                       stats: Optional[ComposeStats]) -> Classifier:
+        """One participant's outbound clauses as a partial classifier."""
+        ingress = match_any_value("port", participant.switch_ports)
+        pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+        for clause in participant.outbound_clauses():
+            resolved = self._resolved_predicate(participant, clause)
+            if clause.drops:
+                predicate = Conjunction((ingress, resolved))
+                pairs.append((predicate, ()))
+                continue
+            target = str(clause.target)
+            guard = guard_for(participant.name, target,
+                              clause_dstip(resolved))
+            predicate = Conjunction((ingress, resolved, guard))
+            actions = clause_action(clause, self.topology.vport(target))
+            pairs.append((predicate, actions))
+        return compile_guarded_clauses(pairs, fallback, stats)
+
+    def _naive_out_parts(self, groups: Sequence[PrefixGroup],
+                         guard_for: GuardFactory,
+                         stats: Optional[ComposeStats]) -> List[Classifier]:
+        """Per-participant total outbound classifiers (ablation path).
+
+        Each participant's policy part is stacked over its own literal
+        ``defA`` default clauses, reproducing the paper's pre-optimisation
+        construction with groups × participants default redundancy.
+        """
+        participants = self.topology.participants()
+        parts: List[Classifier] = []
+        for participant in participants:
+            if participant.is_remote:
+                continue
+            own_defaults = build_participant_defaults(
+                participant, participants, groups, self.allocator,
+                self.topology, self.route_server)
+            defaults_classifier = stack_fallback([compile_guarded_clauses(
+                ((c.predicate, clause_action(c, c.target)) for c in own_defaults),
+                None, stats)])
+            layers: List[Classifier] = []
+            if participant.outbound_clauses():
+                layers.append(self._outbound_part(
+                    participant, guard_for, defaults_classifier, stats))
+            layers.append(defaults_classifier)
+            parts.append(stack_fallback(layers))
+        return parts
+
+    def _inbound_parts(self, stats: Optional[ComposeStats]) -> List[Classifier]:
+        physical: List[Classifier] = []
+        remote_sources: List[Participant] = []
+        for participant in self.topology.participants():
+            if participant.is_remote:
+                if participant.inbound_clauses():
+                    remote_sources.append(participant)
+                continue
+            physical.append(self._inbound_pipeline(participant, stats))
+        if not remote_sources:
+            return physical
+        physical_stage = stack_disjoint(physical)
+        parts = list(physical)
+        for participant in remote_sources:
+            parts.append(self._remote_pipeline(participant, physical_stage, stats))
+        return parts
+
+    def _inbound_pipeline(self, participant: Participant,
+                          stats: Optional[ComposeStats]) -> Classifier:
+        """Build (or reuse) one physical participant's inbound pipeline.
+
+        Memoized on the participant's policy generation: BGP updates never
+        invalidate it, so recompilations after routing churn reuse it —
+        the paper's "memoize all the intermediate compilation results".
+        """
+        dynamic = any(contains_dynamic(clause.predicate)
+                      for clause in participant.inbound_clauses())
+        cached = self._inbound_cache.get(participant.name)
+        if (cached is not None and not dynamic
+                and cached[0] == participant.policy_generation):
+            return cached[1]
+        vport_guard = match(port=self.topology.vport(participant.name))
+        delivery = compile_guarded_clauses(
+            [(vport_guard, (Action(port=participant.main_port),))], None, stats)
+        pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+        for clause in participant.inbound_clauses():
+            resolved = self._resolved_predicate(participant, clause)
+            predicate = Conjunction((vport_guard, resolved))
+            if clause.drops:
+                pairs.append((predicate, ()))
+                continue
+            port = clause.target if clause.target is not None else participant.main_port
+            pairs.append((predicate, clause_action(clause, port)))
+        delivery_total = stack_fallback([delivery])
+        selected = stack_fallback(
+            [compile_guarded_clauses(pairs, delivery_total, stats), delivery])
+        rewrite = stack_fallback([compile_guarded_clauses(
+            [(match(port=port.switch_port), (Action(dstmac=port.mac),))
+             for port in participant.router.ports],
+            None, stats)])
+        pipeline = sequential_compose_indexed(selected, rewrite, stats)
+        if not dynamic:
+            # RIB-tracking inbound policies must re-resolve every
+            # compilation, so they opt out of memoization.
+            self._inbound_cache[participant.name] = (
+                participant.policy_generation, pipeline)
+        return pipeline
+
+    def _remote_pipeline(self, participant: Participant,
+                         physical_stage: Classifier,
+                         stats: Optional[ComposeStats]) -> Classifier:
+        """A remote participant's pipeline, piped through the physical one.
+
+        Remote inbound clauses end in ``fwd("B")``; after resolving to B's
+        virtual port the result is composed with the physical inbound
+        stage so B's own inbound policies and MAC rewrite still apply.
+        """
+        vport_guard = match(port=self.topology.vport(participant.name))
+        pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+        for clause in participant.inbound_clauses():
+            resolved = self._resolved_predicate(participant, clause)
+            predicate = Conjunction((vport_guard, resolved))
+            if clause.drops:
+                pairs.append((predicate, ()))
+                continue
+            vport = self.topology.vport(str(clause.target))
+            pairs.append((predicate, clause_action(clause, vport)))
+        own = stack_fallback([compile_guarded_clauses(pairs, None, stats)])
+        return sequential_compose_indexed(own, physical_stage, stats)
+
+    def invalidate_inbound_cache(self, name: Optional[str] = None) -> None:
+        """Drop memoized inbound pipelines (all, or one participant's)."""
+        if name is None:
+            self._inbound_cache.clear()
+        else:
+            self._inbound_cache.pop(name, None)

@@ -1,0 +1,183 @@
+"""Transformation 4: compose all participants into one switch policy.
+
+The paper composes ``(PA'' + PB'' + PC'') >> (PA'' + PB'' + PC'')`` and
+then shows (Section 4.3) that almost all of that work is avoidable:
+
+* *Disjointness*: isolated policies match disjoint flow spaces (different
+  ingress/virtual ports), so parallel composition degenerates to rule
+  concatenation — :func:`stack_disjoint` / :func:`stack_fallback`.
+* *Pair pruning*: a stage-1 rule forwarding to virtual port v can only
+  interact with stage-2 rules guarded on v, so the sequential composition
+  is computed per matching pair — :func:`sequential_compose_indexed`
+  indexes stage-2 rules by their port guard instead of trying every pair.
+* *Memoization*: each participant's inbound pipeline is compiled once and
+  reused for every sender (handled by the compiler's caching layer).
+
+:func:`compose_naive` keeps the unoptimised cross-product path alive for
+the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.policy.classifier import (
+    Classifier,
+    ComposeStats,
+    Rule,
+    _pullback,
+    _cross_rules,
+    parallel_compose_many,
+    sequential_compose,
+)
+from repro.policy.headerspace import WILDCARD
+
+
+def strip_drop_tail(classifier: Classifier) -> List[Rule]:
+    """The classifier's rules without a trailing wildcard drop.
+
+    Explicit drops on narrower matches are preserved — only the catch-all
+    "nothing matched" tail is removed so another layer can take over.
+    """
+    rules = list(classifier.rules)
+    while rules and rules[-1].is_drop and rules[-1].match.is_wildcard:
+        rules.pop()
+    return rules
+
+
+def stack_fallback(layers: Sequence[Classifier]) -> Classifier:
+    """Stack priority layers: earlier layers shadow later ones.
+
+    Each layer's catch-all drop tail is removed so unmatched traffic falls
+    through to the next layer; a single shared drop terminates the stack.
+    This realises the paper's ``if_(matched, policy, default)`` without
+    paying a negation-and-compose: within one layer the rules already
+    appear before the fallback, so first-match order *is* the conditional.
+    """
+    rules: List[Rule] = []
+    for layer in layers:
+        rules.extend(strip_drop_tail(layer))
+    rules.append(Rule(WILDCARD, ()))
+    return Classifier(rules)
+
+
+def stack_disjoint(parts: Sequence[Classifier]) -> Classifier:
+    """Concatenate classifiers known to cover disjoint flow spaces.
+
+    Sound because isolation (transformation 1) guards every participant's
+    rules on ports no other participant's rules can match.
+    """
+    return stack_fallback(parts)
+
+
+def sequential_compose_indexed(left: Classifier, right: Classifier,
+                               stats: Optional[ComposeStats] = None) -> Classifier:
+    """``left >> right`` with stage-2 rules indexed by their port guard.
+
+    Semantically identical to
+    :func:`repro.policy.classifier.sequential_compose`; the index merely
+    skips (rule, rule) pairs whose port constraints are provably
+    incompatible. Left rules that multicast or leave the port unset fall
+    back to scanning every right rule.
+    """
+    if stats is not None:
+        stats.sequential_ops += 1
+    indexed: Dict[int, List[Tuple[int, Rule]]] = {}
+    port_wildcards: List[Tuple[int, Rule]] = []
+    for position, rule in enumerate(right.rules):
+        port_constraint = rule.match.get("port")
+        if port_constraint is None:
+            port_wildcards.append((position, rule))
+        else:
+            indexed.setdefault(port_constraint, []).append((position, rule))
+
+    out: List[Rule] = []
+    for rule_l in left.rules:
+        if rule_l.is_drop:
+            out.append(rule_l)
+            continue
+        single = rule_l.actions[0] if len(rule_l.actions) == 1 else None
+        if single is None or single.output_port is None:
+            out.extend(_generic_sequence(rule_l, right, stats))
+            continue
+        candidates = sorted(
+            indexed.get(single.output_port, []) + port_wildcards,
+            key=lambda pair: pair[0])
+        for _position, rule_r in candidates:
+            if stats is not None:
+                stats.rule_pairs_examined += 1
+            pulled = _pullback(single, rule_r.match)
+            if pulled is None:
+                continue
+            combined = rule_l.match.intersect(pulled)
+            if combined is None:
+                continue
+            out.append(Rule(combined,
+                            tuple(single.then(a) for a in rule_r.actions)))
+    return Classifier(out)
+
+
+def _generic_sequence(rule_l: Rule, right: Classifier,
+                      stats: Optional[ComposeStats]) -> List[Rule]:
+    """The unindexed per-rule sequential composition (multicast path)."""
+    per_action: List[List[Rule]] = []
+    for action in rule_l.actions:
+        rules_a: List[Rule] = []
+        for rule_r in right.rules:
+            if stats is not None:
+                stats.rule_pairs_examined += 1
+            pulled = _pullback(action, rule_r.match)
+            if pulled is None:
+                continue
+            combined = rule_l.match.intersect(pulled)
+            if combined is None:
+                continue
+            rules_a.append(Rule(combined,
+                                tuple(action.then(a) for a in rule_r.actions)))
+        per_action.append(rules_a)
+    combined_rules = per_action[0]
+    for more in per_action[1:]:
+        combined_rules = _cross_rules(combined_rules, more, stats)
+    return combined_rules
+
+
+@dataclass
+class CompositionReport:
+    """What one composition run did (feeds the Section 4.3 evaluation)."""
+
+    stats: ComposeStats = field(default_factory=ComposeStats)
+    stage1_rules: int = 0
+    stage2_rules: int = 0
+    final_rules: int = 0
+
+
+def compose_optimized(stage1: Classifier, stage2: Classifier,
+                      report: Optional[CompositionReport] = None) -> Classifier:
+    """The optimised two-stage composition (index-pruned)."""
+    stats = report.stats if report is not None else None
+    result = sequential_compose_indexed(stage1, stage2, stats)
+    if report is not None:
+        report.stage1_rules = len(stage1)
+        report.stage2_rules = len(stage2)
+        report.final_rules = len(result)
+    return result
+
+
+def compose_naive(out_parts: Sequence[Classifier], in_parts: Sequence[Classifier],
+                  report: Optional[CompositionReport] = None) -> Classifier:
+    """The unoptimised composition for the ablation benchmark.
+
+    Parallel-composes every participant classifier on each side (the full
+    cross product the paper starts from), then runs the unindexed
+    sequential composition.
+    """
+    stats = report.stats if report is not None else None
+    stage1 = parallel_compose_many(list(out_parts), stats)
+    stage2 = parallel_compose_many(list(in_parts), stats)
+    result = sequential_compose(stage1, stage2, stats)
+    if report is not None:
+        report.stage1_rules = len(stage1)
+        report.stage2_rules = len(stage2)
+        report.final_rules = len(result)
+    return result

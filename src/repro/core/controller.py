@@ -1,0 +1,434 @@
+"""The top-level SDX controller (Figure 3).
+
+:class:`SdxController` wires together every piece of the system:
+
+* a :class:`~repro.bgp.routeserver.RouteServer` participants peer with;
+* a simulated :class:`~repro.dataplane.fabric.Fabric` (switch + ARP +
+  border routers) — optional, so control-plane-only experiments can scale
+  to hundreds of participants without materialising routers;
+* the :class:`~repro.core.compiler.SdxCompiler` and the two-stage
+  :class:`~repro.core.incremental.IncrementalEngine`;
+* VNH allocation and the ARP responder;
+* the per-participant policy API (:mod:`repro.core.sdxpolicy`).
+
+Event flow after :meth:`start`: a BGP update reaches the route server →
+best-route changes fire the controller's listener → the incremental fast
+path installs shadow rules and the new VNH is advertised to the affected
+border routers → :meth:`run_background_recompilation` later swaps in the
+optimal table (the paper runs this between update bursts; the simulation
+makes it an explicit, deterministic call).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.bgp.rib import RouteEntry
+from repro.bgp.routeserver import BestRouteChange, RouteServer
+from repro.core.compiler import CompilationResult, SdxCompiler
+from repro.core.incremental import FastPathResult, IncrementalEngine
+from repro.core.participant import Participant
+from repro.core.sdxpolicy import OwnershipRegistry, ParticipantHandle
+from repro.core.vnh import DEFAULT_VNH_POOL, VnhAllocator
+from repro.core.vswitch import VirtualTopology
+from repro.dataplane.fabric import Delivery, Fabric
+from repro.dataplane.flowtable import FlowTable
+from repro.dataplane.router import BorderRouter, RouterPort
+from repro.exceptions import ParticipantError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress
+from repro.net.packet import Packet
+
+#: The peering LAN participants' router ports live on.
+PEERING_LAN = IPv4Prefix("172.0.0.0/16")
+
+#: Base of the locally-administered MAC space used for router ports.
+ROUTER_MAC_BASE = 0x02_00_00_00_00_00
+
+#: Next-hop address used when a remote participant originates a prefix.
+SDX_ORIGIN_IP = IPv4Address("172.0.255.254")
+
+
+@dataclass(frozen=True)
+class ClausePreview:
+    """What one clause of a previewed policy would do."""
+
+    description: str
+    eligible_prefixes: Optional[int]
+    eligible_groups: Optional[int]
+
+
+@dataclass(frozen=True)
+class PolicyPreview:
+    """A what-if report for a policy that was *not* installed."""
+
+    participant: str
+    direction: str
+    clauses: List[ClausePreview]
+
+    @property
+    def estimated_rules(self) -> int:
+        """Rough flow-rule cost: one rule per eligible group per clause
+        (one rule flat for drop/inbound clauses)."""
+        return sum(
+            clause.eligible_groups if clause.eligible_groups is not None else 1
+            for clause in self.clauses)
+
+    def render(self) -> str:
+        """A printable summary."""
+        lines = [f"preview: {self.participant} ({self.direction}), "
+                 f"{len(self.clauses)} clause(s)"]
+        for index, clause in enumerate(self.clauses):
+            extra = ""
+            if clause.eligible_prefixes is not None:
+                extra = (f"  [{clause.eligible_prefixes} eligible prefixes"
+                         + (f", {clause.eligible_groups} groups"
+                            if clause.eligible_groups is not None else "")
+                         + "]")
+            lines.append(f"  #{index}: {clause.description}{extra}")
+        return "\n".join(lines)
+
+
+class SdxController:
+    """The SDX: route server + policy compiler + (optional) data plane."""
+
+    def __init__(self, *, use_vnh: bool = True, optimized: bool = True,
+                 with_dataplane: bool = True, reduce_table: bool = True,
+                 vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL):
+        self.route_server = RouteServer()
+        self.topology = VirtualTopology()
+        self.allocator = VnhAllocator(vnh_pool)
+        self.fabric: Optional[Fabric] = Fabric() if with_dataplane else None
+        if self.fabric is not None:
+            self.fabric.arp.attach_responder(self.allocator.responder)
+        self.table: FlowTable = (
+            self.fabric.switch.table if self.fabric is not None else FlowTable())
+        self.compiler = SdxCompiler(
+            self.topology, self.route_server, self.allocator,
+            use_vnh=use_vnh, optimized=optimized, reduce_table=reduce_table)
+        self.engine = IncrementalEngine(
+            self.topology, self.route_server, self.allocator,
+            self.compiler, self.table)
+        self.ownership = OwnershipRegistry()
+        self.started = False
+        self.last_compilation: Optional[CompilationResult] = None
+        self.fast_path_log: List[FastPathResult] = []
+        self._handles: Dict[str, ParticipantHandle] = {}
+        self._next_switch_port = 1
+        self._next_host = 1
+        self._next_mac = 1
+        self.route_server.add_update_listener(self._on_update)
+        self.route_server.set_next_hop_rewriter(self._rewrite_next_hop)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, participants: Mapping[str, int], **kwargs) -> "SdxController":
+        """Convenience constructor: one single-port participant per entry."""
+        controller = cls(**kwargs)
+        for name, asn in participants.items():
+            controller.add_participant(name, asn)
+        return controller
+
+    def add_participant(self, name: str, asn: int, *, ports: int = 1,
+                        local_prefixes: Iterable[IPv4Prefix] = (),
+                        announce: bool = True) -> ParticipantHandle:
+        """Register a participant with ``ports`` physical interfaces.
+
+        ``ports=0`` creates a *remote* participant (virtual switch only).
+        ``local_prefixes`` are registered in the ownership registry and —
+        for physical participants with ``announce=True`` — announced to
+        the route server with the participant's port address as next hop.
+        """
+        prefixes = tuple(local_prefixes)
+        router: Optional[BorderRouter] = None
+        if ports > 0:
+            router_ports = [self._allocate_port() for _ in range(ports)]
+            router = BorderRouter(name, asn, router_ports)
+            for prefix in prefixes:
+                router.add_local_prefix(prefix)
+        participant = Participant(
+            name=name, asn=asn, router=router, local_prefixes=prefixes)
+        if router is not None and self.fabric is not None:
+            for index in range(ports):
+                self.fabric.attach(router, index, self._next_switch_port)
+                self._next_switch_port += 1
+        elif router is not None:
+            # Control-plane-only mode: assign switch ports without a fabric.
+            for port in router.ports:
+                port.switch_port = self._next_switch_port
+                self._next_switch_port += 1
+        self.topology.register(participant)
+        self.route_server.add_peer(name, asn)
+        handle = ParticipantHandle(participant, self)
+        self._handles[name] = handle
+        for prefix in prefixes:
+            self.ownership.register(prefix, name)
+        if announce and router is not None:
+            for prefix in prefixes:
+                self.announce_route(name, prefix, AsPath([asn]))
+        return handle
+
+    def _allocate_port(self) -> RouterPort:
+        mac = MacAddress(ROUTER_MAC_BASE + self._next_mac)
+        ip = PEERING_LAN.first_address + self._next_host
+        self._next_mac += 1
+        self._next_host += 1
+        if not PEERING_LAN.contains_address(ip):
+            raise ParticipantError("peering LAN exhausted")
+        return RouterPort(mac=mac, ip=ip)
+
+    def participant(self, name: str) -> ParticipantHandle:
+        """The policy handle of participant ``name``."""
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise ParticipantError(f"unknown participant {name!r}") from None
+
+    def participants(self) -> Tuple[ParticipantHandle, ...]:
+        """Every participant handle, sorted by name."""
+        return tuple(self._handles[name] for name in sorted(self._handles))
+
+    # ------------------------------------------------------------------
+    # Routing input
+    # ------------------------------------------------------------------
+
+    def announce_route(self, name: str, prefix: IPv4Prefix,
+                       as_path: AsPath, *,
+                       med: int = 0, local_pref: int = 100,
+                       communities: Iterable[Tuple[int, int]] = ()) -> None:
+        """Have participant ``name`` announce ``prefix`` to the SDX.
+
+        Models both locally originated prefixes and transit routes learned
+        upstream (longer AS paths). ``communities`` may carry route-server
+        export-control values — ``(0, peer-asn)`` withholds the route from
+        one peer (see :class:`~repro.bgp.routeserver.RouteServer`). Before
+        :meth:`start` the announcement takes the bulk-load path (no
+        diffing); afterwards it flows through the live update pipeline.
+        """
+        participant = self.topology.participant(name)
+        next_hop = (participant.ports[0].ip if not participant.is_remote
+                    else SDX_ORIGIN_IP)
+        attributes = RouteAttributes(
+            next_hop=next_hop, as_path=as_path, med=med,
+            local_pref=local_pref, communities=frozenset(communities))
+        update = Update.announce(name, prefix, attributes)
+        self.submit_update(update)
+
+    def withdraw_route(self, name: str, prefix: IPv4Prefix) -> None:
+        """Have participant ``name`` withdraw ``prefix``."""
+        self.submit_update(Update.withdraw(name, prefix))
+
+    def submit_update(self, update: Update) -> None:
+        """Deliver one BGP update into the SDX."""
+        if self.started:
+            self.route_server.submit(update)
+        else:
+            self.route_server.bulk_load([update])
+
+    def load_routes(self, updates: Iterable[Update]) -> int:
+        """Bulk-load an initial routing table (pre-start only path)."""
+        return self.route_server.bulk_load(updates)
+
+    def originate(self, name: str, prefix: IPv4Prefix,
+                  as_path: Optional[AsPath] = None) -> None:
+        """Originate ``prefix`` on behalf of ``name`` (ownership-checked)."""
+        self.ownership.verify(name, prefix)
+        participant = self.topology.participant(name)
+        self.announce_route(name, prefix,
+                            as_path if as_path is not None else AsPath([participant.asn]))
+
+    def withdraw_origination(self, name: str, prefix: IPv4Prefix) -> None:
+        """Withdraw a previously originated prefix."""
+        self.withdraw_route(name, prefix)
+
+    def register_ownership(self, prefix: IPv4Prefix, name: str) -> None:
+        """Record address-space ownership (the RPKI stand-in)."""
+        self.ownership.register(prefix, name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> CompilationResult:
+        """Compile and install the initial table, then advertise routes."""
+        result = self.compiler.compile()
+        self.engine.install_full(result)
+        self.last_compilation = result
+        self.started = True
+        self._advertise_full()
+        return result
+
+    def recompile(self) -> CompilationResult:
+        """Force a full recompilation and table swap."""
+        result = self.compiler.compile()
+        self.engine.install_full(result)
+        self.last_compilation = result
+        if self.started:
+            self._advertise_full()
+        return result
+
+    def run_background_recompilation(self) -> Optional[CompilationResult]:
+        """The background stage of the two-stage update path.
+
+        Re-groups prefixes, swaps the optimal table in, reclaims fast-path
+        rules and ephemeral VNHs, and re-advertises next hops that moved.
+        """
+        result = self.engine.background_recompile()
+        if result is not None:
+            self.last_compilation = result
+            self._advertise_full()
+        return result
+
+    def notify_policy_change(self, name: str) -> None:
+        """React to a policy installation/removal by ``name``."""
+        self.compiler.invalidate_inbound_cache(name)
+        if self.started:
+            self.recompile()
+
+    # ------------------------------------------------------------------
+    # Route advertisement toward border routers
+    # ------------------------------------------------------------------
+
+    def _rewrite_next_hop(self, participant: str, prefix: IPv4Prefix,
+                          route: RouteEntry) -> IPv4Address:
+        vnh = self.allocator.next_hop_for_prefix(prefix)
+        return vnh if vnh is not None else route.attributes.next_hop
+
+    def _advertise_full(self) -> None:
+        """Push every participant's full table to its border router."""
+        if self.fabric is None:
+            return
+        for participant in self.topology.participants():
+            router = participant.router
+            if router is None:
+                continue
+            announcements = []
+            for prefix in self.route_server.all_prefixes():
+                best = self.route_server.best_route_for(participant.name, prefix)
+                if best is None:
+                    router.withdraw_route(prefix)
+                    continue
+                next_hop = self._rewrite_next_hop(participant.name, prefix, best)
+                announcements.append(
+                    Announcement(prefix, best.attributes.with_next_hop(next_hop)))
+            router.receive_update(Update(
+                sender="route-server", announcements=tuple(announcements)))
+
+    def _on_update(self, update: Update, changes: List[BestRouteChange]) -> None:
+        if not self.started:
+            return
+        prefixes = tuple(dict.fromkeys(update.prefixes))
+        fast = self.engine.handle_prefixes(prefixes)
+        self.fast_path_log.append(fast)
+        # Session-level re-advertisement (what ExaBGP would put on the wire).
+        self.route_server.readvertise(changes)
+        if self.fabric is None:
+            return
+        # Push the touched prefixes to *every* border router: even
+        # participants whose best route is unchanged must learn the fresh
+        # VNH so their tags line up with the fast-path rules.
+        for participant in self.topology.participants():
+            router = participant.router
+            if router is None:
+                continue
+            for prefix in prefixes:
+                best = self.route_server.best_route_for(participant.name, prefix)
+                if best is None:
+                    router.withdraw_route(prefix)
+                else:
+                    next_hop = self._rewrite_next_hop(
+                        participant.name, prefix, best)
+                    router.install_route(prefix, next_hop)
+
+    # ------------------------------------------------------------------
+    # What-if preview
+    # ------------------------------------------------------------------
+
+    def preview_policy(self, name: str, policy, *,
+                       direction: str = "out") -> "PolicyPreview":
+        """Validate a policy and estimate its data-plane cost — without
+        installing anything.
+
+        Per clause: the prefixes eligible toward its target and, when a
+        compilation exists, how many prefix groups (≈ flow rules) the
+        clause would add. Raises the same errors installation would.
+        """
+        participant = self.topology.participant(name)
+        clauses = participant.validate_policy(policy, inbound=direction == "in")
+        rows: List[ClausePreview] = []
+        groups = (self.last_compilation.groups
+                  if self.last_compilation is not None else ())
+        for clause in clauses:
+            eligible = None
+            group_count = None
+            if direction == "out" and not clause.drops:
+                target = str(clause.target)
+                if target not in self.topology.names():
+                    raise ParticipantError(
+                        f"policy forwards to unknown participant {target!r}")
+                eligible = len(self.route_server.reachable_prefixes(
+                    name, via=target))
+                group_count = sum(
+                    1 for group in groups
+                    if (name, target) in group.contexts)
+            rows.append(ClausePreview(
+                description=clause.describe(),
+                eligible_prefixes=eligible,
+                eligible_groups=group_count))
+        return PolicyPreview(participant=name, direction=direction,
+                             clauses=rows)
+
+    # ------------------------------------------------------------------
+    # Traffic (simulation convenience)
+    # ------------------------------------------------------------------
+
+    def send(self, name: str, packet: Packet) -> List[Delivery]:
+        """Source a packet from inside participant ``name``'s AS."""
+        if self.fabric is None:
+            raise ParticipantError("controller built without a data plane")
+        return self.fabric.originate(name, packet)
+
+    def egress_of(self, name: str, packet: Packet) -> Optional[str]:
+        """Which participant a packet from ``name`` exits through.
+
+        Returns ``None`` when the packet is dropped anywhere along the
+        path (router FIB miss, switch drop, or MAC-mismatch refusal).
+        """
+        deliveries = self.send(name, packet)
+        accepted = [d.participant for d in deliveries if d.accepted]
+        return accepted[0] if accepted else None
+
+    def summary(self) -> Dict[str, int]:
+        """A status snapshot for dashboards and logs.
+
+        Counts participants (physical/remote), installed policies, flow
+        rules, prefix groups, live ephemeral VNHs, fast-path rule debt,
+        and route-server activity.
+        """
+        participants = self.topology.participants()
+        return {
+            "participants": len(participants),
+            "remote_participants": sum(1 for p in participants if p.is_remote),
+            "policies": sum(
+                len(p.outbound_policies) + len(p.inbound_policies)
+                for p in participants),
+            "announced_prefixes": len(self.route_server.all_prefixes()),
+            "flow_rules": len(self.table),
+            "prefix_groups": (self.last_compilation.prefix_group_count
+                              if self.last_compilation else 0),
+            "ephemeral_vnhs": len(self.allocator.ephemeral_prefixes()),
+            "fast_path_rules": self.engine.fast_path_rules_live,
+            "updates_processed": self.route_server.updates_processed,
+        }
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "configured"
+        return (f"SdxController({len(self._handles)} participants, {state}, "
+                f"{len(self.table)} rules)")

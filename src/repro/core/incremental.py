@@ -1,0 +1,218 @@
+"""The two-stage incremental compilation path (Section 4.3.2).
+
+BGP updates arrive in bursts separated by quiet periods, so the SDX
+trades space for time:
+
+* **Fast path** (:meth:`IncrementalEngine.handle_changes`): for every
+  prefix whose best route changed, immediately allocate a fresh singleton
+  VNH/VMAC (skipping the FEC computation entirely), recompile *only* the
+  policy clauses that can touch that prefix, and push the resulting
+  rules at a priority above the main table. Sub-second, but the extra
+  rules are redundant with what an optimal grouping would produce.
+* **Background re-optimisation**
+  (:meth:`IncrementalEngine.background_recompile`): between bursts, run
+  the full compiler, swap the main table, and reclaim every fast-path
+  rule and ephemeral VNH.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.bgp.decision import rank_routes
+from repro.bgp.routeserver import BestRouteChange, RouteServer
+from repro.core.compiler import (
+    CompilationResult,
+    SdxCompiler,
+    clause_action,
+    compile_guarded_clauses,
+)
+from repro.core.composition import (
+    sequential_compose_indexed,
+    stack_fallback,
+    strip_drop_tail,
+)
+from repro.core.vnh import VnhAllocator
+from repro.core.vswitch import VirtualTopology
+from repro.dataplane.flowtable import FlowTable
+from repro.net.addresses import IPv4Prefix
+from repro.policy.classifier import Action, Classifier
+from repro.policy.flowrules import to_flow_rules
+from repro.policy.policies import Conjunction, Predicate, match
+from repro.policy.predicates import match_any_value
+
+#: Fast-path rules are installed above this priority so they always shadow
+#: the main table (whose priorities start at 0).
+FAST_PATH_BASE = 1_000_000
+
+
+@dataclass
+class FastPathResult:
+    """What one fast-path invocation did."""
+
+    prefixes: Tuple[IPv4Prefix, ...]
+    rules_installed: int
+    seconds: float
+
+
+class IncrementalEngine:
+    """Owns the fast path and the background re-optimisation."""
+
+    def __init__(self, topology: VirtualTopology, route_server: RouteServer,
+                 allocator: VnhAllocator, compiler: SdxCompiler,
+                 table: FlowTable):
+        self.topology = topology
+        self.route_server = route_server
+        self.allocator = allocator
+        self.compiler = compiler
+        self.table = table
+        self._stage2: Optional[Classifier] = None
+        self._fast_priority = FAST_PATH_BASE
+        self.dirty = False
+        self.fast_path_invocations = 0
+        self.fast_path_rules_live = 0
+
+    def install_full(self, result: CompilationResult) -> None:
+        """Swap in a fresh full compilation and drop every fast-path rule."""
+        self.table.replace_with(result.classifier)
+        self._stage2 = None  # rebuilt lazily from current inbound pipelines
+        self._fast_priority = FAST_PATH_BASE
+        self.fast_path_rules_live = 0
+        self.dirty = False
+
+    def _stage2_classifier(self) -> Classifier:
+        """The (cached) inbound stage used to complete fast-path rules."""
+        if self._stage2 is None:
+            from repro.core.composition import stack_disjoint
+            self._stage2 = stack_disjoint(self.compiler._inbound_parts(None))
+        return self._stage2
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+
+    def handle_changes(self, changes: Sequence[BestRouteChange]) -> FastPathResult:
+        """React to a burst of best-route changes, prefix by prefix."""
+        return self.handle_prefixes(
+            tuple(dict.fromkeys(change.prefix for change in changes)))
+
+    def handle_prefixes(self, touched: Sequence[IPv4Prefix]) -> FastPathResult:
+        """Fast-path recompilation for prefixes touched by an update.
+
+        Driven at prefix (not best-route) granularity because an
+        announcement can change which next hops are *eligible* for a
+        policy without changing anyone's best route.
+        """
+        started = time.perf_counter()
+        prefixes = tuple(dict.fromkeys(touched))
+        installed = 0
+        # Fresh Loc-RIB views for dynamic predicates, shared across the
+        # prefixes of this invocation (only built if actually needed).
+        views: dict = {}
+        for prefix in prefixes:
+            installed += self._fast_path_for_prefix(prefix, views)
+        self.dirty = True
+        self.fast_path_invocations += 1
+        elapsed = time.perf_counter() - started
+        return FastPathResult(prefixes=prefixes, rules_installed=installed,
+                              seconds=elapsed)
+
+    def _resolved(self, participant, clause, views: dict):
+        from repro.core.dynamic import contains_dynamic, resolve_dynamic
+        if not contains_dynamic(clause.predicate):
+            return clause.predicate
+        view = views.get(participant.name)
+        if view is None:
+            view = self.route_server.view_for(participant.name)
+            views[participant.name] = view
+        return resolve_dynamic(clause.predicate, view)
+
+    def _fast_path_for_prefix(self, prefix: IPv4Prefix,
+                              views: Optional[dict] = None) -> int:
+        """Allocate a fresh VNH for one prefix and install its rules."""
+        if views is None:
+            views = {}
+        self.allocator.drop_ephemeral(prefix)
+        routes = self.route_server.all_routes_for(prefix)
+        if not routes:
+            # Fully withdrawn: routers drop the route themselves; the
+            # stale rules die at the next background re-optimisation.
+            return 0
+        _vnh, vmac = self.allocator.assign_ephemeral(prefix)
+        vmac_filter = match(dstmac=vmac)
+
+        default_layer = self._default_layer(prefix, vmac_filter, routes)
+        pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+        for participant in self.topology.participants():
+            if participant.is_remote or not participant.outbound_clauses():
+                continue
+            ingress = match_any_value("port", participant.switch_ports)
+            for clause in participant.outbound_clauses():
+                resolved = self._resolved(participant, clause, views)
+                if clause.drops:
+                    pairs.append((
+                        Conjunction((ingress, resolved, vmac_filter)), ()))
+                    continue
+                target = str(clause.target)
+                if not self.route_server.is_reachable(
+                        participant.name, prefix, via=target):
+                    continue
+                predicate = Conjunction((ingress, resolved, vmac_filter))
+                pairs.append((predicate, clause_action(
+                    clause, self.topology.vport(target))))
+        policy_layer = compile_guarded_clauses(pairs, default_layer)
+
+        stage1 = stack_fallback([policy_layer, default_layer])
+        composed = sequential_compose_indexed(stage1, self._stage2_classifier())
+        rules = strip_drop_tail(composed)
+        if not rules:
+            return 0
+        self._fast_priority += len(rules) + 1
+        flow_rules = to_flow_rules(Classifier(rules), self._fast_priority)
+        self.table.install_many(flow_rules)
+        self.fast_path_rules_live += len(flow_rules)
+        return len(flow_rules)
+
+    def _default_layer(self, prefix: IPv4Prefix, vmac_filter: Predicate,
+                       routes) -> Classifier:
+        """Default forwarding for the prefix's fresh singleton group."""
+        ranking = [entry.learned_from for entry in rank_routes(routes)]
+        common = ranking[0]
+        shared_pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = [
+            (vmac_filter, (Action(port=self.topology.vport(common)),))]
+        exception_pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+        restricted = self.route_server.has_export_restrictions(common)
+        for participant in self.topology.participants():
+            if participant.is_remote:
+                continue
+            if participant.name != common and not restricted:
+                continue
+            best = self.route_server.best_route_for(participant.name, prefix)
+            specific = None if best is None else best.learned_from
+            if specific == common:
+                continue
+            guard = Conjunction((
+                match_any_value("port", participant.switch_ports), vmac_filter))
+            if specific is None:
+                exception_pairs.append((guard, ()))
+            else:
+                exception_pairs.append(
+                    (guard, (Action(port=self.topology.vport(specific)),)))
+        return stack_fallback([
+            compile_guarded_clauses(exception_pairs, None),
+            compile_guarded_clauses(shared_pairs, None),
+        ])
+
+    # ------------------------------------------------------------------
+    # Background re-optimisation
+    # ------------------------------------------------------------------
+
+    def background_recompile(self) -> Optional[CompilationResult]:
+        """Run the optimal compilation and swap it in, if anything changed."""
+        if not self.dirty:
+            return None
+        result = self.compiler.compile()
+        self.install_full(result)
+        return result

@@ -1,0 +1,40 @@
+"""Transformation 1: isolate each policy to its owner's virtual switch.
+
+"The SDX runtime automatically augments each participant policy with an
+explicit match() on the participant's port; for an inbound policy [...]
+the participant's virtual port; for an outbound policy [...] the
+participant's physical ports" (Section 4.1).
+
+Isolation is what makes participant policies disjoint by construction —
+the property the composition optimisations of Section 4.3 rely on.
+"""
+
+from __future__ import annotations
+
+from repro.core.participant import Participant
+from repro.core.vswitch import VirtualTopology
+from repro.exceptions import PolicyError
+from repro.policy.policies import Policy, Sequential, match
+from repro.policy.predicates import match_any_value
+
+
+def ingress_guard(participant: Participant) -> Policy:
+    """The predicate matching traffic entering from the participant's own
+    border router (its physical ports)."""
+    ports = participant.switch_ports
+    if not ports:
+        raise PolicyError(
+            f"remote participant {participant.name!r} has no physical ports "
+            f"to guard an outbound policy with")
+    return match_any_value("port", ports)
+
+
+def isolate_outbound(participant: Participant, policy: Policy) -> Policy:
+    """Restrict an outbound policy to the owner's physical ingress ports."""
+    return Sequential((ingress_guard(participant), policy))
+
+
+def isolate_inbound(participant: Participant, policy: Policy,
+                    topology: VirtualTopology) -> Policy:
+    """Restrict an inbound policy to the owner's virtual port."""
+    return Sequential((match(port=topology.vport(participant.name)), policy))

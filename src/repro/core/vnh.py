@@ -1,0 +1,178 @@
+"""Virtual next-hop (VNH) and virtual MAC (VMAC) allocation.
+
+Each forwarding equivalence class receives one VNH IP address from a
+reserved pool and one VMAC (Section 4.2). The allocator:
+
+* hands the VNH to the route server's next-hop rewriter, so participants'
+  border routers learn it as the BGP next hop;
+* binds VNH → VMAC in the SDX ARP responder, so those routers tag packets
+  with the FEC's VMAC;
+* resolves prefix → group / VMAC for the policy compiler.
+
+The incremental fast path (Section 4.3.2) allocates *ephemeral* singleton
+assignments for prefixes whose best route just changed; the background
+re-optimisation releases them when the full FEC computation catches up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.fec import PrefixGroup
+from repro.dataplane.arp import ArpResponder
+from repro.exceptions import CompilationError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress, vmac_for_fec
+
+#: Default pool the VNH addresses are drawn from.
+DEFAULT_VNH_POOL = IPv4Prefix("172.16.0.0/16")
+
+
+class VnhAllocator:
+    """Allocates (VNH, VMAC) pairs and keeps the ARP responder in sync."""
+
+    def __init__(self, pool: IPv4Prefix = DEFAULT_VNH_POOL,
+                 responder: Optional[ArpResponder] = None):
+        self.pool = pool
+        self.responder = responder if responder is not None else ArpResponder(pool)
+        self._next_offset = 1  # skip the network address
+        self._next_tag = 1
+        self._vnh_by_group: Dict[int, IPv4Address] = {}
+        self._vmac_by_group: Dict[int, MacAddress] = {}
+        self._group_of_prefix: Dict[IPv4Prefix, int] = {}
+        self._groups: Dict[int, PrefixGroup] = {}
+        self._ephemeral: Dict[IPv4Prefix, Tuple[IPv4Address, MacAddress]] = {}
+
+    # ------------------------------------------------------------------
+    # Steady-state assignment
+    # ------------------------------------------------------------------
+
+    def assign_groups(self, groups: Iterable[PrefixGroup]) -> None:
+        """Replace the current assignment with one per given group.
+
+        Clears every previous binding (including ephemerals) and restarts
+        allocation from the bottom of the pool: this is the background
+        re-optimisation installing a fresh optimal assignment. Because
+        group computation is deterministic, identical SDX state yields
+        identical VNH/VMAC assignments — border-router tags stay valid
+        across no-op recompilations, and the pool never leaks however
+        often the exchange recompiles. (The table swap and
+        re-advertisement are atomic in the simulator, so reusing tag
+        values across a state change cannot misdeliver in-flight
+        packets.)
+        """
+        for vnh in list(self.responder.bindings()):
+            self.responder.unbind(vnh)
+        self._next_offset = 1
+        self._next_tag = 1
+        self._vnh_by_group.clear()
+        self._vmac_by_group.clear()
+        self._group_of_prefix.clear()
+        self._groups.clear()
+        self._ephemeral.clear()
+        for group in groups:
+            vnh, vmac = self._allocate()
+            self._vnh_by_group[group.group_id] = vnh
+            self._vmac_by_group[group.group_id] = vmac
+            self._groups[group.group_id] = group
+            for prefix in group.prefixes:
+                self._group_of_prefix[prefix] = group.group_id
+            self.responder.bind(vnh, vmac)
+
+    def _allocate(self) -> Tuple[IPv4Address, MacAddress]:
+        if self._next_offset >= self.pool.num_addresses - 1:
+            raise CompilationError(
+                f"VNH pool {self.pool} exhausted after "
+                f"{self._next_offset} allocations")
+        vnh = self.pool.first_address + self._next_offset
+        self._next_offset += 1
+        vmac = vmac_for_fec(self._next_tag)
+        self._next_tag += 1
+        return vnh, vmac
+
+    # ------------------------------------------------------------------
+    # Fast-path (ephemeral) assignment
+    # ------------------------------------------------------------------
+
+    def assign_ephemeral(self, prefix: IPv4Prefix) -> Tuple[IPv4Address, MacAddress]:
+        """A fresh singleton (VNH, VMAC) for one just-updated prefix.
+
+        The paper's fast path "bypasses the actual computation of the VNH
+        entirely by simply assuming a new VNH is needed". The prefix's old
+        group binding stays valid for other prefixes in the group.
+        """
+        vnh, vmac = self._allocate()
+        self._ephemeral[prefix] = (vnh, vmac)
+        self.responder.bind(vnh, vmac)
+        return vnh, vmac
+
+    def drop_ephemeral(self, prefix: IPv4Prefix) -> None:
+        """Release the fast-path assignment for ``prefix`` (if any)."""
+        assigned = self._ephemeral.pop(prefix, None)
+        if assigned is not None:
+            self.responder.unbind(assigned[0])
+
+    def ephemeral_prefixes(self) -> Tuple[IPv4Prefix, ...]:
+        """Prefixes currently carrying a fast-path assignment."""
+        return tuple(sorted(self._ephemeral))
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def group_of(self, prefix: IPv4Prefix) -> Optional[PrefixGroup]:
+        """The group containing ``prefix``, if it is in any."""
+        group_id = self._group_of_prefix.get(prefix)
+        return None if group_id is None else self._groups[group_id]
+
+    def vnh_for_group(self, group_id: int) -> IPv4Address:
+        """The VNH of a group."""
+        try:
+            return self._vnh_by_group[group_id]
+        except KeyError:
+            raise CompilationError(f"no VNH assigned to group {group_id}") from None
+
+    def vmac_for_group(self, group_id: int) -> MacAddress:
+        """The VMAC of a group."""
+        try:
+            return self._vmac_by_group[group_id]
+        except KeyError:
+            raise CompilationError(f"no VMAC assigned to group {group_id}") from None
+
+    def next_hop_for_prefix(self, prefix: IPv4Prefix) -> Optional[IPv4Address]:
+        """The VNH to advertise for ``prefix``, if it is tagged.
+
+        Ephemeral (fast-path) assignments override group assignments;
+        untagged prefixes return ``None`` so the route server re-advertises
+        the real next hop unchanged.
+        """
+        ephemeral = self._ephemeral.get(prefix)
+        if ephemeral is not None:
+            return ephemeral[0]
+        group_id = self._group_of_prefix.get(prefix)
+        if group_id is None:
+            return None
+        return self._vnh_by_group[group_id]
+
+    def vmac_for_prefix(self, prefix: IPv4Prefix) -> Optional[MacAddress]:
+        """The VMAC tag carried by packets destined into ``prefix``."""
+        ephemeral = self._ephemeral.get(prefix)
+        if ephemeral is not None:
+            return ephemeral[1]
+        group_id = self._group_of_prefix.get(prefix)
+        if group_id is None:
+            return None
+        return self._vmac_by_group[group_id]
+
+    def groups(self) -> Tuple[PrefixGroup, ...]:
+        """Every assigned group, by id."""
+        return tuple(self._groups[gid] for gid in sorted(self._groups))
+
+    @property
+    def assignments(self) -> int:
+        """Total live (VNH, VMAC) pairs, groups plus ephemerals."""
+        return len(self._vnh_by_group) + len(self._ephemeral)
+
+    def __repr__(self) -> str:
+        return (f"VnhAllocator(pool={self.pool}, {len(self._vnh_by_group)} groups, "
+                f"{len(self._ephemeral)} ephemeral)")

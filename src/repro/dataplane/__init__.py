@@ -1,0 +1,27 @@
+"""Data-plane simulation: flow tables, switches, border routers, fabric.
+
+The paper's prototype drove an Open vSwitch instance inside Mininet; this
+subpackage is the equivalent simulated substrate. It processes the *same
+compiled flow rules* the SDX controller emits, so end-to-end experiments
+(Figures 5a/5b) exercise the real compiler output rather than a model of
+it. Border routers reproduce the BGP-next-hop → ARP → destination-MAC
+pipeline that the SDX exploits as the first stage of its multi-stage FIB
+(Section 4.2, Figure 2).
+"""
+
+from repro.dataplane.flowtable import FlowTable
+from repro.dataplane.switch import SoftwareSwitch
+from repro.dataplane.arp import ArpResponder, ArpService
+from repro.dataplane.router import BorderRouter, RouterPort
+from repro.dataplane.fabric import Fabric, PortAttachment
+
+__all__ = [
+    "ArpResponder",
+    "ArpService",
+    "BorderRouter",
+    "Fabric",
+    "FlowTable",
+    "PortAttachment",
+    "RouterPort",
+    "SoftwareSwitch",
+]

@@ -1,0 +1,136 @@
+"""The IXP layer-two fabric tying routers, switch, and ARP together.
+
+In the simplest case (and the paper's deployment) the fabric is a single
+SDN switch. :class:`Fabric` owns that switch, the exchange ARP service,
+and the attachment map from switch ports to participant router ports; it
+moves packets router → switch → router and records deliveries so the
+traffic experiments can observe which egress each flow takes.
+
+A multi-switch extension (Section 4.1 mentions Pyretic's topology
+abstraction for this) lives in :mod:`repro.dataplane.multiswitch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.arp import ArpService
+from repro.dataplane.router import BorderRouter
+from repro.dataplane.switch import SoftwareSwitch
+from repro.exceptions import FabricError
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class PortAttachment:
+    """One switch port wired to one router interface."""
+
+    switch_port: int
+    router: BorderRouter
+    router_port_index: int
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A packet handed to a participant router, with its fate."""
+
+    participant: str
+    switch_port: int
+    packet: Packet
+    accepted: bool
+
+
+class Fabric:
+    """A single-switch IXP fabric with an attachment registry."""
+
+    def __init__(self, switch: Optional[SoftwareSwitch] = None):
+        self.switch = switch or SoftwareSwitch()
+        self.arp = ArpService()
+        self._attachments: Dict[int, PortAttachment] = {}
+        self._routers: Dict[str, BorderRouter] = {}
+        self.deliveries: List[Delivery] = []
+
+    def attach(self, router: BorderRouter, router_port_index: int,
+               switch_port: int) -> PortAttachment:
+        """Wire one router interface to one switch port.
+
+        Registers the interface address in the exchange ARP service and
+        points the router's resolver at it.
+        """
+        if switch_port in self._attachments:
+            raise FabricError(f"switch port {switch_port} already attached")
+        if not 0 <= router_port_index < len(router.ports):
+            raise FabricError(
+                f"router {router.name!r} has no port index {router_port_index}")
+        port = router.ports[router_port_index]
+        if port.switch_port is not None:
+            raise FabricError(
+                f"router port {router.name}[{router_port_index}] already attached")
+        self.switch.add_port(switch_port)
+        port.switch_port = switch_port
+        self.arp.add_static(port.ip, port.mac)
+        router.set_resolver(self.arp.resolve)
+        attachment = PortAttachment(switch_port, router, router_port_index)
+        self._attachments[switch_port] = attachment
+        self._routers[router.name] = router
+        return attachment
+
+    def router(self, name: str) -> BorderRouter:
+        """The attached router called ``name``."""
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise FabricError(f"no router {name!r} attached to fabric") from None
+
+    def routers(self) -> Tuple[BorderRouter, ...]:
+        """Every attached router, sorted by name."""
+        return tuple(self._routers[name] for name in sorted(self._routers))
+
+    def attachment_at(self, switch_port: int) -> PortAttachment:
+        """The attachment on ``switch_port``."""
+        try:
+            return self._attachments[switch_port]
+        except KeyError:
+            raise FabricError(f"nothing attached at switch port {switch_port}") from None
+
+    def ports_of(self, router_name: str) -> Tuple[int, ...]:
+        """Switch ports belonging to ``router_name``, in interface order."""
+        router = self.router(router_name)
+        return tuple(
+            port.switch_port for port in router.ports if port.switch_port is not None)
+
+    def send(self, packet: Packet) -> List[Delivery]:
+        """Push one already-located packet through the switch.
+
+        Returns the deliveries made (empty when the switch dropped it).
+        """
+        deliveries: List[Delivery] = []
+        for egress, result in self.switch.process(packet):
+            attachment = self._attachments.get(egress)
+            if attachment is None:
+                continue
+            accepted = attachment.router.receive(result)
+            delivery = Delivery(attachment.router.name, egress, result, accepted)
+            self.deliveries.append(delivery)
+            deliveries.append(delivery)
+        return deliveries
+
+    def originate(self, router_name: str, packet: Packet) -> List[Delivery]:
+        """Have a participant source a packet from inside its AS.
+
+        The router performs its FIB lookup/MAC stamping (:meth:`emit`),
+        then the fabric forwards the frame. A FIB miss returns no
+        deliveries, like a routerless blackhole would.
+        """
+        framed = self.router(router_name).emit(packet)
+        if framed is None:
+            return []
+        return self.send(framed)
+
+    def clear_deliveries(self) -> None:
+        """Forget recorded deliveries (between measurement intervals)."""
+        self.deliveries.clear()
+
+    def __repr__(self) -> str:
+        return f"Fabric({len(self._routers)} routers, {len(self._attachments)} ports)"

@@ -1,0 +1,193 @@
+"""Participant border routers: unmodified BGP routers at the exchange.
+
+The SDX's data-plane scaling trick (Section 4.2) rides on what every
+BGP-speaking router already does with a route: extract the next-hop IP,
+resolve it with ARP, and install a FIB entry that *rewrites the
+destination MAC* before emitting the packet. :class:`BorderRouter`
+reproduces exactly that pipeline, so when the route server advertises a
+virtual next hop and the SDX ARP responder answers with a virtual MAC,
+packets arrive at the fabric already tagged with their forwarding
+equivalence class — the router's own FIB acting as stage one of the
+multi-stage FIB of Figure 2, with zero router modification.
+
+The router also enforces the realism check the paper calls out: a frame
+whose destination MAC is not one of the router's interface MACs is
+dropped ("Without rewriting, AS B would drop the traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp.messages import Update
+from repro.bgp.rib import PrefixTrie
+from repro.exceptions import FabricError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress
+from repro.net.packet import Packet
+
+#: Resolves an IP address to a MAC (wired to the fabric's ArpService).
+Resolver = Callable[[IPv4Address], Optional[MacAddress]]
+
+
+@dataclass
+class RouterPort:
+    """One physical interface of a border router at the exchange."""
+
+    mac: MacAddress
+    ip: IPv4Address
+    switch_port: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"RouterPort(mac={self.mac}, ip={self.ip}, port={self.switch_port})"
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """A forwarding entry: next hop and the MAC to stamp on packets."""
+
+    next_hop: IPv4Address
+    dstmac: MacAddress
+    egress_index: int
+
+
+class BorderRouter:
+    """A BGP border router connected to the SDX fabric."""
+
+    def __init__(self, name: str, asn: int, ports: List[RouterPort],
+                 resolver: Optional[Resolver] = None):
+        if not ports:
+            raise FabricError(f"router {name!r} needs at least one port")
+        self.name = name
+        self.asn = asn
+        self.ports = ports
+        self._resolver = resolver
+        self._rib: PrefixTrie[IPv4Address] = PrefixTrie()
+        self._fib: PrefixTrie[FibEntry] = PrefixTrie()
+        self._arp_cache: Dict[IPv4Address, MacAddress] = {}
+        self._local: PrefixTrie[bool] = PrefixTrie()
+        self.received: List[Packet] = []
+        self.dropped_foreign_mac = 0
+        self.fib_misses = 0
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def set_resolver(self, resolver: Resolver) -> None:
+        """Wire the router to an ARP resolution service."""
+        self._resolver = resolver
+
+    def add_local_prefix(self, prefix: IPv4Prefix) -> None:
+        """Mark a prefix as reachable inside this router's own AS."""
+        self._local.insert(prefix, True)
+
+    def local_prefixes(self) -> Tuple[IPv4Prefix, ...]:
+        """Prefixes this AS hosts behind the router."""
+        return tuple(sorted(self._local))
+
+    def install_route(self, prefix: IPv4Prefix, next_hop: IPv4Address,
+                      egress_index: int = 0) -> None:
+        """Accept a route and build its FIB entry (next-hop ARP included)."""
+        if not 0 <= egress_index < len(self.ports):
+            raise FabricError(f"router {self.name!r}: no port index {egress_index}")
+        self._rib.insert(prefix, next_hop)
+        dstmac = self._resolve(next_hop)
+        if dstmac is None:
+            # Unresolvable next hop: keep the route but no FIB entry,
+            # as a real router would until ARP succeeds.
+            self._fib.remove(prefix)
+            return
+        self._fib.insert(prefix, FibEntry(next_hop, dstmac, egress_index))
+
+    def withdraw_route(self, prefix: IPv4Prefix) -> None:
+        """Remove a route and its FIB entry."""
+        self._rib.remove(prefix)
+        self._fib.remove(prefix)
+
+    def receive_update(self, update: Update) -> None:
+        """Apply a route-server UPDATE to the RIB/FIB."""
+        for withdrawal in update.withdrawals:
+            self.withdraw_route(withdrawal.prefix)
+        for announcement in update.announcements:
+            self.install_route(announcement.prefix, announcement.attributes.next_hop)
+
+    def _resolve(self, address: IPv4Address) -> Optional[MacAddress]:
+        cached = self._arp_cache.get(address)
+        if cached is not None:
+            return cached
+        if self._resolver is None:
+            return None
+        mac = self._resolver(address)
+        if mac is not None:
+            self._arp_cache[address] = mac
+        return mac
+
+    def flush_arp(self) -> None:
+        """Drop the ARP cache (the SDX gratuitously re-ARPs on VNH moves)."""
+        self._arp_cache.clear()
+
+    def refresh_fib(self) -> None:
+        """Re-resolve every RIB next hop (after an ARP flush)."""
+        for prefix, next_hop in list(self._rib.items()):
+            entry = self._fib.exact(prefix)
+            egress = entry.egress_index if entry else 0
+            self.install_route(prefix, next_hop, egress)
+
+    def route_for(self, address: IPv4Address) -> Optional[IPv4Prefix]:
+        """The most specific RIB prefix covering ``address``."""
+        found = self._rib.longest_match(address)
+        return found[0] if found else None
+
+    @property
+    def fib_size(self) -> int:
+        """Number of installed FIB entries."""
+        return len(self._fib)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def emit(self, packet: Packet) -> Optional[Packet]:
+        """Forward a packet from inside the AS toward the exchange.
+
+        Performs the longest-prefix FIB match on the destination address,
+        stamps source/destination MACs, and locates the packet on the
+        egress port. Returns ``None`` on a FIB miss (no route).
+        """
+        dstip = packet.get("dstip")
+        if dstip is None:
+            raise FabricError(f"router {self.name!r}: packet without dstip")
+        found = self._fib.longest_match(dstip)
+        if found is None:
+            self.fib_misses += 1
+            return None
+        entry = found[1]
+        port = self.ports[entry.egress_index]
+        if port.switch_port is None:
+            raise FabricError(f"router {self.name!r}: port not attached to fabric")
+        return packet.modify(
+            srcmac=port.mac, dstmac=entry.dstmac, port=port.switch_port)
+
+    def receive(self, packet: Packet) -> bool:
+        """Accept a frame from the fabric.
+
+        Frames not addressed to one of this router's interface MACs are
+        dropped — the check that makes the SDX's destination-MAC rewrite
+        on egress mandatory. Returns True if the packet was accepted.
+        """
+        dstmac = packet.get("dstmac")
+        if dstmac is None or all(port.mac != dstmac for port in self.ports):
+            self.dropped_foreign_mac += 1
+            return False
+        self.received.append(packet)
+        return True
+
+    def hosts_address(self, address: IPv4Address) -> bool:
+        """True if ``address`` belongs to a local prefix of this AS."""
+        return self._local.longest_match(address) is not None
+
+    def __repr__(self) -> str:
+        return (f"BorderRouter({self.name!r}, AS{self.asn}, "
+                f"{len(self.ports)} ports, fib={self.fib_size})")

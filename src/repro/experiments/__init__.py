@@ -1,0 +1,37 @@
+"""Measurement harness shared by the benchmark suite and the examples.
+
+- :mod:`repro.experiments.metrics` — CDFs and labelled data series;
+- :mod:`repro.experiments.traffic` — the flow-level traffic simulator
+  behind the Figure 5 deployment experiments;
+- :mod:`repro.experiments.harness` — one runner per table/figure of the
+  paper's evaluation, returning printable rows.
+"""
+
+from repro.experiments.metrics import Cdf, Series
+from repro.experiments.traffic import FlowSpec, TrafficSimulation, TimedAction
+from repro.experiments.harness import (
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+
+__all__ = [
+    "Cdf",
+    "FlowSpec",
+    "Series",
+    "TimedAction",
+    "TrafficSimulation",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_table1",
+]

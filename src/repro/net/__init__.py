@@ -1,0 +1,7 @@
+"""Addressing and packet primitives used by every other subpackage."""
+
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress
+from repro.net.packet import Packet
+
+__all__ = ["IPv4Address", "IPv4Prefix", "MacAddress", "Packet"]

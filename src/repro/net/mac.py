@@ -1,0 +1,122 @@
+"""MAC addresses and the SDX virtual-MAC (VMAC) tag encoding.
+
+The SDX data plane uses the destination MAC address as a forwarding tag:
+the route server advertises a *virtual next-hop* IP for each forwarding
+equivalence class (FEC), the SDX ARP responder resolves that IP to a
+*virtual MAC*, and the participant's border router then stamps every packet
+for the FEC with that VMAC (Section 4.2 of the paper).
+
+:func:`vmac_for_fec` implements the tag layout: VMACs live under a reserved
+locally-administered OUI so they can never collide with the physical MACs
+of participant router ports.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from typing import Union
+
+from repro.exceptions import AddressError
+
+_MAX_MAC = 0xFFFFFFFFFFFF
+_MAC_TEXT = re.compile(r"^([0-9a-fA-F]{2})(:[0-9a-fA-F]{2}){5}$")
+
+#: Reserved 24-bit OUI for SDX virtual MACs. The locally-administered bit
+#: (0x02 in the first octet) is set, so the space cannot collide with
+#: globally unique hardware addresses.
+VMAC_OUI = 0xA20000
+
+#: How many distinct FEC tags the VMAC space can carry (24 payload bits).
+VMAC_CAPACITY = 1 << 24
+
+
+@functools.total_ordering
+class MacAddress:
+    """An immutable 48-bit MAC address.
+
+    Accepts colon-separated hex text or a raw integer::
+
+        >>> MacAddress("a2:00:00:00:00:01") == MacAddress((VMAC_OUI << 24) | 1)
+        True
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, "MacAddress"]):
+        if isinstance(value, MacAddress):
+            self._value = value._value
+        elif isinstance(value, str):
+            if not _MAC_TEXT.match(value):
+                raise AddressError(f"not a MAC address: {value!r}")
+            self._value = int(value.replace(":", ""), 16)
+        elif isinstance(value, int):
+            if not 0 <= value <= _MAX_MAC:
+                raise AddressError(f"MAC integer out of range: {value}")
+            self._value = value
+        else:
+            raise AddressError(f"cannot build MacAddress from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The address as a 48-bit integer."""
+        return self._value
+
+    @property
+    def oui(self) -> int:
+        """The top 24 bits (organisationally unique identifier)."""
+        return self._value >> 24
+
+    @property
+    def is_virtual(self) -> bool:
+        """True if this address lives in the SDX VMAC space."""
+        return self.oui == VMAC_OUI
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self._value == _MAX_MAC
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        raw = f"{self._value:012x}"
+        return ":".join(raw[i:i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        if isinstance(other, MacAddress):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+#: The Ethernet broadcast address.
+BROADCAST_MAC = MacAddress(_MAX_MAC)
+
+
+def vmac_for_fec(fec_id: int) -> MacAddress:
+    """The virtual MAC that tags packets belonging to FEC ``fec_id``.
+
+    The FEC identifier occupies the low 24 bits under :data:`VMAC_OUI`.
+    """
+    if not 0 <= fec_id < VMAC_CAPACITY:
+        raise AddressError(f"FEC id out of VMAC range: {fec_id}")
+    return MacAddress((VMAC_OUI << 24) | fec_id)
+
+
+def fec_for_vmac(vmac: MacAddress) -> int:
+    """Recover the FEC identifier from a virtual MAC."""
+    if not vmac.is_virtual:
+        raise AddressError(f"not a virtual MAC: {vmac}")
+    return vmac.value & (VMAC_CAPACITY - 1)

@@ -1,0 +1,73 @@
+"""A Pyretic-like policy language with classifier compilation.
+
+The SDX paper expresses participant policies in Pyretic (Monsanto et al.,
+NSDI 2013): boolean predicates over packet header fields combined with a
+small set of actions, composed in parallel (``+``) and in sequence (``>>``).
+This subpackage is a from-scratch implementation of the fragment the SDX
+needs, with the same surface syntax used throughout the paper::
+
+    from repro.policy import match, fwd, modify
+
+    policy = (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C"))
+
+Policies have two interchangeable semantics:
+
+* **Interpretation** — :meth:`Policy.eval` maps a located packet to a set
+  of located packets (Pyretic's denotational semantics). Used by tests and
+  by the flow-level traffic simulator.
+* **Compilation** — :meth:`Policy.compile` produces a
+  :class:`~repro.policy.classifier.Classifier`: a prioritized rule table
+  equivalent to the policy, ready to install on an OpenFlow-style switch.
+
+Property-based tests assert the two semantics agree on random packets.
+"""
+
+from repro.policy.headerspace import HeaderSpace
+from repro.policy.predicates import (
+    FalsePredicate,
+    MatchPredicate,
+    Predicate,
+    TruePredicate,
+    match,
+)
+from repro.policy.policies import (
+    Drop,
+    Forward,
+    Modify,
+    Parallel,
+    Policy,
+    Sequential,
+    drop,
+    fwd,
+    identity,
+    if_,
+    modify,
+)
+from repro.policy.classifier import Action, Classifier, Rule
+from repro.policy.flowrules import FlowRule, render_flow_table, to_flow_rules
+
+__all__ = [
+    "Action",
+    "Classifier",
+    "Drop",
+    "FalsePredicate",
+    "FlowRule",
+    "Forward",
+    "HeaderSpace",
+    "MatchPredicate",
+    "Modify",
+    "Parallel",
+    "Policy",
+    "Predicate",
+    "Rule",
+    "Sequential",
+    "TruePredicate",
+    "drop",
+    "fwd",
+    "identity",
+    "if_",
+    "match",
+    "modify",
+    "render_flow_table",
+    "to_flow_rules",
+]

@@ -1,0 +1,75 @@
+"""Classifier post-processing: shadow elimination and rule deduplication.
+
+The composition algebra is correct but wasteful — cross products leave
+behind rules that can never fire (their match is covered by an earlier
+rule) and runs of rules with identical actions. The switch only has room
+for ~half a million entries (Section 4.2 cites high-end hardware limits),
+so the SDX compiler runs these reductions on every table it emits. All
+transformations here preserve first-match semantics exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policy.classifier import Classifier, Rule
+
+
+def remove_shadowed(classifier: Classifier) -> Classifier:
+    """Drop rules fully covered by a single earlier rule.
+
+    A rule whose match is a subset of an earlier rule's match can never be
+    the first match, whatever its actions, so removing it is always safe.
+    (Covers-by-union shadowing is not detected; it is rare in SDX output
+    and detecting it is NP-hard in general.)
+    """
+    kept: List[Rule] = []
+    for rule in classifier.rules:
+        if any(earlier.match.covers(rule.match) for earlier in kept):
+            continue
+        kept.append(rule)
+    return Classifier(kept)
+
+
+def merge_drop_tail(classifier: Classifier) -> Classifier:
+    """Collapse a trailing run of drop rules into the final catch-all.
+
+    Compiled SDX policies end in a catch-all drop; any drop rules directly
+    above it are redundant because falling through reaches the catch-all
+    with the same outcome.
+    """
+    rules = list(classifier.rules)
+    if not rules or not rules[-1].is_drop or not rules[-1].match.is_wildcard:
+        return classifier
+    while len(rules) >= 2 and rules[-2].is_drop:
+        del rules[-2]
+    return Classifier(rules)
+
+
+def coalesce_adjacent(classifier: Classifier) -> Classifier:
+    """Merge an adjacent pair where the later rule covers the earlier one
+    and both have identical actions.
+
+    In that situation the earlier rule is redundant: packets it matches
+    fall through to the later, identically-acting rule. This pattern shows
+    up when a specific policy rule duplicates the default behaviour.
+    """
+    rules = list(classifier.rules)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(rules) - 1):
+            earlier, later = rules[index], rules[index + 1]
+            if earlier.actions == later.actions and later.match.covers(earlier.match):
+                del rules[index]
+                changed = True
+                break
+    return Classifier(rules)
+
+
+def optimize(classifier: Classifier) -> Classifier:
+    """Run the full reduction pipeline (safe on any total classifier)."""
+    reduced = remove_shadowed(classifier)
+    reduced = coalesce_adjacent(reduced)
+    reduced = merge_drop_tail(reduced)
+    return reduced

@@ -1,0 +1,43 @@
+"""Synthetic evaluation inputs calibrated to the paper's Section 6.
+
+The authors drove their evaluation with RIPE RIS data from the three
+largest IXPs (Table 1) and a policy generator parameterised by AS role
+(Section 6.1). Neither the traces nor the exact generator are public, so
+this package regenerates statistically equivalent inputs:
+
+- :mod:`repro.workloads.datasets` — the Table 1 profiles (AMS-IX, DE-CIX,
+  LINX) as data, with scaling support;
+- :mod:`repro.workloads.routing` — prefix pools and AS-path synthesis;
+- :mod:`repro.workloads.topology` — heavy-tailed synthetic IXPs ("1% of
+  ASes announce >50% of prefixes");
+- :mod:`repro.workloads.policies` — the eyeball/transit/content policy
+  mix of Section 6.1;
+- :mod:`repro.workloads.updates` — bursty BGP update traces matching the
+  Section 4.3 measurements (75% of bursts ≤ 3 prefixes, inter-arrivals
+  ≥ 10 s 75% of the time, 10-14% of prefixes ever updated).
+
+Everything is seeded and deterministic.
+"""
+
+from repro.workloads.datasets import AMS_IX, DE_CIX, LINX, IxpProfile
+from repro.workloads.routing import PrefixPool, synthesize_as_path
+from repro.workloads.topology import ParticipantSpec, SyntheticIxp, generate_ixp
+from repro.workloads.policies import PolicyAssignment, generate_policies
+from repro.workloads.updates import TraceEvent, TraceStats, generate_trace
+
+__all__ = [
+    "AMS_IX",
+    "DE_CIX",
+    "IxpProfile",
+    "LINX",
+    "ParticipantSpec",
+    "PolicyAssignment",
+    "PrefixPool",
+    "SyntheticIxp",
+    "TraceEvent",
+    "TraceStats",
+    "generate_ixp",
+    "generate_policies",
+    "generate_trace",
+    "synthesize_as_path",
+]

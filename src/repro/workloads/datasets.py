@@ -1,0 +1,81 @@
+"""The Table 1 dataset profiles.
+
+The paper analyses RIPE RIS BGP update traces collected at the three
+largest IXPs for January 1-6, 2014 (resets removed per Zhang et al.).
+These profiles carry the published summary statistics; the trace
+generator targets them, and the Table 1 benchmark regenerates the table
+from synthetic traces to validate the generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IxpProfile:
+    """Summary statistics of one IXP's BGP dataset (Table 1)."""
+
+    name: str
+    collector_peers: int
+    total_peers: int
+    prefixes: int
+    bgp_updates: int
+    fraction_prefixes_updated: float
+    duration_days: int = 6
+
+    @property
+    def updates_per_second(self) -> float:
+        """Mean update rate over the collection window."""
+        return self.bgp_updates / (self.duration_days * 86_400)
+
+    def scaled(self, factor: float) -> "IxpProfile":
+        """A proportionally smaller profile for laptop-scale runs.
+
+        Counts scale by ``factor``; the updated-prefix *fraction* is scale
+        free and stays fixed.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor}")
+        return replace(
+            self,
+            collector_peers=max(2, round(self.collector_peers * factor)),
+            total_peers=max(2, round(self.total_peers * factor)),
+            prefixes=max(10, round(self.prefixes * factor)),
+            bgp_updates=max(10, round(self.bgp_updates * factor)),
+        )
+
+
+#: Table 1, column "AMS-IX".
+AMS_IX = IxpProfile(
+    name="AMS-IX",
+    collector_peers=116,
+    total_peers=639,
+    prefixes=518_082,
+    bgp_updates=11_161_624,
+    fraction_prefixes_updated=0.0988,
+)
+
+#: Table 1, column "DE-CIX".
+DE_CIX = IxpProfile(
+    name="DE-CIX",
+    collector_peers=92,
+    total_peers=580,
+    prefixes=518_391,
+    bgp_updates=30_934_525,
+    fraction_prefixes_updated=0.1364,
+)
+
+#: Table 1, column "LINX".
+LINX = IxpProfile(
+    name="LINX",
+    collector_peers=71,
+    total_peers=496,
+    prefixes=503_392,
+    bgp_updates=16_658_819,
+    fraction_prefixes_updated=0.1267,
+)
+
+#: All three profiles in the paper's column order.
+ALL_PROFILES: Tuple[IxpProfile, ...] = (AMS_IX, DE_CIX, LINX)

@@ -1,0 +1,191 @@
+"""The Section 6.1 policy generator: eyeball / transit / content mixes.
+
+From the paper: "the top 15% of eyeball ASes, the top 5% of transit
+ASes, and a random set of 5% of content ASes install custom policies",
+where
+
+* **content providers** install outbound policies for three randomly
+  chosen top eyeball networks, plus one inbound policy matching one
+  header field;
+* **eyeball networks** install inbound policies for half of the content
+  providers, matching one randomly selected header field, and no
+  outbound policies;
+* **transit networks** install outbound policies for one prefix group
+  for half of the top eyeball networks (destination prefix plus one
+  header field) and inbound policies proportional to the number of top
+  content providers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.policy.policies import Policy, fwd, match
+from repro.workloads.topology import ParticipantSpec, SyntheticIxp
+
+#: Single-field match options used by the generator (field, values).
+_FIELD_CHOICES: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("dstport", (80, 443, 8080, 1935, 53)),
+    ("srcport", (80, 443, 123, 53)),
+    ("protocol", (6, 17)),
+)
+
+#: Fractions of each category that install custom policies (Section 6.1).
+POLICY_FRACTIONS = {"eyeball": 0.15, "transit": 0.05, "content": 0.05}
+
+
+@dataclass(frozen=True)
+class PolicyAssignment:
+    """One generated policy: who installs it, which direction, and why."""
+
+    participant: str
+    direction: str  # "in" or "out"
+    policy: Policy
+    description: str
+
+    def install(self, controller: SdxController) -> None:
+        """Install the policy on a controller hosting the participant."""
+        install_assignments(controller, [self])
+
+
+def _single_field_match(rng: random.Random):
+    field, values = rng.choice(_FIELD_CHOICES)
+    value = rng.choice(values)
+    return match(**{field: value}), f"{field}={value}"
+
+
+def _source_half_match(rng: random.Random):
+    half = rng.choice(("0.0.0.0/1", "128.0.0.0/1"))
+    return match(srcip=half), f"srcip={half}"
+
+
+def _policy_installers(ixp: SyntheticIxp,
+                       rng: random.Random) -> Tuple[List[ParticipantSpec], ...]:
+    eyeballs = [p for p in ixp.participants if p.category == "eyeball"]
+    transits = [p for p in ixp.participants if p.category == "transit"]
+    contents = [p for p in ixp.participants if p.category == "content"]
+    eyeballs.sort(key=lambda p: (-len(p.prefixes), p.name))
+    transits.sort(key=lambda p: (-len(p.prefixes), p.name))
+    top_eyeballs = eyeballs[:max(1, round(len(eyeballs) * POLICY_FRACTIONS["eyeball"]))]
+    top_transits = transits[:max(1, round(len(transits) * POLICY_FRACTIONS["transit"]))]
+    content_count = max(1, round(len(contents) * POLICY_FRACTIONS["content"]))
+    chosen_content = rng.sample(contents, k=min(content_count, len(contents))) \
+        if contents else []
+    return top_eyeballs, top_transits, chosen_content
+
+
+def generate_policies(ixp: SyntheticIxp, *, seed: int = 0,
+                      prefix_sample: Optional[Sequence[IPv4Prefix]] = None
+                      ) -> List[PolicyAssignment]:
+    """The Section 6.1 policy mix for a synthetic IXP.
+
+    ``prefix_sample``, when given, restricts transit destination-prefix
+    policies to that set (the Figure 6 experiments sweep how many
+    prefixes have policies applied).
+    """
+    rng = random.Random(seed)
+    top_eyeballs, top_transits, chosen_content = _policy_installers(ixp, rng)
+    assignments: List[PolicyAssignment] = []
+
+    # Content providers: 3 outbound toward top eyeballs + 1 inbound.
+    for content in chosen_content:
+        targets = rng.sample(top_eyeballs, k=min(3, len(top_eyeballs)))
+        for target in targets:
+            if target.name == content.name:
+                continue
+            predicate, label = _single_field_match(rng)
+            assignments.append(PolicyAssignment(
+                participant=content.name, direction="out",
+                policy=predicate >> fwd(target.name),
+                description=f"content {content.name}: {label} -> {target.name}"))
+        predicate, label = _single_field_match(rng)
+        assignments.append(PolicyAssignment(
+            participant=content.name, direction="in",
+            policy=predicate,
+            description=f"content {content.name}: inbound {label}"))
+
+    # Eyeballs: inbound policies for half of the content providers.
+    for eyeball in top_eyeballs:
+        count = max(1, len(chosen_content) // 2) if chosen_content else 1
+        for _ in range(count):
+            if rng.random() < 0.5:
+                predicate, label = _source_half_match(rng)
+            else:
+                predicate, label = _single_field_match(rng)
+            port_index = rng.randrange(eyeball.ports)
+            assignments.append(PolicyAssignment(
+                participant=eyeball.name, direction="in",
+                policy=predicate >> _own_port_fwd(eyeball, port_index),
+                description=f"eyeball {eyeball.name}: inbound {label} "
+                            f"-> port {port_index}"))
+
+    # Transit: outbound (prefix + field) for half the top eyeballs,
+    # inbound proportional to content providers.
+    eligible_prefixes = list(prefix_sample) if prefix_sample is not None else None
+    for transit in top_transits:
+        targets = top_eyeballs[:max(1, len(top_eyeballs) // 2)]
+        for target in targets:
+            if target.name == transit.name or not target.prefixes:
+                continue
+            pool = [p for p in target.prefixes
+                    if eligible_prefixes is None or p in eligible_prefixes]
+            if not pool:
+                continue
+            prefix = rng.choice(pool)
+            predicate, label = _single_field_match(rng)
+            assignments.append(PolicyAssignment(
+                participant=transit.name, direction="out",
+                policy=(match(dstip=prefix) & predicate) >> fwd(target.name),
+                description=f"transit {transit.name}: {prefix} & {label} "
+                            f"-> {target.name}"))
+        for _ in range(max(1, len(chosen_content))):
+            predicate, label = _single_field_match(rng)
+            assignments.append(PolicyAssignment(
+                participant=transit.name, direction="in",
+                policy=predicate,
+                description=f"transit {transit.name}: inbound {label}"))
+
+    return assignments
+
+
+#: Symbolic target prefix meaning "my own interface number N"; resolved
+#: against real switch-port numbers when the policy is installed.
+_SELF_PORT = "@self:"
+
+
+def _own_port_fwd(spec: ParticipantSpec, port_index: int) -> Policy:
+    """A forward to the installer's own interface ``port_index``.
+
+    Emitted symbolically because concrete switch-port numbers exist only
+    once the participant is attached to a controller.
+    """
+    return fwd(f"{_SELF_PORT}{port_index}")
+
+
+def install_assignments(controller: SdxController,
+                        assignments: Sequence[PolicyAssignment]) -> int:
+    """Install generated assignments on a controller; returns the count.
+
+    Symbolic own-port forwards are resolved against the controller's
+    actual port numbering here.
+    """
+    installed = 0
+    for assignment in assignments:
+        handle = controller.participant(assignment.participant)
+        policy = assignment.policy
+        own_ports = handle.participant.switch_ports
+        mapping = {
+            f"{_SELF_PORT}{index}": handle.port(min(index, len(own_ports) - 1))
+            for index in range(4)
+        } if own_ports else {}
+        policy = policy.substitute_ports(mapping)
+        if assignment.direction == "out":
+            handle.participant.add_outbound(policy)
+        else:
+            handle.participant.add_inbound(policy)
+        installed += 1
+    return installed

@@ -1,0 +1,77 @@
+"""Prefix pools and AS-path synthesis for the synthetic routing tables.
+
+The prefix pool hands out non-overlapping /24s and /16s drawn from the
+address space the real default-free zone occupies (avoiding the ranges
+the SDX itself reserves: the 172.0/16 peering LAN and 172.16/16 VNH
+pool). AS paths are synthesised with realistic lengths — the mean
+observed AS-path length in the DFZ is about 4 hops.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence
+
+from repro.bgp.asn import AsPath
+from repro.net.addresses import IPv4Prefix
+
+#: First octets usable for synthetic prefixes (public-ish, clear of the
+#: simulation's own 10/8, 172/12, and multicast space).
+_FIRST_OCTETS = [o for o in range(16, 220) if o not in (172, 192, 198)]
+
+
+class PrefixPool:
+    """A deterministic source of distinct, non-overlapping prefixes."""
+
+    def __init__(self, lengths: Sequence[int] = (24, 16), seed: int = 0):
+        for length in lengths:
+            if not 9 <= length <= 28:
+                raise ValueError(f"unsupported pool prefix length {length}")
+        self._lengths = tuple(lengths)
+        self._rng = random.Random(seed)
+        self._iter = self._generate()
+
+    def _generate(self) -> Iterator[IPv4Prefix]:
+        # Walk /16 blocks; carve each into either one /16 or its /24s so
+        # blocks never overlap across lengths.
+        for first in _FIRST_OCTETS:
+            for second in range(256):
+                block = IPv4Prefix(network=(first << 24) | (second << 16),
+                                   length=16)
+                length = self._rng.choice(self._lengths)
+                if length <= 16:
+                    yield block
+                else:
+                    yield from block.subnets(length)
+
+    def take(self, count: int) -> List[IPv4Prefix]:
+        """The next ``count`` distinct prefixes."""
+        out = []
+        for _ in range(count):
+            try:
+                out.append(next(self._iter))
+            except StopIteration:  # pragma: no cover - pool is ~3M prefixes
+                raise ValueError("prefix pool exhausted") from None
+        return out
+
+
+def synthesize_as_path(origin_asn: int, first_hop_asn: int,
+                       rng: random.Random, *, min_length: int = 1,
+                       mean_extra_hops: float = 2.0) -> AsPath:
+    """A plausible AS path from an IXP participant to an origin.
+
+    The path starts at ``first_hop_asn`` (the announcing participant),
+    ends at ``origin_asn``, and has a geometric number of intermediate
+    transit hops drawn from the 64512-65000 private range.
+    """
+    hops = [first_hop_asn]
+    extra = 0
+    while rng.random() < mean_extra_hops / (mean_extra_hops + 1):
+        extra += 1
+        if extra > 6:
+            break
+    for _ in range(max(min_length - 1, extra)):
+        hops.append(rng.randrange(64512, 65000))
+    if origin_asn != first_hop_asn:
+        hops.append(origin_asn)
+    return AsPath(hops)

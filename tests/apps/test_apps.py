@@ -1,0 +1,253 @@
+"""Tests for the reusable application layer (repro.apps)."""
+
+import pytest
+
+from repro.apps.chaining import ServiceChain, run_through_chain
+from repro.apps.inbound_te import split_inbound_by_source
+from repro.apps.load_balancer import WideAreaLoadBalancer
+from repro.apps.peering import application_specific_peering
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.exceptions import PolicyError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import match
+
+
+def packet(dstip, dstport=80, srcip="10.0.0.1", protocol=6, **extra):
+    return Packet(dstip=dstip, dstport=dstport, srcip=srcip,
+                  protocol=protocol, **extra)
+
+
+class TestApplicationSpecificPeering:
+    def make(self):
+        sdx = SdxController()
+        isp = sdx.add_participant("ISP", 64500)
+        sdx.add_participant("CDN", 64501)
+        sdx.add_participant("Transit", 64502)
+        content = IPv4Prefix("60.0.0.0/8")
+        sdx.announce_route("CDN", content, AsPath([64501, 15169, 15169]))
+        sdx.announce_route("Transit", content, AsPath([64502, 15169]))
+        sdx.start()
+        return sdx, isp
+
+    def test_installs_per_port_policies(self):
+        sdx, isp = self.make()
+        installed = application_specific_peering(isp, "CDN",
+                                                 applications=("web",))
+        assert len(installed) == 2  # 80 and 443
+        assert sdx.egress_of("ISP", packet("60.0.0.1", dstport=80)) == "CDN"
+        assert sdx.egress_of("ISP", packet("60.0.0.1", dstport=25)) == "Transit"
+
+    def test_teardown_restores_default(self):
+        sdx, isp = self.make()
+        installed = application_specific_peering(isp, "CDN")
+        for policy in installed:
+            isp.remove_outbound(policy)
+        assert sdx.egress_of("ISP", packet("60.0.0.1", dstport=80)) == "Transit"
+
+    def test_extra_ports_and_dedup(self):
+        sdx, isp = self.make()
+        installed = application_specific_peering(
+            isp, "CDN", applications=("web",), extra_ports=(80, 8443))
+        assert len(installed) == 3  # 80, 443, 8443 (80 deduplicated)
+
+    def test_unknown_application_rejected(self):
+        sdx, isp = self.make()
+        with pytest.raises(PolicyError):
+            application_specific_peering(isp, "CDN", applications=("gopher",))
+
+    def test_empty_request_rejected(self):
+        sdx, isp = self.make()
+        with pytest.raises(PolicyError):
+            application_specific_peering(isp, "CDN", applications=())
+
+
+class TestSplitInboundBySource:
+    def make(self, ports=2):
+        sdx = SdxController()
+        sdx.add_participant("Sender", 64500)
+        eyeball = sdx.add_participant("Eyeball", 64510, ports=ports)
+        sdx.announce_route("Eyeball", IPv4Prefix("70.0.0.0/8"),
+                           AsPath([64510]))
+        sdx.start()
+        return sdx, eyeball
+
+    def test_default_half_split(self):
+        sdx, eyeball = self.make()
+        split_inbound_by_source(eyeball)
+        low = sdx.send("Sender", packet("70.0.0.1", srcip="9.9.9.9"))[0]
+        high = sdx.send("Sender", packet("70.0.0.1", srcip="200.9.9.9"))[0]
+        assert low.switch_port == eyeball.port(0)
+        assert high.switch_port == eyeball.port(1)
+
+    def test_custom_assignment(self):
+        sdx, eyeball = self.make()
+        split_inbound_by_source(eyeball, {"96.0.0.0/4": 1})
+        carved = sdx.send("Sender", packet("70.0.0.1", srcip="96.5.5.5"))[0]
+        other = sdx.send("Sender", packet("70.0.0.1", srcip="9.9.9.9"))[0]
+        assert carved.switch_port == eyeball.port(1)
+        assert other.switch_port == eyeball.port(0)  # default delivery
+
+    def test_single_port_default_rejected(self):
+        sdx, eyeball = self.make(ports=1)
+        with pytest.raises(PolicyError):
+            split_inbound_by_source(eyeball)
+
+    def test_remote_rejected(self):
+        sdx = SdxController()
+        sdx.add_participant("Sender", 64500)
+        remote = sdx.add_participant("R", 64599, ports=0)
+        sdx.start()
+        with pytest.raises(PolicyError):
+            split_inbound_by_source(remote)
+
+
+class TestWideAreaLoadBalancer:
+    SERVICE = IPv4Address("74.125.1.1")
+    ANYCAST = IPv4Prefix("74.125.1.0/24")
+
+    def make(self):
+        sdx = SdxController()
+        sdx.add_participant("ClientISP", 64500)
+        sdx.add_participant("Transit", 64502)
+        sdx.announce_route("Transit", IPv4Prefix("54.0.0.0/8"),
+                           AsPath([64502, 14618]))
+        provider = sdx.add_participant("Provider", 15169, ports=0)
+        sdx.register_ownership(self.ANYCAST, "Provider")
+        sdx.start()
+        balancer = WideAreaLoadBalancer(
+            provider, service=self.SERVICE, anycast_prefix=self.ANYCAST,
+            via="Transit", default_backend=IPv4Address("54.0.0.1"))
+        return sdx, balancer
+
+    def request(self, sdx, srcip):
+        deliveries = sdx.send("ClientISP", packet("74.125.1.1", srcip=srcip))
+        accepted = [d for d in deliveries if d.accepted]
+        return str(accepted[0].packet["dstip"]) if accepted else None
+
+    def test_default_backend(self):
+        sdx, balancer = self.make()
+        balancer.start()
+        assert self.request(sdx, "9.9.9.9") == "54.0.0.1"
+
+    def test_assignment_shifts_one_prefix_only(self):
+        sdx, balancer = self.make()
+        balancer.start()
+        balancer.assign(IPv4Prefix("96.25.160.0/24"), IPv4Address("54.0.0.2"))
+        assert self.request(sdx, "96.25.160.9") == "54.0.0.2"
+        assert self.request(sdx, "9.9.9.9") == "54.0.0.1"  # affinity kept
+
+    def test_nested_client_prefixes_prefer_specific(self):
+        sdx, balancer = self.make()
+        balancer.start()
+        balancer.assign(IPv4Prefix("96.0.0.0/8"), IPv4Address("54.0.0.2"))
+        balancer.assign(IPv4Prefix("96.25.0.0/16"), IPv4Address("54.0.0.3"))
+        assert self.request(sdx, "96.25.1.1") == "54.0.0.3"
+        assert self.request(sdx, "96.99.1.1") == "54.0.0.2"
+
+    def test_unassign_restores_default(self):
+        sdx, balancer = self.make()
+        balancer.start()
+        balancer.assign(IPv4Prefix("96.0.0.0/8"), IPv4Address("54.0.0.2"))
+        balancer.unassign(IPv4Prefix("96.0.0.0/8"))
+        assert self.request(sdx, "96.1.1.1") == "54.0.0.1"
+
+    def test_stop_withdraws_service(self):
+        sdx, balancer = self.make()
+        balancer.start()
+        balancer.stop()
+        assert self.request(sdx, "9.9.9.9") is None
+
+    def test_service_outside_prefix_rejected(self):
+        sdx, _ = self.make()
+        with pytest.raises(PolicyError):
+            WideAreaLoadBalancer(
+                sdx.participant("Provider"),
+                service=IPv4Address("8.8.8.8"),
+                anycast_prefix=self.ANYCAST, via="Transit",
+                default_backend=IPv4Address("54.0.0.1"))
+
+    def test_assignments_copy(self):
+        sdx, balancer = self.make()
+        balancer.assign(IPv4Prefix("96.0.0.0/8"), IPv4Address("54.0.0.2"))
+        view = balancer.assignments()
+        view.clear()
+        assert balancer.assignments()
+
+
+class TestServiceChain:
+    TARGET = IPv4Prefix("80.0.0.0/8")
+
+    def make(self):
+        sdx = SdxController()
+        sdx.add_participant("ISP", 64500)
+        sdx.add_participant("Victim", 64510)
+        sdx.add_participant("Scrub", 64520)
+        sdx.add_participant("Log", 64530)
+        sdx.announce_route("Victim", self.TARGET, AsPath([64510]))
+        sdx.start()
+        chain = ServiceChain(sdx, "ISP", match(protocol=17),
+                             ["Scrub", "Log"])
+        chain.announce_coverage([self.TARGET])
+        return sdx, chain
+
+    def test_traverses_both_middleboxes(self):
+        sdx, chain = self.make()
+        chain.install()
+        traversal = run_through_chain(chain, "ISP",
+                                      packet("80.0.0.1", protocol=17))
+        assert traversal.hops == ["Scrub", "Log"]
+        assert traversal.final_egress == "Victim"
+        assert traversal.completed
+
+    def test_middlebox_functions_apply_in_order(self):
+        sdx, chain = self.make()
+        chain.install()
+        chain.set_function("Scrub", lambda p: p.modify(srcport=1111))
+        chain.set_function("Log", lambda p: p.modify(dstport=2222))
+        traversal = run_through_chain(
+            chain, "ISP", packet("80.0.0.1", protocol=17, srcport=5))
+        assert traversal.final_packet["srcport"] == 1111
+        assert traversal.final_packet["dstport"] == 2222
+
+    def test_unselected_traffic_goes_direct(self):
+        sdx, chain = self.make()
+        chain.install()
+        traversal = run_through_chain(chain, "ISP",
+                                      packet("80.0.0.1", protocol=6))
+        assert traversal.hops == []
+        assert traversal.final_egress == "Victim"
+
+    def test_coverage_announcements_never_best(self):
+        sdx, chain = self.make()
+        assert sdx.route_server.best_route_for(
+            "ISP", self.TARGET).learned_from == "Victim"
+
+    def test_uninstall_restores_direct_path(self):
+        sdx, chain = self.make()
+        chain.install()
+        chain.uninstall()
+        assert not chain.is_installed
+        traversal = run_through_chain(chain, "ISP",
+                                      packet("80.0.0.1", protocol=17))
+        assert traversal.hops == []
+        assert traversal.final_egress == "Victim"
+
+    def test_double_install_rejected(self):
+        sdx, chain = self.make()
+        chain.install()
+        with pytest.raises(PolicyError):
+            chain.install()
+
+    def test_validation(self):
+        sdx, _ = self.make()
+        with pytest.raises(PolicyError):
+            ServiceChain(sdx, "ISP", match(protocol=17), [])
+        with pytest.raises(PolicyError):
+            ServiceChain(sdx, "ISP", match(protocol=17), ["Scrub", "Scrub"])
+        with pytest.raises(PolicyError):
+            ServiceChain(sdx, "ISP", match(protocol=17), ["ISP"])
+        chain = ServiceChain(sdx, "ISP", match(protocol=17), ["Scrub"])
+        with pytest.raises(PolicyError):
+            chain.set_function("Log", lambda p: p)

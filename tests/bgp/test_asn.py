@@ -1,0 +1,94 @@
+"""Tests for AS numbers, paths, and path regular expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp.asn import MAX_ASN, AsPath, AsPathPattern, check_asn
+from repro.exceptions import BgpError
+
+asns = st.integers(min_value=1, max_value=65535)
+
+
+class TestCheckAsn:
+    def test_accepts_valid(self):
+        assert check_asn(65001) == 65001
+        assert check_asn(MAX_ASN) == MAX_ASN
+
+    @pytest.mark.parametrize("bad", [0, -5, MAX_ASN + 1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(BgpError):
+            check_asn(bad)
+
+    def test_rejects_bool_and_text(self):
+        with pytest.raises(BgpError):
+            check_asn(True)
+        with pytest.raises(BgpError):
+            check_asn("65001")
+
+
+class TestAsPath:
+    def test_origin_and_neighbour(self):
+        path = AsPath([7018, 3356, 43515])
+        assert path.origin_asn == 43515
+        assert path.neighbour_asn == 7018
+
+    def test_empty_path_has_no_origin(self):
+        with pytest.raises(BgpError):
+            AsPath().origin_asn
+        with pytest.raises(BgpError):
+            AsPath().neighbour_asn
+
+    def test_prepend(self):
+        path = AsPath([3356]).prepend(7018)
+        assert path.asns == (7018, 3356)
+
+    def test_prepend_repeats(self):
+        path = AsPath([3356]).prepend(7018, count=3)
+        assert path.asns == (7018, 7018, 7018, 3356)
+        assert path.length == 4
+
+    def test_prepend_rejects_bad_count(self):
+        with pytest.raises(BgpError):
+            AsPath([1]).prepend(2, count=0)
+
+    def test_loop_detection(self):
+        path = AsPath([7018, 3356])
+        assert path.contains_loop(3356)
+        assert not path.contains_loop(65001)
+
+    def test_str_is_space_separated(self):
+        assert str(AsPath([7018, 3356, 43515])) == "7018 3356 43515"
+
+    def test_equality_and_hash(self):
+        assert AsPath([1, 2]) == AsPath([1, 2])
+        assert len({AsPath([1, 2]), AsPath([1, 2])}) == 1
+
+    def test_iteration(self):
+        assert list(AsPath([5, 6])) == [5, 6]
+
+    @given(st.lists(asns, min_size=1, max_size=6))
+    def test_prepend_grows_length_property(self, path_asns):
+        path = AsPath(path_asns)
+        assert path.prepend(64512).length == path.length + 1
+
+
+class TestAsPathPattern:
+    def test_paper_youtube_example(self):
+        """Section 3.2: all routes ending in AS 43515 (YouTube)."""
+        pattern = AsPathPattern(r".*43515$")
+        assert pattern.matches(AsPath([7018, 3356, 43515]))
+        assert not pattern.matches(AsPath([7018, 43515, 3356]))
+
+    def test_anchored_neighbour(self):
+        pattern = AsPathPattern(r"^7018")
+        assert pattern.matches(AsPath([7018, 3356]))
+        assert not pattern.matches(AsPath([3356, 7018]))
+
+    def test_substring_matches_anywhere(self):
+        pattern = AsPathPattern(r"3356")
+        assert pattern.matches(AsPath([7018, 3356, 43515]))
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(BgpError):
+            AsPathPattern("(unclosed")

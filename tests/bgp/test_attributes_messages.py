@@ -1,0 +1,85 @@
+"""Tests for route attributes and UPDATE message modelling."""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import DEFAULT_LOCAL_PREF, Origin, RouteAttributes
+from repro.bgp.messages import Announcement, Update, Withdrawal
+from repro.exceptions import BgpError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+def make_attributes(**overrides):
+    base = dict(next_hop=IPv4Address("172.0.0.1"), as_path=AsPath([65001]))
+    base.update(overrides)
+    return RouteAttributes(**base)
+
+
+class TestRouteAttributes:
+    def test_defaults(self):
+        attributes = make_attributes()
+        assert attributes.local_pref == DEFAULT_LOCAL_PREF
+        assert attributes.origin is Origin.IGP
+        assert attributes.med == 0
+        assert attributes.communities == frozenset()
+
+    def test_coerces_next_hop_text(self):
+        attributes = RouteAttributes(next_hop="172.0.0.1", as_path=AsPath([65001]))
+        assert attributes.next_hop == IPv4Address("172.0.0.1")
+
+    def test_rejects_negative_med_and_lp(self):
+        with pytest.raises(BgpError):
+            make_attributes(med=-1)
+        with pytest.raises(BgpError):
+            make_attributes(local_pref=-1)
+
+    def test_with_next_hop_is_pure(self):
+        original = make_attributes()
+        rewritten = original.with_next_hop(IPv4Address("10.9.9.9"))
+        assert rewritten.next_hop == IPv4Address("10.9.9.9")
+        assert original.next_hop == IPv4Address("172.0.0.1")
+        assert rewritten.as_path == original.as_path
+
+    def test_with_prepended(self):
+        attributes = make_attributes().with_prepended(64512, count=2)
+        assert attributes.as_path.asns == (64512, 64512, 65001)
+
+    def test_with_local_pref(self):
+        assert make_attributes().with_local_pref(200).local_pref == 200
+
+    def test_communities(self):
+        attributes = make_attributes(communities=frozenset({(65001, 100)}))
+        assert attributes.has_community((65001, 100))
+        assert not attributes.has_community((65001, 200))
+        updated = attributes.with_communities(frozenset({(65001, 300)}))
+        assert updated.has_community((65001, 300))
+
+    def test_origin_ordering(self):
+        assert Origin.IGP < Origin.EGP < Origin.INCOMPLETE
+
+    def test_hashable(self):
+        assert len({make_attributes(), make_attributes()}) == 1
+
+
+class TestUpdate:
+    def test_announce_constructor(self):
+        prefix = IPv4Prefix("10.0.0.0/8")
+        update = Update.announce("A", prefix, make_attributes())
+        assert update.sender == "A"
+        assert update.announcements[0].prefix == prefix
+        assert update.withdrawals == ()
+
+    def test_withdraw_constructor(self):
+        update = Update.withdraw("A", IPv4Prefix("10.0.0.0/8"))
+        assert update.withdrawals == (Withdrawal(IPv4Prefix("10.0.0.0/8")),)
+
+    def test_prefixes_lists_both(self):
+        update = Update(
+            sender="A",
+            announcements=(Announcement(IPv4Prefix("10.0.0.0/8"), make_attributes()),),
+            withdrawals=(Withdrawal(IPv4Prefix("20.0.0.0/8")),))
+        assert set(update.prefixes) == {IPv4Prefix("10.0.0.0/8"), IPv4Prefix("20.0.0.0/8")}
+
+    def test_repr_counts(self):
+        update = Update.announce("A", IPv4Prefix("10.0.0.0/8"), make_attributes())
+        assert "+1/-0" in repr(update)

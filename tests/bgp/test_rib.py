@@ -1,0 +1,186 @@
+"""Tests for the prefix trie and RIB structures, including a brute-force
+longest-prefix-match comparison driven by hypothesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.bgp.rib import AdjRibIn, PrefixTrie, RibView, RouteEntry
+from repro.exceptions import BgpError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefix_strategy = st.builds(
+    lambda n, l: IPv4Prefix(network=n, length=l),
+    addresses,
+    st.integers(min_value=0, max_value=32),
+)
+
+
+def entry_for(prefix_text, learned_from="A", path=(65001,), next_hop="172.0.0.1", **kw):
+    return RouteEntry(
+        prefix=IPv4Prefix(prefix_text),
+        attributes=RouteAttributes(next_hop=IPv4Address(next_hop),
+                                   as_path=AsPath(path), **kw),
+        learned_from=learned_from)
+
+
+class TestPrefixTrie:
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "a")
+        assert trie.exact(IPv4Prefix("10.0.0.0/8")) == "a"
+        assert trie.exact(IPv4Prefix("10.0.0.0/16")) is None
+        assert IPv4Prefix("10.0.0.0/8") in trie
+
+    def test_insert_replaces(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "a")
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "b")
+        assert trie.exact(IPv4Prefix("10.0.0.0/8")) == "b"
+        assert len(trie) == 1
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "a")
+        assert trie.remove(IPv4Prefix("10.0.0.0/8")) == "a"
+        assert trie.remove(IPv4Prefix("10.0.0.0/8")) is None
+        assert len(trie) == 0
+
+    def test_longest_match_prefers_specific(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "short")
+        trie.insert(IPv4Prefix("10.1.0.0/16"), "long")
+        assert trie.longest_match("10.1.2.3") == (IPv4Prefix("10.1.0.0/16"), "long")
+        assert trie.longest_match("10.2.0.1") == (IPv4Prefix("10.0.0.0/8"), "short")
+        assert trie.longest_match("11.0.0.1") is None
+
+    def test_default_route_matches_everything(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("0.0.0.0/0"), "default")
+        assert trie.longest_match("203.0.113.7")[1] == "default"
+
+    def test_covering(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "a")
+        trie.insert(IPv4Prefix("10.1.0.0/16"), "b")
+        trie.insert(IPv4Prefix("11.0.0.0/8"), "c")
+        covering = trie.covering(IPv4Prefix("10.1.2.0/24"))
+        assert [p for p, _ in covering] == [IPv4Prefix("10.1.0.0/16"), IPv4Prefix("10.0.0.0/8")]
+
+    def test_covered_by(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), "a")
+        trie.insert(IPv4Prefix("10.1.0.0/16"), "b")
+        trie.insert(IPv4Prefix("11.0.0.0/8"), "c")
+        covered = dict(trie.covered_by(IPv4Prefix("10.0.0.0/8")))
+        assert set(covered.values()) == {"a", "b"}
+
+    def test_iteration(self):
+        trie = PrefixTrie()
+        trie.insert(IPv4Prefix("10.0.0.0/8"), 1)
+        trie.insert(IPv4Prefix("11.0.0.0/8"), 2)
+        assert set(trie) == {IPv4Prefix("10.0.0.0/8"), IPv4Prefix("11.0.0.0/8")}
+        assert dict(trie.items())[IPv4Prefix("11.0.0.0/8")] == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(prefix_strategy, max_size=20), addresses)
+    def test_longest_match_agrees_with_brute_force(self, prefixes, address):
+        trie = PrefixTrie()
+        for index, prefix in enumerate(prefixes):
+            trie.insert(prefix, index)
+        result = trie.longest_match(address)
+        containing = [p for p in prefixes if p.contains_address(address)]
+        if not containing:
+            assert result is None
+        else:
+            best_length = max(p.length for p in containing)
+            assert result is not None
+            assert result[0].length == best_length
+            assert result[0].contains_address(address)
+
+
+class TestAdjRibIn:
+    def test_apply_announcement(self):
+        adj = AdjRibIn("A")
+        update = Update.announce("A", IPv4Prefix("10.0.0.0/8"),
+                                 entry_for("10.0.0.0/8").attributes)
+        assert adj.apply(update) == [IPv4Prefix("10.0.0.0/8")]
+        assert adj.route(IPv4Prefix("10.0.0.0/8")) is not None
+        assert len(adj) == 1
+
+    def test_duplicate_announcement_reports_no_change(self):
+        adj = AdjRibIn("A")
+        attributes = entry_for("10.0.0.0/8").attributes
+        adj.apply(Update.announce("A", IPv4Prefix("10.0.0.0/8"), attributes))
+        assert adj.apply(Update.announce("A", IPv4Prefix("10.0.0.0/8"), attributes)) == []
+
+    def test_withdrawal(self):
+        adj = AdjRibIn("A")
+        adj.apply(Update.announce("A", IPv4Prefix("10.0.0.0/8"),
+                                  entry_for("10.0.0.0/8").attributes))
+        assert adj.apply(Update.withdraw("A", IPv4Prefix("10.0.0.0/8"))) == [
+            IPv4Prefix("10.0.0.0/8")]
+        assert adj.route(IPv4Prefix("10.0.0.0/8")) is None
+
+    def test_withdrawal_of_unknown_prefix_is_noop(self):
+        adj = AdjRibIn("A")
+        assert adj.apply(Update.withdraw("A", IPv4Prefix("10.0.0.0/8"))) == []
+
+    def test_rejects_foreign_update(self):
+        adj = AdjRibIn("A")
+        with pytest.raises(BgpError):
+            adj.apply(Update.withdraw("B", IPv4Prefix("10.0.0.0/8")))
+
+    def test_reannounce_in_same_update_wins_over_withdrawal(self):
+        adj = AdjRibIn("A")
+        prefix = IPv4Prefix("10.0.0.0/8")
+        attributes = entry_for("10.0.0.0/8").attributes
+        adj.apply(Update.announce("A", prefix, attributes))
+        from repro.bgp.messages import Announcement, Withdrawal
+        update = Update(sender="A",
+                        announcements=(Announcement(prefix, attributes),),
+                        withdrawals=(Withdrawal(prefix),))
+        adj.apply(update)
+        assert adj.route(prefix) is not None
+
+
+class TestRibView:
+    def make_view(self):
+        routes = {
+            IPv4Prefix("10.0.0.0/8"): entry_for("10.0.0.0/8", path=(7018, 43515)),
+            IPv4Prefix("20.0.0.0/8"): entry_for("20.0.0.0/8", path=(3356, 1234)),
+            IPv4Prefix("30.0.0.0/8"): entry_for("30.0.0.0/8", path=(43515,)),
+        }
+        return RibView(routes)
+
+    def test_paper_as_path_filter(self):
+        """Section 3.2: select every prefix originated by AS 43515."""
+        view = self.make_view()
+        assert view.filter("as_path", r".*43515$") == (
+            IPv4Prefix("10.0.0.0/8"), IPv4Prefix("30.0.0.0/8"))
+
+    def test_next_hop_filter(self):
+        view = self.make_view()
+        assert len(view.filter("next_hop", r"^172\.")) == 3
+
+    def test_unsupported_attribute(self):
+        with pytest.raises(BgpError):
+            self.make_view().filter("local_pref", "100")
+
+    def test_originated_by(self):
+        view = self.make_view()
+        assert view.originated_by(43515) == (
+            IPv4Prefix("10.0.0.0/8"), IPv4Prefix("30.0.0.0/8"))
+
+    def test_prefixes_sorted(self):
+        assert list(self.make_view().prefixes()) == sorted(self.make_view().prefixes())
+
+    def test_route_lookup(self):
+        view = self.make_view()
+        assert view.route(IPv4Prefix("10.0.0.0/8")).learned_from == "A"
+        assert view.route(IPv4Prefix("99.0.0.0/8")) is None
+        assert len(view) == 3

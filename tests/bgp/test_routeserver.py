@@ -1,0 +1,221 @@
+"""Tests for the route server: per-participant best routes, export
+policies, change notification, and re-advertisement — the scenarios come
+from Figure 1b of the paper."""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.bgp.routeserver import BestRouteChange, RouteServer
+from repro.exceptions import BgpError, ParticipantError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+P1 = IPv4Prefix("11.0.0.0/8")
+P2 = IPv4Prefix("12.0.0.0/8")
+P4 = IPv4Prefix("14.0.0.0/8")
+
+
+def attrs(next_hop, path):
+    return RouteAttributes(next_hop=IPv4Address(next_hop), as_path=AsPath(path))
+
+
+def make_server():
+    server = RouteServer()
+    server.add_peer("A", 65001)
+    server.add_peer("B", 65002)
+    server.add_peer("C", 65003)
+    return server
+
+
+class TestPeering:
+    def test_add_and_list_peers(self):
+        server = make_server()
+        assert server.peers() == ("A", "B", "C")
+        assert server.session("A").is_established
+
+    def test_duplicate_peer_rejected(self):
+        server = make_server()
+        with pytest.raises(ParticipantError):
+            server.add_peer("A", 65009)
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(ParticipantError):
+            make_server().session("Z")
+
+    def test_remove_peer_withdraws_routes(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        changes = server.remove_peer("B")
+        assert any(change.new is None for change in changes)
+        assert server.best_route_for("A", P1) is None
+        assert "B" not in server.peers()
+
+    def test_reset_session_flushes_routes(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        changes = server.reset_session("B")
+        assert server.best_route_for("A", P1) is None
+        assert server.session("B").is_established
+        assert server.session("B").resets == 1
+        assert changes
+
+
+class TestBestRouteSelection:
+    def test_single_announcer(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        best = server.best_route_for("A", P1)
+        assert best.learned_from == "B"
+
+    def test_own_routes_excluded(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        assert server.best_route_for("B", P1) is None
+
+    def test_prefers_shorter_path(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002, 7000]))
+        server.announce("C", P1, attrs("172.0.0.3", [65003]))
+        assert server.best_route_for("A", P1).learned_from == "C"
+
+    def test_candidates_for_lists_all_exporters(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        server.announce("C", P1, attrs("172.0.0.3", [65003]))
+        assert {entry.learned_from for entry in server.candidates_for("A", P1)} == {"B", "C"}
+
+    def test_all_prefixes(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        server.announce("C", P2, attrs("172.0.0.3", [65003]))
+        assert server.all_prefixes() == (P1, P2)
+
+
+class TestExportPolicy:
+    def test_figure_1b_selective_export(self):
+        """AS B does not export p4 to AS A, so A must not use B for p4."""
+        server = make_server()
+        server.set_export_policy("B", deny={"A"})
+        server.announce("B", P4, attrs("172.0.0.2", [65002]))
+        assert server.best_route_for("A", P4) is None
+        assert server.best_route_for("C", P4).learned_from == "B"
+        assert server.reachable_prefixes("A", via="B") == ()
+        assert server.reachable_prefixes("C", via="B") == (P4,)
+
+    def test_allowlist(self):
+        server = make_server()
+        server.set_export_policy("B", allow={"C"})
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        assert server.best_route_for("A", P1) is None
+        assert server.best_route_for("C", P1) is not None
+
+    def test_deny_wins_over_allow(self):
+        server = make_server()
+        server.set_export_policy("B", allow={"A"}, deny={"A"})
+        assert not server.exports_to("B", "A")
+
+    def test_never_exports_to_self(self):
+        assert not make_server().exports_to("B", "B")
+
+    def test_unknown_announcer_rejected(self):
+        with pytest.raises(ParticipantError):
+            make_server().set_export_policy("Z", deny={"A"})
+
+    def test_reachable_prefixes_unknown_via(self):
+        with pytest.raises(ParticipantError):
+            make_server().reachable_prefixes("A", via="Z")
+
+
+class TestChangeNotification:
+    def test_listener_sees_per_participant_changes(self):
+        server = make_server()
+        seen = []
+        server.add_listener(seen.extend)
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        participants = {change.participant for change in seen}
+        assert participants == {"A", "C"}
+        assert all(change.new is not None for change in seen)
+
+    def test_no_notification_for_redundant_update(self):
+        server = make_server()
+        attributes = attrs("172.0.0.2", [65002])
+        server.announce("B", P1, attributes)
+        seen = []
+        server.add_listener(seen.extend)
+        server.announce("B", P1, attributes)
+        assert seen == []
+
+    def test_withdrawal_change_has_none_new(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        seen = []
+        server.add_listener(seen.extend)
+        server.withdraw("B", P1)
+        assert all(change.new is None for change in seen)
+
+    def test_better_route_switches_best(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002, 7000]))
+        seen = []
+        server.add_listener(seen.extend)
+        server.announce("C", P1, attrs("172.0.0.3", [65003]))
+        change = next(c for c in seen if c.participant == "A")
+        assert change.old.learned_from == "B"
+        assert change.new.learned_from == "C"
+
+
+class TestBulkLoad:
+    def test_bulk_load_applies_without_notification(self):
+        server = make_server()
+        seen = []
+        server.add_listener(seen.extend)
+        count = server.bulk_load([
+            Update.announce("B", P1, attrs("172.0.0.2", [65002])),
+            Update.announce("C", P2, attrs("172.0.0.3", [65003])),
+        ])
+        assert count == 2
+        assert seen == []
+        assert server.best_route_for("A", P1) is not None
+        assert server.updates_processed == 2
+
+    def test_bulk_load_requires_established_session(self):
+        server = RouteServer()
+        server.add_peer("A", 65001, connect=False)
+        with pytest.raises(BgpError):
+            server.bulk_load([Update.withdraw("A", P1)])
+
+
+class TestReadvertisement:
+    def test_announcement_sent_on_session(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        change = BestRouteChange("A", P1, None, server.best_route_for("A", P1))
+        sent = server.readvertise([change])
+        assert len(sent) == 1
+        assert server.session("A").sent_log[-1].announcements[0].prefix == P1
+
+    def test_withdrawal_sent_when_new_is_none(self):
+        server = make_server()
+        change = BestRouteChange("A", P1, None, None)
+        sent = server.readvertise([change])
+        assert sent[0].withdrawals[0].prefix == P1
+
+    def test_next_hop_rewriter_applies(self):
+        server = make_server()
+        server.set_next_hop_rewriter(
+            lambda participant, prefix, route: IPv4Address("192.0.2.77"))
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        change = BestRouteChange("A", P1, None, server.best_route_for("A", P1))
+        sent = server.readvertise([change])
+        announced = sent[0].announcements[0]
+        assert announced.attributes.next_hop == IPv4Address("192.0.2.77")
+
+    def test_view_for_builds_loc_rib(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        server.announce("C", P2, attrs("172.0.0.3", [65003]))
+        view = server.view_for("A")
+        assert view.prefixes() == (P1, P2)
+        own_view = server.view_for("B")
+        assert own_view.prefixes() == (P2,)

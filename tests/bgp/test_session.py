@@ -1,0 +1,81 @@
+"""Tests for the BGP session state machine."""
+
+import pytest
+
+from repro.bgp.messages import Update
+from repro.bgp.session import BgpSession, SessionState
+from repro.exceptions import SessionStateError
+from repro.net.addresses import IPv4Prefix
+
+
+class TestLifecycle:
+    def test_starts_idle(self):
+        session = BgpSession("A", 65001)
+        assert session.state is SessionState.IDLE
+        assert not session.is_established
+
+    def test_open_then_establish(self):
+        session = BgpSession("A", 65001)
+        session.open()
+        assert session.state is SessionState.OPEN_SENT
+        session.establish()
+        assert session.is_established
+
+    def test_connect_shortcut(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        assert session.is_established
+
+    def test_double_open_rejected(self):
+        session = BgpSession("A", 65001)
+        session.open()
+        with pytest.raises(SessionStateError):
+            session.open()
+
+    def test_establish_from_idle_rejected(self):
+        with pytest.raises(SessionStateError):
+            BgpSession("A", 65001).establish()
+
+    def test_reset_counts_and_returns_to_idle(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.reset()
+        assert session.state is SessionState.IDLE
+        assert session.resets == 1
+        session.connect()
+        assert session.is_established
+
+
+class TestUpdateFlow:
+    def test_receive_invokes_callback(self):
+        seen = []
+        session = BgpSession("A", 65001, on_update=seen.append)
+        session.connect()
+        update = Update.withdraw("A", IPv4Prefix("10.0.0.0/8"))
+        session.receive(update)
+        assert seen == [update]
+        assert session.updates_received == 1
+
+    def test_receive_while_idle_rejected(self):
+        session = BgpSession("A", 65001)
+        with pytest.raises(SessionStateError):
+            session.receive(Update.withdraw("A", IPv4Prefix("10.0.0.0/8")))
+
+    def test_receive_foreign_sender_rejected(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        with pytest.raises(SessionStateError):
+            session.receive(Update.withdraw("B", IPv4Prefix("10.0.0.0/8")))
+
+    def test_send_logs_updates(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        update = Update.withdraw("route-server", IPv4Prefix("10.0.0.0/8"))
+        session.send(update)
+        assert session.sent_log == [update]
+        assert session.updates_sent == 1
+
+    def test_send_while_idle_rejected(self):
+        with pytest.raises(SessionStateError):
+            BgpSession("A", 65001).send(
+                Update.withdraw("route-server", IPv4Prefix("10.0.0.0/8")))

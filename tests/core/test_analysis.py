@@ -1,0 +1,98 @@
+"""Tests for the policy-interaction analysis tooling."""
+
+import pytest
+
+from repro.core.analysis import analyze_sdx, find_clause_overlaps
+from repro.policy.policies import drop, fwd, match
+
+from tests.core.scenarios import figure1_controller
+from tests.core.test_participant import physical
+
+
+class TestFindClauseOverlaps:
+    def test_disjoint_clauses_no_overlap(self):
+        participant = physical()
+        participant.add_outbound((match(dstport=80) >> fwd("B"))
+                                 + (match(dstport=443) >> fwd("C")))
+        assert find_clause_overlaps(participant) == []
+
+    def test_overlapping_clauses_detected_with_witness(self):
+        participant = physical()
+        participant.add_outbound(match(dstport=80) >> fwd("B"))
+        participant.add_outbound(match(srcip="10.0.0.0/8") >> fwd("C"))
+        overlaps = find_clause_overlaps(participant)
+        assert len(overlaps) == 1
+        overlap = overlaps[0]
+        assert (overlap.winner_index, overlap.loser_index) == (0, 1)
+        assert overlap.exact
+        # The witness genuinely matches both clauses.
+        clauses = participant.outbound_clauses()
+        assert clauses[0].predicate.holds(overlap.witness)
+        assert clauses[1].predicate.holds(overlap.witness)
+        assert "shadows" in overlap.describe()
+
+    def test_nested_prefix_overlap(self):
+        participant = physical()
+        participant.add_outbound(match(dstip="20.0.0.0/8") >> fwd("B"))
+        participant.add_outbound(match(dstip="20.1.0.0/16") >> fwd("C"))
+        overlaps = find_clause_overlaps(participant)
+        assert len(overlaps) == 1
+
+    def test_drop_clause_participates(self):
+        participant = physical()
+        participant.add_outbound(match(dstport=80) >> fwd("B"))
+        participant.add_outbound(match(dstport=80) >> drop)
+        assert len(find_clause_overlaps(participant)) == 1
+
+    def test_negation_reported_as_possible(self):
+        participant = physical()
+        participant.add_outbound((match(dstport=80) & ~match(srcport=22))
+                                 >> fwd("B"))
+        participant.add_outbound(match(dstport=80) >> fwd("C"))
+        overlaps = find_clause_overlaps(participant)
+        assert len(overlaps) == 1
+        assert not overlaps[0].exact
+
+    def test_inbound_direction(self):
+        participant = physical(ports=(1, 2))
+        participant.add_inbound(match(srcip="0.0.0.0/1") >> fwd(1))
+        participant.add_inbound(match(srcip="0.0.0.0/2") >> fwd(2))
+        overlaps = find_clause_overlaps(participant, "in")
+        assert len(overlaps) == 1
+        assert overlaps[0].direction == "in"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            find_clause_overlaps(physical(), "sideways")
+
+
+class TestAnalyzeSdx:
+    def test_figure1_report(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        report = analyze_sdx(sdx)
+        names = [r.name for r in report.participants]
+        assert names == ["A", "B"]  # only policy holders appear
+        a_report = report.participants[0]
+        assert a_report.outbound_clauses == 2
+        assert a_report.targets == ("B", "C")
+        assert a_report.eligible_prefixes["B"] == 3   # p1..p3
+        assert a_report.eligible_prefixes["C"] == 4   # p1..p4
+        assert report.total_overlaps == 0
+        rendered = report.render()
+        assert "A: 2 outbound" in rendered
+        assert "eligible via B: 3 prefixes" in rendered
+
+    def test_overlap_surfaces_in_report(self):
+        sdx, a, *_ = figure1_controller()
+        sdx.start()
+        a.add_outbound(match(srcip="10.0.0.0/8") >> fwd("C"))
+        report = analyze_sdx(sdx)
+        assert report.total_overlaps >= 1
+        assert "!" in report.render()
+
+    def test_empty_exchange(self):
+        sdx, *_ = figure1_controller(with_policies=False)
+        report = analyze_sdx(sdx)
+        assert report.participants == []
+        assert report.render() == "(no policies installed)"

@@ -1,0 +1,198 @@
+"""Tests for the SDX compiler on the paper's Figure 1 scenario."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.policy.strategies import packets, predicates
+
+from repro.core.compiler import REDUCTION_LIMIT, compile_clause_rules
+from repro.exceptions import CompilationError
+from repro.net.packet import Packet
+from repro.policy.classifier import Action, Classifier, Rule
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.policy.policies import fwd, match, modify
+
+from tests.core.scenarios import P1, P2, P3, P4, P5, figure1_controller, packet
+
+
+class TestCompileClauseRules:
+    def test_positive_predicate(self):
+        rules = compile_clause_rules(
+            match(dstport=80), (Action(port=2),), None)
+        assert len(rules) == 1
+        assert rules[0].actions == (Action(port=2),)
+
+    def test_unsatisfiable_predicate_gives_no_rules(self):
+        pred = match(dstport=80) & match(dstport=443)
+        assert compile_clause_rules(pred, (Action(port=2),), None) == []
+
+    def test_trailing_drops_removed(self):
+        rules = compile_clause_rules(match(dstport=80), (Action(port=2),), None)
+        assert all(not rule.is_drop for rule in rules)
+
+    def test_negation_mask_kept_without_fallback(self):
+        pred = match(dstport=80) & ~match(srcport=22)
+        rules = compile_clause_rules(pred, (Action(port=2),), None)
+        # Mask for (dstport=80, srcport=22) must precede the action rule.
+        assert rules[0].is_drop
+        assert rules[-1].actions == (Action(port=2),)
+
+    def test_negation_mask_expands_against_fallback(self):
+        pred = match(dstport=80) & ~match(srcport=22)
+        fallback = fwd(9).compile()
+        rules = compile_clause_rules(pred, (Action(port=2),), fallback)
+        classifier = Classifier(rules + [Rule(WILDCARD, ())])
+        masked = Packet(port=1, dstport=80, srcport=22)
+        assert classifier.eval(masked) == {masked.at_port(9)}
+        plain = Packet(port=1, dstport=80, srcport=443)
+        assert classifier.eval(plain) == {plain.at_port(2)}
+
+
+class TestClauseStackSemantics:
+    """Property: a stack of compiled clauses behaves exactly like
+    "first clause whose predicate holds wins, otherwise fall through"."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(predicates(max_depth=3), min_size=1, max_size=4),
+           packets())
+    def test_stacked_clauses_first_match_property(self, preds, pkt):
+        from repro.core.compiler import compile_guarded_clauses
+        from repro.core.composition import stack_fallback
+        fallback = fwd(99).compile()
+        stacked = stack_fallback([
+            compile_guarded_clauses(
+                [(predicate, (Action(port=100 + index),))
+                 for index, predicate in enumerate(preds)],
+                fallback),
+            fallback,
+        ])
+        expected_port = 99
+        for index, predicate in enumerate(preds):
+            if predicate.holds(pkt):
+                expected_port = 100 + index
+                break
+        result = stacked.eval(pkt)
+        assert result == {pkt.at_port(expected_port)}
+
+
+class TestFigure1Compilation:
+    def test_compiles_and_reports(self):
+        sdx, *_ = figure1_controller()
+        result = sdx.start()
+        assert result.flow_rule_count > 0
+        assert result.prefix_group_count >= 2
+        assert result.total_seconds > 0
+        assert set(result.timings) >= {
+            "fec", "vnh", "defaults", "outbound", "inbound", "composition"}
+
+    def test_web_traffic_to_b_when_eligible(self):
+        """A's port-80 policy sends p1..p3 via B, but not p4 (Figure 1b)."""
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=80)) == "B"
+        assert sdx.egress_of("A", packet("12.0.0.1", dstport=80)) == "B"
+        assert sdx.egress_of("A", packet("13.0.0.1", dstport=80)) == "B"
+        # p4 is only announced by C: web policy via B must not apply.
+        assert sdx.egress_of("A", packet("14.0.0.1", dstport=80)) == "C"
+
+    def test_https_traffic_to_c(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        for dstip in ("11.0.0.1", "12.0.0.1", "13.0.0.1", "14.0.0.1"):
+            assert sdx.egress_of("A", packet(dstip, dstport=443)) == "C"
+
+    def test_default_traffic_follows_best_route(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        # Best routes: C for p1/p2/p4 (shorter paths), B for p3.
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=22)) == "C"
+        assert sdx.egress_of("A", packet("12.0.0.1", dstport=22)) == "C"
+        assert sdx.egress_of("A", packet("13.0.0.1", dstport=22)) == "B"
+        assert sdx.egress_of("A", packet("14.0.0.1", dstport=22)) == "C"
+
+    def test_untouched_prefix_uses_real_next_hop(self):
+        """p5 keeps its real next hop: no VNH is advertised for it."""
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        assert sdx.allocator.next_hop_for_prefix(P5) is None
+        assert sdx.egress_of("A", packet("15.0.0.1", dstport=22)) == "E"
+        assert sdx.egress_of("A", packet("15.0.0.1", dstport=80)) == "E"
+
+    def test_inbound_te_selects_b_port(self):
+        """B's inbound policy splits by source halves (Figure 1a)."""
+        sdx, a, b, *_ = figure1_controller()
+        sdx.start()
+        low = packet("13.0.0.1", dstport=22, srcip="10.0.0.1")
+        high = packet("13.0.0.1", dstport=22, srcip="200.0.0.1")
+        low_delivery = sdx.send("A", low)[0]
+        high_delivery = sdx.send("A", high)[0]
+        assert low_delivery.switch_port == b.port(0)
+        assert high_delivery.switch_port == b.port(1)
+        assert low_delivery.accepted and high_delivery.accepted
+
+    def test_delivered_packets_carry_real_macs(self):
+        """Egress frames carry the destination router's interface MAC —
+        the rewrite without which "AS B would drop the traffic"."""
+        sdx, a, b, *_ = figure1_controller()
+        sdx.start()
+        delivery = sdx.send("A", packet("13.0.0.1", dstport=80))[0]
+        macs = {port.mac for port in b.participant.router.ports}
+        assert delivery.packet["dstmac"] in macs
+
+    def test_traffic_between_non_policy_participants(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        assert sdx.egress_of("C", packet("15.0.0.1")) == "E"
+        assert sdx.egress_of("E", packet("14.0.0.1")) == "C"
+
+    def test_no_route_traffic_dropped(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        assert sdx.egress_of("A", packet("99.0.0.1")) is None
+
+    def test_every_flow_rule_outputs_physical_port_or_drops(self):
+        """The paper's invariant: packets reach a physical port or die."""
+        sdx, *_ = figure1_controller()
+        result = sdx.start()
+        physical = set(sdx.topology.physical_ports())
+        for rule in result.classifier.rules:
+            for action in rule.actions:
+                port = action.output_port
+                assert port is not None
+                assert port in physical
+
+
+class TestCompilerModes:
+    @pytest.mark.parametrize("use_vnh", [True, False])
+    @pytest.mark.parametrize("optimized", [True, False])
+    def test_all_modes_agree_on_forwarding(self, use_vnh, optimized):
+        sdx, *_ = figure1_controller(use_vnh=use_vnh, optimized=optimized)
+        sdx.start()
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=80)) == "B"
+        assert sdx.egress_of("A", packet("14.0.0.1", dstport=80)) == "C"
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=22)) == "C"
+        assert sdx.egress_of("A", packet("13.0.0.1", dstport=22)) == "B"
+
+    def test_naive_vnh_off_has_prefix_rules(self):
+        """Without VNH grouping, eligibility is matched per dstip prefix."""
+        sdx, *_ = figure1_controller(use_vnh=False)
+        result = sdx.start()
+        assert any(
+            "dstip" in rule.match for rule in result.classifier.rules)
+        assert sdx.allocator.assignments == 0
+
+    def test_optimized_examines_fewer_pairs(self):
+        sdx_opt, *_ = figure1_controller(optimized=True)
+        sdx_naive, *_ = figure1_controller(optimized=False)
+        opt = sdx_opt.start().report.stats.rule_pairs_examined
+        naive = sdx_naive.start().report.stats.rule_pairs_examined
+        assert opt < naive
+
+    def test_inbound_cache_reused(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        cache_before = dict(sdx.compiler._inbound_cache)
+        sdx.recompile()
+        for name, (generation, classifier) in cache_before.items():
+            assert sdx.compiler._inbound_cache[name][1] is classifier

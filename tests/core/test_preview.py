@@ -1,0 +1,86 @@
+"""Tests for the policy what-if preview."""
+
+import pytest
+
+from repro.exceptions import ParticipantError, PolicyError
+from repro.policy.policies import drop, fwd, match, modify
+
+from tests.core.scenarios import figure1_controller, packet
+
+
+class TestPreviewPolicy:
+    def test_preview_reports_eligibility(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        preview = sdx.preview_policy("A", match(dstport=8080) >> fwd("B"))
+        assert preview.participant == "A"
+        assert len(preview.clauses) == 1
+        clause = preview.clauses[0]
+        assert clause.eligible_prefixes == 3       # p1..p3 via B
+        assert clause.eligible_groups is not None
+        assert preview.estimated_rules == clause.eligible_groups
+        assert "fwd('B')" in preview.render()
+
+    def test_preview_does_not_install(self):
+        sdx, a, *_ = figure1_controller(with_policies=False)
+        sdx.start()
+        rules_before = len(sdx.table)
+        sdx.preview_policy("A", match(dstport=8080) >> fwd("B"))
+        assert len(sdx.table) == rules_before
+        assert not a.participant.has_policies
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=8080)) == "C"
+
+    def test_preview_before_start_uses_prefix_counts(self):
+        sdx, *_ = figure1_controller()
+        preview = sdx.preview_policy("A", match(dstport=80) >> fwd("C"))
+        assert preview.clauses[0].eligible_prefixes == 4
+        assert preview.clauses[0].eligible_groups == 0  # nothing compiled
+
+    def test_preview_drop_clause(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        preview = sdx.preview_policy("A", match(srcip="6.0.0.0/8") >> drop)
+        assert preview.clauses[0].eligible_prefixes is None
+        assert preview.estimated_rules == 1
+
+    def test_preview_inbound(self):
+        sdx, a, b, *_ = figure1_controller()
+        sdx.start()
+        preview = sdx.preview_policy(
+            "B", match(srcport=53) >> fwd(b.port(1)), direction="in")
+        assert preview.direction == "in"
+        assert preview.estimated_rules == 1
+
+    def test_preview_validates_like_install(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        with pytest.raises(PolicyError):
+            sdx.preview_policy("A", match(dstport=80))        # no fwd
+        with pytest.raises(PolicyError):
+            sdx.preview_policy("A", match(dstport=80) >> fwd("A"))
+        with pytest.raises(ParticipantError):
+            sdx.preview_policy("A", match(dstport=80) >> fwd("Ghost"))
+
+    def test_preview_multi_clause_policy(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        preview = sdx.preview_policy(
+            "A", (match(dstport=80) >> fwd("B"))
+            + (match(dstport=443) >> modify(dstport=8443) >> fwd("C")))
+        assert len(preview.clauses) == 2
+        rendered = preview.render()
+        assert "#0" in rendered and "#1" in rendered
+
+
+class TestCheckCommand:
+    def test_check_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.config import save_config
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        path = tmp_path / "exchange.json"
+        save_config(sdx, path)
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled:" in out
+        assert "A: 2 outbound" in out

@@ -1,0 +1,171 @@
+"""Tests for VNH/VMAC allocation and the virtual-topology registry."""
+
+import pytest
+
+from repro.core.fec import PrefixGroup
+from repro.core.participant import Participant
+from repro.core.vnh import VnhAllocator
+from repro.core.vswitch import VPORT_BASE, VirtualTopology
+from repro.dataplane.router import BorderRouter, RouterPort
+from repro.exceptions import CompilationError, ParticipantError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress
+
+
+def group_of(gid, *prefix_texts, contexts=frozenset(), ranking=("B",)):
+    return PrefixGroup(
+        group_id=gid,
+        prefixes=frozenset(IPv4Prefix(t) for t in prefix_texts),
+        contexts=contexts,
+        ranked_announcers=tuple(ranking))
+
+
+def physical(name, asn, *ports):
+    router = BorderRouter(name, asn, [
+        RouterPort(mac=MacAddress(0x020000000000 + p),
+                   ip=IPv4Address("172.0.0.1") + p, switch_port=p)
+        for p in ports])
+    return Participant(name=name, asn=asn, router=router)
+
+
+class TestVnhAllocator:
+    def test_assign_groups_binds_arp(self):
+        allocator = VnhAllocator()
+        groups = [group_of(0, "11.0.0.0/8", "12.0.0.0/8"), group_of(1, "13.0.0.0/8")]
+        allocator.assign_groups(groups)
+        assert allocator.assignments == 2
+        vnh = allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        vmac = allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        assert allocator.responder.resolve(vnh) == vmac
+        assert vmac.is_virtual
+
+    def test_same_group_shares_vnh(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8", "12.0.0.0/8")])
+        assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) == \
+            allocator.next_hop_for_prefix(IPv4Prefix("12.0.0.0/8"))
+
+    def test_untagged_prefix_returns_none(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        assert allocator.next_hop_for_prefix(IPv4Prefix("99.0.0.0/8")) is None
+        assert allocator.vmac_for_prefix(IPv4Prefix("99.0.0.0/8")) is None
+        assert allocator.group_of(IPv4Prefix("99.0.0.0/8")) is None
+
+    def test_reassign_clears_old_prefixes(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        allocator.assign_groups([group_of(0, "12.0.0.0/8")])
+        assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) is None
+        assert allocator.next_hop_for_prefix(IPv4Prefix("12.0.0.0/8")) is not None
+        # Exactly one live binding: the pool does not leak across
+        # reassignments (allocation restarts from the bottom).
+        assert len(allocator.responder.bindings()) == 1
+
+    def test_reassignment_never_exhausts_pool(self):
+        """However often the exchange recompiles, the pool is reused."""
+        allocator = VnhAllocator(IPv4Prefix("172.16.0.0/28"))  # 14 usable
+        for round_number in range(50):
+            allocator.assign_groups(
+                [group_of(i, f"{20 + i}.0.0.0/8") for i in range(10)])
+        assert allocator.assignments == 10
+
+    def test_ephemeral_overrides_group(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        group_vnh = allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        vnh, vmac = allocator.assign_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        assert vnh != group_vnh
+        assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) == vnh
+        assert allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8")) == vmac
+        assert allocator.ephemeral_prefixes() == (IPv4Prefix("11.0.0.0/8"),)
+
+    def test_drop_ephemeral_restores_group(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        group_vnh = allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        vnh, _ = allocator.assign_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        allocator.drop_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) == group_vnh
+        assert allocator.responder.resolve(vnh) is None
+
+    def test_unknown_group_lookup_raises(self):
+        allocator = VnhAllocator()
+        with pytest.raises(CompilationError):
+            allocator.vnh_for_group(42)
+        with pytest.raises(CompilationError):
+            allocator.vmac_for_group(42)
+
+    def test_pool_exhaustion(self):
+        allocator = VnhAllocator(IPv4Prefix("172.16.0.0/30"))
+        allocator.assign_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        allocator.assign_ephemeral(IPv4Prefix("12.0.0.0/8"))
+        with pytest.raises(CompilationError):
+            allocator.assign_ephemeral(IPv4Prefix("13.0.0.0/8"))
+
+    def test_vnh_addresses_unique(self):
+        allocator = VnhAllocator()
+        groups = [group_of(i, f"{10 + i}.0.0.0/8") for i in range(50)]
+        allocator.assign_groups(groups)
+        vnhs = {allocator.vnh_for_group(i) for i in range(50)}
+        vmacs = {allocator.vmac_for_group(i) for i in range(50)}
+        assert len(vnhs) == 50
+        assert len(vmacs) == 50
+
+
+class TestVirtualTopology:
+    def test_register_assigns_vports(self):
+        topology = VirtualTopology()
+        a = physical("A", 65001, 1)
+        b = physical("B", 65002, 2, 3)
+        assert topology.register(a) == VPORT_BASE
+        assert topology.register(b) == VPORT_BASE + 1
+        assert topology.vport("B") == VPORT_BASE + 1
+        assert topology.by_vport(VPORT_BASE).name == "A"
+
+    def test_duplicate_name_rejected(self):
+        topology = VirtualTopology()
+        topology.register(physical("A", 65001, 1))
+        with pytest.raises(ParticipantError):
+            topology.register(physical("A", 65009, 2))
+
+    def test_duplicate_switch_port_rejected(self):
+        topology = VirtualTopology()
+        topology.register(physical("A", 65001, 1))
+        with pytest.raises(ParticipantError):
+            topology.register(physical("B", 65002, 1))
+
+    def test_port_collision_with_vport_range_rejected(self):
+        topology = VirtualTopology()
+        with pytest.raises(ParticipantError):
+            topology.register(physical("A", 65001, VPORT_BASE + 5))
+
+    def test_owner_of(self):
+        topology = VirtualTopology()
+        topology.register(physical("A", 65001, 1))
+        assert topology.owner_of(1) == "A"
+        assert topology.owner_of(99) is None
+
+    def test_remote_participant_registers(self):
+        topology = VirtualTopology()
+        remote = Participant(name="D", asn=65099)
+        vport = topology.register(remote)
+        assert topology.is_virtual_port(vport)
+        assert topology.participant("D").is_remote
+
+    def test_unknown_lookups_raise(self):
+        topology = VirtualTopology()
+        with pytest.raises(ParticipantError):
+            topology.participant("Z")
+        with pytest.raises(ParticipantError):
+            topology.vport("Z")
+        with pytest.raises(ParticipantError):
+            topology.by_vport(VPORT_BASE)
+
+    def test_names_and_physical_ports_sorted(self):
+        topology = VirtualTopology()
+        topology.register(physical("B", 65002, 5))
+        topology.register(physical("A", 65001, 2))
+        assert topology.names() == ("A", "B")
+        assert topology.physical_ports() == (2, 5)
+        assert len(topology) == 2

@@ -1,0 +1,90 @@
+"""Tests for the priority flow table."""
+
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.policy.policies import fwd, match
+from repro.dataplane.flowtable import FlowTable
+
+
+def rule(priority, actions=(), **constraints):
+    return FlowRule(priority=priority, match=HeaderSpace(**constraints), actions=actions)
+
+
+class TestInstallation:
+    def test_install_orders_by_priority(self):
+        table = FlowTable()
+        table.install(rule(1))
+        table.install(rule(5, dstport=80))
+        table.install(rule(3, dstport=443))
+        assert [r.priority for r in table.rules] == [5, 3, 1]
+
+    def test_equal_priority_keeps_insertion_order(self):
+        table = FlowTable()
+        first = rule(5, (Action(port=1),), dstport=80)
+        second = rule(5, (Action(port=2),), dstport=80)
+        table.install(first)
+        table.install(second)
+        assert table.rules == (first, second)
+
+    def test_install_classifier(self):
+        table = FlowTable()
+        installed = table.install_classifier((match(dstport=80) >> fwd(2)).compile())
+        assert installed == len(table)
+
+    def test_replace_with_swaps_table(self):
+        table = FlowTable()
+        table.install(rule(9))
+        table.replace_with(fwd(2).compile())
+        assert all(r.actions == (Action(port=2),) for r in table.rules)
+
+    def test_remove_where(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=1),)))
+        table.install(rule(9, (Action(port=2),)))
+        removed = table.remove_where(lambda r: r.priority > 6)
+        assert removed == 1
+        assert len(table) == 1
+
+    def test_generation_bumps_on_mutation(self):
+        table = FlowTable()
+        start = table.generation
+        table.install(rule(1))
+        table.clear()
+        assert table.generation == start + 2
+
+
+class TestProcessing:
+    def test_first_match_by_priority(self):
+        table = FlowTable()
+        table.install(rule(1, (Action(port=9),)))
+        table.install(rule(5, (Action(port=2),), dstport=80))
+        assert table.process(Packet(port=1, dstport=80)) == (Packet(port=2, dstport=80),)
+        assert table.process(Packet(port=1, dstport=22)) == (Packet(port=9, dstport=22),)
+
+    def test_table_miss_drops(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=2),), dstport=80))
+        assert table.process(Packet(port=1, dstport=22)) == ()
+
+    def test_drop_rule(self):
+        table = FlowTable()
+        table.install(rule(5, (), dstport=80))
+        assert table.process(Packet(port=1, dstport=80)) == ()
+
+    def test_counters(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=2),), dstport=80)
+        table.install(web)
+        table.process(Packet(port=1, dstport=80))
+        table.process(Packet(port=1, dstport=80))
+        assert table.packets_matched(web) == 2
+
+    def test_lookup_returns_none_on_miss(self):
+        assert FlowTable().lookup(Packet(port=1)) is None
+
+    def test_render_contains_priorities(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=2),), dstport=80))
+        assert "priority=5" in table.render()

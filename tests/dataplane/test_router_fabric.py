@@ -1,0 +1,204 @@
+"""Tests for border routers and the fabric — including the BGP-next-hop →
+ARP → destination-MAC tagging pipeline the SDX piggybacks on."""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.exceptions import FabricError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress, vmac_for_fec
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import HeaderSpace
+from repro.dataplane.fabric import Fabric
+from repro.dataplane.router import BorderRouter, RouterPort
+
+AWS = IPv4Prefix("54.0.0.0/8")
+
+
+def make_router(name="A", asn=65001, n_ports=1, base_mac=0x10, base_ip="172.0.0.1"):
+    ports = [
+        RouterPort(mac=MacAddress(base_mac + i),
+                   ip=IPv4Address(base_ip) + i)
+        for i in range(n_ports)
+    ]
+    return BorderRouter(name, asn, ports)
+
+
+def make_fabric():
+    fabric = Fabric()
+    router_a = make_router("A", 65001, base_mac=0x10, base_ip="172.0.0.1")
+    router_b = make_router("B", 65002, n_ports=2, base_mac=0x20, base_ip="172.0.0.11")
+    fabric.attach(router_a, 0, 1)
+    fabric.attach(router_b, 0, 2)
+    fabric.attach(router_b, 1, 3)
+    return fabric, router_a, router_b
+
+
+class TestBorderRouter:
+    def test_requires_ports(self):
+        with pytest.raises(FabricError):
+            BorderRouter("X", 65001, [])
+
+    def test_fib_built_from_route_and_arp(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        assert router_a.fib_size == 1
+        framed = router_a.emit(Packet(dstip="54.1.2.3", dstport=80))
+        assert framed["dstmac"] == router_b.ports[0].mac
+        assert framed["srcmac"] == router_a.ports[0].mac
+        assert framed.port == 1
+
+    def test_unresolvable_next_hop_leaves_fib_empty(self):
+        fabric, router_a, _ = make_fabric()
+        router_a.install_route(AWS, IPv4Address("203.0.113.99"))
+        assert router_a.fib_size == 0
+        assert router_a.emit(Packet(dstip="54.1.2.3")) is None
+        assert router_a.fib_misses == 1
+
+    def test_withdraw_route(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        router_a.withdraw_route(AWS)
+        assert router_a.emit(Packet(dstip="54.1.2.3")) is None
+
+    def test_receive_update_installs_and_withdraws(self):
+        fabric, router_a, router_b = make_fabric()
+        attributes = RouteAttributes(next_hop=router_b.ports[0].ip,
+                                     as_path=AsPath([65002]))
+        router_a.receive_update(Update.announce("route-server", AWS, attributes))
+        assert router_a.fib_size == 1
+        router_a.receive_update(Update.withdraw("route-server", AWS))
+        assert router_a.fib_size == 0
+
+    def test_longest_prefix_wins(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        router_a.install_route(IPv4Prefix("54.1.0.0/16"), router_b.ports[1].ip)
+        framed = router_a.emit(Packet(dstip="54.1.2.3"))
+        assert framed["dstmac"] == router_b.ports[1].mac
+        other = router_a.emit(Packet(dstip="54.9.9.9"))
+        assert other["dstmac"] == router_b.ports[0].mac
+
+    def test_emit_requires_dstip(self):
+        fabric, router_a, _ = make_fabric()
+        with pytest.raises(FabricError):
+            router_a.emit(Packet(port=1))
+
+    def test_invalid_egress_index(self):
+        fabric, router_a, router_b = make_fabric()
+        with pytest.raises(FabricError):
+            router_a.install_route(AWS, router_b.ports[0].ip, egress_index=5)
+
+    def test_receive_drops_foreign_mac(self):
+        """The paper's invariant: traffic not re-MAC'd to the recipient's
+        interface is dropped by the recipient router."""
+        fabric, router_a, router_b = make_fabric()
+        foreign = Packet(port=2, dstmac=vmac_for_fec(7), dstip="54.0.0.1")
+        assert not router_b.receive(foreign)
+        assert router_b.dropped_foreign_mac == 1
+        proper = foreign.modify(dstmac=router_b.ports[0].mac)
+        assert router_b.receive(proper)
+        assert router_b.received == [proper]
+
+    def test_arp_flush_and_refresh(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        router_a.flush_arp()
+        router_a.refresh_fib()
+        assert router_a.fib_size == 1
+
+    def test_local_prefixes(self):
+        fabric, router_a, _ = make_fabric()
+        router_a.add_local_prefix(IPv4Prefix("100.0.0.0/8"))
+        assert router_a.hosts_address(IPv4Address("100.1.2.3"))
+        assert not router_a.hosts_address(IPv4Address("99.0.0.1"))
+        assert router_a.local_prefixes() == (IPv4Prefix("100.0.0.0/8"),)
+
+    def test_route_for(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        assert router_a.route_for(IPv4Address("54.1.1.1")) == AWS
+        assert router_a.route_for(IPv4Address("99.0.0.1")) is None
+
+
+class TestFabric:
+    def test_attach_registers_arp(self):
+        fabric, router_a, _ = make_fabric()
+        assert fabric.arp.resolve(router_a.ports[0].ip) == router_a.ports[0].mac
+
+    def test_double_attach_same_switch_port_rejected(self):
+        fabric, _, _ = make_fabric()
+        extra = make_router("C", 65003, base_mac=0x30, base_ip="172.0.0.21")
+        with pytest.raises(FabricError):
+            fabric.attach(extra, 0, 1)
+
+    def test_double_attach_same_router_port_rejected(self):
+        fabric, router_a, _ = make_fabric()
+        with pytest.raises(FabricError):
+            fabric.attach(router_a, 0, 9)
+
+    def test_bad_router_port_index_rejected(self):
+        fabric, _, _ = make_fabric()
+        extra = make_router("C", 65003, base_mac=0x30, base_ip="172.0.0.21")
+        with pytest.raises(FabricError):
+            fabric.attach(extra, 3, 9)
+
+    def test_router_lookup(self):
+        fabric, router_a, _ = make_fabric()
+        assert fabric.router("A") is router_a
+        with pytest.raises(FabricError):
+            fabric.router("Z")
+        assert [r.name for r in fabric.routers()] == ["A", "B"]
+
+    def test_ports_of(self):
+        fabric, _, _ = make_fabric()
+        assert fabric.ports_of("B") == (2, 3)
+
+    def test_attachment_at(self):
+        fabric, router_a, _ = make_fabric()
+        assert fabric.attachment_at(1).router is router_a
+        with pytest.raises(FabricError):
+            fabric.attachment_at(42)
+
+    def test_end_to_end_delivery_with_mac_rewrite(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        fabric.switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1),
+            actions=(Action(port=2, dstmac=router_b.ports[0].mac),)))
+        deliveries = fabric.originate("A", Packet(dstip="54.1.2.3", dstport=80))
+        assert len(deliveries) == 1
+        assert deliveries[0].participant == "B"
+        assert deliveries[0].accepted
+
+    def test_delivery_without_mac_rewrite_is_refused(self):
+        fabric, router_a, router_b = make_fabric()
+        # Tag with a VMAC but forward without rewriting: B must refuse it.
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        fabric.switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1), actions=(Action(port=2),)))
+        deliveries = fabric.originate("A", Packet(dstip="54.1.2.3"))
+        assert len(deliveries) == 1
+        assert deliveries[0].accepted  # dstmac was B's real MAC already
+        # Now route via a virtual next hop that resolves to a VMAC.
+        responder_packet = Packet(port=1, dstmac=vmac_for_fec(3), dstip="54.0.0.9")
+        results = fabric.send(responder_packet)
+        assert results and not results[0].accepted
+
+    def test_fib_miss_yields_no_deliveries(self):
+        fabric, router_a, _ = make_fabric()
+        assert fabric.originate("A", Packet(dstip="54.1.2.3")) == []
+
+    def test_clear_deliveries(self):
+        fabric, router_a, router_b = make_fabric()
+        router_a.install_route(AWS, router_b.ports[0].ip)
+        fabric.switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1),
+            actions=(Action(port=2, dstmac=router_b.ports[0].mac),)))
+        fabric.originate("A", Packet(dstip="54.1.2.3"))
+        fabric.clear_deliveries()
+        assert fabric.deliveries == []

@@ -1,0 +1,135 @@
+"""Tests for the software switch and the ARP service/responder chain."""
+
+import pytest
+
+from repro.exceptions import FabricError
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.mac import MacAddress, vmac_for_fec
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import HeaderSpace
+from repro.dataplane.arp import ArpResponder, ArpService
+from repro.dataplane.switch import SoftwareSwitch
+
+VNH_POOL = IPv4Prefix("172.16.0.0/16")
+
+
+class TestSoftwareSwitch:
+    def make_switch(self):
+        switch = SoftwareSwitch("test")
+        for port in (1, 2, 3):
+            switch.add_port(port)
+        return switch
+
+    def test_ports_registered(self):
+        assert self.make_switch().ports == (1, 2, 3)
+
+    def test_duplicate_port_rejected(self):
+        switch = self.make_switch()
+        with pytest.raises(FabricError):
+            switch.add_port(1)
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(FabricError):
+            SoftwareSwitch().add_port(-1)
+
+    def test_forwarding_and_counters(self):
+        switch = self.make_switch()
+        switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1), actions=(Action(port=2),)))
+        out = switch.process(Packet(port=1, dstport=80))
+        assert out == [(2, Packet(port=2, dstport=80))]
+        assert switch.stats(1).rx_packets == 1
+        assert switch.stats(2).tx_packets == 1
+
+    def test_unknown_ingress_rejected(self):
+        switch = self.make_switch()
+        with pytest.raises(FabricError):
+            switch.process(Packet(port=99))
+        with pytest.raises(FabricError):
+            switch.process(Packet(dstport=80))
+
+    def test_rule_to_unknown_port_drops(self):
+        switch = self.make_switch()
+        switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1), actions=(Action(port=42),)))
+        assert switch.process(Packet(port=1)) == []
+
+    def test_multicast_to_two_ports(self):
+        switch = self.make_switch()
+        switch.table.install(FlowRule(
+            priority=5, match=HeaderSpace(port=1),
+            actions=(Action(port=2), Action(port=3))))
+        out = switch.process(Packet(port=1))
+        assert {egress for egress, _ in out} == {2, 3}
+
+    def test_unknown_port_stats_rejected(self):
+        with pytest.raises(FabricError):
+            self.make_switch().stats(42)
+
+
+class TestArpResponder:
+    def test_bind_and_resolve(self):
+        responder = ArpResponder(VNH_POOL)
+        vnh = IPv4Address("172.16.0.1")
+        responder.bind(vnh, vmac_for_fec(1))
+        assert responder.resolve(vnh) == vmac_for_fec(1)
+        assert responder.queries_answered == 1
+
+    def test_bind_outside_pool_rejected(self):
+        responder = ArpResponder(VNH_POOL)
+        with pytest.raises(FabricError):
+            responder.bind(IPv4Address("10.0.0.1"), vmac_for_fec(1))
+
+    def test_unbind(self):
+        responder = ArpResponder(VNH_POOL)
+        vnh = IPv4Address("172.16.0.1")
+        responder.bind(vnh, vmac_for_fec(1))
+        responder.unbind(vnh)
+        assert responder.resolve(vnh) is None
+        responder.unbind(vnh)  # idempotent
+
+    def test_owns(self):
+        responder = ArpResponder(VNH_POOL)
+        assert responder.owns(IPv4Address("172.16.5.5"))
+        assert not responder.owns(IPv4Address("10.0.0.1"))
+
+    def test_bindings_copy(self):
+        responder = ArpResponder(VNH_POOL)
+        responder.bind(IPv4Address("172.16.0.1"), vmac_for_fec(1))
+        bindings = responder.bindings()
+        bindings.clear()
+        assert len(responder) == 1
+
+
+class TestArpService:
+    def test_static_resolution(self):
+        service = ArpService()
+        service.add_static(IPv4Address("10.0.0.1"), MacAddress(0x1))
+        assert service.resolve(IPv4Address("10.0.0.1")) == MacAddress(0x1)
+
+    def test_conflicting_static_rejected(self):
+        service = ArpService()
+        service.add_static(IPv4Address("10.0.0.1"), MacAddress(0x1))
+        with pytest.raises(FabricError):
+            service.add_static(IPv4Address("10.0.0.1"), MacAddress(0x2))
+        service.add_static(IPv4Address("10.0.0.1"), MacAddress(0x1))  # same ok
+
+    def test_falls_through_to_responder(self):
+        service = ArpService()
+        responder = ArpResponder(VNH_POOL)
+        responder.bind(IPv4Address("172.16.0.9"), vmac_for_fec(9))
+        service.attach_responder(responder)
+        assert service.resolve(IPv4Address("172.16.0.9")) == vmac_for_fec(9)
+
+    def test_static_wins_over_responder(self):
+        service = ArpService()
+        service.add_static(IPv4Address("172.16.0.9"), MacAddress(0x5))
+        responder = ArpResponder(VNH_POOL)
+        responder.bind(IPv4Address("172.16.0.9"), vmac_for_fec(9))
+        service.attach_responder(responder)
+        assert service.resolve(IPv4Address("172.16.0.9")) == MacAddress(0x5)
+
+    def test_unresolvable_returns_none(self):
+        assert ArpService().resolve(IPv4Address("203.0.113.1")) is None

@@ -1,0 +1,43 @@
+"""Tests for the figure-series wrappers and composition reporting."""
+
+from repro.experiments.harness import run_fig7, run_fig8
+
+from tests.core.scenarios import figure1_controller
+
+
+class TestSweepSeriesWrappers:
+    def test_run_fig7_series_shape(self):
+        series_list = run_fig7(participant_counts=(20,),
+                               prefix_counts=(200, 600))
+        assert len(series_list) == 1
+        series = series_list[0]
+        assert series.label == "20 participants"
+        assert len(series.points) == 2
+        # x = prefix groups sorted ascending, y = flow rules.
+        assert series.xs() == sorted(series.xs())
+        assert all(y > 0 for y in series.ys())
+
+    def test_run_fig8_series_shape(self):
+        series_list = run_fig8(participant_counts=(20,),
+                               prefix_counts=(200, 600))
+        assert all(y > 0 for y in series_list[0].ys())
+
+
+class TestCompositionReport:
+    def test_report_populated_by_compiler(self):
+        sdx, *_ = figure1_controller()
+        result = sdx.start()
+        report = result.report
+        assert report.stage1_rules > 0
+        assert report.stage2_rules > 0
+        assert report.final_rules > 0
+        assert report.stats.sequential_ops > 0
+        assert report.stats.rule_pairs_examined > 0
+
+    def test_timings_sum_close_to_total(self):
+        sdx, *_ = figure1_controller()
+        result = sdx.start()
+        partial = sum(seconds for stage, seconds in result.timings.items()
+                      if stage != "total")
+        assert partial <= result.timings["total"]
+        assert result.timings["total"] < 5.0

@@ -1,0 +1,77 @@
+"""Tests for the burst-aware trace replayer."""
+
+import pytest
+
+from repro.experiments.replay import TraceReplayer
+from repro.workloads.policies import generate_policies, install_assignments
+from repro.workloads.topology import generate_ixp
+from repro.workloads.updates import generate_trace
+
+
+def make_controller(participants=40, prefixes=400):
+    ixp = generate_ixp(participants, prefixes, seed=0)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=1))
+    controller.start()
+    return controller, ixp
+
+
+class TestTraceReplayer:
+    def test_requires_started_controller(self):
+        ixp = generate_ixp(10, 50, seed=0)
+        controller = ixp.build_controller()
+        with pytest.raises(ValueError):
+            TraceReplayer(controller)
+
+    def test_replays_every_update(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=60)
+        stats = TraceReplayer(controller).replay(events)
+        assert stats.updates_replayed == 60
+        assert len(stats.fast_path_seconds) == 60
+        assert len(stats.table_sizes) == 60
+
+    def test_background_runs_between_bursts(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=60)
+        stats = TraceReplayer(controller,
+                              background_gap_seconds=10.0).replay(events)
+        # The trace's inter-arrivals exceed 10 s ~75% of the time, so the
+        # replayer must have found many re-optimisation windows.
+        assert stats.background_runs > 10
+        # And the final state is clean.
+        assert controller.engine.fast_path_rules_live == 0
+        assert not controller.engine.dirty
+
+    def test_huge_gap_threshold_defers_everything(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=40)
+        stats = TraceReplayer(
+            controller, background_gap_seconds=1e9).replay(
+                events, final_background=False)
+        assert stats.background_runs == 0
+        assert controller.engine.dirty
+        assert stats.peak_extra_rules > 0
+
+    def test_final_background_cleans_up(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=20)
+        stats = TraceReplayer(
+            controller, background_gap_seconds=1e9).replay(events)
+        assert stats.background_runs == 1
+        assert controller.engine.fast_path_rules_live == 0
+
+    def test_summary_renders(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=20)
+        stats = TraceReplayer(controller).replay(events)
+        text = stats.summary()
+        assert "20 updates" in text
+        assert "fast path median" in text
+
+    def test_peak_rules_exceed_final(self):
+        controller, ixp = make_controller()
+        events = generate_trace(ixp, seed=2, max_updates=60)
+        stats = TraceReplayer(controller).replay(events)
+        assert stats.peak_extra_rules >= 0
+        assert stats.fast_path_cdf.quantile(0.99) < 1.0

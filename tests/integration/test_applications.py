@@ -1,0 +1,166 @@
+"""End-to-end tests of the paper's four Section-2 applications, each run
+through the full stack: policies -> compiler -> flow table -> border
+routers -> fabric."""
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import fwd, match, modify
+
+
+def packet(dstip, dstport=80, srcip="10.0.0.1", protocol=6, **extra):
+    return Packet(dstip=dstip, dstport=dstport, srcip=srcip,
+                  protocol=protocol, **extra)
+
+
+class TestApplicationSpecificPeering:
+    """Two networks peer only for certain applications (Section 2)."""
+
+    def make(self):
+        sdx = SdxController()
+        isp = sdx.add_participant("ISP", 64500)
+        video = sdx.add_participant("VideoCDN", 64501)
+        transit = sdx.add_participant("Transit", 64502)
+        content = IPv4Prefix("60.0.0.0/8")
+        sdx.announce_route("VideoCDN", content, AsPath([64501]))
+        sdx.announce_route("Transit", content, AsPath([64502, 64501]))
+        # Peer with the CDN only for streaming ports; everything else on
+        # the (best, shorter-path) CDN route would be the default, so the
+        # ISP pins non-video to transit with a second clause.
+        isp.add_outbound(match(dstport=1935) >> fwd("VideoCDN"))
+        sdx.start()
+        return sdx
+
+    def test_video_via_cdn(self):
+        sdx = self.make()
+        assert sdx.egress_of("ISP", packet("60.1.2.3", dstport=1935)) == "VideoCDN"
+
+    def test_other_traffic_follows_bgp(self):
+        sdx = self.make()
+        assert sdx.egress_of("ISP", packet("60.1.2.3", dstport=80)) == "VideoCDN"
+        # Shorter AS path wins: the CDN route is also the BGP best.
+
+
+class TestInboundTrafficEngineering:
+    """An AS controls how traffic *enters* its network (Section 2)."""
+
+    def make(self):
+        sdx = SdxController()
+        sender = sdx.add_participant("Sender", 64500)
+        eyeball = sdx.add_participant("Eyeball", 64510, ports=2)
+        home = IPv4Prefix("70.0.0.0/8")
+        sdx.announce_route("Eyeball", home, AsPath([64510]))
+        eyeball.add_inbound(
+            (match(srcip="0.0.0.0/1") >> fwd(eyeball.port(0)))
+            + (match(srcip="128.0.0.0/1") >> fwd(eyeball.port(1))))
+        sdx.start()
+        return sdx, eyeball
+
+    def test_low_sources_enter_port_zero(self):
+        sdx, eyeball = self.make()
+        delivery = sdx.send("Sender", packet("70.0.0.1", srcip="9.9.9.9"))[0]
+        assert delivery.switch_port == eyeball.port(0)
+        assert delivery.accepted
+
+    def test_high_sources_enter_port_one(self):
+        sdx, eyeball = self.make()
+        delivery = sdx.send("Sender", packet("70.0.0.1", srcip="200.9.9.9"))[0]
+        assert delivery.switch_port == eyeball.port(1)
+        assert delivery.accepted
+
+    def test_mac_rewritten_per_chosen_port(self):
+        sdx, eyeball = self.make()
+        low = sdx.send("Sender", packet("70.0.0.1", srcip="9.9.9.9"))[0]
+        high = sdx.send("Sender", packet("70.0.0.1", srcip="200.9.9.9"))[0]
+        ports = eyeball.participant.router.ports
+        assert low.packet["dstmac"] == ports[0].mac
+        assert high.packet["dstmac"] == ports[1].mac
+
+
+class TestWideAreaLoadBalancing:
+    """A remote content provider balances anycast requests (Section 2)."""
+
+    def make(self):
+        sdx = SdxController()
+        client_isp = sdx.add_participant("ClientISP", 64500)
+        transit = sdx.add_participant("Transit", 64502)
+        # Backend instances live behind Transit.
+        backends = IPv4Prefix("74.125.224.0/24")
+        sdx.announce_route("Transit", backends, AsPath([64502, 15169]))
+        # Remote content provider: no physical port.
+        provider = sdx.add_participant("Provider", 15169, ports=0)
+        anycast = IPv4Prefix("74.125.1.0/24")
+        sdx.register_ownership(anycast, "Provider")
+        provider.add_inbound(
+            (match(dstip="74.125.1.1") & match(srcip="96.25.160.0/24"))
+            >> modify(dstip="74.125.224.161") >> fwd("Transit"))
+        provider.add_inbound(
+            (match(dstip="74.125.1.1") & match(srcip="128.125.163.0/24"))
+            >> modify(dstip="74.125.224.139") >> fwd("Transit"))
+        sdx.start()
+        provider.announce(anycast)
+        return sdx
+
+    def test_first_client_prefix_rewritten(self):
+        sdx = self.make()
+        deliveries = sdx.send(
+            "ClientISP", packet("74.125.1.1", srcip="96.25.160.9"))
+        assert len(deliveries) == 1
+        assert deliveries[0].participant == "Transit"
+        assert str(deliveries[0].packet["dstip"]) == "74.125.224.161"
+        assert deliveries[0].accepted
+
+    def test_second_client_prefix_rewritten(self):
+        sdx = self.make()
+        deliveries = sdx.send(
+            "ClientISP", packet("74.125.1.1", srcip="128.125.163.9"))
+        assert str(deliveries[0].packet["dstip"]) == "74.125.224.139"
+
+    def test_unmatched_client_dropped(self):
+        """Traffic to the anycast address from unknown clients has no
+        clause and the remote participant has no delivery port."""
+        sdx = self.make()
+        assert sdx.send("ClientISP", packet("74.125.1.1", srcip="1.2.3.4")) == []
+
+    def test_withdrawal_stops_attracting_traffic(self):
+        sdx = self.make()
+        sdx.participant("Provider").withdraw(IPv4Prefix("74.125.1.0/24"))
+        assert sdx.send(
+            "ClientISP", packet("74.125.1.1", srcip="96.25.160.9")) == []
+
+
+class TestMiddleboxRedirection:
+    """Targeted traffic steered through a scrubber (Section 2)."""
+
+    def make(self):
+        sdx = SdxController()
+        isp = sdx.add_participant("ISP", 64500)
+        victim = sdx.add_participant("Victim", 64510)
+        scrubber = sdx.add_participant("Scrubber", 64520)
+        target = IPv4Prefix("80.0.0.0/8")
+        sdx.announce_route("Victim", target, AsPath([64510]))
+        # The scrubber also announces the victim's prefix (it returns
+        # cleaned traffic out of band), making it an eligible next hop.
+        sdx.announce_route("Scrubber", target, AsPath([64520, 64510]))
+        # Suspected attack traffic (UDP) detours through the scrubber.
+        isp.add_outbound(match(protocol=17) >> fwd("Scrubber"))
+        sdx.start()
+        return sdx
+
+    def test_udp_redirected_to_scrubber(self):
+        sdx = self.make()
+        assert sdx.egress_of(
+            "ISP", packet("80.0.0.1", protocol=17)) == "Scrubber"
+
+    def test_tcp_goes_direct(self):
+        sdx = self.make()
+        assert sdx.egress_of("ISP", packet("80.0.0.1", protocol=6)) == "Victim"
+
+    def test_victim_never_redirects_its_own_traffic(self):
+        """Only the ISP installed the policy; the scrubber's and victim's
+        virtual switches are isolated from it."""
+        sdx = self.make()
+        other = IPv4Prefix("81.0.0.0/8")
+        sdx.announce_route("ISP", other, AsPath([64500]))
+        assert sdx.egress_of("Victim", packet("81.0.0.1", protocol=17)) == "ISP"

@@ -1,0 +1,105 @@
+"""Property: the incremental fast path is semantically transparent.
+
+After any sequence of announcements/withdrawals, the table built from
+fast-path shadow rules must forward every probe exactly like a fresh
+optimal compilation of the same state — the two-stage scheme trades
+space, never correctness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import fwd, match
+
+NAMES = ["A", "B", "C", "D"]
+PREFIXES = [IPv4Prefix(f"{n}.0.0.0/8") for n in (30, 40, 50)]
+
+announce_ops = st.tuples(
+    st.just("announce"),
+    st.sampled_from(NAMES),
+    st.sampled_from(PREFIXES),
+    st.integers(min_value=1, max_value=4),   # extra path length
+)
+withdraw_ops = st.tuples(
+    st.just("withdraw"),
+    st.sampled_from(NAMES),
+    st.sampled_from(PREFIXES),
+    st.just(0),
+)
+operations = st.lists(st.one_of(announce_ops, withdraw_ops),
+                      min_size=1, max_size=10)
+
+
+def build_base() -> SdxController:
+    sdx = SdxController()
+    for index, name in enumerate(NAMES):
+        sdx.add_participant(name, 65001 + index)
+    sdx.announce_route("B", PREFIXES[0], AsPath([65002, 111]))
+    sdx.announce_route("C", PREFIXES[1], AsPath([65003, 222]))
+    sdx.participant("A").participant.add_outbound(
+        (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")))
+    sdx.participant("D").participant.add_outbound(
+        match(protocol=17) >> fwd("C"))
+    sdx.start()
+    return sdx
+
+
+def apply_ops(sdx: SdxController, ops) -> None:
+    for action, who, prefix, extra in ops:
+        if action == "announce":
+            asn = 65001 + NAMES.index(who)
+            path = AsPath([asn] + [64512 + i for i in range(extra)])
+            sdx.announce_route(who, prefix, path)
+        else:
+            sdx.withdraw_route(who, prefix)
+
+
+def probes():
+    for prefix in PREFIXES:
+        for dstport in (80, 443, 22):
+            for protocol in (6, 17):
+                yield Packet(dstip=prefix.first_address + 1, dstport=dstport,
+                             srcip="10.0.0.1", protocol=protocol)
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(operations)
+    def test_fast_path_matches_fresh_compilation_property(self, ops):
+        churned = build_base()
+        apply_ops(churned, ops)   # fast-path shadow rules live here
+
+        fresh = build_base()
+        apply_ops(fresh, ops)
+        fresh.run_background_recompilation()   # optimal table
+
+        for probe in probes():
+            for sender in NAMES:
+                assert (churned.egress_of(sender, probe)
+                        == fresh.egress_of(sender, probe)), (
+                    f"fast path diverged for {sender} -> {probe!r} "
+                    f"after {ops}")
+
+    @settings(max_examples=20, deadline=None)
+    @given(operations)
+    def test_background_recompilation_is_idempotent_property(self, ops):
+        sdx = build_base()
+        apply_ops(sdx, ops)
+        sdx.run_background_recompilation()
+        before = {
+            (sender, index): sdx.egress_of(sender, probe)
+            for sender in NAMES
+            for index, probe in enumerate(probes())
+        }
+        sdx.engine.dirty = True
+        sdx.run_background_recompilation()
+        after = {
+            (sender, index): sdx.egress_of(sender, probe)
+            for sender in NAMES
+            for index, probe in enumerate(probes())
+        }
+        assert before == after

@@ -1,0 +1,144 @@
+"""System-level invariants from Sections 3-4, checked over randomized
+SDX configurations with hypothesis:
+
+* isolation — one participant's policies never affect another's traffic
+  beyond its own virtual switch;
+* BGP consistency — traffic is never delivered to a participant that did
+  not announce (and export) a route for the destination;
+* no loops / totality — every packet either egresses at a physical port
+  or is dropped, in one pass through the fabric.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import fwd, match
+
+NAMES = ["A", "B", "C", "D"]
+PREFIXES = [IPv4Prefix(f"{n}.0.0.0/8") for n in (30, 40, 50, 60)]
+
+
+@st.composite
+def sdx_configs(draw):
+    """A random small SDX: who announces what, who polices what."""
+    announcements = draw(st.lists(
+        st.tuples(st.sampled_from(NAMES), st.sampled_from(PREFIXES),
+                  st.integers(min_value=1, max_value=3)),
+        min_size=2, max_size=8))
+    policies = draw(st.lists(
+        st.tuples(st.sampled_from(NAMES), st.sampled_from(NAMES),
+                  st.sampled_from([80, 443, 53])),
+        max_size=4))
+    return announcements, policies
+
+
+def build(announcements, policies):
+    sdx = SdxController()
+    for index, name in enumerate(NAMES):
+        sdx.add_participant(name, 65001 + index)
+    for sender, prefix, path_length in announcements:
+        asn = 65001 + NAMES.index(sender)
+        path = AsPath([asn] + [64000 + i for i in range(path_length)])
+        sdx.announce_route(sender, prefix, path)
+    for owner, target, port in policies:
+        if owner == target:
+            continue
+        sdx.participant(owner).add_outbound(match(dstport=port) >> fwd(target))
+    sdx.start()
+    return sdx
+
+
+def probe_packets():
+    for prefix in PREFIXES:
+        for port in (80, 443, 53, 22):
+            yield Packet(dstip=prefix.first_address + 1, dstport=port,
+                         srcip="10.0.0.1", protocol=6)
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(sdx_configs())
+    def test_bgp_consistency_property(self, config):
+        """Delivered traffic always has an announced+exported route at
+        the egress participant (Section 4.1's first invariant)."""
+        announcements, policies = config
+        sdx = build(announcements, policies)
+        for probe in probe_packets():
+            for sender in NAMES:
+                egress = sdx.egress_of(sender, probe)
+                if egress is None:
+                    continue
+                covering = [
+                    prefix for prefix in sdx.route_server.announced_by(egress)
+                    if prefix.contains_address(probe["dstip"])
+                ]
+                assert covering, (
+                    f"{sender}'s traffic to {probe['dstip']} egressed at "
+                    f"{egress}, which announced no covering route")
+                assert sdx.route_server.exports_to(egress, sender)
+
+    @settings(max_examples=25, deadline=None)
+    @given(sdx_configs())
+    def test_single_pass_delivery_property(self, config):
+        """One fabric pass: every probe yields at most one delivery and
+        that delivery is at a physical port (no loops, no vport leaks)."""
+        announcements, policies = config
+        sdx = build(announcements, policies)
+        physical = set(sdx.topology.physical_ports())
+        for probe in probe_packets():
+            for sender in NAMES:
+                deliveries = sdx.send(sender, probe)
+                assert len(deliveries) <= 1
+                for delivery in deliveries:
+                    assert delivery.switch_port in physical
+                    assert delivery.accepted
+
+    @settings(max_examples=25, deadline=None)
+    @given(sdx_configs())
+    def test_isolation_property(self, config):
+        """Removing one participant's policies never changes how *other*
+        participants' own outbound traffic is forwarded, except through
+        BGP (which policies cannot alter)."""
+        announcements, policies = config
+        sdx_with = build(announcements, policies)
+        sdx_without = build(announcements, [])
+        policy_owners = {owner for owner, _target, _port in policies}
+        for probe in probe_packets():
+            for sender in NAMES:
+                if sender in policy_owners:
+                    continue
+                assert (sdx_with.egress_of(sender, probe)
+                        == sdx_without.egress_of(sender, probe))
+
+    @settings(max_examples=15, deadline=None)
+    @given(sdx_configs())
+    def test_modes_equivalent_property(self, config):
+        """Optimised and naive compilation, with and without VNH tags,
+        forward identically (the Section 4 machinery is pure speedup)."""
+        announcements, policies = config
+        reference = build(announcements, policies)
+        for use_vnh, optimized in ((True, False), (False, True)):
+            sdx = SdxController(use_vnh=use_vnh, optimized=optimized)
+            for index, name in enumerate(NAMES):
+                sdx.add_participant(name, 65001 + index)
+            for sender, prefix, path_length in announcements:
+                asn = 65001 + NAMES.index(sender)
+                sdx.announce_route(
+                    sender, prefix,
+                    AsPath([asn] + [64000 + i for i in range(path_length)]))
+            for owner, target, port in policies:
+                if owner == target:
+                    continue
+                sdx.participant(owner).add_outbound(
+                    match(dstport=port) >> fwd(target))
+            sdx.start()
+            for probe in probe_packets():
+                for sender in NAMES:
+                    assert (sdx.egress_of(sender, probe)
+                            == reference.egress_of(sender, probe)), (
+                        f"mode (vnh={use_vnh}, opt={optimized}) diverged "
+                        f"for {sender} -> {probe!r}")

@@ -1,0 +1,162 @@
+"""Differential testing against an independent reference model.
+
+The reference model re-states what the SDX *should* do from the paper's
+prose, sharing no code with the compiler:
+
+1. Take the sender's clauses in priority order; the first whose predicate
+   matches AND whose target announced-and-exports a route covering the
+   destination wins. A matching drop clause drops.
+2. Otherwise the packet follows the sender's best BGP route (longest
+   prefix match, then the route server's per-participant selection).
+3. At the egress participant, the first matching inbound clause picks the
+   delivery port (and rewrites); otherwise the main port.
+
+Random exchanges + random clause policies + probe sweeps must agree with
+the compiled data plane on egress participant, delivery port, and final
+destination IP.
+"""
+
+from typing import Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import drop, fwd, match
+
+NAMES = ["A", "B", "C", "D"]
+PREFIXES = [IPv4Prefix(f"{n}.0.0.0/8") for n in (30, 40, 50)]
+PORT_VALUES = (80, 443, 53)
+SRC_HALVES = ("0.0.0.0/1", "128.0.0.0/1")
+
+
+# ----------------------------------------------------------------------
+# Random exchange description
+# ----------------------------------------------------------------------
+
+announcements = st.lists(
+    st.tuples(st.sampled_from(NAMES), st.sampled_from(PREFIXES),
+              st.integers(min_value=1, max_value=4)),
+    min_size=2, max_size=6)
+
+out_clauses = st.lists(
+    st.tuples(st.sampled_from(NAMES), st.sampled_from(NAMES),
+              st.sampled_from(PORT_VALUES), st.booleans()),
+    max_size=5)
+
+in_clauses = st.lists(
+    st.tuples(st.sampled_from(NAMES), st.sampled_from(SRC_HALVES),
+              st.integers(min_value=0, max_value=1)),
+    max_size=3)
+
+
+def build_exchange(announced, outs, ins):
+    sdx = SdxController()
+    for index, name in enumerate(NAMES):
+        sdx.add_participant(name, 65001 + index, ports=2)
+    for sender, prefix, extra in announced:
+        asn = 65001 + NAMES.index(sender)
+        sdx.announce_route(sender, prefix,
+                           AsPath([asn] + [64512 + i for i in range(extra)]))
+    model_outs = {name: [] for name in NAMES}
+    model_ins = {name: [] for name in NAMES}
+    for owner, target, port, drops in outs:
+        if owner == target:
+            continue
+        participant = sdx.participant(owner).participant
+        if drops:
+            participant.add_outbound(match(dstport=port) >> drop)
+            model_outs[owner].append((port, None))
+        else:
+            participant.add_outbound(match(dstport=port) >> fwd(target))
+            model_outs[owner].append((port, target))
+    for owner, half, port_index in ins:
+        handle = sdx.participant(owner)
+        handle.participant.add_inbound(
+            match(srcip=half) >> fwd(handle.port(port_index)))
+        model_ins[owner].append((half, port_index))
+    sdx.start()
+    return sdx, model_outs, model_ins
+
+
+# ----------------------------------------------------------------------
+# The reference model
+# ----------------------------------------------------------------------
+
+def reference_forward(sdx, model_outs, model_ins, sender: str,
+                      probe: Packet) -> Optional[Tuple[str, int]]:
+    """(egress participant, delivery switch port) or None if dropped."""
+    server = sdx.route_server
+    dstip = probe["dstip"]
+
+    egress = None
+    for port, target in model_outs[sender]:
+        if probe.get("dstport") != port:
+            continue
+        if target is None:
+            return None  # explicit drop clause
+        # Eligible iff the target announced-and-exports a covering route.
+        covering = [
+            prefix for prefix in server.announced_by(target)
+            if prefix.contains_address(dstip)
+            and server.is_reachable(sender, prefix, via=target)
+        ]
+        if covering:
+            egress = target
+            break
+        # Ineligible clause: fall through to later clauses / default.
+    if egress is None:
+        candidates = [
+            prefix for prefix in server.all_prefixes()
+            if prefix.contains_address(dstip)
+        ]
+        best = None
+        best_prefix = None
+        for prefix in sorted(candidates, key=lambda p: -p.length):
+            best = server.best_route_for(sender, prefix)
+            if best is not None:
+                best_prefix = prefix
+                break
+        if best is None:
+            return None
+        egress = best.learned_from
+
+    handle = sdx.participant(egress)
+    for half, port_index in model_ins[egress]:
+        if IPv4Prefix(half).contains_address(probe["srcip"]):
+            return egress, handle.port(port_index)
+    return egress, handle.port(0)
+
+
+def probes():
+    for prefix in PREFIXES:
+        for dstport in PORT_VALUES + (22,):
+            for srcip in ("10.0.0.1", "200.0.0.1"):
+                yield Packet(dstip=prefix.first_address + 1, dstport=dstport,
+                             srcip=srcip, protocol=6)
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=25, deadline=None)
+    @given(announcements, out_clauses, in_clauses)
+    def test_dataplane_matches_reference_property(self, announced, outs, ins):
+        sdx, model_outs, model_ins = build_exchange(announced, outs, ins)
+        for sender in NAMES:
+            for probe in probes():
+                expected = reference_forward(
+                    sdx, model_outs, model_ins, sender, probe)
+                deliveries = [d for d in sdx.send(sender, probe) if d.accepted]
+                if expected is None:
+                    assert deliveries == [], (
+                        f"{sender} -> {probe!r}: expected drop, "
+                        f"got {deliveries}")
+                else:
+                    egress, port = expected
+                    assert len(deliveries) == 1
+                    assert deliveries[0].participant == egress, (
+                        f"{sender} -> {probe!r}: expected {egress}, "
+                        f"got {deliveries[0].participant}")
+                    assert deliveries[0].switch_port == port

@@ -1,0 +1,83 @@
+"""Unit tests for MAC addresses and the VMAC tag encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import AddressError
+from repro.net.mac import (
+    BROADCAST_MAC,
+    VMAC_CAPACITY,
+    VMAC_OUI,
+    MacAddress,
+    fec_for_vmac,
+    vmac_for_fec,
+)
+
+
+class TestMacAddress:
+    def test_parses_text(self):
+        assert int(MacAddress("00:11:22:33:44:55")) == 0x001122334455
+
+    def test_round_trips_text(self):
+        assert str(MacAddress("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_accepts_integer_and_copy(self):
+        mac = MacAddress(0x001122334455)
+        assert MacAddress(mac) == mac
+
+    @pytest.mark.parametrize("bad", ["001122334455", "00:11:22:33:44", "zz:11:22:33:44:55", ""])
+    def test_rejects_malformed_text(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 48])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress(bad)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(AddressError):
+            MacAddress(3.14)
+
+    def test_oui(self):
+        assert MacAddress("a2:00:00:12:34:56").oui == 0xA20000
+
+    def test_broadcast(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MacAddress(0).is_broadcast
+
+    def test_ordering_and_hash(self):
+        assert MacAddress(1) < MacAddress(2)
+        assert len({MacAddress(5), MacAddress(5)}) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_text_round_trip_property(self, value):
+        assert int(MacAddress(str(MacAddress(value)))) == value
+
+
+class TestVmacEncoding:
+    def test_vmac_is_virtual(self):
+        assert vmac_for_fec(0).is_virtual
+        assert vmac_for_fec(0).oui == VMAC_OUI
+
+    def test_physical_mac_is_not_virtual(self):
+        assert not MacAddress("00:11:22:33:44:55").is_virtual
+
+    def test_round_trip(self):
+        for fec_id in (0, 1, 255, VMAC_CAPACITY - 1):
+            assert fec_for_vmac(vmac_for_fec(fec_id)) == fec_id
+
+    def test_rejects_out_of_range_fec(self):
+        with pytest.raises(AddressError):
+            vmac_for_fec(VMAC_CAPACITY)
+        with pytest.raises(AddressError):
+            vmac_for_fec(-1)
+
+    def test_rejects_decoding_physical_mac(self):
+        with pytest.raises(AddressError):
+            fec_for_vmac(MacAddress("00:11:22:33:44:55"))
+
+    @given(st.integers(min_value=0, max_value=VMAC_CAPACITY - 1))
+    def test_round_trip_property(self, fec_id):
+        assert fec_for_vmac(vmac_for_fec(fec_id)) == fec_id

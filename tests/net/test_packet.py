@@ -1,0 +1,103 @@
+"""Unit tests for the located-packet model."""
+
+import pytest
+
+from repro.exceptions import FieldError
+from repro.net.addresses import IPv4Address
+from repro.net.mac import MacAddress
+from repro.net.packet import (
+    ETHTYPE_IPV4,
+    PROTO_TCP,
+    Packet,
+    check_field,
+    coerce_field_value,
+)
+
+
+class TestFieldRegistry:
+    def test_check_field_accepts_known(self):
+        assert check_field("dstport") == "dstport"
+
+    def test_check_field_rejects_unknown(self):
+        with pytest.raises(FieldError):
+            check_field("vlan")
+
+    def test_coerce_ip_fields(self):
+        assert coerce_field_value("srcip", "10.0.0.1") == IPv4Address("10.0.0.1")
+
+    def test_coerce_mac_fields(self):
+        value = coerce_field_value("dstmac", "00:11:22:33:44:55")
+        assert value == MacAddress("00:11:22:33:44:55")
+
+    def test_coerce_int_fields(self):
+        assert coerce_field_value("dstport", 80) == 80
+
+    def test_coerce_rejects_bool_and_text(self):
+        with pytest.raises(FieldError):
+            coerce_field_value("dstport", True)
+        with pytest.raises(FieldError):
+            coerce_field_value("dstport", "80")
+
+    def test_coerce_none_passes_through(self):
+        assert coerce_field_value("dstport", None) is None
+
+
+class TestPacket:
+    def test_reads_fields(self):
+        pkt = Packet(port=1, dstport=80, ethtype=ETHTYPE_IPV4, protocol=PROTO_TCP)
+        assert pkt["dstport"] == 80
+        assert pkt.port == 1
+
+    def test_unknown_field_rejected_at_construction(self):
+        with pytest.raises(FieldError):
+            Packet(vlan=10)
+
+    def test_missing_field_raises_on_index(self):
+        with pytest.raises(FieldError):
+            Packet(port=1)["dstport"]
+
+    def test_get_returns_default(self):
+        assert Packet(port=1).get("dstport") is None
+        assert Packet(port=1).get("dstport", 0) == 0
+
+    def test_get_rejects_unknown_field(self):
+        with pytest.raises(FieldError):
+            Packet(port=1).get("vlan")
+
+    def test_none_fields_are_unset(self):
+        pkt = Packet(port=1, dstport=None)
+        assert "dstport" not in pkt
+
+    def test_modify_returns_new_packet(self):
+        original = Packet(port=1, dstport=80)
+        moved = original.modify(port=2)
+        assert moved["port"] == 2
+        assert original["port"] == 1
+
+    def test_modify_with_none_removes_field(self):
+        pkt = Packet(port=1, dstport=80).modify(dstport=None)
+        assert "dstport" not in pkt
+
+    def test_at_port(self):
+        assert Packet(port=1).at_port(7).port == 7
+
+    def test_coerces_address_fields(self):
+        pkt = Packet(srcip="10.0.0.1", dstmac="00:11:22:33:44:55")
+        assert isinstance(pkt["srcip"], IPv4Address)
+        assert isinstance(pkt["dstmac"], MacAddress)
+
+    def test_equality_and_hash(self):
+        left = Packet(port=1, srcip="10.0.0.1")
+        right = Packet(srcip="10.0.0.1", port=1)
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_mapping_interface(self):
+        pkt = Packet(port=1, dstport=80)
+        assert set(pkt) == {"port", "dstport"}
+        assert len(pkt) == 2
+
+    def test_repr_is_sorted_and_stable(self):
+        pkt = Packet(srcport=1234, dstport=80)
+        assert repr(pkt) == "Packet(dstport=80, srcport=1234)"

@@ -1,0 +1,130 @@
+"""Shared hypothesis strategies for random packets, predicates, policies.
+
+The strategies keep the value universe deliberately small (a few ports,
+addresses drawn from a handful of /8s) so that random packets actually hit
+random matches often enough to exercise both branches everywhere.
+"""
+
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.headerspace import HeaderSpace
+from repro.policy.policies import (
+    Conjunction,
+    Disjunction,
+    Match,
+    Negation,
+    drop,
+    fwd,
+    identity,
+    modify,
+)
+
+small_ports = st.sampled_from([1, 2, 3, 4])
+transport_ports = st.sampled_from([80, 443, 8080, 53])
+ip_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+prefix_lengths = st.sampled_from([0, 1, 4, 8, 16, 24, 32])
+prefixes = st.builds(lambda n, l: IPv4Prefix(network=n, length=l), ip_values, prefix_lengths)
+
+#: Addresses concentrated in two /8s so prefix matches hit frequently.
+clustered_ips = st.one_of(
+    st.integers(min_value=0x0A000000, max_value=0x0A0000FF),
+    st.integers(min_value=0xC0000000, max_value=0xC00000FF),
+    ip_values,
+)
+
+clustered_prefixes = st.one_of(
+    st.sampled_from([
+        IPv4Prefix("10.0.0.0/8"),
+        IPv4Prefix("10.0.0.0/24"),
+        IPv4Prefix("192.0.0.0/8"),
+        IPv4Prefix("192.0.0.0/30"),
+        IPv4Prefix("0.0.0.0/0"),
+        IPv4Prefix("0.0.0.0/1"),
+        IPv4Prefix("128.0.0.0/1"),
+    ]),
+    prefixes,
+)
+
+
+@st.composite
+def packets(draw) -> Packet:
+    """A random located packet over the small test universe."""
+    fields = {"port": draw(small_ports)}
+    if draw(st.booleans()):
+        fields["dstport"] = draw(transport_ports)
+    if draw(st.booleans()):
+        fields["srcport"] = draw(transport_ports)
+    if draw(st.booleans()):
+        fields["srcip"] = draw(clustered_ips)
+    if draw(st.booleans()):
+        fields["dstip"] = draw(clustered_ips)
+    if draw(st.booleans()):
+        fields["protocol"] = draw(st.sampled_from([6, 17]))
+    return Packet(**fields)
+
+
+@st.composite
+def header_spaces(draw) -> HeaderSpace:
+    """A random conjunction of match constraints."""
+    fields = {}
+    if draw(st.booleans()):
+        fields["port"] = draw(small_ports)
+    if draw(st.booleans()):
+        fields["dstport"] = draw(transport_ports)
+    if draw(st.booleans()):
+        fields["srcip"] = draw(clustered_prefixes)
+    if draw(st.booleans()):
+        fields["dstip"] = draw(clustered_prefixes)
+    return HeaderSpace(**fields)
+
+
+def predicates(max_depth: int = 3):
+    """A random predicate tree of bounded depth."""
+    leaves = st.one_of(
+        st.just(identity),
+        st.just(drop),
+        st.builds(Match, header_spaces()),
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.builds(lambda a, b: Conjunction((a, b)), inner, inner),
+            st.builds(lambda a, b: Disjunction((a, b)), inner, inner),
+            st.builds(Negation, inner),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+@st.composite
+def atomic_policies(draw):
+    """A random leaf policy: filter, forward, modify, identity, or drop."""
+    kind = draw(st.sampled_from(["match", "fwd", "mod", "id", "drop"]))
+    if kind == "match":
+        return Match(draw(header_spaces()))
+    if kind == "fwd":
+        return fwd(draw(small_ports))
+    if kind == "mod":
+        field = draw(st.sampled_from(["dstport", "dstip", "port"]))
+        if field == "dstip":
+            return modify(dstip=draw(clustered_ips))
+        if field == "port":
+            return modify(port=draw(small_ports))
+        return modify(dstport=draw(transport_ports))
+    if kind == "id":
+        return identity
+    return drop
+
+
+def policies(max_depth: int = 3):
+    """A random policy tree with ``+`` and ``>>`` composition."""
+    return st.recursive(
+        atomic_policies(),
+        lambda inner: st.one_of(
+            st.builds(lambda a, b: a + b, inner, inner),
+            st.builds(lambda a, b: a >> b, inner, inner),
+        ),
+        max_leaves=max_depth,
+    )

@@ -1,0 +1,57 @@
+"""Tests for flow-rule emission and rendering."""
+
+from repro.policy.classifier import Action, Classifier, Rule
+from repro.policy.flowrules import FlowRule, render_flow_table, to_flow_rules
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.policy.policies import fwd, match
+
+
+class TestToFlowRules:
+    def test_priorities_descend(self):
+        classifier = ((match(dstport=80) >> fwd(2)) + (match(dstport=443) >> fwd(3))).compile()
+        rules = to_flow_rules(classifier)
+        priorities = [rule.priority for rule in rules]
+        assert priorities == sorted(priorities, reverse=True)
+        assert len(rules) == len(classifier)
+
+    def test_base_priority_shifts_rules(self):
+        classifier = fwd(2).compile()
+        low = to_flow_rules(classifier, base_priority=0)
+        high = to_flow_rules(classifier, base_priority=100)
+        assert high[0].priority == low[0].priority + 100
+
+    def test_drop_rule_emitted(self):
+        classifier = Classifier([Rule(WILDCARD, ())])
+        rules = to_flow_rules(classifier)
+        assert rules[0].is_drop
+
+
+class TestDescribe:
+    def test_wildcard_match_shows_star(self):
+        rule = FlowRule(priority=1, match=WILDCARD, actions=())
+        assert rule.describe() == "priority=1 * -> drop"
+
+    def test_output_action_rendered(self):
+        rule = FlowRule(priority=2, match=HeaderSpace(dstport=80), actions=(Action(port=3),))
+        assert rule.describe() == "priority=2 dstport=80 -> output:3"
+
+    def test_set_field_rendered(self):
+        rule = FlowRule(
+            priority=2, match=WILDCARD, actions=(Action(dstip="10.0.0.9", port=3),))
+        assert "set:dstip=10.0.0.9" in rule.describe()
+        assert "output:3" in rule.describe()
+
+    def test_identity_action_renders_pass(self):
+        from repro.policy.classifier import IDENTITY_ACTION
+        rule = FlowRule(priority=1, match=WILDCARD, actions=(IDENTITY_ACTION,))
+        assert rule.describe().endswith("pass")
+
+    def test_render_table_sorts_by_priority(self):
+        rules = [
+            FlowRule(priority=1, match=WILDCARD, actions=()),
+            FlowRule(priority=5, match=HeaderSpace(dstport=80), actions=(Action(port=2),)),
+        ]
+        rendered = render_flow_table(rules)
+        first_line, second_line = rendered.splitlines()
+        assert first_line.startswith("priority=5")
+        assert second_line.startswith("priority=1")

@@ -1,0 +1,102 @@
+"""Tests for classifier reductions: they shrink tables without changing
+first-match semantics (checked by hypothesis)."""
+
+from hypothesis import given, settings
+
+from repro.net.packet import Packet
+from repro.policy.classifier import Action, Classifier, Rule
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.policy.optimize import (
+    coalesce_adjacent,
+    merge_drop_tail,
+    optimize,
+    remove_shadowed,
+)
+
+from tests.policy.strategies import packets, policies
+
+
+class TestRemoveShadowed:
+    def test_drops_rule_under_wildcard(self):
+        classifier = Classifier([
+            Rule(WILDCARD, (Action(port=1),)),
+            Rule(HeaderSpace(dstport=80), (Action(port=2),)),
+        ])
+        reduced = remove_shadowed(classifier)
+        assert len(reduced) == 1
+        assert reduced.rules[0].actions == (Action(port=1),)
+
+    def test_keeps_unshadowed_rules(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstport=80), (Action(port=2),)),
+            Rule(HeaderSpace(dstport=443), (Action(port=3),)),
+            Rule(WILDCARD, ()),
+        ])
+        assert len(remove_shadowed(classifier)) == 3
+
+    def test_prefix_shadowing(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstip="10.0.0.0/8"), (Action(port=1),)),
+            Rule(HeaderSpace(dstip="10.1.0.0/16"), (Action(port=2),)),
+            Rule(WILDCARD, ()),
+        ])
+        reduced = remove_shadowed(classifier)
+        assert len(reduced) == 2
+
+
+class TestMergeDropTail:
+    def test_collapses_trailing_drops(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstport=80), (Action(port=2),)),
+            Rule(HeaderSpace(dstport=443), ()),
+            Rule(HeaderSpace(dstport=22), ()),
+            Rule(WILDCARD, ()),
+        ])
+        reduced = merge_drop_tail(classifier)
+        assert len(reduced) == 2
+
+    def test_no_wildcard_tail_untouched(self):
+        classifier = Classifier([Rule(HeaderSpace(dstport=443), ())])
+        assert merge_drop_tail(classifier) is classifier
+
+    def test_keeps_drops_above_forwarding_rules(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstport=443), ()),
+            Rule(HeaderSpace(dstport=80), (Action(port=2),)),
+            Rule(WILDCARD, ()),
+        ])
+        assert len(merge_drop_tail(classifier)) == 3
+
+
+class TestCoalesceAdjacent:
+    def test_merges_redundant_specific_rule(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstip="10.1.0.0/16"), (Action(port=2),)),
+            Rule(HeaderSpace(dstip="10.0.0.0/8"), (Action(port=2),)),
+            Rule(WILDCARD, ()),
+        ])
+        reduced = coalesce_adjacent(classifier)
+        assert len(reduced) == 2
+
+    def test_keeps_distinct_actions(self):
+        classifier = Classifier([
+            Rule(HeaderSpace(dstip="10.1.0.0/16"), (Action(port=2),)),
+            Rule(HeaderSpace(dstip="10.0.0.0/8"), (Action(port=3),)),
+            Rule(WILDCARD, ()),
+        ])
+        assert len(coalesce_adjacent(classifier)) == 3
+
+
+class TestOptimizePreservesSemantics:
+    @settings(max_examples=100, deadline=None)
+    @given(policies(max_depth=4), packets())
+    def test_optimize_preserves_eval_property(self, policy, packet):
+        compiled = policy.compile()
+        reduced = optimize(compiled)
+        assert reduced.eval(packet) == compiled.eval(packet)
+        assert len(reduced) <= len(compiled)
+
+    @settings(max_examples=100, deadline=None)
+    @given(policies(max_depth=4))
+    def test_optimize_keeps_total_property(self, policy):
+        assert optimize(policy.compile()).is_total

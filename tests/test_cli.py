@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "AMS-IX" in out and "DE-CIX" in out and "LINX" in out
+
+    def test_fig5a(self, capsys):
+        assert main(["fig5a", "--time-scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "application-specific peering policy" in out
+        assert "route withdrawal" in out
+
+    def test_fig5b(self, capsys):
+        assert main(["fig5b", "--time-scale", "0.05"]) == 0
+        assert "load-balance policy" in capsys.readouterr().out
+
+    def test_fig6_custom_sizes(self, capsys):
+        assert main(["fig6", "--participants", "20", "40",
+                     "--prefixes", "300", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "20 participants" in out
+        assert "prefix groups" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--participants", "20",
+                     "--prefixes", "200"]) == 0
+        assert "flow rules" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--participants", "20",
+                     "--prefixes", "200"]) == 0
+        assert "compile seconds" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--participants", "20", "--bursts", "1", "3",
+                     "--prefixes", "200"]) == 0
+        assert "additional rules" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--participants", "20", "--updates", "10",
+                     "--prefixes", "200"]) == 0
+        assert "median ms" in capsys.readouterr().out
+
+    def test_replay(self, capsys):
+        assert main(["replay", "--participants", "20", "--prefixes", "200",
+                     "--updates", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "fast path median" in out
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["figure-nine"])

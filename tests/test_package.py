@@ -1,0 +1,64 @@
+"""Tests for the top-level package surface and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        assert "SdxController" in listing
+        assert "match" in listing
+
+    def test_exports_are_cached(self):
+        first = repro.SdxController
+        second = repro.SdxController
+        assert first is second
+
+    def test_quickstart_surface(self):
+        """The README quickstart's names all come from the top level."""
+        sdx = repro.SdxController()
+        sdx.add_participant("A", 65001)
+        sdx.add_participant("B", 65002)
+        sdx.participant("A").participant.add_outbound(
+            repro.match(dstport=80) >> repro.fwd("B"))
+        assert sdx.participant("A").participant.has_policies
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("AddressError", "PolicyError", "FieldError", "BgpError",
+                     "SessionStateError", "OwnershipError", "FabricError",
+                     "ParticipantError", "CompilationError"):
+            assert issubclass(getattr(exceptions, name), exceptions.ReproError)
+
+    def test_address_error_is_value_error(self):
+        assert issubclass(exceptions.AddressError, ValueError)
+
+    def test_field_error_is_key_error(self):
+        assert issubclass(exceptions.FieldError, KeyError)
+
+    def test_session_error_is_bgp_error(self):
+        assert issubclass(exceptions.SessionStateError, exceptions.BgpError)
+
+    def test_one_except_catches_everything(self):
+        from repro.net.addresses import IPv4Address
+        with pytest.raises(exceptions.ReproError):
+            IPv4Address("not-an-ip")
+
+    def test_config_error_in_family(self):
+        from repro.config import ConfigError
+        assert issubclass(ConfigError, exceptions.ReproError)
