@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-results examples docs clean
+.PHONY: install test lint bench bench-results examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Runs ruff when available (config in pyproject.toml); falls back to a
+# byte-compile pass so the target still catches syntax errors on
+# machines without ruff.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/ tests/ benchmarks/ tools/ examples/; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src/ tests/ benchmarks/ tools/ examples/; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

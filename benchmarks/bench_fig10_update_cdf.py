@@ -12,7 +12,12 @@ pytest-benchmark's statistics machinery.
 
 from conftest import publish, scaled
 
-from repro.experiments.harness import _loaded_controller, _perturb_prefix, run_fig10
+from repro.experiments.harness import (
+    _loaded_controller,
+    _perturb_prefix,
+    run_fig10,
+    run_fig10_delta,
+)
 from repro.experiments.metrics import render_table
 
 PARTICIPANTS = (100, 200, 300)
@@ -52,6 +57,33 @@ def test_fig10_update_cdf(benchmark):
     # Processing time grows with participant count.
     medians = [cdfs[count].median for count in PARTICIPANTS]
     assert medians == sorted(medians)
+
+
+def test_fig10_delta_engine(benchmark):
+    """Delta-engine mode: FlowMods per update and southbound batch
+    behaviour under the Figure 10 update stream."""
+    cdfs = benchmark.pedantic(
+        lambda: run_fig10_delta(updates=UPDATES, participants=100,
+                                prefixes=scaled(2_000)),
+        rounds=1, iterations=1)
+
+    mods = cdfs["mods_per_update"]
+    batches = cdfs["batch_sizes"]
+    apply_seconds = cdfs["apply_seconds"]
+    publish("fig10_delta_flowmods", render_table(
+        ["metric", "median", "p90", "max"],
+        [["flowmods per update", f"{mods.median:.0f}",
+          f"{mods.quantile(0.9):.0f}", f"{mods.quantile(1.0):.0f}"],
+         ["batch size", f"{batches.median:.0f}",
+          f"{batches.quantile(0.9):.0f}", f"{batches.quantile(1.0):.0f}"],
+         ["apply ms", f"{apply_seconds.median * 1000:.2f}",
+          f"{apply_seconds.quantile(0.9) * 1000:.2f}",
+          f"{apply_seconds.quantile(1.0) * 1000:.2f}"]]))
+
+    # Updates push real work through the engine, in bounded batches.
+    assert mods.quantile(1.0) > 0
+    assert batches.quantile(1.0) <= 128  # SouthboundConfig default
+    assert apply_seconds.quantile(1.0) < 1.0
 
 
 def test_single_update_fast_path(benchmark):

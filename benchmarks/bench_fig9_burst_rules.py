@@ -9,8 +9,13 @@ number of participants carrying policies.
 
 from conftest import publish, scaled
 
-from repro.experiments.harness import run_fig9
-from repro.experiments.metrics import render_chart, render_series
+from repro.bgp.asn import AsPath
+from repro.experiments.harness import run_fig9, run_fig9_delta
+from repro.experiments.metrics import render_chart, render_series, render_table
+from repro.net.packet import Packet
+from repro.southbound.engine import SouthboundConfig
+from repro.workloads.policies import generate_policies, install_assignments
+from repro.workloads.topology import generate_ixp
 
 BURSTS = (1, 5, 10, 20, 40, 60, 80, 100)
 PARTICIPANTS = (100, 200, 300)
@@ -41,3 +46,74 @@ def test_fig9_burst_rules(benchmark):
     # Bigger exchanges pay more rules for the same burst.
     finals = [series.ys()[-1] for series in series_list]
     assert finals == sorted(finals)
+
+
+def test_fig9_delta_engine(benchmark):
+    """Delta-engine mode: FlowMods per background swap after each burst,
+    against the table size and the naive full-reinstall cost."""
+    points = benchmark.pedantic(
+        lambda: run_fig9_delta(burst_sizes=BURSTS, participants=100,
+                               prefixes=scaled(2_000)),
+        rounds=1, iterations=1)
+
+    rows = [[p.burst, p.table_rules, p.flowmods_sent, p.full_reinstall_cost,
+             p.rules_unchanged, f"{p.savings:.0%}"] for p in points]
+    publish("fig9_delta_flowmods", render_table(
+        ["burst", "table rules", "flowmods sent", "full reinstall",
+         "unchanged", "saved"], rows))
+
+    for point in points:
+        # The swap always does real work (the burst dirtied the table)...
+        assert point.flowmods_sent > 0
+        # ...but never degenerates into a full reinstall: strictly fewer
+        # FlowMods than rules in the table, and far fewer than tearing
+        # everything down and reinstalling.
+        assert point.flowmods_sent < point.table_rules
+        assert point.flowmods_sent < point.full_reinstall_cost
+        assert point.rules_unchanged > 0
+
+
+def test_fig9_delta_swap_consistency():
+    """Replay a packet corpus at every batch boundary of a burst's
+    background swap: each packet must follow its old or its new path."""
+    ixp = generate_ixp(20, scaled(200), seed=0)
+    controller = ixp.build_controller(
+        with_dataplane=True,
+        southbound_config=SouthboundConfig(max_batch_size=8))
+    install_assignments(controller, generate_policies(ixp, seed=1))
+    controller.start()
+
+    import random
+    rng = random.Random(7)
+    universe = ixp.all_prefixes()
+    source = next(spec.name for spec in ixp.participants if spec.ports > 0)
+    corpus = [
+        Packet(dstip=str(prefix.first_address + 1), dstport=port,
+               srcip="198.51.100.7", protocol=6)
+        for prefix in rng.sample(universe, k=min(8, len(universe)))
+        for port in (80, 443)
+    ]
+    for prefix in rng.sample(universe, k=min(10, len(universe))):
+        announcer = rng.choice([name for name, p, _ in ixp.announcements
+                                if p == prefix])
+        controller.announce_route(
+            announcer, prefix,
+            AsPath([ixp.by_name(announcer).asn,
+                    rng.randrange(64512, 65000), rng.randrange(1000, 60000)]))
+
+    before = [controller.egress_of(source, p) for p in corpus]
+    observed = [set() for _ in corpus]
+
+    def replay(batch):
+        for index, p in enumerate(corpus):
+            observed[index].add(controller.egress_of(source, p))
+
+    controller.southbound.add_observer(replay)
+    controller.run_background_recompilation()
+    after = [controller.egress_of(source, p) for p in corpus]
+
+    assert controller.southbound.stats.batches_applied > 2
+    for index in range(len(corpus)):
+        assert observed[index] <= {before[index], after[index]}, (
+            f"packet {corpus[index]} took a path outside "
+            f"{{{before[index]}, {after[index]}}}: {observed[index]}")

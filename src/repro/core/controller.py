@@ -42,6 +42,7 @@ from repro.exceptions import ParticipantError
 from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.net.mac import MacAddress
 from repro.net.packet import Packet
+from repro.southbound.engine import SouthboundConfig, SouthboundEngine
 
 #: The peering LAN participants' router ports live on.
 PEERING_LAN = IPv4Prefix("172.0.0.0/16")
@@ -98,7 +99,8 @@ class SdxController:
 
     def __init__(self, *, use_vnh: bool = True, optimized: bool = True,
                  with_dataplane: bool = True, reduce_table: bool = True,
-                 vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL):
+                 vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL,
+                 southbound_config: Optional[SouthboundConfig] = None):
         self.route_server = RouteServer()
         self.topology = VirtualTopology()
         self.allocator = VnhAllocator(vnh_pool)
@@ -107,12 +109,13 @@ class SdxController:
             self.fabric.arp.attach_responder(self.allocator.responder)
         self.table: FlowTable = (
             self.fabric.switch.table if self.fabric is not None else FlowTable())
+        self.southbound = SouthboundEngine(self.table, southbound_config)
         self.compiler = SdxCompiler(
             self.topology, self.route_server, self.allocator,
             use_vnh=use_vnh, optimized=optimized, reduce_table=reduce_table)
         self.engine = IncrementalEngine(
             self.topology, self.route_server, self.allocator,
-            self.compiler, self.table)
+            self.compiler, self.table, self.southbound)
         self.ownership = OwnershipRegistry()
         self.started = False
         self.last_compilation: Optional[CompilationResult] = None
@@ -266,12 +269,19 @@ class SdxController:
         return result
 
     def recompile(self) -> CompilationResult:
-        """Force a full recompilation and table swap."""
+        """Force a full recompilation and table swap.
+
+        Once started, the swap is consistency-preserving: new rules are
+        installed first, border routers are re-pointed at the new virtual
+        next hops, and only then are the superseded rules deleted — so at
+        every intermediate state each packet follows the old path or the
+        new path.
+        """
         result = self.compiler.compile()
-        self.engine.install_full(result)
+        self.engine.install_full(
+            result,
+            before_deletes=self._advertise_full if self.started else None)
         self.last_compilation = result
-        if self.started:
-            self._advertise_full()
         return result
 
     def run_background_recompilation(self) -> Optional[CompilationResult]:
@@ -279,11 +289,14 @@ class SdxController:
 
         Re-groups prefixes, swaps the optimal table in, reclaims fast-path
         rules and ephemeral VNHs, and re-advertises next hops that moved.
+        The re-advertisement happens *between* the install and delete
+        phases of the southbound flush (see
+        :meth:`~repro.core.incremental.IncrementalEngine.install_full`).
         """
-        result = self.engine.background_recompile()
+        result = self.engine.background_recompile(
+            before_deletes=self._advertise_full)
         if result is not None:
             self.last_compilation = result
-            self._advertise_full()
         return result
 
     def notify_policy_change(self, name: str) -> None:
@@ -426,6 +439,8 @@ class SdxController:
             "ephemeral_vnhs": len(self.allocator.ephemeral_prefixes()),
             "fast_path_rules": self.engine.fast_path_rules_live,
             "updates_processed": self.route_server.updates_processed,
+            "flowmods_sent": self.southbound.stats.mods_sent,
+            "flowmods_coalesced": self.southbound.stats.mods_coalesced,
         }
 
     def __repr__(self) -> str:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.bgp.decision import rank_routes
 from repro.bgp.routeserver import BestRouteChange, RouteServer
@@ -38,14 +38,17 @@ from repro.core.vnh import VnhAllocator
 from repro.core.vswitch import VirtualTopology
 from repro.dataplane.flowtable import FlowTable
 from repro.net.addresses import IPv4Prefix
+from repro.southbound.diff import Delta, PRIORITY_CEILING
+from repro.southbound.engine import SouthboundEngine
 from repro.policy.classifier import Action, Classifier
 from repro.policy.flowrules import to_flow_rules
 from repro.policy.policies import Conjunction, Predicate, match
 from repro.policy.predicates import match_any_value
 
 #: Fast-path rules are installed above this priority so they always shadow
-#: the main table (whose priorities start at 0).
-FAST_PATH_BASE = 1_000_000
+#: the main table (the southbound priority aligner keeps every main-table
+#: rule strictly below this same value).
+FAST_PATH_BASE = PRIORITY_CEILING
 
 
 @dataclass
@@ -62,21 +65,47 @@ class IncrementalEngine:
 
     def __init__(self, topology: VirtualTopology, route_server: RouteServer,
                  allocator: VnhAllocator, compiler: SdxCompiler,
-                 table: FlowTable):
+                 table: FlowTable,
+                 southbound: Optional[SouthboundEngine] = None):
         self.topology = topology
         self.route_server = route_server
         self.allocator = allocator
         self.compiler = compiler
         self.table = table
+        self.southbound = (southbound if southbound is not None
+                           else SouthboundEngine(table))
+        self.last_delta: Optional[Delta] = None
         self._stage2: Optional[Classifier] = None
         self._fast_priority = FAST_PATH_BASE
         self.dirty = False
         self.fast_path_invocations = 0
         self.fast_path_rules_live = 0
 
-    def install_full(self, result: CompilationResult) -> None:
-        """Swap in a fresh full compilation and drop every fast-path rule."""
-        self.table.replace_with(result.classifier)
+    def install_full(self, result: CompilationResult,
+                     before_deletes: Optional[Callable[[], None]] = None) -> None:
+        """Swap in a fresh full compilation and drop every fast-path rule.
+
+        Routed through the southbound engine: rules shared with the old
+        table are untouched (counters survive), the rest arrive as a
+        batched, priority-safe add/modify/delete delta, and every live
+        fast-path shadow rule is reclaimed as a delete.
+
+        ``before_deletes`` runs between the two flush phases — after the
+        new rules are installed but before the superseded ones are
+        removed. The controller re-advertises virtual next hops there, so
+        packets tagged with old VMACs still ride the old rules while
+        border routers flip to the new tags; only then is the old state
+        reclaimed.
+        """
+        self.last_delta = self.southbound.sync_classifier(
+            result.classifier, flush=False)
+        self.southbound.flush_installs()
+        if before_deletes is not None:
+            before_deletes()
+        self.southbound.flush()
+        # Every rule tagged with a retired VMAC is gone: the allocator may
+        # recycle the quarantined (VNH, VMAC) pairs from here on.
+        self.allocator.finish_swap()
         self._stage2 = None  # rebuilt lazily from current inbound pipelines
         self._fast_priority = FAST_PATH_BASE
         self.fast_path_rules_live = 0
@@ -171,7 +200,7 @@ class IncrementalEngine:
             return 0
         self._fast_priority += len(rules) + 1
         flow_rules = to_flow_rules(Classifier(rules), self._fast_priority)
-        self.table.install_many(flow_rules)
+        self.southbound.push_rules(flow_rules)
         self.fast_path_rules_live += len(flow_rules)
         return len(flow_rules)
 
@@ -209,10 +238,17 @@ class IncrementalEngine:
     # Background re-optimisation
     # ------------------------------------------------------------------
 
-    def background_recompile(self) -> Optional[CompilationResult]:
-        """Run the optimal compilation and swap it in, if anything changed."""
+    def background_recompile(
+            self,
+            before_deletes: Optional[Callable[[], None]] = None,
+    ) -> Optional[CompilationResult]:
+        """Run the optimal compilation and swap it in, if anything changed.
+
+        ``before_deletes`` is forwarded to :meth:`install_full` — it runs
+        between the install and delete phases of the table swap.
+        """
         if not self.dirty:
             return None
         result = self.compiler.compile()
-        self.install_full(result)
+        self.install_full(result, before_deletes=before_deletes)
         return result

@@ -42,6 +42,11 @@ class VnhAllocator:
         self._group_of_prefix: Dict[IPv4Prefix, int] = {}
         self._groups: Dict[int, PrefixGroup] = {}
         self._ephemeral: Dict[IPv4Prefix, Tuple[IPv4Address, MacAddress]] = {}
+        # Pairs whose rules may still be installed until the in-flight
+        # table swap deletes them (reusable after finish_swap), and pairs
+        # confirmed rule-free (the recycling free list).
+        self._pending_retire: List[Tuple[IPv4Address, MacAddress]] = []
+        self._free: List[Tuple[IPv4Address, MacAddress]] = []
 
     # ------------------------------------------------------------------
     # Steady-state assignment
@@ -50,36 +55,85 @@ class VnhAllocator:
     def assign_groups(self, groups: Iterable[PrefixGroup]) -> None:
         """Replace the current assignment with one per given group.
 
-        Clears every previous binding (including ephemerals) and restarts
-        allocation from the bottom of the pool: this is the background
-        re-optimisation installing a fresh optimal assignment. Because
-        group computation is deterministic, identical SDX state yields
-        identical VNH/VMAC assignments — border-router tags stay valid
-        across no-op recompilations, and the pool never leaks however
-        often the exchange recompiles. (The table swap and
-        re-advertisement are atomic in the simulator, so reusing tag
-        values across a state change cannot misdeliver in-flight
-        packets.)
+        Assignment is *stable*: a group whose prefix set is unchanged —
+        or shrank, remaining a subset of one old group — keeps that
+        group's (VNH, VMAC) pair, so unchanged groups diff to zero
+        FlowMods and border-router tags stay valid. Any other group gets
+        a pair that was **not** live in the previous generation — the
+        table swap is phased (install, re-advertise, delete), so reusing
+        a tag for a *larger or different* packet population while the
+        old rules are still installed could hand a packet a stale
+        stranger's forwarding; a subset population can only ever hit its
+        own old rules. One carve-out: a group containing a prefix that
+        currently holds a fast-path (ephemeral) override never reuses —
+        that prefix's old main-table rules predate the update its shadow
+        rules patched, so handing it its old tag mid-swap would expose
+        pre-update forwarding that is neither its before nor its after
+        state. Pairs retired here (including every ephemeral) become
+        reusable only once :meth:`finish_swap` confirms the swap deleted
+        their rules; until then they sit in a quarantine list. The pool
+        therefore never leaks across recompilations, though it must hold
+        roughly the live groups plus one generation of churn.
         """
+        previous: Dict[frozenset, Tuple[IPv4Address, MacAddress]] = {
+            group.prefixes: (self._vnh_by_group[gid], self._vmac_by_group[gid])
+            for gid, group in self._groups.items()
+        }
+        overridden = frozenset(self._ephemeral)
+        self._pending_retire.extend(self._ephemeral.values())
         for vnh in list(self.responder.bindings()):
             self.responder.unbind(vnh)
-        self._next_offset = 1
-        self._next_tag = 1
         self._vnh_by_group.clear()
         self._vmac_by_group.clear()
         self._group_of_prefix.clear()
         self._groups.clear()
         self._ephemeral.clear()
-        for group in groups:
-            vnh, vmac = self._allocate()
+        incoming = list(groups)
+        chosen: Dict[int, Tuple[IPv4Address, MacAddress]] = {}
+        unmatched: List[PrefixGroup] = []
+        for group in incoming:
+            pair = (previous.pop(group.prefixes, None)
+                    if group.prefixes.isdisjoint(overridden) else None)
+            if pair is not None:
+                chosen[group.group_id] = pair
+            else:
+                unmatched.append(group)
+        # A shrunken group may also keep its pair: its new population is a
+        # subset of the packets the old tag carried, so old rules can only
+        # give those packets their old forwarding, never a stale stranger's.
+        # Largest groups claim a donor first — they carry the most rules.
+        for group in sorted(unmatched, key=lambda g: -len(g.prefixes)):
+            donor = (next((old_prefixes for old_prefixes in previous
+                           if group.prefixes <= old_prefixes), None)
+                     if group.prefixes.isdisjoint(overridden) else None)
+            chosen[group.group_id] = (
+                previous.pop(donor) if donor is not None else self._allocate())
+        for group in incoming:
+            vnh, vmac = chosen[group.group_id]
             self._vnh_by_group[group.group_id] = vnh
             self._vmac_by_group[group.group_id] = vmac
             self._groups[group.group_id] = group
             for prefix in group.prefixes:
                 self._group_of_prefix[prefix] = group.group_id
             self.responder.bind(vnh, vmac)
+        self._pending_retire.extend(previous.values())
+
+    def finish_swap(self) -> int:
+        """Release quarantined pairs: the phased table swap completed.
+
+        Called by the incremental engine once a full installation's
+        deletes have been flushed — every rule matching a retired VMAC is
+        now gone, so those pairs can be recycled by future allocations.
+        Returns how many pairs were released.
+        """
+        released = len(self._pending_retire)
+        self._free.extend(self._pending_retire)
+        self._pending_retire.clear()
+        return released
 
     def _allocate(self) -> Tuple[IPv4Address, MacAddress]:
+        if self._free:
+            return self._free.pop(0)
         if self._next_offset >= self.pool.num_addresses - 1:
             raise CompilationError(
                 f"VNH pool {self.pool} exhausted after "
@@ -107,10 +161,17 @@ class VnhAllocator:
         return vnh, vmac
 
     def drop_ephemeral(self, prefix: IPv4Prefix) -> None:
-        """Release the fast-path assignment for ``prefix`` (if any)."""
+        """Release the fast-path assignment for ``prefix`` (if any).
+
+        The pair is quarantined, not freed: the shadow rules matching its
+        VMAC stay installed until the next background re-optimisation
+        deletes them, so the pair only recycles after that swap's
+        :meth:`finish_swap`.
+        """
         assigned = self._ephemeral.pop(prefix, None)
         if assigned is not None:
             self.responder.unbind(assigned[0])
+            self._pending_retire.append(assigned)
 
     def ephemeral_prefixes(self) -> Tuple[IPv4Prefix, ...]:
         """Prefixes currently carrying a fast-path assignment."""

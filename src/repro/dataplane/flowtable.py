@@ -4,15 +4,31 @@ Rules are kept sorted by descending priority (insertion order breaks
 ties, matching OpenFlow's undefined-but-stable behaviour in practice).
 Per-rule packet counters support the rule-utilisation measurements in the
 benchmark harness.
+
+Mutation comes in two granularities: whole-rule installation/removal, and
+:meth:`FlowTable.apply_delta` — the switch-side half of the southbound
+flow-update engine, executing add/modify/delete FlowMods keyed by
+``(priority, match)``. Delta application leaves untouched rules' objects
+(and therefore their packet counters) alone, which is what makes update
+cost measurable across recompiles.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from bisect import bisect_left, bisect_right, insort_right
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.net.packet import Packet
 from repro.policy.classifier import Classifier
 from repro.policy.flowrules import FlowRule, render_flow_table, to_flow_rules
+from repro.southbound.diff import (
+    Delta,
+    FlowMod,
+    FlowModOp,
+    RuleKey,
+    compute_delta,
+    rule_key,
+)
 
 
 class FlowTable:
@@ -21,14 +37,15 @@ class FlowTable:
     def __init__(self) -> None:
         self._rules: List[FlowRule] = []
         self._counters: Dict[int, int] = {}
+        # First-instance-wins index: key -> installed rules with that key,
+        # in table order (duplicates are legal but shadowed).
+        self._by_key: Dict[RuleKey, List[FlowRule]] = {}
         self._generation = 0
 
     def install(self, rule: FlowRule) -> None:
         """Add one rule, keeping priority order."""
-        index = 0
-        while index < len(self._rules) and self._rules[index].priority >= rule.priority:
-            index += 1
-        self._rules.insert(index, rule)
+        insort_right(self._rules, rule, key=lambda r: -r.priority)
+        self._by_key.setdefault(rule_key(rule), []).append(rule)
         self._counters[id(rule)] = 0
         self._generation += 1
 
@@ -54,6 +71,7 @@ class FlowTable:
             for rule_id in removed_ids:
                 self._counters.pop(rule_id, None)
             self._rules = keep
+            self._reindex()
             self._generation += 1
         return removed
 
@@ -61,12 +79,109 @@ class FlowTable:
         """Remove every rule."""
         self._rules.clear()
         self._counters.clear()
+        self._by_key.clear()
         self._generation += 1
 
     def replace_with(self, classifier: Classifier, base_priority: int = 0) -> int:
-        """Atomically swap the whole table for a compiled classifier."""
-        self.clear()
-        return self.install_classifier(classifier, base_priority)
+        """Swap the table for a compiled classifier, via a minimal delta.
+
+        Rules shared verbatim between the old and new tables are not
+        touched, so their packet counters survive the swap; everything
+        else is added, modified, or deleted. Returns the number of rules
+        the classifier compiles to (the resulting table size, matching
+        the historical clear-and-reinstall return value).
+        """
+        target = to_flow_rules(classifier, base_priority)
+        self.apply_delta(compute_delta(self._rules, target))
+        return len(target)
+
+    def _reindex(self) -> None:
+        self._by_key = {}
+        for rule in self._rules:
+            self._by_key.setdefault(rule_key(rule), []).append(rule)
+
+    # ------------------------------------------------------------------
+    # FlowMod application (the southbound engine's switch-side half)
+    # ------------------------------------------------------------------
+
+    def rule_for_key(self, priority: int, match) -> Optional[FlowRule]:
+        """The live (first-installed) rule at ``(priority, match)``, if any."""
+        instances = self._by_key.get((priority, match))
+        return instances[0] if instances else None
+
+    def _band(self, priority: int) -> Tuple[int, int]:
+        """The index range of rules at exactly ``priority``."""
+        lo = bisect_left(self._rules, -priority, key=lambda r: -r.priority)
+        hi = bisect_right(self._rules, -priority, key=lambda r: -r.priority)
+        return lo, hi
+
+    def _remove_instances(self, key: RuleKey) -> Optional[FlowRule]:
+        """Drop every rule with ``key``; returns the first (live) instance."""
+        instances = self._by_key.pop(key, None)
+        if not instances:
+            return None
+        doomed = {id(rule) for rule in instances}
+        lo, hi = self._band(key[0])
+        self._rules[lo:hi] = [
+            rule for rule in self._rules[lo:hi] if id(rule) not in doomed]
+        for rule_id in doomed:
+            self._counters.pop(rule_id, None)
+        return instances[0]
+
+    def apply_mod(self, mod: FlowMod) -> None:
+        """Execute one FlowMod.
+
+        * ``ADD`` — install; if the key already exists, behaves as modify
+          (OpenFlow's add-with-overlap semantics for an exact key).
+        * ``MODIFY`` — rewrite the key's actions in place, preserving its
+          packet counter; collapses shadowed duplicate instances; installs
+          if the key is absent.
+        * ``DELETE`` — remove every instance of the key.
+        """
+        key = mod.key
+        if mod.op is FlowModOp.DELETE:
+            self._remove_instances(key)
+            self._generation += 1
+            return
+        previous = self._by_key.get(key)
+        if previous is None:
+            rule = mod.rule
+            insort_right(self._rules, rule, key=lambda r: -r.priority)
+            self._by_key[key] = [rule]
+            self._counters[id(rule)] = 0
+            self._generation += 1
+            return
+        live = previous[0]
+        if live.actions == mod.actions and len(previous) == 1:
+            return  # idempotent modify: leave the rule (and counter) alone
+        replacement = mod.rule
+        lo, hi = self._band(key[0])
+        position = next(
+            index for index in range(lo, hi)
+            if self._rules[index] is live)
+        count = self._counters.pop(id(live), 0)
+        doomed = {id(rule) for rule in previous[1:]}
+        self._rules[position] = replacement
+        if doomed:
+            self._rules[lo:hi] = [
+                rule for rule in self._rules[lo:hi] if id(rule) not in doomed]
+            for rule_id in doomed:
+                self._counters.pop(rule_id, None)
+        self._by_key[key] = [replacement]
+        self._counters[id(replacement)] = count
+        self._generation += 1
+
+    def apply_delta(self, delta: Union[Delta, Iterable[FlowMod]]) -> int:
+        """Apply a delta (or any FlowMod sequence) in order; returns mods applied.
+
+        Callers that expose intermediate states (the southbound engine's
+        batches) are expected to pre-order mods with
+        :func:`repro.southbound.engine.schedule_two_phase`.
+        """
+        mods = delta.mods if isinstance(delta, Delta) else tuple(delta)
+        for mod in mods:
+            self.apply_mod(mod)
+        return len(mods)
 
     @property
     def rules(self) -> Tuple[FlowRule, ...]:

@@ -228,6 +228,87 @@ def _perturb_prefix(controller: SdxController, ixp: SyntheticIxp,
     controller.announce_route(name, prefix, path)
 
 
+@dataclass(frozen=True)
+class DeltaSwapPoint:
+    """One background table swap driven through the southbound engine."""
+
+    burst: int
+    table_rules: int
+    flowmods_sent: int
+    full_reinstall_cost: int
+    rules_unchanged: int
+
+    @property
+    def savings(self) -> float:
+        """Fraction of the naive full-reinstall FlowMods avoided."""
+        if self.full_reinstall_cost == 0:
+            return 0.0
+        return 1.0 - self.flowmods_sent / self.full_reinstall_cost
+
+
+def run_fig9_delta(burst_sizes: Sequence[int] = (1, 5, 10, 20, 40, 60, 80, 100),
+                   participants: int = 100, prefixes: int = 2_000,
+                   seed: int = 0) -> List[DeltaSwapPoint]:
+    """FlowMods per background swap on the Figure 9 burst workload.
+
+    After each worst-case burst (every update moves a distinct prefix's
+    best path), runs the background re-optimisation and counts the
+    FlowMods the southbound delta engine actually sent, against the
+    table size and the naive delete-everything-reinstall-everything
+    cost. The delta must touch strictly fewer rules than the table holds
+    — the swap never degenerates into a full reinstall.
+    """
+    controller, ixp = _loaded_controller(participants, prefixes, seed)
+    rng = random.Random(seed + 2)
+    universe = ixp.all_prefixes()
+    stats = controller.southbound.stats
+    points: List[DeltaSwapPoint] = []
+    for burst in burst_sizes:
+        touched = rng.sample(universe, k=min(burst, len(universe)))
+        for prefix in touched:
+            _perturb_prefix(controller, ixp, prefix, rng)
+        table_rules = len(controller.table)
+        sent_before = stats.mods_sent
+        controller.run_background_recompilation()
+        delta = controller.engine.last_delta
+        points.append(DeltaSwapPoint(
+            burst=burst,
+            table_rules=table_rules,
+            flowmods_sent=stats.mods_sent - sent_before,
+            full_reinstall_cost=delta.full_reinstall_cost,
+            rules_unchanged=delta.unchanged))
+    return points
+
+
+def run_fig10_delta(updates: int = 200, participants: int = 100,
+                    prefixes: int = 2_000, seed: int = 0,
+                    recompile_every: int = 50) -> Dict[str, Cdf]:
+    """Southbound cost distributions under the Figure 10 update stream.
+
+    Replays ``updates`` single-prefix perturbations (with a background
+    re-optimisation every ``recompile_every`` updates, as between
+    bursts) and returns CDFs of the FlowMods each update pushed, the
+    batch sizes the engine applied, and per-batch apply latency.
+    """
+    controller, ixp = _loaded_controller(participants, prefixes, seed)
+    rng = random.Random(seed + 3)
+    universe = ixp.all_prefixes()
+    stats = controller.southbound.stats
+    mods_per_update: List[float] = []
+    for index in range(updates):
+        prefix = rng.choice(universe)
+        sent_before = stats.mods_sent
+        _perturb_prefix(controller, ixp, prefix, rng)
+        mods_per_update.append(float(stats.mods_sent - sent_before))
+        if (index + 1) % recompile_every == 0:
+            controller.run_background_recompilation()
+    return {
+        "mods_per_update": Cdf(mods_per_update),
+        "batch_sizes": stats.batch_size_cdf(),
+        "apply_seconds": stats.apply_time_cdf(),
+    }
+
+
 def run_fig10(updates: int = 200,
               participant_counts: Sequence[int] = (100, 200, 300),
               prefixes: int = 2_000, seed: int = 0) -> Dict[int, Cdf]:

@@ -1,0 +1,237 @@
+"""The southbound engine: delta computation, batching, two-phase apply.
+
+:class:`SouthboundEngine` owns the path from "here is the table the
+compiler wants" to "here are the FlowMod batches the switch executes".
+Deltas are computed against the *live* table, coalesced per rule key in
+an :class:`~repro.southbound.queue.UpdateQueue`, ordered by
+:func:`schedule_two_phase`, and applied in bounded batches with per-batch
+timing.
+
+Priority-safe ordering
+----------------------
+
+:func:`schedule_two_phase` emits adds and modifies first, jointly sorted
+by **descending** priority, then deletes sorted by **ascending**
+priority. That order makes every prefix of the mod sequence safe: at any
+intermediate table state, each packet is forwarded exactly as the old
+table or the new table would — never into a transient hole or onto a
+stale mid-priority rule. Sketch of why:
+
+* *Phase 1, descending:* when a processed (added/modified) rule wins a
+  lookup, every new-table rule above it is already present in new state
+  and did not match, so it is the new table's winner. When an untouched
+  rule wins, every old rule is still present (deletes have not started),
+  so it is the old table's winner.
+* *Phase 2, ascending:* the table is the new rules plus a
+  highest-priorities-last shrinking remnant of doomed old rules. If a
+  remnant rule wins, nothing above it matched on either side, so it is
+  the old winner; otherwise the winner is the new winner.
+
+Deleting in the opposite order would expose mid-priority stale rules:
+with the old top rule gone but a lower stale rule still installed, a
+packet could be claimed by a rule that is neither table's winner — the
+misrouting this engine exists to prevent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
+
+from repro.policy.classifier import Classifier
+from repro.policy.flowrules import FlowRule
+from repro.southbound.diff import (
+    Delta,
+    FlowMod,
+    FlowModOp,
+    diff_classifier,
+    rule_key,
+)
+from repro.southbound.queue import UpdateQueue
+from repro.southbound.stats import SouthboundStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.dataplane.flowtable import FlowTable
+
+
+@dataclass(frozen=True)
+class SouthboundConfig:
+    """Tunables for the southbound engine.
+
+    ``max_batch_size`` bounds FlowMods per batch (per apply-latency
+    sample); ``max_pending`` is the queue's backpressure threshold;
+    ``auto_flush`` makes every submission flush synchronously (the
+    simulation default — rules are visible as soon as the submitting call
+    returns). Set it false to coalesce across several submissions and
+    flush explicitly.
+    """
+
+    max_batch_size: int = 128
+    max_pending: int = 4096
+    auto_flush: bool = True
+
+
+def schedule_two_phase(mods: Iterable[FlowMod]) -> List[FlowMod]:
+    """Order ``mods`` so every prefix of the sequence is safe to expose.
+
+    Phase one: adds and modifies, highest priority first. Phase two:
+    deletes, lowest priority first. See the module docstring for the
+    safety argument.
+    """
+    phase_one = sorted(
+        (mod for mod in mods if mod.op is not FlowModOp.DELETE),
+        key=lambda mod: -mod.priority)
+    phase_two = sorted(
+        (mod for mod in mods if mod.op is FlowModOp.DELETE),
+        key=lambda mod: mod.priority)
+    return phase_one + phase_two
+
+
+#: Observer signature: called with each applied batch, in order.
+BatchObserver = Callable[[Sequence[FlowMod]], None]
+
+
+class SouthboundEngine:
+    """Turns desired rule tables into batched, priority-safe FlowMods."""
+
+    def __init__(self, table: "FlowTable",
+                 config: Optional[SouthboundConfig] = None,
+                 stats: Optional[SouthboundStats] = None):
+        self.table = table
+        self.config = config or SouthboundConfig()
+        self.stats = stats or SouthboundStats()
+        self.queue = UpdateQueue(max_pending=self.config.max_pending)
+        self._observers: List[BatchObserver] = []
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def sync_classifier(self, classifier: Classifier,
+                        base_priority: int = 0,
+                        flush: Optional[bool] = None) -> Delta:
+        """Reconcile the live table with a compiled classifier.
+
+        Computes the minimal delta against what is currently installed
+        (including any fast-path shadow rules, which the delta reclaims as
+        deletes), enqueues it, and — under ``auto_flush`` — applies it.
+        Returns the delta for the caller's accounting.
+
+        With ``auto_flush`` off (or ``flush=False``), the diff is taken
+        against the *projected* table — live rules plus pending mods — so
+        back-to-back syncs queued inside one flush window stay correct
+        while coalescing. ``flush`` overrides the configured auto-flush
+        for this call: the caller intends to stage the delta and drive
+        the two flush phases itself.
+        """
+        delta = diff_classifier(self._projected_rules(), classifier,
+                                base_priority)
+        self.stats.syncs += 1
+        self.stats.rules_unchanged += delta.unchanged
+        self.queue.enqueue_many(delta.mods)
+        if flush is False:
+            self.stats.mods_coalesced = self.queue.coalesced
+        else:
+            self._after_submit()
+        return delta
+
+    def push_rules(self, rules: Iterable[FlowRule]) -> int:
+        """Submit pre-built rules (the fast path's shadow rules) as adds."""
+        count = 0
+        for rule in rules:
+            self.queue.enqueue(FlowMod.add(rule))
+            count += 1
+        self._after_submit()
+        return count
+
+    def retract_rules(self, rules: Iterable[FlowRule]) -> int:
+        """Submit deletes for previously pushed rules."""
+        count = 0
+        for rule in rules:
+            self.queue.enqueue(FlowMod.delete(rule))
+            count += 1
+        self._after_submit()
+        return count
+
+    def _projected_rules(self) -> List[FlowRule]:
+        """The table as it will look once pending mods are flushed."""
+        if not len(self.queue):
+            return list(self.table.rules)
+        keyed = {}
+        for rule in self.table.rules:
+            keyed.setdefault(rule_key(rule), rule)
+        for mod in self.queue.pending_mods():
+            if mod.op is FlowModOp.DELETE:
+                keyed.pop(mod.key, None)
+            else:
+                keyed[mod.key] = mod.rule
+        return list(keyed.values())
+
+    def _after_submit(self) -> None:
+        self.stats.mods_coalesced = self.queue.coalesced
+        if self.queue.needs_flush:
+            self.stats.backpressure_flushes += 1
+            self.flush()
+        elif self.config.auto_flush:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """FlowMods queued but not yet applied."""
+        return len(self.queue)
+
+    def add_observer(self, observer: BatchObserver) -> None:
+        """Register a callback invoked after each batch is applied."""
+        self._observers.append(observer)
+
+    def flush_installs(self) -> int:
+        """Apply pending adds and modifies now, leaving deletes queued.
+
+        The first half of a consistency-preserving table swap: after this
+        returns, both the old and the new rules are installed, so the
+        caller can repoint upstream state (the controller re-advertises
+        virtual next hops here) before :meth:`flush` reclaims the old
+        rules.
+        """
+        mods = self.queue.drain()
+        installs = [mod for mod in mods if mod.op is not FlowModOp.DELETE]
+        deletes = [mod for mod in mods if mod.op is FlowModOp.DELETE]
+        applied = self._apply(schedule_two_phase(installs))
+        self.queue.enqueue_many(deletes)
+        # Re-queueing deletes is bookkeeping, not new traffic: undo the
+        # enqueue/coalesce accounting the queue just recorded for them.
+        self.queue.enqueued -= len(deletes)
+        return applied
+
+    def flush(self) -> int:
+        """Drain the queue and apply everything; returns mods applied."""
+        return self._apply(schedule_two_phase(self.queue.drain()))
+
+    def _apply(self, ordered: Sequence[FlowMod]) -> int:
+        if not ordered:
+            return 0
+        size = self.config.max_batch_size
+        for start in range(0, len(ordered), size):
+            batch = ordered[start:start + size]
+            began = time.perf_counter()
+            self.table.apply_delta(batch)
+            self.stats.record_batch(len(batch), time.perf_counter() - began)
+            for mod in batch:
+                if mod.op is FlowModOp.ADD:
+                    self.stats.adds_sent += 1
+                elif mod.op is FlowModOp.MODIFY:
+                    self.stats.modifies_sent += 1
+                else:
+                    self.stats.deletes_sent += 1
+            for observer in self._observers:
+                observer(batch)
+        return len(ordered)
+
+    def __repr__(self) -> str:
+        return (f"SouthboundEngine({self.pending} pending, "
+                f"{self.stats.mods_sent} sent)")

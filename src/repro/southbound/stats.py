@@ -1,0 +1,92 @@
+"""Counters and latency histograms for the southbound engine.
+
+Everything the Figure 9/10 update-cost benchmarks need to report the
+delta engine's behaviour: FlowMods sent per kind, coalescing savings,
+batch sizes, per-batch apply latency, and how many rules each sync left
+untouched (the counter-preserving majority). Distributions are exposed as
+:class:`~repro.experiments.metrics.Cdf` so they plug straight into the
+existing rendering machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SouthboundStats:
+    """Cumulative southbound-engine measurements."""
+
+    #: FlowMods sent to the table, by kind.
+    adds_sent: int = 0
+    modifies_sent: int = 0
+    deletes_sent: int = 0
+    #: Mods absorbed by per-key coalescing before they reached the switch.
+    mods_coalesced: int = 0
+    #: Classifier syncs processed (one per recompile swap).
+    syncs: int = 0
+    #: Rules a sync left untouched (counters preserved), cumulative.
+    rules_unchanged: int = 0
+    #: Batches applied and flushes forced by queue backpressure.
+    batches_applied: int = 0
+    backpressure_flushes: int = 0
+    #: Size of every batch applied, in order.
+    batch_sizes: List[int] = field(default_factory=list)
+    #: Wall-clock seconds each batch took to apply, in order.
+    apply_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def mods_sent(self) -> int:
+        """Total FlowMods actually applied to the table."""
+        return self.adds_sent + self.modifies_sent + self.deletes_sent
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        """Account one applied batch."""
+        self.batches_applied += 1
+        self.batch_sizes.append(size)
+        self.apply_seconds.append(seconds)
+
+    def batch_size_cdf(self):
+        """Distribution of batch sizes (a :class:`~repro.experiments.metrics.Cdf`)."""
+        from repro.experiments.metrics import Cdf
+        return Cdf(self.batch_sizes)
+
+    def apply_time_cdf(self):
+        """Distribution of per-batch apply latencies."""
+        from repro.experiments.metrics import Cdf
+        return Cdf(self.apply_seconds)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The scalar counters as a plain dict (for logs and diffing)."""
+        return {
+            "adds_sent": self.adds_sent,
+            "modifies_sent": self.modifies_sent,
+            "deletes_sent": self.deletes_sent,
+            "mods_sent": self.mods_sent,
+            "mods_coalesced": self.mods_coalesced,
+            "syncs": self.syncs,
+            "rules_unchanged": self.rules_unchanged,
+            "batches_applied": self.batches_applied,
+            "backpressure_flushes": self.backpressure_flushes,
+        }
+
+    def render(self) -> str:
+        """A printable table of counters plus latency quantiles."""
+        from repro.experiments.metrics import render_table
+        rows = [[name, value] for name, value in self.snapshot().items()]
+        if self.apply_seconds:
+            latency = self.apply_time_cdf()
+            rows.append(["apply ms (median)", f"{latency.median * 1000:.3f}"])
+            rows.append(["apply ms (p99)",
+                         f"{latency.quantile(0.99) * 1000:.3f}"])
+        if self.batch_sizes:
+            sizes = self.batch_size_cdf()
+            rows.append(["batch size (median)", f"{sizes.median:g}"])
+            rows.append(["batch size (max)", f"{max(self.batch_sizes)}"])
+        return render_table(["counter", "value"], rows)
+
+    def __repr__(self) -> str:
+        return (f"SouthboundStats({self.mods_sent} sent, "
+                f"{self.mods_coalesced} coalesced, "
+                f"{self.batches_applied} batches)")

@@ -58,8 +58,8 @@ class TestVnhAllocator:
         allocator.assign_groups([group_of(0, "12.0.0.0/8")])
         assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) is None
         assert allocator.next_hop_for_prefix(IPv4Prefix("12.0.0.0/8")) is not None
-        # Exactly one live binding: the pool does not leak across
-        # reassignments (allocation restarts from the bottom).
+        # Exactly one live binding: retired pairs are unbound immediately
+        # (they are quarantined for reuse, not left in the ARP responder).
         assert len(allocator.responder.bindings()) == 1
 
     def test_reassignment_never_exhausts_pool(self):
@@ -102,6 +102,49 @@ class TestVnhAllocator:
         allocator.assign_ephemeral(IPv4Prefix("12.0.0.0/8"))
         with pytest.raises(CompilationError):
             allocator.assign_ephemeral(IPv4Prefix("13.0.0.0/8"))
+
+    def test_unchanged_group_keeps_pair_across_reassignment(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8"),
+                                 group_of(1, "12.0.0.0/8")])
+        kept_vnh = allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        kept_vmac = allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        # Group 1's membership changes; group 0 (same prefix set, new id)
+        # must keep its pair so its rules diff to nothing.
+        allocator.assign_groups([group_of(5, "11.0.0.0/8"),
+                                 group_of(6, "12.0.0.0/8", "13.0.0.0/8")])
+        assert allocator.next_hop_for_prefix(IPv4Prefix("11.0.0.0/8")) == kept_vnh
+        assert allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8")) == kept_vmac
+
+    def test_changed_group_gets_pair_not_live_last_generation(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        old_vmac = allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        allocator.assign_groups([group_of(0, "11.0.0.0/8", "12.0.0.0/8")])
+        # Reusing the old tag for a different packet population would let
+        # not-yet-deleted rules claim newly tagged packets mid-swap.
+        assert allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8")) != old_vmac
+
+    def test_retired_pair_recycles_only_after_finish_swap(self):
+        allocator = VnhAllocator()
+        allocator.assign_groups([group_of(0, "11.0.0.0/8")])
+        retired = allocator.vmac_for_prefix(IPv4Prefix("11.0.0.0/8"))
+        allocator.assign_groups([group_of(0, "12.0.0.0/8")])
+        assert allocator.vmac_for_prefix(IPv4Prefix("12.0.0.0/8")) != retired
+        assert allocator.finish_swap() == 1
+        allocator.assign_groups([group_of(0, "13.0.0.0/8")])
+        assert allocator.vmac_for_prefix(IPv4Prefix("13.0.0.0/8")) == retired
+
+    def test_dropped_ephemeral_is_quarantined(self):
+        allocator = VnhAllocator()
+        _, vmac = allocator.assign_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        allocator.drop_ephemeral(IPv4Prefix("11.0.0.0/8"))
+        # Its shadow rules may still be installed: not reusable yet.
+        _, fresh = allocator.assign_ephemeral(IPv4Prefix("12.0.0.0/8"))
+        assert fresh != vmac
+        allocator.finish_swap()
+        allocator.assign_groups([group_of(0, "13.0.0.0/8")])
+        assert allocator.vmac_for_group(0) == vmac
 
     def test_vnh_addresses_unique(self):
         allocator = VnhAllocator()

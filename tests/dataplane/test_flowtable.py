@@ -1,11 +1,12 @@
 """Tests for the priority flow table."""
 
 from repro.net.packet import Packet
-from repro.policy.classifier import Action
+from repro.policy.classifier import Action, Classifier, Rule
 from repro.policy.flowrules import FlowRule
 from repro.policy.headerspace import WILDCARD, HeaderSpace
 from repro.policy.policies import fwd, match
 from repro.dataplane.flowtable import FlowTable
+from repro.southbound.diff import FlowMod
 
 
 def rule(priority, actions=(), **constraints):
@@ -88,3 +89,85 @@ class TestProcessing:
         table = FlowTable()
         table.install(rule(5, (Action(port=2),), dstport=80))
         assert "priority=5" in table.render()
+
+
+class TestApplyMod:
+    def test_add_inserts_in_priority_order(self):
+        table = FlowTable()
+        table.apply_mod(FlowMod.add(rule(3, (Action(port=1),), dstport=22)))
+        table.apply_mod(FlowMod.add(rule(7, (Action(port=2),), dstport=80)))
+        assert [r.priority for r in table.rules] == [7, 3]
+
+    def test_modify_rewrites_actions_preserving_counter(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        table.install(web)
+        table.process(Packet(port=1, dstport=80))
+        table.apply_mod(FlowMod.modify(rule(5, (Action(port=9),), dstport=80)))
+        survivor = table.rules[0]
+        assert survivor.actions == (Action(port=9),)
+        assert table.packets_matched(survivor) == 1
+
+    def test_delete_removes_key(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=1),), dstport=80))
+        table.install(rule(1, (Action(port=2),)))
+        table.apply_mod(FlowMod.delete(rule(5, (), dstport=80)))
+        assert [r.priority for r in table.rules] == [1]
+
+    def test_delete_removes_every_duplicate_instance(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=1),), dstport=80))
+        table.install(rule(5, (Action(port=2),), dstport=80))
+        table.apply_mod(FlowMod.delete(rule(5, (), dstport=80)))
+        assert len(table) == 0
+
+    def test_add_on_existing_key_acts_as_modify(self):
+        table = FlowTable()
+        table.install(rule(5, (Action(port=1),), dstport=80))
+        table.apply_mod(FlowMod.add(rule(5, (Action(port=2),), dstport=80)))
+        assert len(table) == 1
+        assert table.rules[0].actions == (Action(port=2),)
+
+    def test_rule_for_key(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        table.install(web)
+        assert table.rule_for_key(5, HeaderSpace(dstport=80)) is web
+        assert table.rule_for_key(5, WILDCARD) is None
+
+
+class TestCounterPreservingReplace:
+    def _classifier(self, web_port):
+        return Classifier([
+            Rule(HeaderSpace(dstport=80), (Action(port=web_port),)),
+            Rule(HeaderSpace(dstport=22), (Action(port=3),)),
+            Rule(WILDCARD, ()),
+        ])
+
+    def test_unchanged_rules_keep_counters(self):
+        table = FlowTable()
+        table.install_classifier(self._classifier(web_port=1))
+        table.process(Packet(port=9, dstport=22))
+        table.process(Packet(port=9, dstport=22))
+        ssh = table.lookup(Packet(port=9, dstport=22))
+        assert table.packets_matched(ssh) == 2
+        # Recompile changes only the web rule; ssh must keep its counter.
+        table.replace_with(self._classifier(web_port=2))
+        assert table.lookup(Packet(port=9, dstport=22)) is ssh
+        assert table.packets_matched(ssh) == 2
+        assert table.lookup(Packet(port=9, dstport=80)).actions == (Action(port=2),)
+
+    def test_identical_replace_touches_nothing(self):
+        table = FlowTable()
+        table.install_classifier(self._classifier(web_port=1))
+        generation = table.generation
+        rules = table.rules
+        table.replace_with(self._classifier(web_port=1))
+        assert table.rules == rules  # same objects, not just equal rules
+        assert table.generation == generation
+
+    def test_replace_return_value_is_new_table_size(self):
+        table = FlowTable()
+        table.install(rule(9))
+        assert table.replace_with(self._classifier(web_port=1)) == 3

@@ -75,15 +75,19 @@ class TestArpAndVnhStaleness:
     def test_released_vnh_is_unresolvable(self):
         sdx, *_ = figure1_controller()
         sdx.start()
-        old_vnh = sdx.allocator.next_hop_for_prefix(P1)
         sdx.withdraw_route("C", P1)          # fast path assigns new VNH
+        ephemeral_vnh = sdx.allocator.next_hop_for_prefix(P1)
         sdx.run_background_recompilation()   # reclaims the ephemeral
         new_vnh = sdx.allocator.next_hop_for_prefix(P1)
         assert new_vnh is not None
-        # Whatever was released no longer resolves.
+        assert new_vnh != ephemeral_vnh
+        # The reclaimed ephemeral no longer resolves; the steady-state
+        # binding does. (The prefix's *pre-update* group VNH may still
+        # resolve — stable assignment keeps it for the prefixes that
+        # stayed behind in that group.)
         live = set(sdx.allocator.responder.bindings())
         assert new_vnh in live
-        assert old_vnh not in live or old_vnh == new_vnh
+        assert ephemeral_vnh not in live
 
 
 class TestBadPolicies:

@@ -1,0 +1,85 @@
+"""Controller-level tests: the update pipeline routed through southbound."""
+
+from repro.core.incremental import FAST_PATH_BASE
+from repro.southbound.engine import SouthboundConfig
+
+from tests.core.scenarios import P1, figure1_controller, packet
+
+
+class TestControllerSouthbound:
+    def test_noop_recompile_sends_no_flowmods(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        sent = sdx.southbound.stats.mods_sent
+        sdx.recompile()
+        assert sdx.southbound.stats.mods_sent == sent
+        assert sdx.engine.last_delta.is_empty
+        assert sdx.engine.last_delta.unchanged == len(sdx.table)
+
+    def test_counters_survive_recompile(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        sdx.egress_of("A", packet("11.0.0.1", dstport=22))
+        hits = [(rule, sdx.table.packets_matched(rule))
+                for rule in sdx.table.rules if sdx.table.packets_matched(rule)]
+        assert hits, "the probe packet must hit at least one rule"
+        sdx.recompile()
+        for rule, count in hits:
+            assert sdx.table.packets_matched(rule) == count
+
+    def test_fast_path_flows_through_southbound(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        adds = sdx.southbound.stats.adds_sent
+        sdx.withdraw_route("C", P1)
+        assert sdx.southbound.stats.adds_sent > adds
+        assert sdx.engine.fast_path_rules_live > 0
+
+    def test_background_recompile_reclaims_fast_path_as_deletes(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        sdx.withdraw_route("C", P1)
+        deletes = sdx.southbound.stats.deletes_sent
+        sdx.run_background_recompilation()
+        assert sdx.southbound.stats.deletes_sent > deletes
+        assert not any(rule.priority > FAST_PATH_BASE
+                       for rule in sdx.table.rules)
+        assert sdx.egress_of("A", packet("11.0.0.1", dstport=22)) == "B"
+
+    def test_summary_reports_flowmod_counters(self):
+        sdx, *_ = figure1_controller()
+        sdx.start()
+        summary = sdx.summary()
+        assert summary["flowmods_sent"] > 0
+        assert "flowmods_coalesced" in summary
+
+    def test_two_phase_swap_never_misroutes(self):
+        """Replay a corpus at every single-mod intermediate state of the
+        background swap; each packet must follow the old or the new path."""
+        sdx, a, b, c, e = figure1_controller(
+            southbound_config=SouthboundConfig(max_batch_size=1))
+        sdx.start()
+        corpus = [
+            packet("11.0.0.1", dstport=80),
+            packet("11.0.0.1", dstport=443),
+            packet("11.0.0.1", dstport=22),
+            packet("13.0.0.1", dstport=80),
+            packet("14.0.0.1", dstport=443),
+            packet("15.0.0.1", dstport=22),
+        ]
+        sdx.withdraw_route("C", P1)
+        before = [sdx.egress_of("A", p) for p in corpus]
+        observed = {index: set() for index in range(len(corpus))}
+
+        def check(batch):
+            for index, p in enumerate(corpus):
+                observed[index].add(sdx.egress_of("A", p))
+
+        sdx.southbound.add_observer(check)
+        sdx.run_background_recompilation()
+        after = [sdx.egress_of("A", p) for p in corpus]
+        for index in range(len(corpus)):
+            allowed = {before[index], after[index]}
+            assert observed[index] <= allowed, (
+                f"packet {corpus[index]} took a path outside {allowed}: "
+                f"{observed[index]}")

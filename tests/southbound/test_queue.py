@@ -1,0 +1,97 @@
+"""Tests for the coalescing update queue (repro.southbound.queue)."""
+
+import pytest
+
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import HeaderSpace
+from repro.southbound.diff import FlowMod, FlowModOp
+from repro.southbound.queue import UpdateQueue
+
+
+def rule(priority, actions=(), **constraints):
+    return FlowRule(priority=priority, match=HeaderSpace(**constraints),
+                    actions=actions)
+
+
+FWD1 = (Action(port=1),)
+FWD2 = (Action(port=2),)
+WEB = rule(5, FWD1, dstport=80)
+WEB2 = rule(5, FWD2, dstport=80)
+SSH = rule(3, FWD2, dstport=22)
+
+
+class TestCoalescing:
+    def test_distinct_keys_queue_in_order(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.add(WEB))
+        queue.enqueue(FlowMod.add(SSH))
+        assert [m.key for m in queue.drain()] == [(5, WEB.match), (3, SSH.match)]
+
+    def test_add_then_modify_stays_add(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.add(WEB))
+        queue.enqueue(FlowMod.modify(WEB2))
+        (mod,) = queue.drain()
+        assert mod.op is FlowModOp.ADD
+        assert mod.actions == FWD2
+        assert queue.coalesced == 1
+
+    def test_add_then_delete_annihilates(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.add(WEB))
+        queue.enqueue(FlowMod.delete(WEB))
+        assert queue.drain() == []
+        assert queue.coalesced == 2
+
+    def test_modify_then_delete_is_delete(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.modify(WEB2))
+        queue.enqueue(FlowMod.delete(WEB))
+        (mod,) = queue.drain()
+        assert mod.op is FlowModOp.DELETE
+
+    def test_delete_then_add_is_modify(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.delete(WEB))
+        queue.enqueue(FlowMod.add(WEB2))
+        (mod,) = queue.drain()
+        assert mod.op is FlowModOp.MODIFY
+        assert mod.actions == FWD2
+
+    def test_latest_modify_wins(self):
+        queue = UpdateQueue()
+        queue.enqueue(FlowMod.modify(WEB))
+        queue.enqueue(FlowMod.modify(WEB2))
+        (mod,) = queue.drain()
+        assert mod.op is FlowModOp.MODIFY
+        assert mod.actions == FWD2
+
+    def test_enqueued_counts_every_submission(self):
+        queue = UpdateQueue()
+        queue.enqueue_many([FlowMod.add(WEB), FlowMod.delete(WEB),
+                            FlowMod.add(SSH)])
+        assert queue.enqueued == 3
+        assert len(queue) == 1
+
+
+class TestBackpressure:
+    def test_needs_flush_beyond_max_pending(self):
+        queue = UpdateQueue(max_pending=2)
+        queue.enqueue(FlowMod.add(WEB))
+        assert not queue.needs_flush
+        queue.enqueue(FlowMod.add(SSH))
+        assert queue.needs_flush
+        queue.drain()
+        assert not queue.needs_flush
+
+    def test_coalesced_keys_do_not_trip_backpressure(self):
+        queue = UpdateQueue(max_pending=2)
+        queue.enqueue(FlowMod.add(WEB))
+        queue.enqueue(FlowMod.modify(WEB2))
+        queue.enqueue(FlowMod.add(WEB))
+        assert not queue.needs_flush
+
+    def test_max_pending_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UpdateQueue(max_pending=0)
