@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-results examples docs clean
+.PHONY: install test lint bench bench-results examples docs telemetry-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -36,6 +36,21 @@ examples:
 
 docs:
 	$(PYTHON) tools/gen_api_docs.py
+
+# Runs a small workload, dumps the Prometheus exposition, and checks
+# that every core metric family reported activity.
+telemetry-smoke:
+	@PYTHONPATH=src $(PYTHON) -m repro stats --format prometheus \
+		--participants 12 --prefixes 100 --updates 10 > /tmp/telemetry-smoke.prom
+	@for family in sdx_bgp_updates_total sdx_compile_total \
+		sdx_compile_stage_seconds sdx_fastpath_invocations_total \
+		sdx_vnh_allocated_total sdx_southbound_flowmods_total \
+		sdx_southbound_apply_seconds sdx_flowtable_rules \
+		sdx_trace_spans_total; do \
+		grep -q "^$$family" /tmp/telemetry-smoke.prom \
+			|| { echo "missing metric family: $$family"; exit 1; }; \
+	done
+	@echo "telemetry smoke OK ($$(grep -c '^sdx_' /tmp/telemetry-smoke.prom) sample lines)"
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .benchmarks

@@ -19,6 +19,7 @@ from repro.experiments.harness import (
     run_fig10_delta,
 )
 from repro.experiments.metrics import render_table
+from repro.telemetry.registry import Histogram
 
 PARTICIPANTS = (100, 200, 300)
 UPDATES = 150
@@ -46,6 +47,30 @@ def test_fig10_update_cdf(benchmark):
     publish("fig10_update_cdf", render_table(
         ["participants", "median ms", "p90 ms", "p99 ms",
          "P(<=100ms)", "P(<=1s)"], rows))
+
+    # Per-update latency percentiles through the runtime telemetry
+    # histogram — the same implementation `repro stats` reports from.
+    percentile_rows = []
+    for count in PARTICIPANTS:
+        cdf = cdfs[count]
+        histogram = Histogram.from_samples(
+            "bench_fig10_update_seconds", cdf.samples)
+        quantiles = histogram.percentiles()
+        percentile_rows.append([
+            count,
+            f"{quantiles['p50'] * 1000:.1f}",
+            f"{quantiles['p99'] * 1000:.1f}",
+            f"{quantiles['max'] * 1000:.1f}",
+        ])
+        # Exact endpoints; interior quantiles carry one log bucket of
+        # relative error (~5%) plus at most one rank of disagreement
+        # with the Cdf's rounding, so allow a loose band.
+        assert quantiles["max"] == cdf.quantile(1.0)
+        assert histogram.quantile(0.0) == cdf.quantile(0.0)
+        assert quantiles["p50"] <= cdf.quantile(0.55) * 1.1
+        assert quantiles["p50"] >= cdf.quantile(0.45) * 0.9
+    publish("fig10_update_percentiles", render_table(
+        ["participants", "p50 ms", "p99 ms", "max ms"], percentile_rows))
 
     for count in PARTICIPANTS:
         cdf = cdfs[count]

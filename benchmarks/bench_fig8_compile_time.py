@@ -12,6 +12,7 @@ from conftest import publish, scaled
 
 from repro.experiments.harness import run_compilation_sweep
 from repro.experiments.metrics import render_table
+from repro.telemetry.registry import Histogram
 
 PARTICIPANTS = (100, 200, 300)
 PREFIXES = tuple(scaled(v) for v in (2_000, 5_000, 10_000, 15_000))
@@ -28,6 +29,20 @@ def test_fig8_compile_time(benchmark):
         ["participants", "prefixes", "prefix groups", "compile seconds"],
         [[p.participants, p.prefixes, p.prefix_groups, f"{p.seconds:.3f}"]
          for p in points]))
+
+    # Summary percentiles through the runtime telemetry histogram, so
+    # the figure script and `repro stats` report from one implementation.
+    seconds = [p.seconds for p in points]
+    histogram = Histogram.from_samples("bench_fig8_compile_seconds", seconds)
+    quantiles = histogram.percentiles()
+    publish("fig8_compile_time_percentiles", render_table(
+        ["quantile", "seconds"],
+        [[name, f"{value:.3f}"] for name, value in quantiles.items()]))
+    # The streaming histogram's endpoints are exact; its interior
+    # quantiles sit within one log-bucket (~5% relative error).
+    assert quantiles["max"] == max(seconds)
+    assert histogram.quantile(0.0) == min(seconds)
+    assert min(seconds) <= quantiles["p50"] <= max(seconds)
 
     by_count = {}
     for point in points:

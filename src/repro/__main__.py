@@ -37,6 +37,8 @@ EXPERIMENTS = {
     "fig10": "Figure 10 - per-update processing CDF",
     "replay": "burst-aware trace replay (Section 4.3.2 scheduling)",
     "check": "load a JSON exchange config, compile it, report",
+    "stats": "run a small workload, dump the telemetry metrics registry",
+    "trace": "run a small workload, print the pipeline span tree",
 }
 
 
@@ -96,6 +98,22 @@ def _parser() -> argparse.ArgumentParser:
     replay.add_argument("--updates", type=int, default=200)
     replay.add_argument("--gap", type=float, default=10.0,
                         help="background-recompilation gap threshold (s)")
+
+    def telemetry_command(name: str) -> argparse.ArgumentParser:
+        command = common(name)
+        command.add_argument("--participants", type=int, default=20)
+        command.add_argument("--prefixes", type=int, default=200)
+        command.add_argument("--updates", type=int, default=20)
+        return command
+
+    stats = telemetry_command("stats")
+    stats.add_argument("--format", choices=("table", "json", "prometheus"),
+                       default="table",
+                       help="output format (default: table)")
+
+    trace = telemetry_command("trace")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the span forest as JSON instead of a tree")
     return parser
 
 
@@ -143,6 +161,51 @@ def _run_replay(args) -> str:
             f"{result.prefix_group_count} groups\n" + stats.summary())
 
 
+def _telemetry_workload(args):
+    """Build a small exchange, drive updates through it, return its controller.
+
+    Shared by the ``stats`` and ``trace`` subcommands: generate an IXP and
+    policies, start the controller, replay a short update trace through
+    the live pipeline, and finish with one background re-optimisation so
+    every stage (ingest, fast path, compile, southbound, flow table) has
+    recorded activity.
+    """
+    from repro.workloads.policies import generate_policies, install_assignments
+    from repro.workloads.topology import generate_ixp
+    from repro.workloads.updates import generate_trace
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=args.seed + 1))
+    controller.start()
+    events = generate_trace(ixp, seed=args.seed + 2, max_updates=args.updates)
+    for event in events:
+        controller.submit_update(event.update)
+    controller.run_background_recompilation()
+    return controller
+
+
+def _run_stats(args) -> str:
+    from repro.telemetry.export import prometheus_exposition, render_json
+
+    controller = _telemetry_workload(args)
+    if args.format == "json":
+        return render_json(controller.telemetry)
+    if args.format == "prometheus":
+        return prometheus_exposition(controller.telemetry.registry)
+    return controller.telemetry.registry.render()
+
+
+def _run_trace(args) -> str:
+    import json as json_module
+
+    controller = _telemetry_workload(args)
+    tracer = controller.telemetry.tracer
+    if args.json:
+        return json_module.dumps(tracer.span_tree(), indent=2)
+    return tracer.render()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -184,6 +247,10 @@ def main(argv: Optional[List[str]] = None) -> int:
              for count, cdf in sorted(cdfs.items())]))
     elif args.command == "replay":
         print(_run_replay(args))
+    elif args.command == "stats":
+        print(_run_stats(args))
+    elif args.command == "trace":
+        print(_run_trace(args))
     elif args.command == "check":
         from repro.config import load_config
         from repro.core.analysis import analyze_sdx

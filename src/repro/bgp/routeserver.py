@@ -27,6 +27,7 @@ from repro.bgp.rib import AdjRibIn, RibView, RouteEntry
 from repro.bgp.session import BgpSession
 from repro.exceptions import BgpError, ParticipantError
 from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.telemetry import Telemetry
 
 #: Hook rewriting the next hop of a route re-advertised to a participant.
 #: Receives (participant, prefix, chosen route) and returns the next-hop
@@ -79,8 +80,25 @@ class RouteServer:
       it.
     """
 
-    def __init__(self, asn: int = 64_496) -> None:
+    def __init__(self, asn: int = 64_496,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.asn = asn
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        registry = self.telemetry.registry
+        self._updates_counter = registry.counter(
+            "sdx_bgp_updates_total", "BGP UPDATE messages processed")
+        self._announcements_counter = registry.counter(
+            "sdx_bgp_announcements_total", "Prefix announcements received")
+        self._withdrawals_counter = registry.counter(
+            "sdx_bgp_withdrawals_total", "Prefix withdrawals received")
+        self._changes_counter = registry.counter(
+            "sdx_bgp_best_route_changes_total",
+            "Per-participant best-route changes produced by the decision process")
+        self._readvertised_counter = registry.counter(
+            "sdx_bgp_readvertised_total", "UPDATEs re-advertised to participants")
+        self._readvertise_skipped_counter = registry.counter(
+            "sdx_bgp_readvertise_skipped_total",
+            "Re-advertisements dropped because the peer session was down")
         self._sessions: Dict[str, BgpSession] = {}
         self._adj_in: Dict[str, AdjRibIn] = {}
         self._announcers: Dict[IPv4Prefix, Set[str]] = {}
@@ -254,6 +272,7 @@ class RouteServer:
             if not session.is_established:
                 raise BgpError(f"bulk load from unestablished peer {update.sender!r}")
             session.updates_received += 1
+            self._count_update(update)
             self._note_community_filters(update)
             adj = self._adj_in[update.sender]
             for prefix in adj.apply(update):
@@ -268,10 +287,21 @@ class RouteServer:
             count += 1
         return count
 
+    def _count_update(self, update: Update) -> None:
+        """Account one inbound UPDATE's announcements and withdrawals."""
+        self._updates_counter.inc()
+        self._announcements_counter.inc(len(update.announcements))
+        self._withdrawals_counter.inc(len(update.withdrawals))
+
     def _process_update(self, update: Update) -> None:
-        changes = self._apply_and_diff(update.sender, update)
-        self.updates_processed += 1
-        self._notify(update, changes)
+        with self.telemetry.span("bgp.ingest", sender=update.sender) as span:
+            self._count_update(update)
+            with self.telemetry.span("bgp.decision"):
+                changes = self._apply_and_diff(update.sender, update)
+            self._changes_counter.inc(len(changes))
+            span.set_tag(changes=len(changes))
+            self.updates_processed += 1
+            self._notify(update, changes)
 
     def _notify(self, update: Update,
                 changes: List[BestRouteChange]) -> None:
@@ -433,6 +463,7 @@ class RouteServer:
         for change in changes:
             session = self._sessions.get(change.participant)
             if session is None or not session.is_established:
+                self._readvertise_skipped_counter.inc()
                 continue
             if change.new is None:
                 update = Update(sender="route-server",
@@ -447,6 +478,7 @@ class RouteServer:
                     sender="route-server",
                     announcements=(Announcement(change.prefix, attributes),))
             session.send(update)
+            self._readvertised_counter.inc()
             sent.append(update)
         return sent
 

@@ -32,8 +32,9 @@ Flags:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.routeserver import RouteServer
 from repro.core.clauses import Clause, clause_dstip
@@ -59,6 +60,7 @@ from repro.policy.classifier import Action, Classifier, ComposeStats, Rule
 from repro.policy.optimize import merge_drop_tail, remove_shadowed
 from repro.policy.policies import Conjunction, Predicate, match, modify
 from repro.policy.predicates import match_any_value
+from repro.telemetry import Telemetry
 
 #: Above this rule count the quadratic shadow-elimination pass is skipped.
 REDUCTION_LIMIT = 4_000
@@ -178,13 +180,29 @@ class SdxCompiler:
 
     def __init__(self, topology: VirtualTopology, route_server: RouteServer,
                  allocator: VnhAllocator, *, use_vnh: bool = True,
-                 optimized: bool = True, reduce_table: bool = True):
+                 optimized: bool = True, reduce_table: bool = True,
+                 telemetry: Optional[Telemetry] = None):
         self.topology = topology
         self.route_server = route_server
         self.allocator = allocator
         self.use_vnh = use_vnh
         self.optimized = optimized
         self.reduce_table = reduce_table
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        registry = self.telemetry.registry
+        self._compiles_counter = registry.counter(
+            "sdx_compile_total", "Full compilations run")
+        self._compile_latency = registry.histogram(
+            "sdx_compile_seconds", "Wall-clock seconds per full compilation")
+        self._stage_latency = {
+            stage: registry.histogram(
+                "sdx_compile_stage_seconds",
+                "Wall-clock seconds per compilation stage", stage=stage)
+            for stage in ("fec", "vnh", "defaults", "outbound",
+                          "inbound", "composition", "reduction")
+        }
+        self._rules_gauge = registry.gauge(
+            "sdx_compile_rules", "Rules produced by the latest compilation")
         self._inbound_cache: Dict[str, Tuple[int, Classifier]] = {}
         # Lazily materialised Loc-RIB views for dynamic predicates,
         # valid for one compilation only.
@@ -194,68 +212,86 @@ class SdxCompiler:
     # Top level
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _stage(self, key: str, timings: Dict[str, float]) -> Iterator[None]:
+        """Time one pipeline stage into ``timings[key]`` under a child span."""
+        with self.telemetry.span(f"compile.{key}"):
+            step = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - step
+                timings[key] = elapsed
+                histogram = self._stage_latency.get(key)
+                if histogram is not None:
+                    histogram.observe(elapsed)
+
     def compile(self) -> CompilationResult:
         """Run the full pipeline against current state."""
+        with self.telemetry.span("compile") as span:
+            result = self._compile(span)
+        self._compiles_counter.inc()
+        self._compile_latency.observe(result.timings["total"])
+        self._rules_gauge.set(len(result.classifier))
+        return result
+
+    def _compile(self, span) -> CompilationResult:
         timings: Dict[str, float] = {}
         report = CompositionReport()
         stats = report.stats
         self._rib_views.clear()
         started = time.perf_counter()
 
-        step = time.perf_counter()
-        groups = self._compute_groups()
-        timings["fec"] = time.perf_counter() - step
+        with self._stage("fec", timings):
+            groups = self._compute_groups()
 
-        step = time.perf_counter()
-        if self.use_vnh:
-            self.allocator.assign_groups(groups)
-        timings["vnh"] = time.perf_counter() - step
+        with self._stage("vnh", timings):
+            if self.use_vnh:
+                self.allocator.assign_groups(groups)
 
-        step = time.perf_counter()
-        defaults = build_default_forwarding(
-            self.topology.participants(), groups, self.allocator,
-            self.topology, self.route_server)
-        defaults_classifier = stack_fallback([
-            compile_guarded_clauses(
-                ((c.predicate, clause_action(c, c.target)) for c in defaults.exceptions),
-                None, stats),
-            compile_guarded_clauses(
-                ((c.predicate, clause_action(c, c.target)) for c in defaults.shared),
-                None, stats),
-        ])
-        timings["defaults"] = time.perf_counter() - step
+        with self._stage("defaults", timings):
+            defaults = build_default_forwarding(
+                self.topology.participants(), groups, self.allocator,
+                self.topology, self.route_server)
+            defaults_classifier = stack_fallback([
+                compile_guarded_clauses(
+                    ((c.predicate, clause_action(c, c.target))
+                     for c in defaults.exceptions),
+                    None, stats),
+                compile_guarded_clauses(
+                    ((c.predicate, clause_action(c, c.target))
+                     for c in defaults.shared),
+                    None, stats),
+            ])
 
-        step = time.perf_counter()
-        guard_for = self._guard_factory(groups)
-        policy_parts = [
-            self._outbound_part(participant, guard_for, defaults_classifier, stats)
-            for participant in self.topology.participants()
-            if not participant.is_remote and participant.outbound_clauses()
-        ]
-        timings["outbound"] = time.perf_counter() - step
+        with self._stage("outbound", timings):
+            guard_for = self._guard_factory(groups)
+            policy_parts = [
+                self._outbound_part(participant, guard_for, defaults_classifier, stats)
+                for participant in self.topology.participants()
+                if not participant.is_remote and participant.outbound_clauses()
+            ]
 
-        step = time.perf_counter()
-        inbound_parts = self._inbound_parts(stats)
-        timings["inbound"] = time.perf_counter() - step
+        with self._stage("inbound", timings):
+            inbound_parts = self._inbound_parts(stats)
 
-        step = time.perf_counter()
-        if self.optimized:
-            stage1 = stack_fallback(
-                [stack_disjoint(policy_parts), defaults_classifier])
-            stage2 = stack_disjoint(inbound_parts)
-            classifier = compose_optimized(stage1, stage2, report)
-        else:
-            out_parts = self._naive_out_parts(groups, guard_for, stats)
-            classifier = compose_naive(out_parts, inbound_parts, report)
-        timings["composition"] = time.perf_counter() - step
+        with self._stage("composition", timings):
+            if self.optimized:
+                stage1 = stack_fallback(
+                    [stack_disjoint(policy_parts), defaults_classifier])
+                stage2 = stack_disjoint(inbound_parts)
+                classifier = compose_optimized(stage1, stage2, report)
+            else:
+                out_parts = self._naive_out_parts(groups, guard_for, stats)
+                classifier = compose_naive(out_parts, inbound_parts, report)
 
-        step = time.perf_counter()
-        classifier = merge_drop_tail(classifier)
-        if self.reduce_table and len(classifier) <= REDUCTION_LIMIT:
-            classifier = remove_shadowed(classifier)
-        timings["reduction"] = time.perf_counter() - step
+        with self._stage("reduction", timings):
+            classifier = merge_drop_tail(classifier)
+            if self.reduce_table and len(classifier) <= REDUCTION_LIMIT:
+                classifier = remove_shadowed(classifier)
 
         timings["total"] = time.perf_counter() - started
+        span.set_tag(rules=len(classifier), groups=len(groups))
         return CompilationResult(
             classifier=classifier,
             groups=tuple(groups),

@@ -21,6 +21,7 @@ makes it an explicit, deterministic call).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -43,6 +44,10 @@ from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.net.mac import MacAddress
 from repro.net.packet import Packet
 from repro.southbound.engine import SouthboundConfig, SouthboundEngine
+from repro.telemetry import Telemetry
+from repro.telemetry.log import kv
+
+logger = logging.getLogger("repro.core.controller")
 
 #: The peering LAN participants' router ports live on.
 PEERING_LAN = IPv4Prefix("172.0.0.0/16")
@@ -100,22 +105,28 @@ class SdxController:
     def __init__(self, *, use_vnh: bool = True, optimized: bool = True,
                  with_dataplane: bool = True, reduce_table: bool = True,
                  vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL,
-                 southbound_config: Optional[SouthboundConfig] = None):
-        self.route_server = RouteServer()
+                 southbound_config: Optional[SouthboundConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.route_server = RouteServer(telemetry=self.telemetry)
         self.topology = VirtualTopology()
-        self.allocator = VnhAllocator(vnh_pool)
+        self.allocator = VnhAllocator(vnh_pool, telemetry=self.telemetry)
         self.fabric: Optional[Fabric] = Fabric() if with_dataplane else None
         if self.fabric is not None:
             self.fabric.arp.attach_responder(self.allocator.responder)
         self.table: FlowTable = (
             self.fabric.switch.table if self.fabric is not None else FlowTable())
-        self.southbound = SouthboundEngine(self.table, southbound_config)
+        self.table.bind_telemetry(self.telemetry)
+        self.southbound = SouthboundEngine(self.table, southbound_config,
+                                           telemetry=self.telemetry)
         self.compiler = SdxCompiler(
             self.topology, self.route_server, self.allocator,
-            use_vnh=use_vnh, optimized=optimized, reduce_table=reduce_table)
+            use_vnh=use_vnh, optimized=optimized, reduce_table=reduce_table,
+            telemetry=self.telemetry)
         self.engine = IncrementalEngine(
             self.topology, self.route_server, self.allocator,
-            self.compiler, self.table, self.southbound)
+            self.compiler, self.table, self.southbound,
+            telemetry=self.telemetry)
         self.ownership = OwnershipRegistry()
         self.started = False
         self.last_compilation: Optional[CompilationResult] = None
@@ -261,11 +272,17 @@ class SdxController:
 
     def start(self) -> CompilationResult:
         """Compile and install the initial table, then advertise routes."""
-        result = self.compiler.compile()
-        self.engine.install_full(result)
-        self.last_compilation = result
-        self.started = True
-        self._advertise_full()
+        with self.telemetry.span("controller.start"):
+            result = self.compiler.compile()
+            self.engine.install_full(result)
+            self.last_compilation = result
+            self.started = True
+            self._advertise_full()
+        logger.info("started %s", kv(
+            participants=len(self._handles),
+            rules=len(self.table),
+            groups=result.prefix_group_count,
+            seconds=result.total_seconds))
         return result
 
     def recompile(self) -> CompilationResult:
@@ -277,11 +294,14 @@ class SdxController:
         every intermediate state each packet follows the old path or the
         new path.
         """
-        result = self.compiler.compile()
-        self.engine.install_full(
-            result,
-            before_deletes=self._advertise_full if self.started else None)
+        with self.telemetry.span("controller.recompile"):
+            result = self.compiler.compile()
+            self.engine.install_full(
+                result,
+                before_deletes=self._advertise_full if self.started else None)
         self.last_compilation = result
+        logger.info("recompiled %s", kv(
+            rules=len(self.table), seconds=result.total_seconds))
         return result
 
     def run_background_recompilation(self) -> Optional[CompilationResult]:
@@ -318,6 +338,10 @@ class SdxController:
         """Push every participant's full table to its border router."""
         if self.fabric is None:
             return
+        with self.telemetry.span("controller.advertise"):
+            self._advertise_routers()
+
+    def _advertise_routers(self) -> None:
         for participant in self.topology.participants():
             router = participant.router
             if router is None:
@@ -338,27 +362,31 @@ class SdxController:
         if not self.started:
             return
         prefixes = tuple(dict.fromkeys(update.prefixes))
-        fast = self.engine.handle_prefixes(prefixes)
-        self.fast_path_log.append(fast)
-        # Session-level re-advertisement (what ExaBGP would put on the wire).
-        self.route_server.readvertise(changes)
-        if self.fabric is None:
-            return
-        # Push the touched prefixes to *every* border router: even
-        # participants whose best route is unchanged must learn the fresh
-        # VNH so their tags line up with the fast-path rules.
-        for participant in self.topology.participants():
-            router = participant.router
-            if router is None:
-                continue
-            for prefix in prefixes:
-                best = self.route_server.best_route_for(participant.name, prefix)
-                if best is None:
-                    router.withdraw_route(prefix)
-                else:
-                    next_hop = self._rewrite_next_hop(
-                        participant.name, prefix, best)
-                    router.install_route(prefix, next_hop)
+        with self.telemetry.span("controller.update",
+                                 prefixes=len(prefixes),
+                                 changes=len(changes)):
+            fast = self.engine.handle_prefixes(prefixes)
+            self.fast_path_log.append(fast)
+            # Session-level re-advertisement (what ExaBGP puts on the wire).
+            self.route_server.readvertise(changes)
+            if self.fabric is None:
+                return
+            # Push the touched prefixes to *every* border router: even
+            # participants whose best route is unchanged must learn the
+            # fresh VNH so their tags line up with the fast-path rules.
+            for participant in self.topology.participants():
+                router = participant.router
+                if router is None:
+                    continue
+                for prefix in prefixes:
+                    best = self.route_server.best_route_for(
+                        participant.name, prefix)
+                    if best is None:
+                        router.withdraw_route(prefix)
+                    else:
+                        next_hop = self._rewrite_next_hop(
+                            participant.name, prefix, best)
+                        router.install_route(prefix, next_hop)
 
     # ------------------------------------------------------------------
     # What-if preview

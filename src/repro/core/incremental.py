@@ -38,12 +38,13 @@ from repro.core.vnh import VnhAllocator
 from repro.core.vswitch import VirtualTopology
 from repro.dataplane.flowtable import FlowTable
 from repro.net.addresses import IPv4Prefix
-from repro.southbound.diff import Delta, PRIORITY_CEILING
-from repro.southbound.engine import SouthboundEngine
 from repro.policy.classifier import Action, Classifier
 from repro.policy.flowrules import to_flow_rules
 from repro.policy.policies import Conjunction, Predicate, match
 from repro.policy.predicates import match_any_value
+from repro.southbound.diff import Delta, PRIORITY_CEILING
+from repro.southbound.engine import SouthboundEngine
+from repro.telemetry import Telemetry
 
 #: Fast-path rules are installed above this priority so they always shadow
 #: the main table (the southbound priority aligner keeps every main-table
@@ -66,14 +67,26 @@ class IncrementalEngine:
     def __init__(self, topology: VirtualTopology, route_server: RouteServer,
                  allocator: VnhAllocator, compiler: SdxCompiler,
                  table: FlowTable,
-                 southbound: Optional[SouthboundEngine] = None):
+                 southbound: Optional[SouthboundEngine] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.topology = topology
         self.route_server = route_server
         self.allocator = allocator
         self.compiler = compiler
         self.table = table
         self.southbound = (southbound if southbound is not None
-                           else SouthboundEngine(table))
+                           else SouthboundEngine(table, telemetry=telemetry))
+        self.telemetry = (telemetry if telemetry is not None
+                          else self.southbound.telemetry)
+        registry = self.telemetry.registry
+        self._fastpath_counter = registry.counter(
+            "sdx_fastpath_invocations_total", "Fast-path bursts handled")
+        self._fastpath_rules_counter = registry.counter(
+            "sdx_fastpath_rules_total", "Shadow rules installed by the fast path")
+        self._fastpath_latency = registry.histogram(
+            "sdx_fastpath_seconds", "Wall-clock seconds per fast-path burst")
+        self._recompiles_counter = registry.counter(
+            "sdx_recompile_total", "Background re-optimisations that swapped the table")
         self.last_delta: Optional[Delta] = None
         self._stage2: Optional[Classifier] = None
         self._fast_priority = FAST_PATH_BASE
@@ -97,15 +110,17 @@ class IncrementalEngine:
         border routers flip to the new tags; only then is the old state
         reclaimed.
         """
-        self.last_delta = self.southbound.sync_classifier(
-            result.classifier, flush=False)
-        self.southbound.flush_installs()
-        if before_deletes is not None:
-            before_deletes()
-        self.southbound.flush()
-        # Every rule tagged with a retired VMAC is gone: the allocator may
-        # recycle the quarantined (VNH, VMAC) pairs from here on.
-        self.allocator.finish_swap()
+        with self.telemetry.span("install_full",
+                                 rules=len(result.classifier)):
+            self.last_delta = self.southbound.sync_classifier(
+                result.classifier, flush=False)
+            self.southbound.flush_installs()
+            if before_deletes is not None:
+                before_deletes()
+            self.southbound.flush()
+            # Every rule tagged with a retired VMAC is gone: the allocator
+            # may recycle the quarantined (VNH, VMAC) pairs from here on.
+            self.allocator.finish_swap()
         self._stage2 = None  # rebuilt lazily from current inbound pipelines
         self._fast_priority = FAST_PATH_BASE
         self.fast_path_rules_live = 0
@@ -137,14 +152,20 @@ class IncrementalEngine:
         started = time.perf_counter()
         prefixes = tuple(dict.fromkeys(touched))
         installed = 0
-        # Fresh Loc-RIB views for dynamic predicates, shared across the
-        # prefixes of this invocation (only built if actually needed).
-        views: dict = {}
-        for prefix in prefixes:
-            installed += self._fast_path_for_prefix(prefix, views)
+        with self.telemetry.span("fastpath",
+                                 prefixes=len(prefixes)) as span:
+            # Fresh Loc-RIB views for dynamic predicates, shared across the
+            # prefixes of this invocation (only built if actually needed).
+            views: dict = {}
+            for prefix in prefixes:
+                installed += self._fast_path_for_prefix(prefix, views)
+            span.set_tag(rules=installed)
         self.dirty = True
         self.fast_path_invocations += 1
+        self._fastpath_counter.inc()
+        self._fastpath_rules_counter.inc(installed)
         elapsed = time.perf_counter() - started
+        self._fastpath_latency.observe(elapsed)
         return FastPathResult(prefixes=prefixes, rules_installed=installed,
                               seconds=elapsed)
 
@@ -163,45 +184,50 @@ class IncrementalEngine:
         """Allocate a fresh VNH for one prefix and install its rules."""
         if views is None:
             views = {}
-        self.allocator.drop_ephemeral(prefix)
-        routes = self.route_server.all_routes_for(prefix)
-        if not routes:
-            # Fully withdrawn: routers drop the route themselves; the
-            # stale rules die at the next background re-optimisation.
-            return 0
-        _vnh, vmac = self.allocator.assign_ephemeral(prefix)
-        vmac_filter = match(dstmac=vmac)
+        with self.telemetry.span("fastpath.prefix",
+                                 prefix=str(prefix)) as span:
+            self.allocator.drop_ephemeral(prefix)
+            routes = self.route_server.all_routes_for(prefix)
+            if not routes:
+                # Fully withdrawn: routers drop the route themselves; the
+                # stale rules die at the next background re-optimisation.
+                return 0
+            _vnh, vmac = self.allocator.assign_ephemeral(prefix)
+            with self.telemetry.span("compile.fastpath"):
+                vmac_filter = match(dstmac=vmac)
 
-        default_layer = self._default_layer(prefix, vmac_filter, routes)
-        pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
-        for participant in self.topology.participants():
-            if participant.is_remote or not participant.outbound_clauses():
-                continue
-            ingress = match_any_value("port", participant.switch_ports)
-            for clause in participant.outbound_clauses():
-                resolved = self._resolved(participant, clause, views)
-                if clause.drops:
-                    pairs.append((
-                        Conjunction((ingress, resolved, vmac_filter)), ()))
-                    continue
-                target = str(clause.target)
-                if not self.route_server.is_reachable(
-                        participant.name, prefix, via=target):
-                    continue
-                predicate = Conjunction((ingress, resolved, vmac_filter))
-                pairs.append((predicate, clause_action(
-                    clause, self.topology.vport(target))))
-        policy_layer = compile_guarded_clauses(pairs, default_layer)
+                default_layer = self._default_layer(prefix, vmac_filter, routes)
+                pairs: List[Tuple[Predicate, Tuple[Action, ...]]] = []
+                for participant in self.topology.participants():
+                    if participant.is_remote or not participant.outbound_clauses():
+                        continue
+                    ingress = match_any_value("port", participant.switch_ports)
+                    for clause in participant.outbound_clauses():
+                        resolved = self._resolved(participant, clause, views)
+                        if clause.drops:
+                            pairs.append((
+                                Conjunction((ingress, resolved, vmac_filter)), ()))
+                            continue
+                        target = str(clause.target)
+                        if not self.route_server.is_reachable(
+                                participant.name, prefix, via=target):
+                            continue
+                        predicate = Conjunction((ingress, resolved, vmac_filter))
+                        pairs.append((predicate, clause_action(
+                            clause, self.topology.vport(target))))
+                policy_layer = compile_guarded_clauses(pairs, default_layer)
 
-        stage1 = stack_fallback([policy_layer, default_layer])
-        composed = sequential_compose_indexed(stage1, self._stage2_classifier())
-        rules = strip_drop_tail(composed)
-        if not rules:
-            return 0
-        self._fast_priority += len(rules) + 1
-        flow_rules = to_flow_rules(Classifier(rules), self._fast_priority)
-        self.southbound.push_rules(flow_rules)
-        self.fast_path_rules_live += len(flow_rules)
+                stage1 = stack_fallback([policy_layer, default_layer])
+                composed = sequential_compose_indexed(
+                    stage1, self._stage2_classifier())
+                rules = strip_drop_tail(composed)
+            if not rules:
+                return 0
+            self._fast_priority += len(rules) + 1
+            flow_rules = to_flow_rules(Classifier(rules), self._fast_priority)
+            self.southbound.push_rules(flow_rules)
+            self.fast_path_rules_live += len(flow_rules)
+            span.set_tag(rules=len(flow_rules))
         return len(flow_rules)
 
     def _default_layer(self, prefix: IPv4Prefix, vmac_filter: Predicate,
@@ -249,6 +275,8 @@ class IncrementalEngine:
         """
         if not self.dirty:
             return None
-        result = self.compiler.compile()
-        self.install_full(result, before_deletes=before_deletes)
+        with self.telemetry.span("recompile"):
+            result = self.compiler.compile()
+            self.install_full(result, before_deletes=before_deletes)
+        self._recompiles_counter.inc()
         return result

@@ -23,6 +23,7 @@ from repro.dataplane.arp import ArpResponder
 from repro.exceptions import CompilationError
 from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.net.mac import MacAddress, vmac_for_fec
+from repro.telemetry import Telemetry
 
 #: Default pool the VNH addresses are drawn from.
 DEFAULT_VNH_POOL = IPv4Prefix("172.16.0.0/16")
@@ -32,9 +33,21 @@ class VnhAllocator:
     """Allocates (VNH, VMAC) pairs and keeps the ARP responder in sync."""
 
     def __init__(self, pool: IPv4Prefix = DEFAULT_VNH_POOL,
-                 responder: Optional[ArpResponder] = None):
+                 responder: Optional[ArpResponder] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.pool = pool
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.responder = responder if responder is not None else ArpResponder(pool)
+        self.responder.bind_telemetry(self.telemetry)
+        registry = self.telemetry.registry
+        self._allocated_counter = registry.counter(
+            "sdx_vnh_allocated_total", "Fresh (VNH, VMAC) pairs drawn from the pool")
+        self._ephemeral_counter = registry.counter(
+            "sdx_vnh_ephemeral_total", "Fast-path singleton assignments made")
+        self._recycled_counter = registry.counter(
+            "sdx_vnh_recycled_total", "Quarantined pairs released for reuse")
+        self._live_gauge = registry.gauge(
+            "sdx_vnh_live", "Live (VNH, VMAC) pairs, groups plus ephemerals")
         self._next_offset = 1  # skip the network address
         self._next_tag = 1
         self._vnh_by_group: Dict[int, IPv4Address] = {}
@@ -75,6 +88,11 @@ class VnhAllocator:
         therefore never leaks across recompilations, though it must hold
         roughly the live groups plus one generation of churn.
         """
+        with self.telemetry.span("vnh.assign_groups"):
+            self._assign_groups(groups)
+        self._live_gauge.set(self.assignments)
+
+    def _assign_groups(self, groups: Iterable[PrefixGroup]) -> None:
         previous: Dict[frozenset, Tuple[IPv4Address, MacAddress]] = {
             group.prefixes: (self._vnh_by_group[gid], self._vmac_by_group[gid])
             for gid, group in self._groups.items()
@@ -129,9 +147,11 @@ class VnhAllocator:
         released = len(self._pending_retire)
         self._free.extend(self._pending_retire)
         self._pending_retire.clear()
+        self._recycled_counter.inc(released)
         return released
 
     def _allocate(self) -> Tuple[IPv4Address, MacAddress]:
+        self._allocated_counter.inc()
         if self._free:
             return self._free.pop(0)
         if self._next_offset >= self.pool.num_addresses - 1:
@@ -155,9 +175,12 @@ class VnhAllocator:
         entirely by simply assuming a new VNH is needed". The prefix's old
         group binding stays valid for other prefixes in the group.
         """
-        vnh, vmac = self._allocate()
-        self._ephemeral[prefix] = (vnh, vmac)
-        self.responder.bind(vnh, vmac)
+        with self.telemetry.span("vnh.assign", prefix=str(prefix)):
+            vnh, vmac = self._allocate()
+            self._ephemeral[prefix] = (vnh, vmac)
+            self.responder.bind(vnh, vmac)
+        self._ephemeral_counter.inc()
+        self._live_gauge.set(self.assignments)
         return vnh, vmac
 
     def drop_ephemeral(self, prefix: IPv4Prefix) -> None:
@@ -172,6 +195,7 @@ class VnhAllocator:
         if assigned is not None:
             self.responder.unbind(assigned[0])
             self._pending_retire.append(assigned)
+            self._live_gauge.set(self.assignments)
 
     def ephemeral_prefixes(self) -> Tuple[IPv4Prefix, ...]:
         """Prefixes currently carrying a fast-path assignment."""

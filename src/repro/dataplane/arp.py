@@ -29,10 +29,27 @@ class ArpResponder:
     to physical bindings.
     """
 
-    def __init__(self, pool: IPv4Prefix):
+    def __init__(self, pool: IPv4Prefix, telemetry=None):
         self.pool = pool
         self._bindings: Dict[IPv4Address, MacAddress] = {}
         self.queries_answered = 0
+        self._answered_counter = None
+        self._miss_counter = None
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Record resolution activity into ``telemetry``'s registry.
+
+        Registers ``sdx_arp_queries_total`` (answered) and
+        ``sdx_arp_misses_total`` — unanswerable queries for in-pool
+        addresses, i.e. routers that could not resolve a VNH.
+        """
+        self._answered_counter = telemetry.registry.counter(
+            "sdx_arp_queries_total", "VNH ARP queries answered")
+        self._miss_counter = telemetry.registry.counter(
+            "sdx_arp_misses_total",
+            "ARP queries for in-pool addresses with no binding")
 
     def bind(self, vnh: IPv4Address, vmac: MacAddress) -> None:
         """Answer future queries for ``vnh`` with ``vmac``."""
@@ -53,6 +70,10 @@ class ArpResponder:
         mac = self._bindings.get(address)
         if mac is not None:
             self.queries_answered += 1
+            if self._answered_counter is not None:
+                self._answered_counter.inc()
+        elif self._miss_counter is not None and self.owns(address):
+            self._miss_counter.inc()
         return mac
 
     def bindings(self) -> Dict[IPv4Address, MacAddress]:

@@ -41,6 +41,40 @@ class FlowTable:
         # in table order (duplicates are legal but shadowed).
         self._by_key: Dict[RuleKey, List[FlowRule]] = {}
         self._generation = 0
+        # Telemetry handles, absent until bind_telemetry() is called:
+        # standalone tables (property tests, ad-hoc scripts) pay one
+        # None-check per operation and record nothing.
+        self._rules_gauge = None
+        self._mod_counters: Dict[FlowModOp, object] = {}
+        self._packets_counter = None
+        self._misses_counter = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Record table activity into ``telemetry``'s registry.
+
+        Registers the ``sdx_flowtable_*`` families: a rule-count gauge,
+        per-op FlowMod counters, processed-packet counts, and the
+        table-miss (dropped traffic) loss counter.
+        """
+        registry = telemetry.registry
+        self._rules_gauge = registry.gauge(
+            "sdx_flowtable_rules", "Rules currently installed")
+        self._mod_counters = {
+            op: registry.counter("sdx_flowtable_mods_total",
+                                 "FlowMods executed by the table",
+                                 op=op.name.lower())
+            for op in FlowModOp
+        }
+        self._packets_counter = registry.counter(
+            "sdx_flowtable_packets_total", "Packets run through the table")
+        self._misses_counter = registry.counter(
+            "sdx_flowtable_misses_total",
+            "Packets dropped by a table miss (no rule matched)")
+        self._rules_gauge.set(len(self._rules))
+
+    def _note_size(self) -> None:
+        if self._rules_gauge is not None:
+            self._rules_gauge.set(len(self._rules))
 
     def install(self, rule: FlowRule) -> None:
         """Add one rule, keeping priority order."""
@@ -48,6 +82,7 @@ class FlowTable:
         self._by_key.setdefault(rule_key(rule), []).append(rule)
         self._counters[id(rule)] = 0
         self._generation += 1
+        self._note_size()
 
     def install_many(self, rules: Iterable[FlowRule]) -> int:
         """Install several rules; returns how many were added."""
@@ -73,6 +108,7 @@ class FlowTable:
             self._rules = keep
             self._reindex()
             self._generation += 1
+            self._note_size()
         return removed
 
     def clear(self) -> None:
@@ -81,6 +117,7 @@ class FlowTable:
         self._counters.clear()
         self._by_key.clear()
         self._generation += 1
+        self._note_size()
 
     def replace_with(self, classifier: Classifier, base_priority: int = 0) -> int:
         """Swap the table for a compiled classifier, via a minimal delta.
@@ -139,9 +176,13 @@ class FlowTable:
         * ``DELETE`` — remove every instance of the key.
         """
         key = mod.key
+        counter = self._mod_counters.get(mod.op)
+        if counter is not None:
+            counter.inc()
         if mod.op is FlowModOp.DELETE:
             self._remove_instances(key)
             self._generation += 1
+            self._note_size()
             return
         previous = self._by_key.get(key)
         if previous is None:
@@ -150,6 +191,7 @@ class FlowTable:
             self._by_key[key] = [rule]
             self._counters[id(rule)] = 0
             self._generation += 1
+            self._note_size()
             return
         live = previous[0]
         if live.actions == mod.actions and len(previous) == 1:
@@ -170,6 +212,7 @@ class FlowTable:
         self._by_key[key] = [replacement]
         self._counters[id(replacement)] = count
         self._generation += 1
+        self._note_size()
 
     def apply_delta(self, delta: Union[Delta, Iterable[FlowMod]]) -> int:
         """Apply a delta (or any FlowMod sequence) in order; returns mods applied.
@@ -209,8 +252,12 @@ class FlowTable:
         A table miss also drops (OpenFlow default for SDX: the controller
         installs explicit defaults, so misses indicate unmatched traffic).
         """
+        if self._packets_counter is not None:
+            self._packets_counter.inc()
         rule = self.lookup(packet)
         if rule is None:
+            if self._misses_counter is not None:
+                self._misses_counter.inc()
             return ()
         self._counters[id(rule)] += 1
         return tuple(action.apply(packet) for action in rule.actions)

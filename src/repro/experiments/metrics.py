@@ -28,11 +28,18 @@ class Cdf:
         return bisect.bisect_right(self._sorted, value) / len(self._sorted)
 
     def quantile(self, q: float) -> float:
-        """The q-quantile (0 <= q <= 1), by nearest-rank."""
+        """The q-quantile (0 <= q <= 1), by nearest-rank.
+
+        The endpoints are exact: ``q=0.0`` is the minimum and ``q=1.0``
+        the maximum, independent of sample count — the nearest-rank
+        rounding below is never trusted with them.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if q == 0.0:
             return self._sorted[0]
+        if q == 1.0:
+            return self._sorted[-1]
         rank = max(0, min(len(self._sorted) - 1,
                           int(q * len(self._sorted) + 0.5) - 1))
         return self._sorted[rank]

@@ -35,6 +35,7 @@ misrouting this engine exists to prevent.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence
@@ -50,9 +51,13 @@ from repro.southbound.diff import (
 )
 from repro.southbound.queue import UpdateQueue
 from repro.southbound.stats import SouthboundStats
+from repro.telemetry import Telemetry
+from repro.telemetry.log import kv
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.dataplane.flowtable import FlowTable
+
+logger = logging.getLogger("repro.southbound.engine")
 
 
 @dataclass(frozen=True)
@@ -97,10 +102,13 @@ class SouthboundEngine:
 
     def __init__(self, table: "FlowTable",
                  config: Optional[SouthboundConfig] = None,
-                 stats: Optional[SouthboundStats] = None):
+                 stats: Optional[SouthboundStats] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.table = table
         self.config = config or SouthboundConfig()
-        self.stats = stats or SouthboundStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats = (stats if stats is not None
+                      else SouthboundStats(registry=self.telemetry.registry))
         self.queue = UpdateQueue(max_pending=self.config.max_pending)
         self._observers: List[BatchObserver] = []
 
@@ -125,11 +133,14 @@ class SouthboundEngine:
         for this call: the caller intends to stage the delta and drive
         the two flush phases itself.
         """
-        delta = diff_classifier(self._projected_rules(), classifier,
-                                base_priority)
-        self.stats.syncs += 1
-        self.stats.rules_unchanged += delta.unchanged
-        self.queue.enqueue_many(delta.mods)
+        with self.telemetry.span("southbound.sync",
+                                 rules=len(classifier)) as span:
+            delta = diff_classifier(self._projected_rules(), classifier,
+                                    base_priority)
+            span.set_tag(mods=delta.total, unchanged=delta.unchanged)
+            self.stats.syncs += 1
+            self.stats.rules_unchanged += delta.unchanged
+            self.queue.enqueue_many(delta.mods)
         if flush is False:
             self.stats.mods_coalesced = self.queue.coalesced
         else:
@@ -139,10 +150,12 @@ class SouthboundEngine:
     def push_rules(self, rules: Iterable[FlowRule]) -> int:
         """Submit pre-built rules (the fast path's shadow rules) as adds."""
         count = 0
-        for rule in rules:
-            self.queue.enqueue(FlowMod.add(rule))
-            count += 1
-        self._after_submit()
+        with self.telemetry.span("southbound.push") as span:
+            for rule in rules:
+                self.queue.enqueue(FlowMod.add(rule))
+                count += 1
+            span.set_tag(rules=count)
+            self._after_submit()
         return count
 
     def retract_rules(self, rules: Iterable[FlowRule]) -> int:
@@ -216,20 +229,26 @@ class SouthboundEngine:
         if not ordered:
             return 0
         size = self.config.max_batch_size
-        for start in range(0, len(ordered), size):
-            batch = ordered[start:start + size]
-            began = time.perf_counter()
-            self.table.apply_delta(batch)
-            self.stats.record_batch(len(batch), time.perf_counter() - began)
-            for mod in batch:
-                if mod.op is FlowModOp.ADD:
-                    self.stats.adds_sent += 1
-                elif mod.op is FlowModOp.MODIFY:
-                    self.stats.modifies_sent += 1
-                else:
-                    self.stats.deletes_sent += 1
-            for observer in self._observers:
-                observer(batch)
+        with self.telemetry.span("southbound.apply", mods=len(ordered)):
+            for start in range(0, len(ordered), size):
+                batch = ordered[start:start + size]
+                began = time.perf_counter()
+                with self.telemetry.span("flowtable.apply", mods=len(batch)):
+                    self.table.apply_delta(batch)
+                self.stats.record_batch(len(batch),
+                                        time.perf_counter() - began)
+                for mod in batch:
+                    if mod.op is FlowModOp.ADD:
+                        self.stats.adds_sent += 1
+                    elif mod.op is FlowModOp.MODIFY:
+                        self.stats.modifies_sent += 1
+                    else:
+                        self.stats.deletes_sent += 1
+                for observer in self._observers:
+                    observer(batch)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug("apply %s", kv(mods=len(ordered),
+                                        table_rules=len(self.table)))
         return len(ordered)
 
     def __repr__(self) -> str:

@@ -3,49 +3,159 @@
 Everything the Figure 9/10 update-cost benchmarks need to report the
 delta engine's behaviour: FlowMods sent per kind, coalescing savings,
 batch sizes, per-batch apply latency, and how many rules each sync left
-untouched (the counter-preserving majority). Distributions are exposed as
+untouched (the counter-preserving majority).
+
+Since the telemetry PR, :class:`SouthboundStats` is a *facade over the
+metrics registry*: every scalar below is stored in a
+:class:`~repro.telemetry.registry.Counter` (``sdx_southbound_*``
+families), so the same numbers appear verbatim in ``repro stats``, the
+JSON snapshot, and the Prometheus exposition. The attribute API —
+including augmented assignment like ``stats.adds_sent += 1`` — is
+unchanged, and distributions still come back as
 :class:`~repro.experiments.metrics.Cdf` so they plug straight into the
 existing rendering machinery.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
 
 
-@dataclass
 class SouthboundStats:
-    """Cumulative southbound-engine measurements."""
+    """Cumulative southbound-engine measurements, registry-backed.
 
-    #: FlowMods sent to the table, by kind.
-    adds_sent: int = 0
-    modifies_sent: int = 0
-    deletes_sent: int = 0
-    #: Mods absorbed by per-key coalescing before they reached the switch.
-    mods_coalesced: int = 0
-    #: Classifier syncs processed (one per recompile swap).
-    syncs: int = 0
-    #: Rules a sync left untouched (counters preserved), cumulative.
-    rules_unchanged: int = 0
-    #: Batches applied and flushes forced by queue backpressure.
-    batches_applied: int = 0
-    backpressure_flushes: int = 0
-    #: Size of every batch applied, in order.
-    batch_sizes: List[int] = field(default_factory=list)
-    #: Wall-clock seconds each batch took to apply, in order.
-    apply_seconds: List[float] = field(default_factory=list)
+    Pass the controller's registry to share one namespace with the rest
+    of the pipeline; the default is a private registry so standalone
+    engines (and tests) stay isolated.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        flowmods = "FlowMods applied to the table, by kind"
+        self._adds = self.registry.counter(
+            "sdx_southbound_flowmods_total", flowmods, op="add")
+        self._modifies = self.registry.counter(
+            "sdx_southbound_flowmods_total", flowmods, op="modify")
+        self._deletes = self.registry.counter(
+            "sdx_southbound_flowmods_total", flowmods, op="delete")
+        self._coalesced = self.registry.counter(
+            "sdx_southbound_coalesced_total",
+            "Mods absorbed by per-key coalescing before reaching the switch")
+        self._syncs = self.registry.counter(
+            "sdx_southbound_syncs_total",
+            "Classifier syncs processed (one per recompile swap)")
+        self._unchanged = self.registry.counter(
+            "sdx_southbound_rules_unchanged_total",
+            "Rules a sync left untouched (counters preserved)")
+        self._batches = self.registry.counter(
+            "sdx_southbound_batches_total", "Batches applied to the table")
+        self._backpressure = self.registry.counter(
+            "sdx_southbound_backpressure_flushes_total",
+            "Flushes forced by queue backpressure")
+        self._batch_size = self.registry.histogram(
+            "sdx_southbound_batch_size", "FlowMods per applied batch")
+        self._apply_latency = self.registry.histogram(
+            "sdx_southbound_apply_seconds",
+            "Wall-clock seconds per applied batch")
+        #: Size of every batch applied, in order (exact, for the CDFs).
+        self.batch_sizes: List[int] = []
+        #: Wall-clock seconds each batch took to apply, in order.
+        self.apply_seconds: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Scalar counters (registry-backed attributes)
+    # ------------------------------------------------------------------
+
+    @property
+    def adds_sent(self) -> int:
+        """ADD FlowMods sent to the table."""
+        return self._adds.value
+
+    @adds_sent.setter
+    def adds_sent(self, value: int) -> None:
+        self._adds.set(value)
+
+    @property
+    def modifies_sent(self) -> int:
+        """MODIFY FlowMods sent to the table."""
+        return self._modifies.value
+
+    @modifies_sent.setter
+    def modifies_sent(self, value: int) -> None:
+        self._modifies.set(value)
+
+    @property
+    def deletes_sent(self) -> int:
+        """DELETE FlowMods sent to the table."""
+        return self._deletes.value
+
+    @deletes_sent.setter
+    def deletes_sent(self, value: int) -> None:
+        self._deletes.set(value)
+
+    @property
+    def mods_coalesced(self) -> int:
+        """Mods absorbed by per-key coalescing before the switch saw them."""
+        return self._coalesced.value
+
+    @mods_coalesced.setter
+    def mods_coalesced(self, value: int) -> None:
+        self._coalesced.set(value)
+
+    @property
+    def syncs(self) -> int:
+        """Classifier syncs processed (one per recompile swap)."""
+        return self._syncs.value
+
+    @syncs.setter
+    def syncs(self, value: int) -> None:
+        self._syncs.set(value)
+
+    @property
+    def rules_unchanged(self) -> int:
+        """Rules syncs left untouched (counters preserved), cumulative."""
+        return self._unchanged.value
+
+    @rules_unchanged.setter
+    def rules_unchanged(self, value: int) -> None:
+        self._unchanged.set(value)
+
+    @property
+    def batches_applied(self) -> int:
+        """Batches applied to the table."""
+        return self._batches.value
+
+    @batches_applied.setter
+    def batches_applied(self, value: int) -> None:
+        self._batches.set(value)
+
+    @property
+    def backpressure_flushes(self) -> int:
+        """Flushes forced by queue backpressure."""
+        return self._backpressure.value
+
+    @backpressure_flushes.setter
+    def backpressure_flushes(self, value: int) -> None:
+        self._backpressure.set(value)
 
     @property
     def mods_sent(self) -> int:
         """Total FlowMods actually applied to the table."""
         return self.adds_sent + self.modifies_sent + self.deletes_sent
 
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+
     def record_batch(self, size: int, seconds: float) -> None:
         """Account one applied batch."""
-        self.batches_applied += 1
+        self._batches.inc()
         self.batch_sizes.append(size)
         self.apply_seconds.append(seconds)
+        self._batch_size.observe(size)
+        self._apply_latency.observe(seconds)
 
     def batch_size_cdf(self):
         """Distribution of batch sizes (a :class:`~repro.experiments.metrics.Cdf`)."""

@@ -1,0 +1,94 @@
+"""End-to-end telemetry: metrics, tracing spans, exporters, logging.
+
+The observability substrate every other layer records into:
+
+- :mod:`repro.telemetry.registry` — counters, gauges, and streaming
+  histograms in a :class:`MetricsRegistry`;
+- :mod:`repro.telemetry.trace` — nested tracing spans with a bounded,
+  loss-accounted buffer;
+- :mod:`repro.telemetry.export` — JSON snapshot and Prometheus text
+  exposition;
+- :mod:`repro.telemetry.log` — structured ``key=value`` stdlib logging.
+
+:class:`Telemetry` bundles one registry with one tracer; the controller
+creates one per instance and threads it through the route server,
+compiler, VNH allocator, incremental engine, southbound engine, flow
+table, and ARP responder — so a single BGP update can be followed from
+ingest to FlowMod apply in one connected span tree, and ``repro stats``
+can report every stage from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "get_telemetry",
+    "set_telemetry",
+]
+
+
+class Telemetry:
+    """One metrics registry plus one tracer, wired together.
+
+    The tracer records its span/drop counters into the same registry, so
+    a single snapshot covers measurements *and* measurement losses.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 trace_capacity: int = 8192):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = (tracer if tracer is not None
+                       else Tracer(capacity=trace_capacity,
+                                   registry=self.registry))
+
+    def span(self, name: str, **tags: object):
+        """Open a tracing span (see :meth:`Tracer.span`)."""
+        return self.tracer.span(name, **tags)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON snapshot (metrics, losses, spans); see
+        :func:`repro.telemetry.export.json_snapshot`."""
+        from repro.telemetry.export import json_snapshot
+        return json_snapshot(self)
+
+    def __repr__(self) -> str:
+        return (f"Telemetry({len(self.registry)} metrics, "
+                f"{len(self.tracer.finished())} spans)")
+
+
+_default: Optional[Telemetry] = None
+
+
+def get_telemetry() -> Telemetry:
+    """The process-default :class:`Telemetry`, created on first use.
+
+    Components built outside a controller fall back to this, so their
+    measurements are never silently discarded.
+    """
+    global _default
+    if _default is None:
+        _default = Telemetry()
+    return _default
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> None:
+    """Replace the process default (``None`` resets to a fresh one)."""
+    global _default
+    _default = telemetry

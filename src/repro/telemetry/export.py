@@ -1,0 +1,81 @@
+"""Exporters: JSON snapshots and Prometheus text exposition.
+
+Two machine formats plus the human CLI views:
+
+* :func:`json_snapshot` — one dict carrying every metric, the event-loss
+  account, and the buffered span forest (what ``repro trace --json``
+  prints);
+* :func:`prometheus_exposition` — the Prometheus text format
+  (``# HELP`` / ``# TYPE`` plus one sample line per series; histograms
+  become summaries with ``{quantile="..."}`` series), scrapeable as-is
+  and greppable by ``make telemetry-smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.telemetry import Telemetry
+
+#: Quantiles exported for each histogram in the Prometheus exposition.
+EXPORTED_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def json_snapshot(telemetry: "Telemetry") -> Dict[str, object]:
+    """Everything the telemetry object holds, as one JSON-able dict."""
+    return {
+        "metrics": telemetry.registry.snapshot(),
+        "losses": telemetry.registry.losses(),
+        "spans": telemetry.tracer.span_tree(),
+        "spans_dropped": telemetry.tracer.spans_dropped,
+    }
+
+
+def render_json(telemetry: "Telemetry", indent: int = 2) -> str:
+    """:func:`json_snapshot`, serialised."""
+    return json.dumps(json_snapshot(telemetry), indent=indent, sort_keys=True)
+
+
+def _label_text(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_exposition(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for metric in registry.metrics():
+        if isinstance(metric, Counter):
+            header(metric.name, "counter", metric.help)
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {metric.value}")
+        elif isinstance(metric, Gauge):
+            header(metric.name, "gauge", metric.help)
+            lines.append(
+                f"{metric.name}{_label_text(metric.labels)} {metric.value:g}")
+        elif isinstance(metric, Histogram):
+            header(metric.name, "summary", metric.help)
+            for q in EXPORTED_QUANTILES:
+                label_text = _label_text(metric.labels, f'quantile="{q}"')
+                lines.append(
+                    f"{metric.name}{label_text} {metric.quantile(q):.9g}")
+            labels = _label_text(metric.labels)
+            lines.append(f"{metric.name}_sum{labels} {metric.sum:.9g}")
+            lines.append(f"{metric.name}_count{labels} {metric.count}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,74 @@
+"""Structured stdlib logging for the SDX pipeline.
+
+Every instrumented module logs through ``logging.getLogger("repro.<...>")``
+with messages built from :func:`kv` so each line is a flat, greppable
+sequence of ``key=value`` pairs. :func:`configure_logging` is the one-call
+configurator::
+
+    from repro.telemetry.log import configure_logging
+    configure_logging("DEBUG")
+
+    # -> ts=2014-08-17T12:00:00 level=INFO logger=repro.core.controller \
+    #    msg="recompile rules=412 groups=87 seconds=0.031"
+
+Nothing here installs handlers at import time: the library stays silent
+(stdlib ``NullHandler`` convention) until an application opts in.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+#: The root logger every repro module logs beneath.
+ROOT_LOGGER = "repro"
+
+
+def kv(**fields: object) -> str:
+    """``fields`` rendered as space-separated ``key=value`` pairs.
+
+    Values containing whitespace are quoted so lines stay splittable.
+    """
+    parts = []
+    for key, value in fields.items():
+        text = f"{value:.6g}" if isinstance(value, float) else str(value)
+        if " " in text:
+            text = f'"{text}"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Formats records as ``ts=... level=... logger=... msg="..."``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render one record as a structured key=value line."""
+        timestamp = self.formatTime(record, "%Y-%m-%dT%H:%M:%S")
+        message = record.getMessage()
+        line = (f"ts={timestamp} level={record.levelname} "
+                f"logger={record.name} msg=\"{message}\"")
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(level: str = "INFO",
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Attach a structured handler to the ``repro`` logger tree.
+
+    Idempotent: a previously installed handler is replaced, not
+    duplicated. Returns the configured root logger; pass ``stream`` to
+    capture output (tests) instead of writing to stderr.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    handler.name = "repro-telemetry"
+    for existing in list(logger.handlers):
+        if existing.name == handler.name:
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

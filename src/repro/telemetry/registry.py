@@ -1,0 +1,353 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Every pipeline stage records into a :class:`MetricsRegistry` — one per
+:class:`~repro.core.controller.SdxController` by default, so concurrent
+controllers (tests, ablations) never share state. Three metric kinds
+cover the paper's evaluation axes:
+
+* :class:`Counter` — monotonic event counts (updates processed, FlowMods
+  sent, spans dropped);
+* :class:`Gauge` — instantaneous levels (installed rules, live VNH
+  pairs);
+* :class:`Histogram` — *streaming* latency/size distributions. Samples
+  land in logarithmic buckets (5% relative width), so p50/p99/max come
+  out of O(buckets) memory without storing a single raw sample — the
+  property that lets the registry run inside the update hot path.
+
+Event-loss accounting rides on a naming convention: counters ending in
+``_dropped_total``, ``_misses_total``, or ``_skipped_total`` count events
+the pipeline *lost* (trace-buffer overflow, flow-table misses, ARP
+failures, re-advertisements to down sessions); :meth:`MetricsRegistry.losses`
+collects them so one call answers "did anything fall on the floor?".
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Label sets are stored canonically as sorted (key, value) tuples.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Suffixes marking a counter as part of the event-loss account.
+LOSS_SUFFIXES = ("_dropped_total", "_misses_total", "_skipped_total")
+
+
+def _canonical_labels(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common identity shared by every metric kind."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help_text: str, labels: LabelItems):
+        self.name = name
+        self.help = help_text
+        self._labels = labels
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        """The metric's label set as a plain dict."""
+        return dict(self._labels)
+
+    @property
+    def full_name(self) -> str:
+        """``name{k=v,...}`` — the unique series identity."""
+        if not self._labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self._labels)
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name})"
+
+
+class Counter(Metric):
+    """A monotonically increasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labels: LabelItems):
+        super().__init__(name, help_text, labels)
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._value += amount
+
+    def set(self, value: int) -> None:
+        """Force the count to ``value`` (must not decrease).
+
+        Exists for stats facades that mirror an externally-owned total
+        (the southbound queue's coalescing count) into the registry.
+        """
+        if value < self._value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease "
+                f"({self._value} -> {value})")
+        self._value = value
+
+
+class Gauge(Metric):
+    """An instantaneous level that may go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labels: LabelItems):
+        super().__init__(name, help_text, labels)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Set the level."""
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the level by ``amount``."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the level by ``amount``."""
+        self._value -= amount
+
+
+#: Bucket boundaries grow by this factor — ~5% relative quantile error.
+_HISTOGRAM_BASE = 1.1
+_LOG_BASE = math.log(_HISTOGRAM_BASE)
+
+
+class Histogram(Metric):
+    """A streaming distribution over non-negative samples.
+
+    Each sample lands in the logarithmic bucket ``floor(log_b(value))``
+    (``b`` = 1.1), so memory is proportional to the sample *range*, not
+    the sample count, and any quantile is recoverable to within one
+    bucket (~5% relative error). ``min`` and ``max`` are tracked exactly,
+    and :meth:`quantile` returns them exactly at q=0 and q=1 — matching
+    the exact-endpoint contract of
+    :meth:`repro.experiments.metrics.Cdf.quantile`.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, labels: LabelItems):
+        super().__init__(name, help_text, labels)
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    @classmethod
+    def from_samples(cls, name: str, samples: Iterable[float],
+                     help_text: str = "") -> "Histogram":
+        """A standalone histogram pre-filled with ``samples``.
+
+        The benchmark scripts use this to push their measured
+        distributions through the same percentile implementation the
+        runtime telemetry reports from.
+        """
+        histogram = cls(name, help_text, ())
+        for sample in samples:
+            histogram.observe(sample)
+        return histogram
+
+    @staticmethod
+    def _bucket_of(value: float) -> int:
+        if value <= 0:
+            return -(10 ** 6)  # dedicated underflow bucket
+        return math.floor(math.log(value) / _LOG_BASE)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        index = self._bucket_of(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        """Samples observed."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed sample."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest sample (0.0 before any observation)."""
+        return 0.0 if self._min is None else self._min
+
+    @property
+    def max(self) -> float:
+        """Largest sample (0.0 before any observation)."""
+        return 0.0 if self._max is None else self._max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile by nearest rank over the bucketed samples.
+
+        Exact at the endpoints (``q=0`` → min, ``q=1`` → max); interior
+        quantiles return the geometric midpoint of the owning bucket,
+        clamped into ``[min, max]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = max(1, min(self._count, math.ceil(q * self._count)))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                if index <= -(10 ** 6):
+                    return max(0.0, self.min)
+                low = _HISTOGRAM_BASE ** index
+                high = _HISTOGRAM_BASE ** (index + 1)
+                mid = math.sqrt(low * high)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - rank always reached
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard summary quantiles: p50, p90, p99, and max."""
+        return {
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and snapshots metrics.
+
+    ``counter()``/``gauge()``/``histogram()`` are get-or-create: asking
+    twice for the same ``(name, labels)`` returns the same object, so
+    distant pipeline stages can share a series without passing handles
+    around. Re-registering a name under a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help_text: str,
+                       labels: Dict[str, str]) -> Metric:
+        key = (name, _canonical_labels(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, help_text, key[1])
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get_or_create(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get_or_create(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  **labels: str) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get_or_create(Histogram, name, help_text, labels)
+
+    def metrics(self) -> List[Metric]:
+        """Every registered metric, ordered by (name, labels)."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str) -> Optional[Metric]:
+        """The metric at ``(name, labels)``, or ``None``."""
+        return self._metrics.get((name, _canonical_labels(labels)))
+
+    def losses(self) -> Dict[str, int]:
+        """Every loss-accounting counter (see module docstring), by
+        full name — nonzero values mean the pipeline dropped events."""
+        out: Dict[str, int] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Counter) and metric.name.endswith(LOSS_SUFFIXES):
+                out[metric.full_name] = metric.value
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serialisable dump of every metric.
+
+        Counters and gauges map to their value; histograms to a dict of
+        count/sum/min/mean/percentiles.
+        """
+        out: Dict[str, object] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                out[metric.full_name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min,
+                    "mean": metric.mean,
+                    **metric.percentiles(),
+                }
+            else:
+                out[metric.full_name] = metric.value  # type: ignore[union-attr]
+        return out
+
+    def render(self) -> str:
+        """A plain-text table of every metric (the ``repro stats`` view)."""
+        rows: List[Tuple[str, str]] = []
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                if metric.count == 0:
+                    rows.append((metric.full_name, "(no samples)"))
+                    continue
+                p = metric.percentiles()
+                rows.append((
+                    metric.full_name,
+                    f"count={metric.count} p50={p['p50']:.6g} "
+                    f"p99={p['p99']:.6g} max={p['max']:.6g}"))
+            else:
+                value = metric.value  # type: ignore[union-attr]
+                rows.append((metric.full_name, f"{value:g}"))
+        if not rows:
+            return "(no metrics)"
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name.ljust(width)}  {value}"
+                        for name, value in rows)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

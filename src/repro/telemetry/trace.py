@@ -1,0 +1,259 @@
+"""Lightweight tracing spans threaded through the SDX update path.
+
+A span marks one timed stage of the pipeline::
+
+    with telemetry.span("compile.fec", prefixes=1500):
+        groups = compute_prefix_groups(...)
+
+Spans nest via a per-thread stack, so one BGP burst produces a connected
+tree — ``bgp.ingest`` → ``bgp.decision`` / ``controller.update`` →
+``fastpath.prefix`` → ``vnh.assign`` / ``compile.fastpath`` /
+``southbound.push`` → ``flowtable.apply`` — that can be followed end to
+end by span/parent IDs (the JSON export and ``repro trace`` render it).
+
+Cost model: a *disabled* tracer returns a shared no-op handle (one
+attribute read and a truth test per instrumentation point); an enabled
+tracer pays two ``perf_counter()`` calls and one ring-buffer append per
+span. Finished spans live in a bounded ring buffer — when it overflows,
+the oldest span is evicted and the ``sdx_trace_spans_dropped_total``
+counter records the loss instead of the process growing without bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) stage of the pipeline."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: int
+    start: float
+    end: float = 0.0
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds the span covered."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view of the span."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "duration": self.duration,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name}, id={self.span_id}, "
+                f"parent={self.parent_id}, {self.duration * 1000:.3f} ms)")
+
+
+class _NullHandle:
+    """The no-op span handle a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_tag(self, **tags: object) -> None:
+        """Discard tags (tracing is disabled)."""
+        return None
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class _SpanHandle:
+    """Context manager that opens a span on entry and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, object]):
+        self._tracer = tracer
+        self._span = Span(
+            name=name, span_id=0, parent_id=None, trace_id=0,
+            start=0.0, tags=tags)
+
+    def set_tag(self, **tags: object) -> None:
+        """Attach tags to the open span (e.g. a result count)."""
+        self._span.tags.update(tags)
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self._span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return None
+
+
+class Tracer:
+    """Produces spans and keeps the bounded buffer of finished ones."""
+
+    def __init__(self, capacity: int = 8192, enabled: bool = True,
+                 registry: Optional[MetricsRegistry] = None):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._finished: Deque[Span] = deque()
+        self._lock = threading.Lock()
+        self.spans_dropped = 0
+        self._spans_counter = None
+        self._dropped_counter = None
+        if registry is not None:
+            self._spans_counter = registry.counter(
+                "sdx_trace_spans_total", "Spans finished by the tracer")
+            self._dropped_counter = registry.counter(
+                "sdx_trace_spans_dropped_total",
+                "Spans evicted from the full trace buffer")
+
+    # ------------------------------------------------------------------
+    # Producing spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **tags: object) -> "_SpanHandle | _NullHandle":
+        """A context manager timing one ``name`` stage.
+
+        Returns a shared no-op handle when the tracer is disabled, so
+        instrumentation points cost one branch in that configuration.
+        """
+        if not self.enabled:
+            return _NULL_HANDLE
+        return _SpanHandle(self, name, dict(tags))
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = next(self._ids)
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
+        else:
+            span.parent_id = None
+            span.trace_id = span.span_id
+        span.start = time.perf_counter() - self._epoch
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter() - self._epoch
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; recover conservatively
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            if len(self._finished) >= self.capacity:
+                self._finished.popleft()
+                self.spans_dropped += 1
+                if self._dropped_counter is not None:
+                    self._dropped_counter.inc()
+            self._finished.append(span)
+        if self._spans_counter is not None:
+            self._spans_counter.inc()
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Reading spans back
+    # ------------------------------------------------------------------
+
+    def finished(self) -> Tuple[Span, ...]:
+        """Every buffered finished span, oldest first."""
+        with self._lock:
+            return tuple(self._finished)
+
+    def clear(self) -> None:
+        """Drop buffered spans (loss counters are left alone)."""
+        with self._lock:
+            self._finished.clear()
+
+    def span_tree(self) -> List[Dict[str, object]]:
+        """The buffered spans as a forest of nested dicts.
+
+        Children appear under their parent's ``"children"`` key in
+        start order; spans whose parent was evicted from the buffer
+        surface as roots so the forest always accounts for every span.
+        """
+        spans = self.finished()
+        nodes = {span.span_id: {**span.to_dict(), "children": []}
+                 for span in spans}
+        roots: List[Dict[str, object]] = []
+        for span in sorted(spans, key=lambda s: s.start):
+            node = nodes[span.span_id]
+            parent = (nodes.get(span.parent_id)
+                      if span.parent_id is not None else None)
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def render(self, max_spans: int = 200) -> str:
+        """The span forest as an indented plain-text tree."""
+        lines: List[str] = []
+
+        def walk(node: Dict[str, object], depth: int) -> None:
+            if len(lines) >= max_spans:
+                return
+            tags = node["tags"]
+            extra = ("  " + " ".join(f"{k}={v}" for k, v in tags.items())
+                     if tags else "")
+            lines.append(
+                f"{'  ' * depth}{node['name']}  "
+                f"[{node['duration'] * 1000:.3f} ms]{extra}")
+            for child in node["children"]:
+                walk(child, depth + 1)
+
+        for root in self.span_tree():
+            walk(root, 0)
+        if not lines:
+            return "(no spans recorded)"
+        if self.spans_dropped:
+            lines.append(f"... ({self.spans_dropped} spans dropped "
+                         f"from the buffer)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"Tracer({state}, {len(self._finished)} buffered, "
+                f"{self.spans_dropped} dropped)")

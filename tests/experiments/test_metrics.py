@@ -28,6 +28,25 @@ class TestCdf:
         with pytest.raises(ValueError):
             Cdf([1.0]).quantile(1.5)
 
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 10, 99, 100, 101, 1000])
+    def test_quantile_endpoints_exact_for_any_size(self, size):
+        samples = [float(v) for v in range(size)]
+        cdf = Cdf(samples)
+        assert cdf.quantile(0.0) == min(samples)
+        assert cdf.quantile(1.0) == max(samples)
+
+    def test_quantile_endpoints_unsorted_input(self):
+        cdf = Cdf([5.0, 1.0, 9.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 9.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6),
+                    min_size=1, max_size=200))
+    def test_quantile_endpoints_property(self, samples):
+        cdf = Cdf(samples)
+        assert cdf.quantile(0.0) == min(samples)
+        assert cdf.quantile(1.0) == max(samples)
+
     def test_points_cover_range(self):
         cdf = Cdf(range(1000))
         points = cdf.points(count=10)

@@ -1,0 +1,107 @@
+"""Tests for the JSON and Prometheus exporters, and structured logging."""
+
+import io
+import json
+import logging
+
+from repro.telemetry import Telemetry
+from repro.telemetry.export import (
+    prometheus_exposition,
+    render_json,
+)
+from repro.telemetry.log import configure_logging, kv
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestJsonExport:
+    def test_render_json_round_trips(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("sdx_events_total").inc(4)
+        with telemetry.span("work", items=2):
+            pass
+        data = json.loads(render_json(telemetry))
+        assert data["metrics"]["sdx_events_total"] == 4
+        assert data["spans"][0]["name"] == "work"
+        assert data["spans"][0]["tags"] == {"items": 2}
+        assert data["spans_dropped"] == 0
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("sdx_events_total", "Things that happened").inc(3)
+        registry.gauge("sdx_level", "Current level").set(2.5)
+        text = prometheus_exposition(registry)
+        assert "# HELP sdx_events_total Things that happened" in text
+        assert "# TYPE sdx_events_total counter" in text
+        assert "sdx_events_total 3" in text
+        assert "# TYPE sdx_level gauge" in text
+        assert "sdx_level 2.5" in text
+        assert text.endswith("\n")
+
+    def test_labelled_series_share_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("sdx_mods_total", "Mods", op="add").inc()
+        registry.counter("sdx_mods_total", "Mods", op="delete").inc(2)
+        text = prometheus_exposition(registry)
+        assert text.count("# TYPE sdx_mods_total counter") == 1
+        assert 'sdx_mods_total{op="add"} 1' in text
+        assert 'sdx_mods_total{op="delete"} 2' in text
+
+    def test_histogram_as_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("sdx_latency_seconds", "Latency")
+        for value in (0.01, 0.02, 0.03):
+            histogram.observe(value)
+        text = prometheus_exposition(registry)
+        assert "# TYPE sdx_latency_seconds summary" in text
+        assert 'sdx_latency_seconds{quantile="0.5"}' in text
+        assert 'sdx_latency_seconds{quantile="0.99"}' in text
+        assert "sdx_latency_seconds_sum" in text
+        assert "sdx_latency_seconds_count 3" in text
+
+    def test_empty_registry(self):
+        assert prometheus_exposition(MetricsRegistry()) == ""
+
+
+class TestKv:
+    def test_basic_pairs(self):
+        assert kv(a=1, b="x") == "a=1 b=x"
+
+    def test_floats_compact(self):
+        assert kv(seconds=0.03125) == "seconds=0.03125"
+        assert kv(seconds=1 / 3) == "seconds=0.333333"
+
+    def test_whitespace_quoted(self):
+        assert kv(msg="two words") == 'msg="two words"'
+
+
+class TestConfigureLogging:
+    def test_structured_line_format(self):
+        stream = io.StringIO()
+        logger = configure_logging("INFO", stream=stream)
+        try:
+            logging.getLogger("repro.test.module").info(
+                "recompiled %s", kv(rules=10))
+            line = stream.getvalue().strip()
+            assert line.startswith("ts=")
+            assert "level=INFO" in line
+            assert "logger=repro.test.module" in line
+            assert 'msg="recompiled rules=10"' in line
+        finally:
+            for handler in list(logger.handlers):
+                if handler.name == "repro-telemetry":
+                    logger.removeHandler(handler)
+
+    def test_idempotent(self):
+        stream = io.StringIO()
+        logger = configure_logging("INFO", stream=stream)
+        configure_logging("DEBUG", stream=stream)
+        try:
+            ours = [h for h in logger.handlers if h.name == "repro-telemetry"]
+            assert len(ours) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in list(logger.handlers):
+                if handler.name == "repro-telemetry":
+                    logger.removeHandler(handler)

@@ -1,0 +1,142 @@
+"""End-to-end telemetry: one BGP burst must yield a connected span tree
+and nonzero counters for every pipeline stage."""
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.policy.policies import fwd, match
+
+
+def _started_controller() -> SdxController:
+    controller = SdxController.build({"A": 100, "B": 200, "C": 300})
+    controller.announce_route("B", IPv4Prefix("10.0.0.0/24"), AsPath([200]))
+    controller.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+    controller.start()
+    return controller
+
+
+def _span_names(node, out=None):
+    if out is None:
+        out = []
+    out.append(node["name"])
+    for child in node["children"]:
+        _span_names(child, out)
+    return out
+
+
+class TestSpanTreeConnectivity:
+    def test_one_update_forms_one_connected_tree(self):
+        controller = _started_controller()
+        controller.telemetry.tracer.clear()
+        controller.announce_route(
+            "C", IPv4Prefix("10.0.0.0/24"), AsPath([300, 400]))
+        roots = controller.telemetry.tracer.span_tree()
+        assert len(roots) == 1, "one BGP burst must produce one trace"
+        root = roots[0]
+        assert root["name"] == "bgp.ingest"
+        names = _span_names(root)
+        # Every stage of the update path appears in the single tree:
+        # ingest -> decision, and ingest -> controller -> fast path ->
+        # VNH assignment -> compile -> southbound -> flowtable apply.
+        for stage in ("bgp.decision", "controller.update", "fastpath",
+                      "fastpath.prefix", "vnh.assign", "compile.fastpath",
+                      "southbound.push", "southbound.apply",
+                      "flowtable.apply"):
+            assert stage in names, f"missing span {stage!r}"
+        # All spans carry the root's trace id.
+        spans = controller.telemetry.tracer.finished()
+        assert len({span.trace_id for span in spans}) == 1
+
+    def test_tree_survives_json_export(self):
+        controller = _started_controller()
+        controller.telemetry.tracer.clear()
+        controller.announce_route(
+            "C", IPv4Prefix("10.0.0.0/24"), AsPath([300, 400]))
+        snapshot = controller.telemetry.snapshot()
+        (root,) = snapshot["spans"]
+        assert root["name"] == "bgp.ingest"
+        assert _span_names(root).count("flowtable.apply") >= 1
+
+    def test_start_produces_compile_stage_spans(self):
+        controller = _started_controller()
+        names = []
+        for root in controller.telemetry.tracer.span_tree():
+            _span_names(root, names)
+        for stage in ("controller.start", "compile", "compile.fec",
+                      "compile.vnh", "compile.composition", "install_full",
+                      "southbound.sync"):
+            assert stage in names
+
+
+class TestStageCounters:
+    def test_every_stage_counts_activity(self):
+        controller = _started_controller()
+        controller.announce_route(
+            "C", IPv4Prefix("10.0.0.0/24"), AsPath([300, 400]))
+        controller.run_background_recompilation()
+        registry = controller.telemetry.registry
+
+        def value(name, **labels):
+            metric = registry.get(name, **labels)
+            assert metric is not None, f"metric {name!r} not registered"
+            return metric.value
+
+        assert value("sdx_bgp_updates_total") > 0
+        assert value("sdx_bgp_announcements_total") > 0
+        assert value("sdx_bgp_best_route_changes_total") > 0
+        assert value("sdx_compile_total") > 0
+        assert value("sdx_vnh_allocated_total") > 0
+        assert value("sdx_vnh_ephemeral_total") > 0
+        assert value("sdx_fastpath_invocations_total") > 0
+        assert value("sdx_recompile_total") > 0
+        assert value("sdx_southbound_flowmods_total", op="add") > 0
+        assert value("sdx_southbound_syncs_total") > 0
+        assert value("sdx_flowtable_mods_total", op="add") > 0
+        assert value("sdx_flowtable_rules") > 0
+        assert value("sdx_trace_spans_total") > 0
+        # Histograms saw samples too.
+        assert registry.get("sdx_compile_seconds").count > 0
+        assert registry.get("sdx_fastpath_seconds").count > 0
+        assert registry.get("sdx_southbound_apply_seconds").count > 0
+
+    def test_controllers_do_not_share_registries(self):
+        first = _started_controller()
+        before = first.telemetry.registry.get("sdx_bgp_updates_total").value
+        second = _started_controller()
+        second.announce_route(
+            "C", IPv4Prefix("10.0.0.0/24"), AsPath([300, 400]))
+        assert (first.telemetry.registry.get("sdx_bgp_updates_total").value
+                == before)
+        assert second.telemetry.registry is not first.telemetry.registry
+
+    def test_flowtable_miss_loss_accounting(self):
+        # A started controller installs catch-all defaults, so misses can
+        # only happen on a table without them: use a bare bound table.
+        from repro.dataplane.flowtable import FlowTable
+        from repro.net.packet import Packet
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry()
+        table = FlowTable()
+        table.bind_telemetry(telemetry)
+        table.process(Packet(port=999))
+        losses = telemetry.registry.losses()
+        assert losses["sdx_flowtable_misses_total"] == 1
+
+    def test_summary_still_reports_southbound_numbers(self):
+        controller = _started_controller()
+        summary = controller.summary()
+        assert summary["flowmods_sent"] > 0
+        assert summary["flowmods_sent"] == controller.southbound.stats.mods_sent
+
+
+class TestTracingOverheadPath:
+    def test_disabled_tracer_skips_span_recording(self):
+        controller = _started_controller()
+        controller.telemetry.tracer.clear()
+        controller.telemetry.tracer.enabled = False
+        controller.announce_route(
+            "C", IPv4Prefix("10.0.0.0/24"), AsPath([300, 400]))
+        assert controller.telemetry.tracer.finished() == ()
+        # Counters still work with tracing off.
+        assert (controller.telemetry.registry
+                .get("sdx_fastpath_invocations_total").value > 0)

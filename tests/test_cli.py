@@ -64,6 +64,43 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fast path median" in out
 
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--participants", "8", "--prefixes", "60",
+                     "--updates", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "sdx_bgp_updates_total" in out
+        assert "sdx_compile_seconds" in out
+        assert "sdx_southbound_flowmods_total" in out
+
+    def test_stats_json(self, capsys):
+        import json
+        assert main(["stats", "--participants", "8", "--prefixes", "60",
+                     "--updates", "5", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["metrics"]["sdx_bgp_updates_total"] > 0
+        assert data["spans"], "span tree must survive the JSON export"
+
+    def test_stats_prometheus(self, capsys):
+        assert main(["stats", "--participants", "8", "--prefixes", "60",
+                     "--updates", "5", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sdx_bgp_updates_total counter" in out
+        assert 'sdx_compile_stage_seconds{stage="composition",quantile' in out
+
+    def test_trace_text(self, capsys):
+        assert main(["trace", "--participants", "8", "--prefixes", "60",
+                     "--updates", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "bgp.ingest" in out
+        assert "flowtable.apply" in out
+
+    def test_trace_json(self, capsys):
+        import json
+        assert main(["trace", "--participants", "8", "--prefixes", "60",
+                     "--updates", "5", "--json"]) == 0
+        roots = json.loads(capsys.readouterr().out)
+        assert any(root["name"] == "bgp.ingest" for root in roots)
+
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
             main(["figure-nine"])
