@@ -2,7 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-results examples docs telemetry-smoke clean
+.PHONY: install test lint bench bench-results examples docs telemetry-smoke fuzz clean
+
+# Differential fuzzing session knobs (see docs/TESTING.md).
+FUZZ_SEED ?= 0
+FUZZ_BUDGET ?= 60
+FUZZ_ARTIFACTS ?= artifacts/fuzz
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -36,6 +41,15 @@ examples:
 
 docs:
 	$(PYTHON) tools/gen_api_docs.py
+
+# Time-boxed differential fuzzing of the update pipeline: the marked
+# soak tests, then a budgeted `repro fuzz` session that drops replayable
+# artifacts under $(FUZZ_ARTIFACTS) on divergence.
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m pytest -m fuzz
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
+		--scenarios 1000 --time-budget $(FUZZ_BUDGET) \
+		--artifact-dir $(FUZZ_ARTIFACTS)
 
 # Runs a small workload, dumps the Prometheus exposition, and checks
 # that every core metric family reported activity.

@@ -39,6 +39,7 @@ EXPERIMENTS = {
     "check": "load a JSON exchange config, compile it, report",
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
+    "fuzz": "differential fuzzing of the update pipeline (verification)",
 }
 
 
@@ -114,6 +115,24 @@ def _parser() -> argparse.ArgumentParser:
     trace = telemetry_command("trace")
     trace.add_argument("--json", action="store_true",
                        help="emit the span forest as JSON instead of a tree")
+
+    fuzz = common("fuzz")
+    fuzz.add_argument("--scenarios", type=int, default=5,
+                      help="independent scenarios to run (default 5)")
+    fuzz.add_argument("--steps", type=int, default=12,
+                      help="BGP trace steps per scenario (default 12)")
+    fuzz.add_argument("--participants", type=int, default=4)
+    fuzz.add_argument("--prefixes", type=int, default=4)
+    fuzz.add_argument("--policies", type=int, default=5)
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="directory for replayable failure artifacts")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      help="wall-clock budget in seconds")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip trace minimisation on failure")
+    fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="replay a saved failure artifact instead of "
+                           "fuzzing")
     return parser
 
 
@@ -206,6 +225,25 @@ def _run_trace(args) -> str:
     return tracer.render()
 
 
+def _run_fuzz(args) -> int:
+    from repro.verification import FuzzConfig, replay_artifact, run_fuzz
+
+    if args.replay is not None:
+        failure = replay_artifact(args.replay)
+        if failure is None:
+            print(f"replay {args.replay}: no failure reproduced")
+            return 0
+        print(f"replay {args.replay}: {failure}")
+        return 1
+    report = run_fuzz(FuzzConfig(
+        seed=args.seed, scenarios=args.scenarios, steps=args.steps,
+        participants=args.participants, prefixes=args.prefixes,
+        policies=args.policies, artifact_dir=args.artifact_dir,
+        time_budget_seconds=args.time_budget, shrink=not args.no_shrink))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -251,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_stats(args))
     elif args.command == "trace":
         print(_run_trace(args))
+    elif args.command == "fuzz":
+        return _run_fuzz(args)
     elif args.command == "check":
         from repro.config import load_config
         from repro.core.analysis import analyze_sdx

@@ -202,6 +202,18 @@ class SouthboundEngine:
         """Register a callback invoked after each batch is applied."""
         self._observers.append(observer)
 
+    def remove_observer(self, observer: BatchObserver) -> None:
+        """Unregister a batch observer; unknown observers are ignored.
+
+        Transient observers (the verification swap monitor, golden-batch
+        capture in tests) attach around one flush window and must detach
+        without disturbing longer-lived observers.
+        """
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def flush_installs(self) -> int:
         """Apply pending adds and modifies now, leaving deletes queued.
 

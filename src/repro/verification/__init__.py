@@ -1,0 +1,87 @@
+"""Differential fuzzing and invariant verification for the SDX pipeline.
+
+The paper's correctness story rests on two claims that are easy to break
+and hard to eyeball: the two-stage incremental compiler is *semantically
+transparent* (Section 4.3 — "the fast path trades space, never
+correctness"), and the southbound table swap is *consistency preserving*
+(every packet follows the old or the new path at every intermediate
+state). This package turns both claims into executable oracles:
+
+- :mod:`repro.verification.scenario` — seeded, replayable scenarios:
+  a small exchange, a policy mix, and a BGP update trace drawn from the
+  same calibrated distributions as :mod:`repro.workloads.updates`;
+- :mod:`repro.verification.corpus` — a deterministic packet corpus
+  biased toward the scenario's policy match values and announced
+  prefixes;
+- :mod:`repro.verification.reference` — an independent packet-level
+  interpreter built on the real :class:`~repro.dataplane.switch
+  .SoftwareSwitch` / :class:`~repro.dataplane.flowtable.FlowTable`
+  machinery but sharing no compiler code;
+- :mod:`repro.verification.oracle` — three lockstep executions per trace
+  (full recompilation, incremental engine, reference interpreter) diffed
+  after every update, plus standing invariants;
+- :mod:`repro.verification.invariants` — isolation, BGP consistency,
+  default-route conformance via VNH/VMAC tags, and loss-free two-phase
+  southbound swaps;
+- :mod:`repro.verification.shrink` — trace minimisation to a minimal
+  failing prefix (truncate, then greedy event removal);
+- :mod:`repro.verification.artifact` — replayable JSON failure
+  artifacts (seed + shrunk trace);
+- :mod:`repro.verification.fuzz` — the budgeted fuzzing loop behind
+  ``python -m repro fuzz`` and ``make fuzz``.
+"""
+
+from repro.verification.artifact import FailureArtifact, replay_artifact
+from repro.verification.corpus import generate_corpus
+from repro.verification.fuzz import FuzzConfig, FuzzReport, run_fuzz
+from repro.verification.invariants import (
+    SwapMonitor,
+    Violation,
+    check_all,
+    check_bgp_consistency,
+    check_default_conformance,
+    check_single_delivery,
+)
+from repro.verification.oracle import (
+    DifferentialOracle,
+    OracleFailure,
+    compare_controllers,
+    forwarding_outcomes,
+)
+from repro.verification.reference import ReferenceInterpreter
+from repro.verification.scenario import (
+    Scenario,
+    ScenarioAnnouncement,
+    ScenarioParticipant,
+    ScenarioPolicy,
+    TraceStep,
+    generate_scenario,
+)
+from repro.verification.shrink import shrink_scenario
+
+__all__ = [
+    "DifferentialOracle",
+    "FailureArtifact",
+    "FuzzConfig",
+    "FuzzReport",
+    "OracleFailure",
+    "ReferenceInterpreter",
+    "Scenario",
+    "ScenarioAnnouncement",
+    "ScenarioParticipant",
+    "ScenarioPolicy",
+    "SwapMonitor",
+    "TraceStep",
+    "Violation",
+    "check_all",
+    "check_bgp_consistency",
+    "check_default_conformance",
+    "check_single_delivery",
+    "compare_controllers",
+    "forwarding_outcomes",
+    "generate_corpus",
+    "generate_scenario",
+    "replay_artifact",
+    "run_fuzz",
+    "shrink_scenario",
+]

@@ -1,0 +1,98 @@
+"""Replayable JSON failure artifacts.
+
+When the oracle finds a divergence, the fuzzer saves one self-contained
+JSON file: the (shrunk) scenario, the failure it reproduces, and enough
+bookkeeping to credit the original run. ``python -m repro fuzz --replay
+<file>`` (or :func:`replay_artifact`) rebuilds the scenario and re-runs
+the oracle — on an unmodified tree the same failure reappears; on a
+fixed tree the replay comes back clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.verification.oracle import DifferentialOracle, OracleFailure
+from repro.verification.scenario import Scenario
+
+#: Artifact format version.
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FailureArtifact:
+    """One saved failure: the shrunk scenario plus what it broke."""
+
+    scenario: Scenario
+    kind: str
+    step: int
+    detail: str
+    original_trace_length: int
+
+    @property
+    def failure(self) -> OracleFailure:
+        """The recorded failure as an :class:`OracleFailure`."""
+        return OracleFailure(kind=self.kind, step=self.step,
+                             detail=self.detail)
+
+    def file_name(self) -> str:
+        """A deterministic, filesystem-safe artifact name."""
+        slug = "".join(ch if ch.isalnum() else "-" for ch in self.kind)
+        return (f"failure-seed{self.scenario.seed}"
+                f"-steps{len(self.scenario.trace)}-{slug}.json")
+
+    def to_json(self) -> str:
+        """The artifact as deterministic, pretty-printed JSON."""
+        payload = {
+            "version": ARTIFACT_VERSION,
+            "kind": self.kind,
+            "step": self.step,
+            "detail": self.detail,
+            "original_trace_length": self.original_trace_length,
+            "scenario": self.scenario.to_dict(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, directory: Union[str, os.PathLike]) -> str:
+        """Write the artifact under ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(os.fspath(directory), self.file_name())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureArtifact":
+        """Rebuild an artifact from :meth:`to_json` output."""
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != ARTIFACT_VERSION:
+            raise ValueError(f"unsupported artifact version {version!r}")
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            kind=payload["kind"],
+            step=payload["step"],
+            detail=payload["detail"],
+            original_trace_length=payload["original_trace_length"])
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "FailureArtifact":
+        """Read an artifact file back."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def replay_artifact(source: Union[str, os.PathLike, FailureArtifact],
+                    ) -> Optional[OracleFailure]:
+    """Re-run a saved failure; returns whatever the oracle finds now.
+
+    ``None`` means the recorded failure no longer reproduces (the bug is
+    fixed, or environment-dependent — which the deterministic pipeline
+    is designed to rule out).
+    """
+    artifact = (source if isinstance(source, FailureArtifact)
+                else FailureArtifact.load(source))
+    return DifferentialOracle(artifact.scenario).run()

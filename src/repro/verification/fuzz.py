@@ -1,0 +1,187 @@
+"""The budgeted fuzzing loop behind ``python -m repro fuzz``.
+
+Each iteration derives an independent scenario seed from the session
+seed, generates a scenario + corpus, runs the differential oracle, and —
+on failure — shrinks the trace and saves a replayable artifact. The loop
+stops at the configured scenario count or when the wall-clock budget is
+spent, whichever comes first. All activity is recorded into the
+telemetry registry (``sdx_fuzz_*`` counters), so a fuzzing session shows
+up in the same ``repro stats`` snapshot as the pipeline it exercises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.telemetry import Telemetry, get_telemetry
+from repro.verification.artifact import FailureArtifact
+from repro.verification.corpus import generate_corpus
+from repro.verification.oracle import DifferentialOracle, OracleFailure
+from repro.verification.scenario import Scenario, generate_scenario
+from repro.verification.shrink import shrink_scenario
+from repro.workloads.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Tunables for one fuzzing session.
+
+    ``time_budget_seconds`` bounds wall-clock time (checked between
+    scenarios and before shrinking); ``artifact_dir`` enables failure
+    artifacts; ``shrink`` can be disabled for quick triage runs.
+    """
+
+    seed: int = 0
+    scenarios: int = 5
+    steps: int = 12
+    participants: int = 4
+    prefixes: int = 4
+    policies: int = 5
+    corpus_size: int = 12
+    recompile_every: int = 4
+    artifact_dir: Optional[str] = None
+    time_budget_seconds: Optional[float] = None
+    shrink: bool = True
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One failing scenario: where it came from and what it broke."""
+
+    scenario_index: int
+    scenario_seed: int
+    failure: OracleFailure
+    shrunk_trace_length: int
+    original_trace_length: int
+    artifact_path: Optional[str]
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzzing session."""
+
+    config: FuzzConfig
+    scenarios_run: int = 0
+    steps_executed: int = 0
+    comparisons: int = 0
+    shrink_runs: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    budget_exhausted: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario failed."""
+        return not self.findings
+
+    def summary(self) -> str:
+        """A deterministic multi-line summary (no wall-clock numbers)."""
+        lines = [
+            f"fuzz seed={self.config.seed}: {self.scenarios_run} "
+            f"scenario(s), {self.steps_executed} step(s), "
+            f"{self.comparisons} forwarding comparison(s)",
+        ]
+        if self.budget_exhausted:
+            lines.append("time budget exhausted before the scenario count")
+        if not self.findings:
+            lines.append("no divergence found")
+        for finding in self.findings:
+            lines.append(
+                f"FAIL scenario#{finding.scenario_index} "
+                f"(seed {finding.scenario_seed}): {finding.failure.kind} "
+                f"after step {finding.failure.step}, trace shrunk "
+                f"{finding.original_trace_length} -> "
+                f"{finding.shrunk_trace_length} step(s)")
+            lines.append(f"  {finding.failure.detail}")
+            if finding.artifact_path:
+                lines.append(f"  artifact: {finding.artifact_path}")
+        return "\n".join(lines)
+
+
+def _scenario_for(config: FuzzConfig, index: int) -> Scenario:
+    """The ``index``-th scenario of a session, independently seeded."""
+    return generate_scenario(
+        derive_seed(config.seed, f"scenario-{index}"),
+        participants=config.participants,
+        prefixes=config.prefixes,
+        policies=config.policies,
+        steps=config.steps)
+
+
+def run_fuzz(config: FuzzConfig,
+             telemetry: Optional[Telemetry] = None) -> FuzzReport:
+    """Run one fuzzing session; never raises on a finding."""
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    registry = telemetry.registry
+    scenarios_counter = registry.counter(
+        "sdx_fuzz_scenarios_total", "Fuzz scenarios executed")
+    steps_counter = registry.counter(
+        "sdx_fuzz_steps_total", "Trace steps executed across executions")
+    comparisons_counter = registry.counter(
+        "sdx_fuzz_comparisons_total", "Forwarding outcomes compared")
+    failures_counter = registry.counter(
+        "sdx_fuzz_failures_total", "Scenarios that diverged or broke an "
+        "invariant")
+    shrink_counter = registry.counter(
+        "sdx_fuzz_shrink_runs_total", "Oracle executions spent shrinking")
+
+    report = FuzzReport(config=config)
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if config.time_budget_seconds is None:
+            return False
+        return time.monotonic() - started >= config.time_budget_seconds
+
+    def runner(scenario: Scenario) -> Optional[OracleFailure]:
+        oracle = DifferentialOracle(
+            scenario, generate_corpus(scenario, size=config.corpus_size),
+            recompile_every=config.recompile_every)
+        return oracle.run()
+
+    for index in range(config.scenarios):
+        if out_of_budget():
+            report.budget_exhausted = True
+            break
+        scenario = _scenario_for(config, index)
+        with telemetry.span("fuzz.scenario", index=index,
+                            seed=scenario.seed):
+            oracle = DifferentialOracle(
+                scenario,
+                generate_corpus(scenario, size=config.corpus_size),
+                recompile_every=config.recompile_every)
+            failure = oracle.run()
+        report.scenarios_run += 1
+        report.steps_executed += oracle.steps_executed
+        report.comparisons += oracle.comparisons
+        scenarios_counter.inc()
+        steps_counter.inc(oracle.steps_executed)
+        comparisons_counter.inc(oracle.comparisons)
+        if failure is None:
+            continue
+        failures_counter.inc()
+        original_length = len(scenario.trace)
+        shrunk, final_failure, runs = (
+            shrink_scenario(scenario, failure, runner=runner)
+            if config.shrink and not out_of_budget()
+            else (scenario, failure, 0))
+        report.shrink_runs += runs
+        shrink_counter.inc(runs)
+        artifact_path: Optional[str] = None
+        if config.artifact_dir is not None:
+            artifact = FailureArtifact(
+                scenario=shrunk, kind=final_failure.kind,
+                step=final_failure.step, detail=final_failure.detail,
+                original_trace_length=original_length)
+            artifact_path = artifact.save(config.artifact_dir)
+        report.findings.append(FuzzFinding(
+            scenario_index=index,
+            scenario_seed=shrunk.seed,
+            failure=final_failure,
+            shrunk_trace_length=len(shrunk.trace),
+            original_trace_length=original_length,
+            artifact_path=artifact_path))
+    report.elapsed_seconds = time.monotonic() - started
+    return report

@@ -1,0 +1,238 @@
+"""Standing invariants checked after every fuzzed trace step.
+
+Each checker returns a list of :class:`Violation` records (empty =
+invariant holds), so the oracle can fold them into its failure report
+and the migrated integration tests can assert on them directly:
+
+- :func:`check_single_delivery` — totality/no-loops: every probe yields
+  at most one delivery, at a physical port, accepted by the router;
+- :func:`check_bgp_consistency` — delivered traffic always has an
+  announced-and-exported route at the egress participant (Section 4.1);
+- :func:`check_default_conformance` — border-router FIBs agree with the
+  route server, and emitted packets carry the VNH's virtual MAC tag
+  (the Section 4.2 encoding the whole data plane keys on);
+- :class:`SwapMonitor` — the southbound two-phase swap never drops a
+  probe mid-swap that is deliverable both before and after, and every
+  intermediate observation equals the old or the new outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import SdxController
+from repro.net.packet import Packet
+
+#: A forwarding outcome: (egress participant, delivery port) or dropped.
+Outcome = Optional[Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which invariant, and what happened."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def _physical_senders(controller: SdxController) -> List[str]:
+    return [participant.name
+            for participant in controller.topology.participants()
+            if not participant.is_remote]
+
+
+def outcome_of(controller: SdxController, sender: str,
+               packet: Packet) -> Outcome:
+    """One probe's (egress, delivery port), or ``None`` when dropped."""
+    accepted = [delivery for delivery in controller.send(sender, packet)
+                if delivery.accepted]
+    if not accepted:
+        return None
+    return accepted[0].participant, accepted[0].switch_port
+
+
+def check_single_delivery(controller: SdxController,
+                          probes: Sequence[Packet]) -> List[Violation]:
+    """Every probe: at most one delivery, physical port, accepted."""
+    violations: List[Violation] = []
+    physical = set(controller.topology.physical_ports())
+    for sender in _physical_senders(controller):
+        for index, probe in enumerate(probes):
+            deliveries = controller.send(sender, probe)
+            if len(deliveries) > 1:
+                violations.append(Violation(
+                    "single-delivery",
+                    f"{sender} probe#{index} delivered {len(deliveries)} "
+                    f"times"))
+            for delivery in deliveries:
+                if delivery.switch_port not in physical:
+                    violations.append(Violation(
+                        "single-delivery",
+                        f"{sender} probe#{index} exited virtual port "
+                        f"{delivery.switch_port}"))
+                if not delivery.accepted:
+                    violations.append(Violation(
+                        "single-delivery",
+                        f"{sender} probe#{index} refused by "
+                        f"{delivery.participant} (MAC mismatch)"))
+    return violations
+
+
+def check_bgp_consistency(controller: SdxController,
+                          probes: Sequence[Packet]) -> List[Violation]:
+    """Delivered traffic has an announced+exported covering route."""
+    violations: List[Violation] = []
+    server = controller.route_server
+    for sender in _physical_senders(controller):
+        for index, probe in enumerate(probes):
+            egress = controller.egress_of(sender, probe)
+            if egress is None:
+                continue
+            dstip = probe.get("dstip")
+            covering = [prefix for prefix in server.announced_by(egress)
+                        if prefix.contains_address(dstip)]
+            if not covering:
+                violations.append(Violation(
+                    "bgp-consistency",
+                    f"{sender} probe#{index} to {dstip} egressed at "
+                    f"{egress}, which announced no covering route"))
+            elif not server.exports_to(egress, sender):
+                violations.append(Violation(
+                    "bgp-consistency",
+                    f"{sender} probe#{index} delivered to {egress}, which "
+                    f"does not export to {sender}"))
+    return violations
+
+
+def check_default_conformance(controller: SdxController) -> List[Violation]:
+    """Router FIBs and VMAC tags agree with the route server + allocator.
+
+    For every (participant, prefix): a FIB entry exists exactly when the
+    route server has a best route for that participant, and — when the
+    prefix is VNH-tagged — packets the router emits toward the prefix
+    carry the allocator's virtual MAC, the tag every default and policy
+    rule matches on.
+    """
+    violations: List[Violation] = []
+    if controller.fabric is None:
+        return violations
+    server = controller.route_server
+    announced = sorted(server.all_prefixes())
+    for participant in controller.topology.participants():
+        router = participant.router
+        if router is None:
+            continue
+        for prefix in announced:
+            # Only check prefixes this prefix is the most specific cover
+            # for, so overlapping announcements don't cross-talk.
+            probe_ip = prefix.first_address + 1
+            specific = max(
+                (candidate for candidate in announced
+                 if candidate.contains_address(probe_ip)),
+                key=lambda candidate: candidate.length)
+            if specific != prefix:
+                continue
+            best = server.best_route_for(participant.name, prefix)
+            emitted = router.emit(Packet(dstip=probe_ip))
+            if best is None:
+                if emitted is not None:
+                    violations.append(Violation(
+                        "default-conformance",
+                        f"{participant.name} routes {prefix} with no best "
+                        f"route at the route server"))
+                continue
+            if emitted is None:
+                violations.append(Violation(
+                    "default-conformance",
+                    f"{participant.name} has no FIB entry for {prefix} "
+                    f"despite a best route via {best.learned_from}"))
+                continue
+            expected_vmac = controller.allocator.vmac_for_prefix(prefix)
+            if (expected_vmac is not None
+                    and emitted.get("dstmac") != expected_vmac):
+                violations.append(Violation(
+                    "default-conformance",
+                    f"{participant.name} tags {prefix} with "
+                    f"{emitted.get('dstmac')}, allocator says "
+                    f"{expected_vmac}"))
+    return violations
+
+
+def check_all(controller: SdxController,
+              probes: Sequence[Packet]) -> List[Violation]:
+    """Every standing invariant, concatenated."""
+    return (check_single_delivery(controller, probes)
+            + check_bgp_consistency(controller, probes)
+            + check_default_conformance(controller))
+
+
+class SwapMonitor:
+    """Observes a consistency-preserving table swap, probe by probe.
+
+    Attach around a recompilation (``with SwapMonitor(...) as monitor:``),
+    and the monitor re-forwards every probe after each southbound batch.
+    :meth:`violations` then reports two kinds of breach of the two-phase
+    guarantee:
+
+    * a probe deliverable both before and after the swap that dropped at
+      some intermediate table state (transient blackhole);
+    * an intermediate outcome that matches neither the old nor the new
+      forwarding (transient misrouting onto a stale mid-priority rule).
+    """
+
+    def __init__(self, controller: SdxController,
+                 probes: Sequence[Packet]):
+        self.controller = controller
+        self.probes = tuple(probes)
+        self.baseline: Dict[Tuple[str, int], Outcome] = {}
+        self.final: Dict[Tuple[str, int], Outcome] = {}
+        self.intermediate: List[Dict[Tuple[str, int], Outcome]] = []
+        self._probing = False
+
+    def _snapshot(self) -> Dict[Tuple[str, int], Outcome]:
+        return {
+            (sender, index): outcome_of(self.controller, sender, probe)
+            for sender in _physical_senders(self.controller)
+            for index, probe in enumerate(self.probes)
+        }
+
+    def _on_batch(self, batch) -> None:
+        if self._probing:  # pragma: no cover - defensive reentrancy guard
+            return
+        self._probing = True
+        try:
+            self.intermediate.append(self._snapshot())
+        finally:
+            self._probing = False
+
+    def __enter__(self) -> "SwapMonitor":
+        self.baseline = self._snapshot()
+        self.controller.southbound.add_observer(self._on_batch)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.controller.southbound.remove_observer(self._on_batch)
+        self.final = self._snapshot()
+
+    def violations(self) -> List[Violation]:
+        """Breaches of the old-path-or-new-path guarantee."""
+        out: List[Violation] = []
+        for key, before in self.baseline.items():
+            after = self.final.get(key)
+            allowed = {before, after}
+            for stage, snapshot in enumerate(self.intermediate):
+                seen = snapshot.get(key)
+                if seen in allowed:
+                    continue
+                sender, index = key
+                kind = ("transient blackhole" if seen is None
+                        else "transient misroute")
+                out.append(Violation(
+                    "two-phase-swap",
+                    f"{kind}: {sender} probe#{index} saw {seen} at batch "
+                    f"{stage} (old={before}, new={after})"))
+        return out

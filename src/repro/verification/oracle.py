@@ -1,0 +1,210 @@
+"""The differential oracle: three lockstep executions per trace.
+
+For one scenario, :class:`DifferentialOracle` drives three executions of
+the same BGP update trace:
+
+* **full** — an :class:`~repro.core.controller.SdxController` that runs
+  a complete recompilation after every update (the slow, obviously
+  correct path);
+* **incremental** — an identical controller left on the two-stage fast
+  path, with a consistency-preserving background re-optimisation every
+  few steps and at the end;
+* **reference** — the independent
+  :class:`~repro.verification.reference.ReferenceInterpreter`.
+
+All three consume value-identical :class:`~repro.bgp.messages.Update`
+objects (same next hops, so BGP tie-breaking cannot diverge between
+executions). After every step the oracle forwards the whole packet
+corpus through each execution and compares (egress participant,
+delivery port) per (sender, packet); the standing invariants of
+:mod:`repro.verification.invariants` run on the incremental controller,
+and every background swap is watched by a
+:class:`~repro.verification.invariants.SwapMonitor`. The first
+discrepancy is returned as an :class:`OracleFailure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.controller import SdxController
+from repro.net.packet import Packet
+from repro.verification.corpus import generate_corpus
+from repro.verification.invariants import (
+    SwapMonitor,
+    Violation,
+    check_all,
+    outcome_of,
+)
+from repro.verification.reference import ReferenceInterpreter
+from repro.verification.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """The first divergence or invariant breach found in a run.
+
+    ``step`` is the index of the trace step after which the failure was
+    observed; ``-1`` means the scenario's initial state already fails.
+    """
+
+    kind: str
+    step: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} after step {self.step}: {self.detail}"
+
+
+def forwarding_outcomes(controller: SdxController,
+                        probes: Sequence[Packet],
+                        senders: Optional[Sequence[str]] = None):
+    """Outcome of every (sender, probe index) pair on one controller."""
+    if senders is None:
+        senders = [participant.name
+                   for participant in controller.topology.participants()
+                   if not participant.is_remote]
+    return {
+        (sender, index): outcome_of(controller, sender, probe)
+        for sender in senders
+        for index, probe in enumerate(probes)
+    }
+
+
+def compare_controllers(expected: SdxController, actual: SdxController,
+                        probes: Sequence[Packet],
+                        senders: Optional[Sequence[str]] = None
+                        ) -> List[Violation]:
+    """Forwarding differences between two controllers over ``probes``.
+
+    The workhorse of the migrated equivalence tests: build the same
+    exchange two ways (e.g. fast path vs fresh compilation) and assert
+    this list is empty.
+    """
+    want = forwarding_outcomes(expected, probes, senders)
+    got = forwarding_outcomes(actual, probes, senders)
+    return [
+        Violation(
+            "forwarding-equivalence",
+            f"{sender} probe#{index}: expected {want[(sender, index)]}, "
+            f"got {got[(sender, index)]}")
+        for (sender, index) in want
+        if want[(sender, index)] != got[(sender, index)]
+    ]
+
+
+class DifferentialOracle:
+    """Runs one scenario through the three executions and compares."""
+
+    def __init__(self, scenario: Scenario,
+                 corpus: Optional[Sequence[Packet]] = None, *,
+                 recompile_every: int = 4,
+                 check_invariants: bool = True,
+                 check_swaps: bool = True):
+        self.scenario = scenario
+        self.corpus: Tuple[Packet, ...] = tuple(
+            corpus if corpus is not None else generate_corpus(scenario))
+        self.recompile_every = recompile_every
+        self.check_invariants = check_invariants
+        self.check_swaps = check_swaps
+        #: Forwarding comparisons performed (for fuzz accounting).
+        self.comparisons = 0
+        #: Trace steps actually executed before returning.
+        self.steps_executed = 0
+
+    # ------------------------------------------------------------------
+    # Comparison helpers
+    # ------------------------------------------------------------------
+
+    def _compare(self, step: int, reference: ReferenceInterpreter,
+                 full: SdxController,
+                 incremental: SdxController) -> Optional[OracleFailure]:
+        expected = reference.outcomes(self.corpus)
+        for (sender, index), want in expected.items():
+            probe = self.corpus[index]
+            got_full = outcome_of(full, sender, probe)
+            got_incremental = outcome_of(incremental, sender, probe)
+            self.comparisons += 1
+            if got_full != want:
+                return OracleFailure(
+                    "full-vs-reference", step,
+                    f"{sender} probe#{index} ({probe!r}): reference says "
+                    f"{want}, full recompilation says {got_full}")
+            if got_incremental != want:
+                return OracleFailure(
+                    "incremental-vs-reference", step,
+                    f"{sender} probe#{index} ({probe!r}): reference says "
+                    f"{want}, incremental engine says {got_incremental}")
+        return None
+
+    def _check_invariants(self, step: int,
+                          incremental: SdxController
+                          ) -> Optional[OracleFailure]:
+        if not self.check_invariants:
+            return None
+        violations = check_all(incremental, self.corpus)
+        if violations:
+            first = violations[0]
+            return OracleFailure(
+                f"invariant:{first.invariant}", step, first.detail)
+        return None
+
+    def _background_swap(self, step: int,
+                         incremental: SdxController
+                         ) -> Optional[OracleFailure]:
+        if not self.check_swaps:
+            incremental.run_background_recompilation()
+            return None
+        probes = self.corpus[:8]
+        with SwapMonitor(incremental, probes) as monitor:
+            incremental.run_background_recompilation()
+        violations = monitor.violations()
+        if violations:
+            return OracleFailure("invariant:two-phase-swap", step,
+                                 violations[0].detail)
+        return None
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+
+    def run(self) -> Optional[OracleFailure]:
+        """Execute the trace in lockstep; returns the first failure."""
+        incremental = self.scenario.build_controller()
+        full = self.scenario.build_controller()
+        reference = ReferenceInterpreter(self.scenario)
+
+        mismatch = reference.verify_alignment(incremental)
+        if mismatch is not None:
+            return OracleFailure("harness-misalignment", -1, mismatch)
+
+        failure = (self._compare(-1, reference, full, incremental)
+                   or self._check_invariants(-1, incremental))
+        if failure is not None:
+            return failure
+
+        for index, step in enumerate(self.scenario.trace):
+            update = self.scenario.step_update(step)
+            incremental.submit_update(update)
+            full.submit_update(update)
+            full.recompile()
+            reference.apply(update)
+            self.steps_executed += 1
+
+            failure = (self._compare(index, reference, full, incremental)
+                       or self._check_invariants(index, incremental))
+            if failure is not None:
+                return failure
+
+            if (index + 1) % self.recompile_every == 0:
+                failure = (self._background_swap(index, incremental)
+                           or self._compare(index, reference, full,
+                                            incremental))
+                if failure is not None:
+                    return failure
+
+        last = len(self.scenario.trace) - 1
+        return (self._background_swap(last, incremental)
+                or self._compare(last, reference, full, incremental)
+                or self._check_invariants(last, incremental))

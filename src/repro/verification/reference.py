@@ -1,0 +1,212 @@
+"""An independent packet-level reference interpreter.
+
+Re-states what the SDX *should* do, from the paper's prose, without
+touching the compiler, the incremental engine, or the southbound path:
+
+1. the sender's outbound clauses apply in installation order; the first
+   clause whose predicate matches **and** whose target has announced (and
+   exports to the sender) a route covering the destination wins. A
+   matching drop clause drops unconditionally;
+2. otherwise the packet follows the sender's best BGP route;
+3. at the egress, the first matching inbound clause picks the delivery
+   interface; otherwise the participant's main interface. A sender with
+   no route at all toward the destination never reaches the fabric (its
+   border router's FIB misses).
+
+The interpreter compiles this *naively* — one flow rule per (clause,
+eligible prefix) and one default rule per (sender, routed prefix) —
+into real :class:`~repro.dataplane.flowtable.FlowTable`-backed
+:class:`~repro.dataplane.switch.SoftwareSwitch` instances, so forwarding
+is evaluated by the same table machinery the production data plane uses
+while sharing none of the compilation pipeline under test. Routing state
+lives in the interpreter's own plain
+:class:`~repro.bgp.routeserver.RouteServer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.messages import Update
+from repro.bgp.routeserver import RouteServer
+from repro.core.controller import SdxController
+from repro.dataplane.switch import SoftwareSwitch
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.verification.scenario import Scenario
+
+#: Priority band of the highest outbound/inbound clause; clause ``i``
+#: installs at ``CLAUSE_BASE - i`` so earlier clauses win ties.
+CLAUSE_BASE = 10_000
+
+#: Priority of per-prefix best-route default rules.
+DEFAULT_PRIORITY = 1
+
+#: First pseudo switch-port number encoding "egress at participant i".
+EGRESS_PORT_BASE = 100_000
+
+
+class ReferenceInterpreter:
+    """Forwarding oracle for one scenario, independent of the compiler."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self._server = RouteServer()
+        for spec in scenario.participants:
+            self._server.add_peer(spec.name, spec.asn)
+        self._switch_ports = scenario.switch_ports()
+        self._names = scenario.participant_names()
+        self._pseudo_of = {
+            name: EGRESS_PORT_BASE + index
+            for index, name in enumerate(self._names)}
+        self._name_of_pseudo = {
+            port: name for name, port in self._pseudo_of.items()}
+        self._prefixes = [IPv4Prefix(text) for text in scenario.prefixes]
+        self._out_switches: Dict[str, SoftwareSwitch] = {}
+        self._in_switches: Dict[str, SoftwareSwitch] = {}
+        self._dirty = True
+        for update in scenario.base_updates():
+            self.apply(update)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Consume one BGP update (the same object the executions get)."""
+        self._server.submit(update)
+        self._dirty = True
+
+    def verify_alignment(self, controller: SdxController) -> Optional[str]:
+        """Check the independently derived topology facts against a real
+        controller; returns a description of the first mismatch, if any.
+
+        The interpreter computes switch ports and peering-LAN addresses
+        from the scenario alone. A divergence here is a harness bug, not
+        a finding — the oracle checks it once per run.
+        """
+        ips = self.scenario.port_ips()
+        for name in self._names:
+            participant = controller.topology.participant(name)
+            if tuple(participant.switch_ports) != self._switch_ports[name]:
+                return (f"{name}: switch ports {participant.switch_ports} "
+                        f"!= derived {self._switch_ports[name]}")
+            if participant.ports and participant.ports[0].ip != ips[name]:
+                return (f"{name}: port ip {participant.ports[0].ip} "
+                        f"!= derived {ips[name]}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Naive table construction
+    # ------------------------------------------------------------------
+
+    def _outbound_rules(self, sender: str) -> List[FlowRule]:
+        rules: List[FlowRule] = []
+        clauses = [policy for policy in self.scenario.policies
+                   if policy.participant == sender
+                   and policy.direction == "out"]
+        for index, clause in enumerate(clauses):
+            band = CLAUSE_BASE - index
+            space = clause.predicate_space()
+            if clause.target is None:
+                rules.append(FlowRule(band, space, ()))
+                continue
+            for prefix in self._server.announced_by(clause.target):
+                if not self._server.is_reachable(
+                        sender, prefix, via=clause.target):
+                    continue
+                refined = space.intersect(HeaderSpace(dstip=prefix))
+                if refined is None:
+                    continue
+                rules.append(FlowRule(
+                    band, refined,
+                    (Action(port=self._pseudo_of[clause.target]),)))
+        for prefix in self._server.all_prefixes():
+            best = self._server.best_route_for(sender, prefix)
+            if best is None:
+                continue
+            rules.append(FlowRule(
+                DEFAULT_PRIORITY, HeaderSpace(dstip=prefix),
+                (Action(port=self._pseudo_of[best.learned_from]),)))
+        return rules
+
+    def _inbound_rules(self, name: str) -> List[FlowRule]:
+        rules: List[FlowRule] = []
+        clauses = [policy for policy in self.scenario.policies
+                   if policy.participant == name
+                   and policy.direction == "in"]
+        ports = self._switch_ports[name]
+        for index, clause in enumerate(clauses):
+            delivery = ports[min(clause.port_index, len(ports) - 1)]
+            rules.append(FlowRule(
+                CLAUSE_BASE - index, clause.predicate_space(),
+                (Action(port=delivery),)))
+        rules.append(FlowRule(0, WILDCARD, (Action(port=ports[0]),)))
+        return rules
+
+    def _rebuild(self) -> None:
+        self._out_switches = {}
+        self._in_switches = {}
+        for name in self._names:
+            out = SoftwareSwitch(f"ref-out-{name}")
+            for port in self._switch_ports[name]:
+                out.add_port(port)
+            for pseudo in self._pseudo_of.values():
+                out.add_port(pseudo)
+            out.table.install_many(self._outbound_rules(name))
+            self._out_switches[name] = out
+
+            inbound = SoftwareSwitch(f"ref-in-{name}")
+            inbound.add_port(self._pseudo_of[name])
+            for port in self._switch_ports[name]:
+                inbound.add_port(port)
+            inbound.table.install_many(self._inbound_rules(name))
+            self._in_switches[name] = inbound
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def forward(self, sender: str,
+                packet: Packet) -> Optional[Tuple[str, int]]:
+        """(egress participant, delivery switch port), or ``None`` if the
+        packet is dropped anywhere along the reference path."""
+        if self._dirty:
+            self._rebuild()
+        dstip = packet.get("dstip")
+        covering = [prefix for prefix in self._prefixes
+                    if prefix.contains_address(dstip)]
+        if not covering:
+            return None
+        # The sender's border router only has a FIB entry when the route
+        # server advertises it a best route; otherwise the packet never
+        # reaches the fabric.
+        if self._server.best_route_for(sender, covering[0]) is None:
+            return None
+        stamped = packet.modify(port=self._switch_ports[sender][0])
+        outs = self._out_switches[sender].process(stamped)
+        if not outs:
+            return None
+        pseudo, forwarded = outs[0]
+        egress = self._name_of_pseudo[pseudo]
+        arrived = forwarded.modify(port=self._pseudo_of[egress])
+        results = self._in_switches[egress].process(arrived)
+        if not results:
+            return None
+        return egress, results[0][0]
+
+    def outcomes(self, corpus) -> Dict[Tuple[str, int], Optional[Tuple[str, int]]]:
+        """Forwarding outcome of every (sender, corpus index) pair."""
+        return {
+            (sender, index): self.forward(sender, packet)
+            for sender in self._names
+            for index, packet in enumerate(corpus)
+        }
+
+    def __repr__(self) -> str:
+        return (f"ReferenceInterpreter({len(self._names)} participants, "
+                f"{len(self._prefixes)} prefixes)")

@@ -1,0 +1,79 @@
+"""Trace shrinking: reduce a failing scenario to a minimal prefix.
+
+Two deterministic passes over the update trace:
+
+1. **truncate** — a failure observed after step *k* cannot depend on
+   later steps, so the trace is cut to its first *k + 1* events;
+2. **greedy removal** — repeatedly try deleting each remaining event
+   (scanning from the end, ddmin-style one-at-a-time); a deletion is
+   kept whenever the scenario still fails. Iterate to a fixpoint.
+
+The shrunk scenario is a plain :class:`~repro.verification.scenario
+.Scenario` — same seed, same exchange, shorter trace — so it serialises
+into a failure artifact and replays through the same oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Tuple
+
+from repro.verification.oracle import DifferentialOracle, OracleFailure
+from repro.verification.scenario import Scenario
+
+#: A runner: executes a scenario, returns its first failure (or None).
+OracleRunner = Callable[[Scenario], Optional[OracleFailure]]
+
+
+def default_runner(scenario: Scenario) -> Optional[OracleFailure]:
+    """Run a scenario through a default-configured oracle."""
+    return DifferentialOracle(scenario).run()
+
+
+def shrink_scenario(scenario: Scenario,
+                    failure: Optional[OracleFailure] = None, *,
+                    runner: OracleRunner = default_runner,
+                    max_runs: int = 200
+                    ) -> Tuple[Scenario, OracleFailure, int]:
+    """Minimise a failing scenario's trace.
+
+    Returns ``(shrunk scenario, the failure it reproduces, oracle runs
+    spent)``. ``failure`` is the already-observed failure, if the caller
+    has one (saves the initial confirmation run). Raises ``ValueError``
+    when the scenario does not fail at all. ``max_runs`` bounds the
+    total oracle executions, so pathological traces cannot stall a fuzz
+    session — shrinking stops early with whatever reduction it has.
+    """
+    runs = 0
+    if failure is None:
+        failure = runner(scenario)
+        runs += 1
+        if failure is None:
+            raise ValueError("scenario does not fail; nothing to shrink")
+
+    # Pass 1: truncate to the failing prefix.
+    if 0 <= failure.step + 1 < len(scenario.trace):
+        candidate = replace(scenario,
+                            trace=scenario.trace[:failure.step + 1])
+        confirmed = runner(candidate)
+        runs += 1
+        if confirmed is not None:
+            scenario, failure = candidate, confirmed
+
+    # Pass 2: greedy one-at-a-time removal, end first, to fixpoint.
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for index in reversed(range(len(scenario.trace))):
+            if runs >= max_runs:
+                break
+            candidate = replace(
+                scenario,
+                trace=(scenario.trace[:index]
+                       + scenario.trace[index + 1:]))
+            result = runner(candidate)
+            runs += 1
+            if result is not None:
+                scenario, failure = candidate, result
+                changed = True
+    return scenario, failure, runs

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.controller import SdxController
 from repro.net.addresses import IPv4Prefix
 from repro.policy.policies import Policy, fwd, match
+from repro.workloads.seeding import SeedLike, make_rng
 from repro.workloads.topology import ParticipantSpec, SyntheticIxp
 
 #: Single-field match options used by the generator (field, values).
@@ -78,16 +79,17 @@ def _policy_installers(ixp: SyntheticIxp,
     return top_eyeballs, top_transits, chosen_content
 
 
-def generate_policies(ixp: SyntheticIxp, *, seed: int = 0,
+def generate_policies(ixp: SyntheticIxp, *, seed: SeedLike = 0,
                       prefix_sample: Optional[Sequence[IPv4Prefix]] = None
                       ) -> List[PolicyAssignment]:
     """The Section 6.1 policy mix for a synthetic IXP.
 
     ``prefix_sample``, when given, restricts transit destination-prefix
     policies to that set (the Figure 6 experiments sweep how many
-    prefixes have policies applied).
+    prefixes have policies applied). ``seed`` is an int or a
+    :class:`random.Random`.
     """
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     top_eyeballs, top_transits, chosen_content = _policy_installers(ixp, rng)
     assignments: List[PolicyAssignment] = []
 

@@ -14,6 +14,7 @@ from typing import Iterator, List, Sequence
 
 from repro.bgp.asn import AsPath
 from repro.net.addresses import IPv4Prefix
+from repro.workloads.seeding import SeedLike, make_rng
 
 #: First octets usable for synthetic prefixes (public-ish, clear of the
 #: simulation's own 10/8, 172/12, and multicast space).
@@ -23,12 +24,12 @@ _FIRST_OCTETS = [o for o in range(16, 220) if o not in (172, 192, 198)]
 class PrefixPool:
     """A deterministic source of distinct, non-overlapping prefixes."""
 
-    def __init__(self, lengths: Sequence[int] = (24, 16), seed: int = 0):
+    def __init__(self, lengths: Sequence[int] = (24, 16), seed: SeedLike = 0):
         for length in lengths:
             if not 9 <= length <= 28:
                 raise ValueError(f"unsupported pool prefix length {length}")
         self._lengths = tuple(lengths)
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
         self._iter = self._generate()
 
     def _generate(self) -> Iterator[IPv4Prefix]:

@@ -23,6 +23,7 @@ from repro.bgp.asn import AsPath
 from repro.core.controller import SdxController
 from repro.net.addresses import IPv4Prefix
 from repro.workloads.routing import PrefixPool, synthesize_as_path
+from repro.workloads.seeding import SeedLike, make_rng
 
 #: Participant role mix (assumption documented in DESIGN.md; the paper
 #: classifies but does not publish proportions).
@@ -49,11 +50,15 @@ class ParticipantSpec:
 
 @dataclass
 class SyntheticIxp:
-    """A generated exchange: members plus every route announcement."""
+    """A generated exchange: members plus every route announcement.
+
+    ``seed`` records whatever was passed to :func:`generate_ixp` — an
+    integer for replayable builds, or the caller's ``random.Random``.
+    """
 
     participants: List[ParticipantSpec]
     announcements: List[Tuple[str, IPv4Prefix, AsPath]]
-    seed: int
+    seed: SeedLike
 
     def by_name(self, name: str) -> ParticipantSpec:
         """The participant called ``name``."""
@@ -120,18 +125,19 @@ def _zipf_share(count: int, exponent: float) -> List[float]:
     return [w / total for w in weights]
 
 
-def generate_ixp(participants: int, prefixes: int, *, seed: int = 0,
+def generate_ixp(participants: int, prefixes: int, *, seed: SeedLike = 0,
                  transit_cover_fraction: float = 0.3,
                  prefix_lengths: Sequence[int] = (24, 16)) -> SyntheticIxp:
     """Generate a synthetic IXP with ``participants`` members announcing
     ``prefixes`` distinct prefixes.
 
     ``transit_cover_fraction`` controls how many prefixes gain a second
-    (longer-path) route via some transit member.
+    (longer-path) route via some transit member. ``seed`` is an int or a
+    :class:`random.Random` (see :mod:`repro.workloads.seeding`).
     """
     if participants < 2:
         raise ValueError("an IXP needs at least two participants")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     pool = PrefixPool(lengths=prefix_lengths, seed=seed)
     owned = pool.take(prefixes)
 

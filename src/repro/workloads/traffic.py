@@ -12,12 +12,12 @@ bytes.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
+from repro.workloads.seeding import SeedLike, make_rng
 from repro.workloads.topology import SyntheticIxp, ZIPF_EXPONENT
 
 #: Transport ports sampled for flows, roughly web-heavy.
@@ -41,15 +41,16 @@ class TrafficDemand:
 
 
 def generate_traffic_matrix(ixp: SyntheticIxp, *, flows: int = 500,
-                            seed: int = 0,
+                            seed: SeedLike = 0,
                             mean_rate_mbps: float = 10.0) -> List[TrafficDemand]:
     """A flow-level traffic matrix over an existing synthetic IXP.
 
     Flow endpoints are drawn with Zipf-by-size weights on both sides
     (gravity model) and flow rates are Pareto-distributed, which together
-    yield the heavy pair-concentration real IXPs show.
+    yield the heavy pair-concentration real IXPs show. ``seed`` is an int
+    or a :class:`random.Random`.
     """
-    rng = random.Random(seed ^ 0xBEEF)
+    rng = make_rng(seed, salt=0xBEEF)
     specs = list(ixp.participants)
     sizes = sorted(specs, key=lambda spec: (-len(spec.prefixes), spec.name))
     weights = [1.0 / ((rank + 1) ** ZIPF_EXPONENT) for rank in range(len(sizes))]

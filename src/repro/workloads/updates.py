@@ -25,11 +25,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.bgp.asn import AsPath
 from repro.bgp.attributes import RouteAttributes
 from repro.bgp.messages import Update
 from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.workloads.routing import synthesize_as_path
+from repro.workloads.seeding import SeedLike, make_rng
 from repro.workloads.topology import SyntheticIxp
 
 #: Log-normal inter-arrival parameters (seconds): median 60, P25 = 10.
@@ -90,8 +90,58 @@ def _interarrival(rng: random.Random) -> float:
     return rng.lognormvariate(_INTERARRIVAL_MU, _INTERARRIVAL_SIGMA)
 
 
+class UpdateSequencer:
+    """Stateful announce/withdraw/re-announce update emitter.
+
+    The reusable core of :func:`generate_trace`: given the map from
+    prefix to its announcers, each :meth:`step` call emits one update for
+    a prefix — a fresh-attribute re-announcement, or (with probability
+    ``withdraw_probability``) a withdrawal that is always followed, on
+    the prefix's next turn for that announcer, by a re-announcement. The
+    withdrawn-set bookkeeping keeps long traces from draining the table.
+
+    Shared by the calibrated trace generator and by the fuzzing scenario
+    generator in :mod:`repro.verification.scenario`, so both produce the
+    same update mix from the same underlying distributions.
+    """
+
+    def __init__(self, announcers: Dict[IPv4Prefix, List[Tuple[str, int]]],
+                 rng: random.Random, *,
+                 withdraw_probability: float = 0.2,
+                 next_hop: Optional[IPv4Address] = None):
+        self.announcers = announcers
+        self.rng = rng
+        self.withdraw_probability = withdraw_probability
+        self.next_hop = (next_hop if next_hop is not None
+                         else IPv4Address("172.0.0.1"))
+        self.withdrawn: Set[Tuple[str, IPv4Prefix]] = set()
+
+    def step(self, prefix: IPv4Prefix) -> Update:
+        """One update touching ``prefix`` (announce or withdraw)."""
+        rng = self.rng
+        name, asn = rng.choice(self.announcers[prefix])
+        key = (name, prefix)
+        if key in self.withdrawn:
+            self.withdrawn.discard(key)
+            return self._reannounce(prefix, name, asn)
+        if rng.random() < self.withdraw_probability:
+            self.withdrawn.add(key)
+            return Update.withdraw(name, prefix)
+        return self._reannounce(prefix, name, asn)
+
+    def _reannounce(self, prefix: IPv4Prefix, name: str, asn: int) -> Update:
+        rng = self.rng
+        origin = rng.randrange(1_000, 60_000)
+        path = synthesize_as_path(origin, asn, rng,
+                                  mean_extra_hops=rng.choice((1.0, 2.0, 3.0)))
+        attributes = RouteAttributes(
+            next_hop=self.next_hop, as_path=path,
+            med=rng.choice((0, 10, 50)))
+        return Update.announce(name, prefix, attributes)
+
+
 def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
-                   seed: int = 0,
+                   seed: SeedLike = 0,
                    fraction_prefixes_updated: float = 0.12,
                    max_updates: Optional[int] = None,
                    withdraw_probability: float = 0.2) -> List[TraceEvent]:
@@ -99,6 +149,8 @@ def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
 
     Events reference real announcers of each prefix, so replaying the
     trace through a controller exercises genuine best-path changes.
+    ``seed`` is an int or a :class:`random.Random` (see
+    :mod:`repro.workloads.seeding`).
 
     ``max_updates`` changes the stopping rule: the trace runs until that
     many updates have been emitted, however long that takes — the
@@ -107,11 +159,8 @@ def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
     the paper's absolute update counts and its quantile statistics with
     one stationary process is otherwise impossible at small scale.)
     """
-    rng = random.Random(seed ^ 0x5DF)
+    rng = make_rng(seed, salt=0x5DF)
     announcers: Dict[IPv4Prefix, List[Tuple[str, int]]] = {}
-    next_hops: Dict[str, IPv4Address] = {}
-    for spec in ixp.participants:
-        next_hops[spec.name] = IPv4Address("172.0.0.1")
     for name, prefix, path in ixp.announcements:
         asn = ixp.by_name(name).asn
         announcers.setdefault(prefix, []).append((name, asn))
@@ -119,9 +168,10 @@ def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
     all_prefixes = list(announcers)
     prone_count = max(1, int(len(all_prefixes) * fraction_prefixes_updated))
     prone = rng.sample(all_prefixes, k=prone_count)
+    sequencer = UpdateSequencer(
+        announcers, rng, withdraw_probability=withdraw_probability)
 
     events: List[TraceEvent] = []
-    withdrawn: Set[Tuple[str, IPv4Prefix]] = set()
     clock = 0.0
     emitted = 0
     while True:
@@ -131,32 +181,11 @@ def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
         size = min(_burst_size(rng), len(prone))
         touched = rng.sample(prone, k=size)
         for prefix in touched:
-            name, asn = rng.choice(announcers[prefix])
-            key = (name, prefix)
-            if key in withdrawn:
-                withdrawn.discard(key)
-                update = _reannounce(prefix, name, asn, rng)
-            elif rng.random() < withdraw_probability:
-                withdrawn.add(key)
-                update = Update.withdraw(name, prefix)
-            else:
-                update = _reannounce(prefix, name, asn, rng)
-            events.append(TraceEvent(time=clock, update=update))
+            events.append(TraceEvent(time=clock, update=sequencer.step(prefix)))
             emitted += 1
             if max_updates is not None and emitted >= max_updates:
                 return events
     return events
-
-
-def _reannounce(prefix: IPv4Prefix, name: str, asn: int,
-                rng: random.Random) -> Update:
-    origin = rng.randrange(1_000, 60_000)
-    path = synthesize_as_path(origin, asn, rng,
-                              mean_extra_hops=rng.choice((1.0, 2.0, 3.0)))
-    attributes = RouteAttributes(
-        next_hop=IPv4Address("172.0.0.1"), as_path=path,
-        med=rng.choice((0, 10, 50)))
-    return Update.announce(name, prefix, attributes)
 
 
 def trace_stats(events: Sequence[TraceEvent],

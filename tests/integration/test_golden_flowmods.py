@@ -1,0 +1,102 @@
+"""Golden test: the exact ordered FlowMod batches of a fixed workload.
+
+Builds one deterministic exchange, captures every southbound batch —
+initial compilation, a fast-path update, a withdrawal, and the two-phase
+background swap — and compares the rendered mods line-for-line against
+``golden/flowmod_batches.txt``. Any change to rule contents, priorities,
+batch boundaries, or the add-before-delete swap ordering shows up as a
+readable diff.
+
+Regenerate after an intentional change with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_golden_flowmods.py
+"""
+
+import os
+import pathlib
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.policy.policies import fwd, match
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "flowmod_batches.txt"
+
+NAMES = ["A", "B", "C"]
+WEB = IPv4Prefix("30.0.0.0/8")
+VIDEO = IPv4Prefix("40.0.0.0/8")
+
+
+def capture_batches() -> str:
+    """Drive the fixed workload, rendering every applied batch."""
+    sections = []
+    batches = []
+
+    def observer(batch):
+        batches.append([mod.describe() for mod in batch])
+
+    def flush_section(title):
+        lines = [f"== {title} =="]
+        for index, batch in enumerate(batches):
+            lines.append(f"batch {index} ({len(batch)} mods)")
+            lines.extend(f"  {line}" for line in batch)
+        batches.clear()
+        sections.append("\n".join(lines))
+
+    sdx = SdxController()
+    for index, name in enumerate(NAMES):
+        sdx.add_participant(name, 65001 + index)
+    sdx.announce_route("B", WEB, AsPath([65002, 111]))
+    sdx.announce_route("C", VIDEO, AsPath([65003, 222]))
+    sdx.participant("A").add_outbound(
+        (match(dstport=80) >> fwd("B")) + (match(dstport=443) >> fwd("C")))
+    sdx.participant("B").add_inbound(match(protocol=6))
+
+    sdx.southbound.add_observer(observer)
+    try:
+        sdx.start()
+        flush_section("initial compilation")
+
+        # A fast-path event: C starts covering the web prefix with a
+        # better (shorter) path, flipping A's best route.
+        sdx.announce_route("C", WEB, AsPath([65003]))
+        flush_section("fast path: announce C -> 30.0.0.0/8")
+
+        sdx.withdraw_route("B", WEB)
+        flush_section("fast path: withdraw B -> 30.0.0.0/8")
+
+        sdx.run_background_recompilation()
+        flush_section("background recompilation (two-phase swap)")
+    finally:
+        sdx.southbound.remove_observer(observer)
+    return "\n".join(sections) + "\n"
+
+
+class TestGoldenFlowMods:
+    def test_batches_match_golden(self):
+        rendered = capture_batches()
+        if os.environ.get("REPRO_UPDATE_GOLDEN"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(rendered, encoding="utf-8")
+        assert GOLDEN.exists(), (
+            f"{GOLDEN} missing; regenerate with REPRO_UPDATE_GOLDEN=1")
+        assert rendered == GOLDEN.read_text(encoding="utf-8"), (
+            "southbound FlowMod batches changed; inspect the diff and "
+            "regenerate with REPRO_UPDATE_GOLDEN=1 if intentional")
+
+    def test_capture_is_deterministic(self):
+        assert capture_batches() == capture_batches()
+
+    def test_swap_orders_installs_before_deletes(self):
+        """Structural anchor independent of the snapshot text: within the
+        swap section every add/modify precedes every delete."""
+        rendered = capture_batches()
+        swap = rendered.split("== background recompilation")[1]
+        ops = [line.strip().split()[0] for line in swap.splitlines()
+               if line.startswith("  ")]
+        assert "delete" in ops and ("add" in ops or "modify" in ops)
+        last_install = max(i for i, op in enumerate(ops)
+                           if op in ("add", "modify"))
+        first_delete = min(i for i, op in enumerate(ops) if op == "delete")
+        assert last_install < first_delete

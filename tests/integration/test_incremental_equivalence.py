@@ -4,6 +4,12 @@ After any sequence of announcements/withdrawals, the table built from
 fast-path shadow rules must forward every probe exactly like a fresh
 optimal compilation of the same state — the two-stage scheme trades
 space, never correctness.
+
+The pairwise comparisons run through
+:func:`repro.verification.oracle.compare_controllers` (the same checker
+the differential fuzzer uses); the original ``egress_of`` assertions
+remain as anchors so a regression in the checker itself cannot silently
+hollow out this suite.
 """
 
 from hypothesis import given, settings
@@ -14,6 +20,7 @@ from repro.core.controller import SdxController
 from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 from repro.policy.policies import fwd, match
+from repro.verification.oracle import compare_controllers
 
 NAMES = ["A", "B", "C", "D"]
 PREFIXES = [IPv4Prefix(f"{n}.0.0.0/8") for n in (30, 40, 50)]
@@ -77,12 +84,17 @@ class TestIncrementalEquivalence:
         apply_ops(fresh, ops)
         fresh.run_background_recompilation()   # optimal table
 
-        for probe in probes():
+        probe_list = list(probes())
+        violations = compare_controllers(fresh, churned, probe_list,
+                                         senders=NAMES)
+        assert not violations, (
+            f"fast path diverged after {ops}: {violations[0]}")
+        # Anchor: the original direct egress assertion, one probe per
+        # prefix, so this test fails even if compare_controllers breaks.
+        for probe in probe_list[::6]:
             for sender in NAMES:
                 assert (churned.egress_of(sender, probe)
-                        == fresh.egress_of(sender, probe)), (
-                    f"fast path diverged for {sender} -> {probe!r} "
-                    f"after {ops}")
+                        == fresh.egress_of(sender, probe))
 
     @settings(max_examples=20, deadline=None)
     @given(operations)

@@ -7,6 +7,12 @@ SDX configurations with hypothesis:
   not announce (and export) a route for the destination;
 * no loops / totality — every packet either egresses at a physical port
   or is dropped, in one pass through the fabric.
+
+The invariant logic lives in :mod:`repro.verification.invariants` (the
+same checkers the differential fuzzer runs after every trace step); this
+suite drives them over hypothesis-generated exchanges and keeps direct
+``egress_of``/``send`` assertions as anchors so the checkers themselves
+stay honest.
 """
 
 from hypothesis import given, settings
@@ -17,6 +23,12 @@ from repro.core.controller import SdxController
 from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 from repro.policy.policies import fwd, match
+from repro.verification.invariants import (
+    check_bgp_consistency,
+    check_default_conformance,
+    check_single_delivery,
+)
+from repro.verification.oracle import compare_controllers
 
 NAMES = ["A", "B", "C", "D"]
 PREFIXES = [IPv4Prefix(f"{n}.0.0.0/8") for n in (30, 40, 50, 60)]
@@ -67,19 +79,19 @@ class TestInvariants:
         the egress participant (Section 4.1's first invariant)."""
         announcements, policies = config
         sdx = build(announcements, policies)
-        for probe in probe_packets():
-            for sender in NAMES:
-                egress = sdx.egress_of(sender, probe)
-                if egress is None:
-                    continue
-                covering = [
-                    prefix for prefix in sdx.route_server.announced_by(egress)
-                    if prefix.contains_address(probe["dstip"])
-                ]
-                assert covering, (
-                    f"{sender}'s traffic to {probe['dstip']} egressed at "
-                    f"{egress}, which announced no covering route")
-                assert sdx.route_server.exports_to(egress, sender)
+        probes = list(probe_packets())
+        assert check_bgp_consistency(sdx, probes) == []
+        # Anchor: the invariant stated directly for one delivered probe.
+        for probe in probes:
+            egress = sdx.egress_of("A", probe)
+            if egress is None:
+                continue
+            covering = [
+                prefix for prefix in sdx.route_server.announced_by(egress)
+                if prefix.contains_address(probe["dstip"])
+            ]
+            assert covering and sdx.route_server.exports_to(egress, "A")
+            break
 
     @settings(max_examples=25, deadline=None)
     @given(sdx_configs())
@@ -88,14 +100,25 @@ class TestInvariants:
         that delivery is at a physical port (no loops, no vport leaks)."""
         announcements, policies = config
         sdx = build(announcements, policies)
+        probes = list(probe_packets())
+        assert check_single_delivery(sdx, probes) == []
+        # Anchor: the raw delivery-shape assertions for one sender.
         physical = set(sdx.topology.physical_ports())
-        for probe in probe_packets():
-            for sender in NAMES:
-                deliveries = sdx.send(sender, probe)
-                assert len(deliveries) <= 1
-                for delivery in deliveries:
-                    assert delivery.switch_port in physical
-                    assert delivery.accepted
+        for probe in probes:
+            deliveries = sdx.send("B", probe)
+            assert len(deliveries) <= 1
+            for delivery in deliveries:
+                assert delivery.switch_port in physical
+                assert delivery.accepted
+
+    @settings(max_examples=25, deadline=None)
+    @given(sdx_configs())
+    def test_default_conformance_property(self, config):
+        """Border-router FIBs and VMAC tags agree with the route server
+        and VNH allocator (the Section 4.2 tag encoding)."""
+        announcements, policies = config
+        sdx = build(announcements, policies)
+        assert check_default_conformance(sdx) == []
 
     @settings(max_examples=25, deadline=None)
     @given(sdx_configs())
@@ -107,10 +130,13 @@ class TestInvariants:
         sdx_with = build(announcements, policies)
         sdx_without = build(announcements, [])
         policy_owners = {owner for owner, _target, _port in policies}
-        for probe in probe_packets():
-            for sender in NAMES:
-                if sender in policy_owners:
-                    continue
+        bystanders = [name for name in NAMES if name not in policy_owners]
+        probes = list(probe_packets())
+        assert compare_controllers(sdx_without, sdx_with, probes,
+                                   senders=bystanders) == []
+        # Anchor: the direct pairwise egress comparison.
+        for probe in probes:
+            for sender in bystanders:
                 assert (sdx_with.egress_of(sender, probe)
                         == sdx_without.egress_of(sender, probe))
 
@@ -121,6 +147,7 @@ class TestInvariants:
         forward identically (the Section 4 machinery is pure speedup)."""
         announcements, policies = config
         reference = build(announcements, policies)
+        probes = list(probe_packets())
         for use_vnh, optimized in ((True, False), (False, True)):
             sdx = SdxController(use_vnh=use_vnh, optimized=optimized)
             for index, name in enumerate(NAMES):
@@ -136,9 +163,11 @@ class TestInvariants:
                 sdx.participant(owner).add_outbound(
                     match(dstport=port) >> fwd(target))
             sdx.start()
-            for probe in probe_packets():
-                for sender in NAMES:
-                    assert (sdx.egress_of(sender, probe)
-                            == reference.egress_of(sender, probe)), (
-                        f"mode (vnh={use_vnh}, opt={optimized}) diverged "
-                        f"for {sender} -> {probe!r}")
+            violations = compare_controllers(reference, sdx, probes,
+                                             senders=NAMES)
+            assert not violations, (
+                f"mode (vnh={use_vnh}, opt={optimized}): {violations[0]}")
+            # Anchor: one direct comparison per prefix.
+            for probe in probes[::4]:
+                assert (sdx.egress_of("A", probe)
+                        == reference.egress_of("A", probe))

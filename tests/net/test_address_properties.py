@@ -1,0 +1,124 @@
+"""Property-style tests for the address primitives, on seeded random.
+
+Plain ``random.Random`` rather than hypothesis: these run hundreds of
+cases per property with zero shrinking machinery, and the fixed seed
+makes any failure a one-line repro (the case is printed in the assert).
+"""
+
+import random
+
+import pytest
+
+from repro.exceptions import AddressError
+from repro.net.addresses import DEFAULT_ROUTE, IPv4Address, IPv4Prefix
+
+CASES = 300
+
+
+def random_address(rng: random.Random) -> IPv4Address:
+    return IPv4Address(rng.randrange(1 << 32))
+
+
+def random_prefix(rng: random.Random, min_length: int = 0,
+                  max_length: int = 32) -> IPv4Prefix:
+    return IPv4Prefix(network=rng.randrange(1 << 32),
+                      length=rng.randint(min_length, max_length))
+
+
+class TestAddressProperties:
+    def test_string_round_trip(self):
+        rng = random.Random(0xADD2)
+        for _ in range(CASES):
+            address = random_address(rng)
+            assert IPv4Address(str(address)) == address, address
+
+    def test_int_round_trip_and_order(self):
+        rng = random.Random(0xADD3)
+        for _ in range(CASES):
+            a, b = random_address(rng), random_address(rng)
+            assert IPv4Address(int(a)) == a
+            assert (a < b) == (int(a) < int(b)), (a, b)
+
+    def test_addition_matches_integer_addition(self):
+        rng = random.Random(0xADD4)
+        for _ in range(CASES):
+            value = rng.randrange(1 << 31)
+            offset = rng.randrange(1 << 10)
+            assert int(IPv4Address(value) + offset) == value + offset
+
+    def test_out_of_range_rejected(self):
+        for bad in (-1, 1 << 32, (1 << 32) + 5):
+            with pytest.raises(AddressError):
+                IPv4Address(bad)
+
+
+class TestPrefixProperties:
+    def test_string_round_trip(self):
+        rng = random.Random(0x9EF1)
+        for _ in range(CASES):
+            prefix = random_prefix(rng)
+            assert IPv4Prefix(str(prefix)) == prefix, prefix
+
+    def test_host_bits_zeroed(self):
+        rng = random.Random(0x9EF2)
+        for _ in range(CASES):
+            prefix = random_prefix(rng)
+            assert prefix.network_int & ~int(prefix.netmask) == 0, prefix
+
+    def test_bounds_contained(self):
+        rng = random.Random(0x9EF3)
+        for _ in range(CASES):
+            prefix = random_prefix(rng)
+            assert prefix.contains_address(prefix.first_address)
+            assert prefix.contains_address(prefix.last_address)
+            assert (prefix.last_address.value - prefix.first_address.value + 1
+                    == prefix.num_addresses)
+
+    def test_containment_iff_membership(self):
+        """p ⊇ q exactly when q's endpoints both fall inside p."""
+        rng = random.Random(0x9EF4)
+        for _ in range(CASES):
+            p = random_prefix(rng, max_length=16)
+            q = random_prefix(rng, min_length=8)
+            expected = (p.contains_address(q.first_address)
+                        and p.contains_address(q.last_address))
+            assert p.contains_prefix(q) == expected, (p, q)
+
+    def test_cidr_blocks_nest_or_are_disjoint(self):
+        rng = random.Random(0x9EF5)
+        for _ in range(CASES):
+            p, q = random_prefix(rng), random_prefix(rng)
+            if p.overlaps(q):
+                meet = p.intersection(q)
+                assert meet in (p, q)
+                assert p.contains_prefix(meet) and q.contains_prefix(meet)
+            else:
+                assert p.intersection(q) is None
+                assert not (p.contains_address(q.first_address)
+                            or q.contains_address(p.first_address))
+
+    def test_supernet_contains_subnets_partition(self):
+        rng = random.Random(0x9EF6)
+        for _ in range(100):
+            prefix = random_prefix(rng, min_length=1, max_length=24)
+            assert prefix.supernet().contains_prefix(prefix)
+            halves = list(prefix.subnets())
+            assert len(halves) == 2
+            assert sum(half.num_addresses for half in halves) \
+                == prefix.num_addresses
+            assert all(prefix.contains_prefix(half) for half in halves)
+            assert not halves[0].overlaps(halves[1])
+
+    def test_bit_at_spells_the_network(self):
+        rng = random.Random(0x9EF7)
+        for _ in range(100):
+            prefix = random_prefix(rng)
+            rebuilt = 0
+            for position in range(32):
+                rebuilt = (rebuilt << 1) | prefix.bit_at(position)
+            assert rebuilt == prefix.network_int, prefix
+
+    def test_default_route_contains_everything(self):
+        rng = random.Random(0x9EF8)
+        for _ in range(CASES):
+            assert DEFAULT_ROUTE.contains_prefix(random_prefix(rng))

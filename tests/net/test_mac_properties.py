@@ -1,0 +1,82 @@
+"""Property-style tests for MAC addresses and the VMAC tag encoding,
+on seeded random (see test_address_properties for the approach)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import AddressError
+from repro.net.mac import (
+    VMAC_CAPACITY,
+    VMAC_OUI,
+    MacAddress,
+    fec_for_vmac,
+    vmac_for_fec,
+)
+
+CASES = 300
+
+
+class TestMacProperties:
+    def test_string_round_trip(self):
+        rng = random.Random(0x3AC1)
+        for _ in range(CASES):
+            mac = MacAddress(rng.randrange(1 << 48))
+            assert MacAddress(str(mac)) == mac, mac
+
+    def test_order_matches_integers(self):
+        rng = random.Random(0x3AC2)
+        for _ in range(CASES):
+            a = MacAddress(rng.randrange(1 << 48))
+            b = MacAddress(rng.randrange(1 << 48))
+            assert (a < b) == (int(a) < int(b)), (a, b)
+
+    def test_oui_is_top_24_bits(self):
+        rng = random.Random(0x3AC3)
+        for _ in range(CASES):
+            value = rng.randrange(1 << 48)
+            assert MacAddress(value).oui == value >> 24
+
+    def test_out_of_range_rejected(self):
+        for bad in (-1, 1 << 48):
+            with pytest.raises(AddressError):
+                MacAddress(bad)
+
+
+class TestVmacEncoding:
+    def test_fec_round_trip(self):
+        rng = random.Random(0x3AC4)
+        for _ in range(CASES):
+            fec = rng.randrange(VMAC_CAPACITY)
+            vmac = vmac_for_fec(fec)
+            assert vmac.is_virtual
+            assert vmac.oui == VMAC_OUI
+            assert fec_for_vmac(vmac) == fec, fec
+
+    def test_encoding_is_injective(self):
+        rng = random.Random(0x3AC5)
+        fecs = rng.sample(range(VMAC_CAPACITY), k=500)
+        assert len({vmac_for_fec(fec) for fec in fecs}) == len(fecs)
+
+    def test_locally_administered_bit_always_set(self):
+        rng = random.Random(0x3AC6)
+        for _ in range(CASES):
+            vmac = vmac_for_fec(rng.randrange(VMAC_CAPACITY))
+            first_octet = int(vmac) >> 40
+            assert first_octet & 0x02, vmac
+
+    def test_capacity_bounds_enforced(self):
+        vmac_for_fec(VMAC_CAPACITY - 1)   # boundary is legal
+        for bad in (-1, VMAC_CAPACITY):
+            with pytest.raises(AddressError):
+                vmac_for_fec(bad)
+
+    def test_physical_macs_never_decode(self):
+        rng = random.Random(0x3AC7)
+        for _ in range(CASES):
+            value = rng.randrange(1 << 48)
+            mac = MacAddress(value)
+            if mac.is_virtual:
+                continue
+            with pytest.raises(AddressError):
+                fec_for_vmac(mac)

@@ -101,6 +101,33 @@ class TestCli:
         roots = json.loads(capsys.readouterr().out)
         assert any(root["name"] == "bgp.ingest" for root in roots)
 
+    def test_fuzz_clean_session(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--scenarios", "2",
+                     "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed=7: 2 scenario(s)" in out
+        assert "no divergence found" in out
+
+    def test_fuzz_finding_saves_artifact_and_replays(self, tmp_path,
+                                                     capsys, monkeypatch):
+        from repro.core.incremental import IncrementalEngine
+        monkeypatch.setattr(IncrementalEngine, "_fast_path_for_prefix",
+                            lambda self, prefix, views=None: 0)
+        assert main(["fuzz", "--seed", "3", "--scenarios", "1",
+                     "--steps", "8", "--artifact-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL scenario#0" in out
+        artifacts = list(tmp_path.glob("failure-*.json"))
+        assert len(artifacts) == 1
+
+        # Replay on the still-broken tree reproduces the failure...
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 1
+        assert "incremental-vs-reference" in capsys.readouterr().out
+        # ...and on the fixed tree comes back clean.
+        monkeypatch.undo()
+        assert main(["fuzz", "--replay", str(artifacts[0])]) == 0
+        assert "no failure reproduced" in capsys.readouterr().out
+
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
             main(["figure-nine"])

@@ -1,0 +1,73 @@
+"""The fuzzing loop: reports, artifacts, telemetry, and determinism.
+
+The small-budget cases run in tier-1; the longer soak is marked ``fuzz``
+and runs in the dedicated CI job (``make fuzz`` / ``pytest -m fuzz``).
+"""
+
+import pytest
+
+from repro.core.incremental import IncrementalEngine
+from repro.telemetry import Telemetry
+from repro.verification.fuzz import FuzzConfig, run_fuzz
+
+QUICK = FuzzConfig(seed=0, scenarios=2, steps=6, corpus_size=6)
+
+
+def counter_value(telemetry, name):
+    return telemetry.registry.counter(name, "").value
+
+
+class TestRunFuzz:
+    def test_clean_session(self):
+        telemetry = Telemetry()
+        report = run_fuzz(QUICK, telemetry=telemetry)
+        assert report.ok
+        assert report.scenarios_run == 2
+        assert report.steps_executed == 12
+        assert "no divergence found" in report.summary()
+        assert counter_value(telemetry, "sdx_fuzz_scenarios_total") == 2
+        assert counter_value(telemetry, "sdx_fuzz_steps_total") == 12
+        assert counter_value(telemetry, "sdx_fuzz_comparisons_total") > 0
+        assert counter_value(telemetry, "sdx_fuzz_failures_total") == 0
+
+    def test_summary_is_deterministic(self):
+        assert (run_fuzz(QUICK, telemetry=Telemetry()).summary()
+                == run_fuzz(QUICK, telemetry=Telemetry()).summary())
+
+    def test_finding_shrunk_and_saved(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(IncrementalEngine, "_fast_path_for_prefix",
+                            lambda self, prefix, views=None: 0)
+        telemetry = Telemetry()
+        config = FuzzConfig(seed=3, scenarios=1, steps=8, corpus_size=6,
+                            recompile_every=100,
+                            artifact_dir=str(tmp_path))
+        report = run_fuzz(config, telemetry=telemetry)
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.failure.kind == "incremental-vs-reference"
+        assert finding.shrunk_trace_length <= finding.original_trace_length
+        assert finding.artifact_path is not None
+        assert (tmp_path / finding.artifact_path.split("/")[-1]).exists()
+        assert "FAIL scenario#0" in report.summary()
+        assert counter_value(telemetry, "sdx_fuzz_failures_total") == 1
+        assert counter_value(telemetry, "sdx_fuzz_shrink_runs_total") > 0
+
+    def test_time_budget_zero_runs_nothing(self):
+        report = run_fuzz(
+            FuzzConfig(seed=0, scenarios=5, time_budget_seconds=0.0),
+            telemetry=Telemetry())
+        assert report.budget_exhausted
+        assert report.scenarios_run == 0
+        assert "time budget exhausted" in report.summary()
+
+
+@pytest.mark.fuzz
+class TestFuzzSoak:
+    def test_longer_session_is_clean(self):
+        """The real fuzz entry point: more scenarios, longer traces,
+        default corpus — any finding here is a genuine pipeline bug."""
+        report = run_fuzz(
+            FuzzConfig(seed=0, scenarios=8, steps=16, corpus_size=16),
+            telemetry=Telemetry())
+        assert report.ok, report.summary()
+        assert report.scenarios_run == 8
