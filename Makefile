@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-results examples docs telemetry-smoke fuzz clean
+.PHONY: install test lint bench bench-results examples docs telemetry-smoke fuzz soak-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -50,6 +50,19 @@ fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
 		--scenarios 1000 --time-budget $(FUZZ_BUDGET) \
 		--artifact-dir $(FUZZ_ARTIFACTS)
+
+# Short control-plane runtime soaks: every overload policy plus the
+# threaded worker, small enough for CI, loud enough to catch a hang or
+# an unconverged (degraded / fast-path-debt) final state.
+soak-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro soak --participants 12 \
+		--prefixes 100 --updates 400 --burst-size 100 --hot-prefixes 12
+	PYTHONPATH=src $(PYTHON) -m repro soak --participants 12 \
+		--prefixes 100 --updates 400 --burst-size 100 --hot-prefixes 12 \
+		--queue-depth 64 --overload shed-oldest --no-coalesce
+	PYTHONPATH=src $(PYTHON) -m repro soak --participants 12 \
+		--prefixes 100 --updates 400 --burst-size 100 --hot-prefixes 12 \
+		--queue-depth 64 --overload degrade --threaded
 
 # Runs a small workload, dumps the Prometheus exposition, and checks
 # that every core metric family reported activity.

@@ -1,0 +1,158 @@
+"""Runtime throughput — the control-plane event loop under burst load.
+
+Drives one seeded burst trace (5,000 updates hammering a small hot
+prefix set) through three executions of the same exchange:
+
+* **inline** — direct ``submit_update`` per event with periodic
+  background recompilation (the pre-runtime driving style);
+* **runtime** — the deterministic step-driven
+  :class:`~repro.runtime.loop.ControlPlaneRuntime` with coalescing;
+* **runtime-nc** — the same runtime with coalescing disabled.
+
+Two claims are checked, not just measured. First, equivalence: after
+settling, both runtime executions must reach a canonical state
+(Adj-RIBs, best routes, VNH grouping, table size) identical to the
+inline execution's — the oracle from
+:mod:`repro.verification.runtime`. Second, absorption: coalescing must
+measurably cut route-server submissions on a hot-prefix burst trace.
+Throughput and ingest-to-install latency per burst size land in
+``benchmarks/results/runtime_throughput.json`` alongside the rendered
+table.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import RESULTS_DIR, publish, scaled
+
+from repro.experiments.metrics import render_table
+from repro.runtime import RuntimeConfig
+from repro.verification.runtime import canonical_state
+from repro.workloads.policies import generate_policies, install_assignments
+from repro.workloads.topology import generate_ixp
+from repro.workloads.updates import generate_burst_trace
+
+PARTICIPANTS = 20
+PREFIXES = 200
+TOTAL_UPDATES = 5_000
+HOT_PREFIXES = 24
+BURST_SIZES = (50, 250, 1_000)
+BATCH_SIZE = 64
+SEED = 7
+
+
+def _controller(ixp):
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=SEED + 1))
+    controller.start()
+    return controller
+
+
+def _trace(ixp, burst_size, total):
+    return generate_burst_trace(
+        ixp, bursts=max(1, total // burst_size), burst_size=burst_size,
+        hot_prefixes=HOT_PREFIXES, seed=SEED + 2)
+
+
+def _run_inline(ixp, events):
+    """Direct submit_update per event, recompiling every BATCH_SIZE."""
+    controller = _controller(ixp)
+    latencies = []
+    started = time.perf_counter()
+    for index, event in enumerate(events):
+        began = time.perf_counter()
+        controller.submit_update(event.update)
+        latencies.append(time.perf_counter() - began)
+        if (index + 1) % BATCH_SIZE == 0:
+            controller.run_background_recompilation()
+    controller.run_background_recompilation()
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return controller, {
+        "arm": "inline",
+        "updates": len(events),
+        "elapsed_seconds": elapsed,
+        "updates_per_second": len(events) / elapsed,
+        "ingest_p50_ms": latencies[len(latencies) // 2] * 1000,
+        "ingest_p99_ms": latencies[int(len(latencies) * 0.99)] * 1000,
+        "rs_submissions": controller.route_server.updates_processed,
+        "coalescing_ratio": 0.0,
+    }
+
+
+def _run_runtime(ixp, events, *, coalesce):
+    """The step-driven runtime, stepping every BATCH_SIZE submissions."""
+    controller = _controller(ixp)
+    runtime = controller.build_runtime(RuntimeConfig(
+        batch_size=BATCH_SIZE, coalesce=coalesce))
+    started = time.perf_counter()
+    for index, event in enumerate(events):
+        runtime.submit_update(event.update)
+        if (index + 1) % BATCH_SIZE == 0:
+            runtime.step()
+    runtime.settle()
+    elapsed = time.perf_counter() - started
+    stats = runtime.stats()
+    ingest = stats["ingest_seconds"]
+    return controller, {
+        "arm": "runtime" if coalesce else "runtime-nc",
+        "updates": len(events),
+        "elapsed_seconds": elapsed,
+        "updates_per_second": len(events) / elapsed,
+        "ingest_p50_ms": ingest["p50"] * 1000,
+        "ingest_p99_ms": ingest["p99"] * 1000,
+        "rs_submissions": controller.route_server.updates_processed,
+        "coalescing_ratio": stats["coalescing_ratio"],
+    }
+
+
+def _run_all():
+    ixp = generate_ixp(PARTICIPANTS, PREFIXES, seed=SEED)
+    total = scaled(TOTAL_UPDATES)
+    rows = []
+    for burst_size in BURST_SIZES:
+        events = _trace(ixp, burst_size, total)
+        inline, inline_row = _run_inline(ixp, events)
+        routed, routed_row = _run_runtime(ixp, events, coalesce=True)
+        plain, plain_row = _run_runtime(ixp, events, coalesce=False)
+        want = canonical_state(inline)
+        for name, controller in (("runtime", routed), ("runtime-nc", plain)):
+            problems = want.diff(canonical_state(controller))
+            assert not problems, f"{name} burst={burst_size}: {problems[0]}"
+        for row in (inline_row, routed_row, plain_row):
+            row["burst_size"] = burst_size
+            rows.append(row)
+    return rows
+
+
+def test_runtime_throughput(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    table_rows = [[
+        row["burst_size"], row["arm"], row["updates"],
+        f"{row['updates_per_second']:.0f}",
+        f"{row['ingest_p50_ms']:.1f}", f"{row['ingest_p99_ms']:.1f}",
+        row["rs_submissions"], f"{row['coalescing_ratio']:.2f}",
+    ] for row in rows]
+    publish("runtime_throughput", render_table(
+        ["burst", "arm", "updates", "upd/s", "p50 ms", "p99 ms",
+         "rs subs", "coalesce"], table_rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = pathlib.Path(RESULTS_DIR) / "runtime_throughput.json"
+    payload.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+
+    # Coalescing must measurably absorb the hot-prefix churn: fewer
+    # route-server submissions than both the inline and the
+    # non-coalescing arms, at every burst size.
+    by_burst = {}
+    for row in rows:
+        by_burst.setdefault(row["burst_size"], {})[row["arm"]] = row
+    for burst_size, arms in by_burst.items():
+        runtime_row = arms["runtime"]
+        assert runtime_row["coalescing_ratio"] > 0.2, (burst_size, runtime_row)
+        assert (runtime_row["rs_submissions"]
+                < arms["inline"]["rs_submissions"] * 0.8), (burst_size, arms)
+        assert (runtime_row["rs_submissions"]
+                < arms["runtime-nc"]["rs_submissions"] * 0.8), (burst_size,
+                                                                arms)

@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
     "fuzz": "differential fuzzing of the update pipeline (verification)",
+    "soak": "drive a burst trace through the control-plane runtime",
 }
 
 
@@ -133,6 +134,31 @@ def _parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
                       help="replay a saved failure artifact instead of "
                            "fuzzing")
+    fuzz.add_argument("--runtime", action="store_true",
+                      help="also replay each scenario through the "
+                           "control-plane runtime and check equivalence")
+
+    soak = common("soak")
+    soak.add_argument("--participants", type=int, default=20)
+    soak.add_argument("--prefixes", type=int, default=200)
+    soak.add_argument("--updates", type=int, default=1_000,
+                      help="total updates to push (default 1000)")
+    soak.add_argument("--burst-size", type=int, default=100,
+                      help="updates per burst (default 100)")
+    soak.add_argument("--hot-prefixes", type=int, default=16,
+                      help="size of the churning prefix set (default 16)")
+    soak.add_argument("--rate", type=float, default=None,
+                      help="target update rate (updates/s); default: "
+                           "as fast as possible")
+    soak.add_argument("--queue-depth", type=int, default=1_024)
+    soak.add_argument("--batch-size", type=int, default=64)
+    soak.add_argument("--overload", default="block",
+                      choices=("block", "shed-oldest", "degrade"))
+    soak.add_argument("--no-coalesce", action="store_true",
+                      help="disable per-(participant, prefix) coalescing")
+    soak.add_argument("--threaded", action="store_true",
+                      help="run the runtime's worker thread instead of "
+                           "the deterministic step-driven mode")
     return parser
 
 
@@ -239,9 +265,79 @@ def _run_fuzz(args) -> int:
         seed=args.seed, scenarios=args.scenarios, steps=args.steps,
         participants=args.participants, prefixes=args.prefixes,
         policies=args.policies, artifact_dir=args.artifact_dir,
-        time_budget_seconds=args.time_budget, shrink=not args.no_shrink))
+        time_budget_seconds=args.time_budget, shrink=not args.no_shrink,
+        runtime=args.runtime))
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _run_soak(args) -> str:
+    import time as time_module
+
+    from repro.runtime import OverloadPolicy, RuntimeConfig
+    from repro.workloads.policies import generate_policies, install_assignments
+    from repro.workloads.topology import generate_ixp
+    from repro.workloads.updates import generate_burst_trace
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=args.seed + 1))
+    controller.start()
+    bursts = max(1, args.updates // args.burst_size)
+    events = generate_burst_trace(
+        ixp, bursts=bursts, burst_size=args.burst_size,
+        hot_prefixes=args.hot_prefixes, seed=args.seed + 2)
+    runtime = controller.build_runtime(RuntimeConfig(
+        max_queue_depth=args.queue_depth,
+        overload_policy=OverloadPolicy(args.overload),
+        batch_size=args.batch_size,
+        coalesce=not args.no_coalesce))
+
+    interval = (1.0 / args.rate) if args.rate else None
+    started = time_module.perf_counter()
+    if args.threaded:
+        runtime.start()
+    for index, event in enumerate(events):
+        if interval is not None and index:
+            delay = started + index * interval - time_module.perf_counter()
+            if delay > 0:
+                time_module.sleep(delay)
+        runtime.submit_update(event.update)
+        if not args.threaded and (index + 1) % args.batch_size == 0:
+            runtime.step()
+    if args.threaded:
+        runtime.stop()
+    else:
+        runtime.settle()
+    elapsed = time_module.perf_counter() - started
+
+    stats = runtime.stats()
+    depth = stats["queue_depth_percentiles"]
+    ingest = stats["ingest_seconds"]
+    lines = [
+        f"soak: {len(events)} update(s) in {bursts} burst(s) of "
+        f"{args.burst_size} over {args.hot_prefixes} hot prefix(es), "
+        f"{'threaded' if args.threaded else 'step-driven'} mode, "
+        f"overload={args.overload}",
+        f"elapsed: {elapsed:.3f}s "
+        f"({len(events) / elapsed:.0f} updates/s submitted)",
+        f"processed: {stats['processed']} event(s) in "
+        f"{stats['batches']} batch(es); route-server submissions: "
+        f"{controller.route_server.updates_processed}",
+        f"coalesced: {stats['coalesced']} "
+        f"(ratio {stats['coalescing_ratio']:.2f}); dropped: "
+        f"{stats['dropped']}; blocked submissions: {stats['blocked']}",
+        f"queue depth: p50={depth['p50']:.0f} p90={depth['p90']:.0f} "
+        f"p99={depth['p99']:.0f} max={depth['max']:.0f}",
+        f"ingest-to-install: p50={ingest['p50'] * 1000:.1f}ms "
+        f"p99={ingest['p99'] * 1000:.1f}ms "
+        f"max={ingest['max'] * 1000:.1f}ms",
+        f"degrade entries: {stats['degrade_entries']}; "
+        f"degraded now: {stats['degraded']}",
+        f"final table: {len(controller.table)} rule(s), "
+        f"fast-path debt {controller.engine.fast_path_rules_live}",
+    ]
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -291,6 +387,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_trace(args))
     elif args.command == "fuzz":
         return _run_fuzz(args)
+    elif args.command == "soak":
+        print(_run_soak(args))
     elif args.command == "check":
         from repro.config import load_config
         from repro.core.analysis import analyze_sdx

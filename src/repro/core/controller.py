@@ -23,7 +23,16 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bgp.asn import AsPath
 from repro.bgp.attributes import RouteAttributes
@@ -46,6 +55,10 @@ from repro.net.packet import Packet
 from repro.southbound.engine import SouthboundConfig, SouthboundEngine
 from repro.telemetry import Telemetry
 from repro.telemetry.log import kv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runtime.clock import Clock
+    from repro.runtime.loop import ControlPlaneRuntime, RuntimeConfig
 
 logger = logging.getLogger("repro.core.controller")
 
@@ -324,6 +337,55 @@ class SdxController:
         self.compiler.invalidate_inbound_cache(name)
         if self.started:
             self.recompile()
+
+    # ------------------------------------------------------------------
+    # Degrade mode (runtime overload)
+    # ------------------------------------------------------------------
+
+    @property
+    def policies_suspended(self) -> bool:
+        """True while degrade mode has participant policies masked."""
+        return any(
+            p.policies_suspended for p in self.topology.participants())
+
+    def suspend_policies(self) -> bool:
+        """Fall back to default-BGP-route-only forwarding (degrade mode).
+
+        Every participant's policies are masked (not forgotten) and the
+        table is recompiled without them, so subsequent per-update work
+        composes no policy clauses at all. The runtime's ``degrade``
+        overload policy enters this state under sustained queue
+        saturation; :meth:`restore_policies` is the exit. Returns True
+        if anything actually changed.
+        """
+        return self._set_policies_suspended(True)
+
+    def restore_policies(self) -> bool:
+        """Re-enable suspended policies and recompile them back in."""
+        return self._set_policies_suspended(False)
+
+    def _set_policies_suspended(self, suspended: bool) -> bool:
+        changed = False
+        for participant in self.topology.participants():
+            if participant.set_policies_suspended(suspended):
+                self.compiler.invalidate_inbound_cache(participant.name)
+                changed = True
+        if changed:
+            logger.info("degrade %s", kv(
+                policies="suspended" if suspended else "restored"))
+            if self.started:
+                self.recompile()
+        return changed
+
+    def build_runtime(self, config: Optional["RuntimeConfig"] = None,
+                      clock: Optional["Clock"] = None) -> "ControlPlaneRuntime":
+        """Construct a control-plane runtime fronting this controller.
+
+        Imported lazily so :mod:`repro.core` keeps no hard dependency on
+        :mod:`repro.runtime` (which imports core itself).
+        """
+        from repro.runtime.loop import ControlPlaneRuntime
+        return ControlPlaneRuntime(self, config=config, clock=clock)
 
     # ------------------------------------------------------------------
     # Route advertisement toward border routers

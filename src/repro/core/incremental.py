@@ -61,6 +61,20 @@ class FastPathResult:
     seconds: float
 
 
+@dataclass(frozen=True)
+class RecompilePressure:
+    """How much space-for-time debt the fast path has accumulated.
+
+    The runtime's :class:`~repro.runtime.scheduler.RecompilationScheduler`
+    compares these against its watermarks to decide when the background
+    re-optimisation is due.
+    """
+
+    fast_path_rules: int
+    ephemeral_vnhs: int
+    dirty: bool
+
+
 class IncrementalEngine:
     """Owns the fast path and the background re-optimisation."""
 
@@ -259,6 +273,14 @@ class IncrementalEngine:
             compile_guarded_clauses(exception_pairs, None),
             compile_guarded_clauses(shared_pairs, None),
         ])
+
+    def pressure(self) -> RecompilePressure:
+        """The current fast-path debt (rules, ephemeral VNHs, dirtiness)."""
+        return RecompilePressure(
+            fast_path_rules=self.fast_path_rules_live,
+            ephemeral_vnhs=len(self.allocator.ephemeral_prefixes()),
+            dirty=self.dirty,
+        )
 
     # ------------------------------------------------------------------
     # Background re-optimisation

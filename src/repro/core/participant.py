@@ -57,6 +57,7 @@ class Participant:
     _inbound: List[Policy] = field(default_factory=list)
     policy_generation: int = 0
     _clause_cache: dict = field(default_factory=dict)
+    policies_suspended: bool = False
 
     @property
     def is_remote(self) -> bool:
@@ -221,12 +222,38 @@ class Participant:
         """Installed inbound policies, oldest first."""
         return tuple(self._inbound)
 
+    def set_policies_suspended(self, suspended: bool) -> bool:
+        """Temporarily mask (or unmask) the participant's policies.
+
+        While suspended, :meth:`outbound_clauses` and
+        :meth:`inbound_clauses` return nothing, so the compiler treats
+        the participant as policy-free (default BGP forwarding) without
+        forgetting the installed policies. The runtime's degrade mode
+        (:class:`~repro.runtime.events.OverloadPolicy`) flips this under
+        sustained overload and flips it back once the queue drains.
+        Returns True if the state actually changed; the policy
+        generation is bumped so memoized compilations are invalidated.
+        """
+        if self.policies_suspended == suspended:
+            return False
+        self.policies_suspended = suspended
+        self.policy_generation += 1
+        return True
+
     def outbound_clauses(self) -> Tuple[Clause, ...]:
-        """The normalised outbound clauses, priority order (cached)."""
+        """The normalised outbound clauses, priority order (cached).
+
+        Empty while policies are suspended (degrade mode)."""
+        if self.policies_suspended:
+            return ()
         return self._clauses("out", self._outbound)
 
     def inbound_clauses(self) -> Tuple[Clause, ...]:
-        """The normalised inbound clauses, priority order (cached)."""
+        """The normalised inbound clauses, priority order (cached).
+
+        Empty while policies are suspended (degrade mode)."""
+        if self.policies_suspended:
+            return ()
         return self._clauses("in", self._inbound)
 
     def _clauses(self, kind: str, policies: List[Policy]) -> Tuple[Clause, ...]:

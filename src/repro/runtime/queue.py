@@ -1,0 +1,191 @@
+"""The bounded, prioritized, coalescing event queue.
+
+One :class:`RuntimeQueue` holds every pending :class:`~repro.runtime
+.events.RuntimeEvent`, organised as one FIFO per priority class. Three
+properties matter to the control plane:
+
+* **Priority** — :meth:`RuntimeQueue.pop` drains policy changes before
+  withdrawals before announcements; within a class, arrival order is
+  preserved. Cross-class priority is only sound together with
+  coalescing (which keeps at most one pending event per key); with
+  coalescing disabled the queue drains in global arrival order instead.
+* **Coalescing** — a new single-prefix BGP event whose ``(participant,
+  prefix)`` key is already pending replaces the pending event's payload
+  in place (keeping its queue position and first-enqueue timestamp), so
+  a burst of churn for one prefix costs one route-server submission.
+  When the churn flips the event's class (announce → withdraw), the
+  event migrates to the tail of its new class. Coalescing absorbs
+  events *without growing the queue*, so it also works while full.
+* **Bound** — :meth:`offer` refuses events past ``max_depth`` and
+  reports :attr:`OfferOutcome.FULL`; the loop decides whether to block,
+  shed, or degrade (see :class:`~repro.runtime.events.OverloadPolicy`).
+  :meth:`shed_oldest` implements the shedding half: the oldest event of
+  the lowest-priority occupied class is dropped, on the theory that old
+  announcements are the first information a stressed control plane can
+  afford to lose (BGP will re-converge; a dropped policy change would
+  silently violate intent).
+
+The queue itself is not thread-safe; :class:`~repro.runtime.loop
+.ControlPlaneRuntime` serialises access under its own lock.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.runtime.events import EventClass, EventKey, RuntimeEvent, classify_update
+
+#: Classes in drain order (highest priority first).
+DRAIN_ORDER = (EventClass.POLICY, EventClass.WITHDRAWAL, EventClass.ANNOUNCEMENT)
+
+#: Classes in shed order (lowest priority sheds first).
+SHED_ORDER = tuple(reversed(DRAIN_ORDER))
+
+
+class OfferOutcome(enum.Enum):
+    """What :meth:`RuntimeQueue.offer` did with an event."""
+
+    ENQUEUED = "enqueued"
+    COALESCED = "coalesced"
+    FULL = "full"
+
+
+class RuntimeQueue:
+    """Pending runtime events: one bounded FIFO per priority class."""
+
+    def __init__(self, max_depth: int = 1024, *, coalesce: bool = True):
+        if max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self.coalesce = coalesce
+        self._classes: Dict[EventClass, "OrderedDict[EventKey, RuntimeEvent]"] = {
+            cls: OrderedDict() for cls in DRAIN_ORDER}
+        self._where: Dict[EventKey, EventClass] = {}
+        #: Events absorbed by coalescing since construction.
+        self.coalesced_total = 0
+        #: Events accepted (enqueued or coalesced) since construction.
+        self.offered_total = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    @property
+    def depth(self) -> int:
+        """Distinct pending events across every class."""
+        return len(self._where)
+
+    def depth_of(self, kind: EventClass) -> int:
+        """Pending events of one class."""
+        return len(self._classes[kind])
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is pending."""
+        return not self._where
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+
+    def offer(self, event: RuntimeEvent) -> OfferOutcome:
+        """Admit ``event``: coalesce, enqueue, or report the queue full.
+
+        ``FULL`` means the event was **not** admitted — the caller owns
+        the overload policy and may shed then re-offer, or block.
+        """
+        coalescable = self.coalesce and event.coalescable
+        # With coalescing off every event stores under its unique seq
+        # key — same-(participant, prefix) events must not collide.
+        key = event.key if coalescable else ("seq", "", str(event.seq))
+        if coalescable:
+            held_class = self._where.get(key)
+            if held_class is not None:
+                self._merge(held_class, key, event)
+                self.offered_total += 1
+                self.coalesced_total += 1
+                return OfferOutcome.COALESCED
+        if self.depth >= self.max_depth:
+            return OfferOutcome.FULL
+        self._classes[event.kind][key] = event
+        self._where[key] = event.kind
+        self.offered_total += 1
+        return OfferOutcome.ENQUEUED
+
+    def _merge(self, held_class: EventClass, key: EventKey,
+               incoming: RuntimeEvent) -> None:
+        """Collapse ``incoming`` into the pending event at ``key``."""
+        held = self._classes[held_class][key]
+        held.update = incoming.update
+        held.absorbed += 1 + incoming.absorbed
+        new_class = classify_update(incoming.update)
+        if new_class is not held_class:
+            # announce -> withdraw (or back): the latest state decides
+            # both payload and urgency; the event joins its new class's
+            # tail like any fresh arrival.
+            del self._classes[held_class][key]
+            held.kind = new_class
+            self._classes[new_class][key] = held
+            self._where[key] = new_class
+
+    # ------------------------------------------------------------------
+    # Egress
+    # ------------------------------------------------------------------
+
+    def pop(self, limit: int) -> List[RuntimeEvent]:
+        """Up to ``limit`` events in strict priority order (FIFO within
+        a class).
+
+        Priority drain is only sound *with* coalescing: per-key collapse
+        guarantees at most one pending event per (participant, prefix),
+        so classes can never reorder a withdrawal ahead of the
+        announcement that preceded it for the same key. With coalescing
+        disabled the queue therefore degrades to one global FIFO
+        (arrival order across every class).
+        """
+        if limit < 1:
+            return []
+        out: List[RuntimeEvent] = []
+        if self.coalesce:
+            for kind in DRAIN_ORDER:
+                fifo = self._classes[kind]
+                while fifo and len(out) < limit:
+                    key, event = fifo.popitem(last=False)
+                    del self._where[key]
+                    out.append(event)
+                if len(out) >= limit:
+                    break
+            return out
+        while len(out) < limit:
+            oldest: Optional[EventClass] = None
+            oldest_seq = -1
+            for kind in DRAIN_ORDER:
+                fifo = self._classes[kind]
+                if not fifo:
+                    continue
+                seq = next(iter(fifo.values())).seq
+                if oldest is None or seq < oldest_seq:
+                    oldest, oldest_seq = kind, seq
+            if oldest is None:
+                break
+            key, event = self._classes[oldest].popitem(last=False)
+            del self._where[key]
+            out.append(event)
+        return out
+
+    def shed_oldest(self) -> Optional[RuntimeEvent]:
+        """Drop and return the oldest lowest-priority event (or ``None``
+        when the queue is empty)."""
+        for kind in SHED_ORDER:
+            fifo = self._classes[kind]
+            if fifo:
+                key, event = fifo.popitem(last=False)
+                del self._where[key]
+                return event
+        return None
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{kind.label}={len(self._classes[kind])}" for kind in DRAIN_ORDER)
+        return f"RuntimeQueue({parts}, max={self.max_depth})"

@@ -1,0 +1,89 @@
+"""Adaptive scheduling of the background re-optimisation.
+
+Section 4.3.2 runs the optimal recompilation "in the background between
+subsequent bursts of updates" — but *when exactly* was always left to
+the caller. :class:`RecompilationScheduler` makes the decision from
+observable pressure instead:
+
+* **rules watermark** — the fast path trades space for time; once its
+  live shadow rules exceed ``max_fast_path_rules`` the space side of
+  the trade is due, burst or no burst;
+* **vnh watermark** — ephemeral singleton VNHs consume a finite pool
+  and one ARP binding each; ``max_ephemeral_vnhs`` bounds that debt;
+* **idle gap** — when the queue is empty and no event has arrived for
+  ``idle_seconds`` (on the runtime's logical clock), the paper's
+  between-bursts window is open.
+
+``min_interval_seconds`` rate-limits back-to-back swaps so a watermark
+sitting right at the threshold cannot thrash the compiler. The
+scheduler only *decides*; the runtime loop owns actually flushing the
+southbound window and calling
+:meth:`~repro.core.controller.SdxController.run_background_recompilation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.incremental import IncrementalEngine
+from repro.runtime.clock import Clock
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Watermarks and timing for the recompilation scheduler."""
+
+    max_fast_path_rules: int = 512
+    max_ephemeral_vnhs: int = 256
+    idle_seconds: float = 10.0
+    min_interval_seconds: float = 0.0
+
+
+class RecompilationScheduler:
+    """Decides when the background re-optimisation is due."""
+
+    def __init__(self, engine: IncrementalEngine, config: SchedulerConfig,
+                 clock: Clock):
+        self.engine = engine
+        self.config = config
+        self.clock = clock
+        self._last_event: Optional[float] = None
+        self._last_recompile: Optional[float] = None
+
+    def note_event(self) -> None:
+        """Record that an event just arrived (resets the idle gap)."""
+        self._last_event = self.clock.now()
+
+    def note_recompiled(self) -> None:
+        """Record that a background re-optimisation just completed."""
+        self._last_recompile = self.clock.now()
+
+    def due(self, *, queue_empty: bool) -> Optional[str]:
+        """The trigger that makes a recompilation due now, or ``None``.
+
+        Returns ``"rules"``, ``"vnh"``, or ``"idle"`` — the label
+        recorded on ``sdx_runtime_recompiles_total``. Never fires while
+        the engine is clean or inside ``min_interval_seconds`` of the
+        previous swap.
+        """
+        if not self.engine.dirty:
+            return None
+        now = self.clock.now()
+        if (self._last_recompile is not None
+                and now - self._last_recompile < self.config.min_interval_seconds):
+            return None
+        pressure = self.engine.pressure()
+        if pressure.fast_path_rules >= self.config.max_fast_path_rules:
+            return "rules"
+        if pressure.ephemeral_vnhs >= self.config.max_ephemeral_vnhs:
+            return "vnh"
+        if (queue_empty and self._last_event is not None
+                and now - self._last_event >= self.config.idle_seconds):
+            return "idle"
+        return None
+
+    def __repr__(self) -> str:
+        return (f"RecompilationScheduler(rules<{self.config.max_fast_path_rules}, "
+                f"vnh<{self.config.max_ephemeral_vnhs}, "
+                f"idle>={self.config.idle_seconds}s)")

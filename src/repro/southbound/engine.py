@@ -35,6 +35,7 @@ misrouting this engine exists to prevent.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import time
 from dataclasses import dataclass
@@ -111,6 +112,7 @@ class SouthboundEngine:
                       else SouthboundStats(registry=self.telemetry.registry))
         self.queue = UpdateQueue(max_pending=self.config.max_pending)
         self._observers: List[BatchObserver] = []
+        self._defer_depth = 0
 
     # ------------------------------------------------------------------
     # Submission
@@ -186,8 +188,28 @@ class SouthboundEngine:
         if self.queue.needs_flush:
             self.stats.backpressure_flushes += 1
             self.flush()
-        elif self.config.auto_flush:
+        elif self.config.auto_flush and not self._defer_depth:
             self.flush()
+
+    @contextlib.contextmanager
+    def deferred(self):
+        """Hold auto-flush open so a burst coalesces into one flush.
+
+        The runtime processes each event batch inside this window: the
+        per-event FlowMods pile up in the queue (coalescing per rule
+        key — an add then delete of the same fast-path rule annihilates)
+        and are applied once, on exit. Nests safely; the queue's
+        ``needs_flush`` backpressure still forces a flush mid-window.
+        Explicit :meth:`flush`/:meth:`flush_installs` calls (e.g. a full
+        table swap inside the window) also proceed normally.
+        """
+        self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            self._defer_depth -= 1
+            if not self._defer_depth and self.config.auto_flush:
+                self.flush()
 
     # ------------------------------------------------------------------
     # Flushing

@@ -62,6 +62,20 @@ class Telemetry:
         """Open a tracing span (see :meth:`Tracer.span`)."""
         return self.tracer.span(name, **tags)
 
+    def counter(self, name: str, description: str = "", **labels: str) -> Counter:
+        """Get-or-create a counter (see :meth:`MetricsRegistry.counter`)."""
+        return self.registry.counter(name, description, **labels)
+
+    def gauge(self, name: str, description: str = "", **labels: str) -> Gauge:
+        """Get-or-create a gauge (see :meth:`MetricsRegistry.gauge`)."""
+        return self.registry.gauge(name, description, **labels)
+
+    def histogram(self, name: str, description: str = "",
+                  **labels: str) -> Histogram:
+        """Get-or-create a histogram (see
+        :meth:`MetricsRegistry.histogram`)."""
+        return self.registry.histogram(name, description, **labels)
+
     def snapshot(self) -> Dict[str, object]:
         """The JSON snapshot (metrics, losses, spans); see
         :func:`repro.telemetry.export.json_snapshot`."""

@@ -23,6 +23,9 @@ state). This package turns both claims into executable oracles:
 - :mod:`repro.verification.invariants` — isolation, BGP consistency,
   default-route conformance via VNH/VMAC tags, and loss-free two-phase
   southbound swaps;
+- :mod:`repro.verification.runtime` — runtime-vs-inline equivalence:
+  canonical (VNH/VMAC-renaming-insensitive) state snapshots and the
+  coalescing oracle behind ``python -m repro fuzz --runtime``;
 - :mod:`repro.verification.shrink` — trace minimisation to a minimal
   failing prefix (truncate, then greedy event removal);
 - :mod:`repro.verification.artifact` — replayable JSON failure
@@ -49,6 +52,11 @@ from repro.verification.oracle import (
     forwarding_outcomes,
 )
 from repro.verification.reference import ReferenceInterpreter
+from repro.verification.runtime import (
+    CanonicalState,
+    canonical_state,
+    check_runtime_equivalence,
+)
 from repro.verification.scenario import (
     Scenario,
     ScenarioAnnouncement,
@@ -60,6 +68,7 @@ from repro.verification.scenario import (
 from repro.verification.shrink import shrink_scenario
 
 __all__ = [
+    "CanonicalState",
     "DifferentialOracle",
     "FailureArtifact",
     "FuzzConfig",
@@ -73,9 +82,11 @@ __all__ = [
     "SwapMonitor",
     "TraceStep",
     "Violation",
+    "canonical_state",
     "check_all",
     "check_bgp_consistency",
     "check_default_conformance",
+    "check_runtime_equivalence",
     "check_single_delivery",
     "compare_controllers",
     "forwarding_outcomes",

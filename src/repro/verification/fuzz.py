@@ -31,6 +31,10 @@ class FuzzConfig:
     ``time_budget_seconds`` bounds wall-clock time (checked between
     scenarios and before shrinking); ``artifact_dir`` enables failure
     artifacts; ``shrink`` can be disabled for quick triage runs.
+    ``runtime`` additionally replays each passing scenario through the
+    deterministic control-plane runtime and asserts equivalence with
+    the inline execution (see
+    :func:`repro.verification.runtime.check_runtime_equivalence`).
     """
 
     seed: int = 0
@@ -44,6 +48,7 @@ class FuzzConfig:
     artifact_dir: Optional[str] = None
     time_budget_seconds: Optional[float] = None
     shrink: bool = True
+    runtime: bool = False
 
 
 @dataclass(frozen=True)
@@ -126,6 +131,9 @@ def run_fuzz(config: FuzzConfig,
         "invariant")
     shrink_counter = registry.counter(
         "sdx_fuzz_shrink_runs_total", "Oracle executions spent shrinking")
+    runtime_checks_counter = registry.counter(
+        "sdx_fuzz_runtime_checks_total",
+        "Runtime-vs-inline equivalence replays")
 
     report = FuzzReport(config=config)
     started = time.monotonic()
@@ -135,11 +143,20 @@ def run_fuzz(config: FuzzConfig,
             return False
         return time.monotonic() - started >= config.time_budget_seconds
 
+    def runtime_check(scenario: Scenario) -> Optional[OracleFailure]:
+        if not config.runtime:
+            return None
+        from repro.verification.runtime import check_runtime_equivalence
+        runtime_checks_counter.inc()
+        return check_runtime_equivalence(
+            scenario, drain_every=config.recompile_every,
+            corpus=generate_corpus(scenario, size=config.corpus_size))
+
     def runner(scenario: Scenario) -> Optional[OracleFailure]:
         oracle = DifferentialOracle(
             scenario, generate_corpus(scenario, size=config.corpus_size),
             recompile_every=config.recompile_every)
-        return oracle.run()
+        return oracle.run() or runtime_check(scenario)
 
     for index in range(config.scenarios):
         if out_of_budget():
@@ -152,7 +169,7 @@ def run_fuzz(config: FuzzConfig,
                 scenario,
                 generate_corpus(scenario, size=config.corpus_size),
                 recompile_every=config.recompile_every)
-            failure = oracle.run()
+            failure = oracle.run() or runtime_check(scenario)
         report.scenarios_run += 1
         report.steps_executed += oracle.steps_executed
         report.comparisons += oracle.comparisons

@@ -1,0 +1,204 @@
+"""Runtime-vs-inline equivalence: the oracle for event coalescing.
+
+The control-plane runtime reorders across priority classes and collapses
+per-(participant, prefix) churn to its latest state, so the *sequence*
+of controller calls differs from an inline replay — but the *final*
+control-plane state must not. This module states that contract
+precisely and checks it:
+
+* :func:`canonical_state` — a controller snapshot comparable **up to
+  (VNH, VMAC) renaming**. Raw VNH addresses legitimately diverge
+  between executions (the allocator's cursor and free list record how
+  many ephemerals each path burned), so the snapshot captures the
+  *partition* of prefixes into shared-VNH groups rather than the
+  addresses themselves, alongside the exact Adj-RIBs-In, per-participant
+  best routes, policy state, and table size.
+* :func:`check_runtime_equivalence` — replays one
+  :class:`~repro.verification.scenario.Scenario` trace twice: inline
+  (direct :meth:`~repro.core.controller.SdxController.submit_update`
+  per event, periodic background recompilation — the
+  :class:`~repro.verification.oracle.DifferentialOracle`'s incremental
+  arm) and through a deterministic step-driven
+  :class:`~repro.runtime.loop.ControlPlaneRuntime` with coalescing on.
+  After both settle it asserts canonical-state equality, forwarding
+  equivalence over the packet corpus, and the standing invariants.
+
+Soundness of the comparison rests on the route server's Adj-RIB-In
+being last-writer-wins per (sender, prefix): coalescing only ever drops
+states that a patient observer could never have distinguished once the
+burst drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.controller import SdxController
+from repro.net.packet import Packet
+from repro.runtime.clock import ManualClock
+from repro.runtime.loop import ControlPlaneRuntime, RuntimeConfig
+from repro.verification.corpus import generate_corpus
+from repro.verification.invariants import check_all
+from repro.verification.oracle import OracleFailure, compare_controllers
+from repro.verification.scenario import Scenario
+
+#: A hashable summary of one RIB entry (attributes spelled out so two
+#: value-equal routes from different executions compare equal).
+RouteSummary = Tuple[str, str, Tuple[int, ...], int, int, Tuple[Tuple[int, int], ...]]
+
+
+def _route_summary(entry) -> RouteSummary:
+    attributes = entry.attributes
+    return (
+        entry.learned_from,
+        str(attributes.next_hop),
+        tuple(attributes.as_path.asns),
+        attributes.med,
+        attributes.local_pref,
+        tuple(sorted(attributes.communities)),
+    )
+
+
+@dataclass(frozen=True)
+class CanonicalState:
+    """A controller snapshot comparable up to (VNH, VMAC) renaming."""
+
+    adj_ribs: Tuple[Tuple[str, Tuple[RouteSummary, ...]], ...]
+    best_routes: Tuple[Tuple[str, str, Optional[RouteSummary]], ...]
+    vnh_partition: FrozenSet[Tuple[str, ...]]
+    unassigned_prefixes: Tuple[str, ...]
+    ephemeral_prefixes: Tuple[str, ...]
+    policies_suspended: bool
+    rule_count: int
+
+    def diff(self, other: "CanonicalState") -> List[str]:
+        """Human-readable differences from ``other`` (empty if equal)."""
+        problems: List[str] = []
+        if self.adj_ribs != other.adj_ribs:
+            mine, theirs = dict(self.adj_ribs), dict(other.adj_ribs)
+            for prefix in sorted(set(mine) | set(theirs)):
+                if mine.get(prefix) != theirs.get(prefix):
+                    problems.append(
+                        f"adj-rib mismatch for {prefix}: "
+                        f"{mine.get(prefix)} != {theirs.get(prefix)}")
+        if self.best_routes != other.best_routes:
+            mine_best = {(p, pre): route for p, pre, route in self.best_routes}
+            theirs_best = {(p, pre): route
+                           for p, pre, route in other.best_routes}
+            for key in sorted(set(mine_best) | set(theirs_best)):
+                if mine_best.get(key) != theirs_best.get(key):
+                    problems.append(
+                        f"best route mismatch for {key}: "
+                        f"{mine_best.get(key)} != {theirs_best.get(key)}")
+        if self.vnh_partition != other.vnh_partition:
+            problems.append(
+                f"VNH grouping mismatch: "
+                f"{sorted(self.vnh_partition)} != "
+                f"{sorted(other.vnh_partition)}")
+        if self.unassigned_prefixes != other.unassigned_prefixes:
+            problems.append(
+                f"unassigned prefixes differ: {self.unassigned_prefixes} "
+                f"!= {other.unassigned_prefixes}")
+        if self.ephemeral_prefixes != other.ephemeral_prefixes:
+            problems.append(
+                f"ephemeral VNHs differ: {self.ephemeral_prefixes} != "
+                f"{other.ephemeral_prefixes}")
+        if self.policies_suspended != other.policies_suspended:
+            problems.append(
+                f"policy suspension differs: {self.policies_suspended} != "
+                f"{other.policies_suspended}")
+        if self.rule_count != other.rule_count:
+            problems.append(
+                f"flow-table size differs: {self.rule_count} != "
+                f"{other.rule_count}")
+        return problems
+
+
+def canonical_state(controller: SdxController) -> CanonicalState:
+    """Snapshot ``controller`` for renaming-insensitive comparison."""
+    route_server = controller.route_server
+    prefixes = route_server.all_prefixes()
+    adj_ribs = tuple(
+        (str(prefix),
+         tuple(sorted(_route_summary(entry)
+                      for entry in route_server.all_routes_for(prefix))))
+        for prefix in prefixes)
+    best_routes: List[Tuple[str, str, Optional[RouteSummary]]] = []
+    for participant in controller.topology.participants():
+        for prefix in prefixes:
+            best = route_server.best_route_for(participant.name, prefix)
+            best_routes.append((
+                participant.name, str(prefix),
+                None if best is None else _route_summary(best)))
+    groups: Dict[str, List[str]] = {}
+    unassigned: List[str] = []
+    for prefix in prefixes:
+        vnh = controller.allocator.next_hop_for_prefix(prefix)
+        if vnh is None:
+            unassigned.append(str(prefix))
+        else:
+            groups.setdefault(str(vnh), []).append(str(prefix))
+    return CanonicalState(
+        adj_ribs=adj_ribs,
+        best_routes=tuple(best_routes),
+        vnh_partition=frozenset(
+            tuple(sorted(members)) for members in groups.values()),
+        unassigned_prefixes=tuple(sorted(unassigned)),
+        ephemeral_prefixes=tuple(
+            sorted(str(prefix)
+                   for prefix in controller.allocator.ephemeral_prefixes())),
+        policies_suspended=controller.policies_suspended,
+        rule_count=len(controller.table),
+    )
+
+
+def check_runtime_equivalence(
+        scenario: Scenario, *,
+        drain_every: int = 4,
+        config: Optional[RuntimeConfig] = None,
+        corpus: Optional[Sequence[Packet]] = None) -> Optional[OracleFailure]:
+    """Replay ``scenario`` inline and through the runtime; compare.
+
+    The inline execution submits every trace update directly and runs
+    the background recompilation every ``drain_every`` steps and at the
+    end. The runtime execution submits the same updates into a
+    deterministic (step-driven, :class:`~repro.runtime.clock
+    .ManualClock`) :class:`~repro.runtime.loop.ControlPlaneRuntime`
+    with coalescing enabled, draining on the same cadence, then
+    settles. Returns the first discrepancy as an
+    :class:`~repro.verification.oracle.OracleFailure`, or ``None``.
+    """
+    inline = scenario.build_controller()
+    routed = scenario.build_controller()
+    runtime = ControlPlaneRuntime(
+        routed,
+        config=config if config is not None else RuntimeConfig(),
+        clock=ManualClock())
+    probes: Tuple[Packet, ...] = tuple(
+        corpus if corpus is not None else generate_corpus(scenario))
+
+    last = len(scenario.trace) - 1
+    for index, step in enumerate(scenario.trace):
+        update = scenario.step_update(step)
+        inline.submit_update(update)
+        runtime.submit_update(update)
+        if (index + 1) % drain_every == 0:
+            inline.run_background_recompilation()
+            runtime.settle()
+    inline.run_background_recompilation()
+    runtime.settle()
+
+    want, got = canonical_state(inline), canonical_state(routed)
+    problems = want.diff(got)
+    if problems:
+        return OracleFailure("runtime-state", last, problems[0])
+    violations = compare_controllers(inline, routed, probes)
+    if violations:
+        return OracleFailure("runtime-forwarding", last, violations[0].detail)
+    violations = check_all(routed, probes)
+    if violations:
+        first = violations[0]
+        return OracleFailure(f"runtime-invariant:{first.invariant}", last,
+                             first.detail)
+    return None

@@ -23,7 +23,12 @@ from repro.workloads.datasets import AMS_IX, DE_CIX, LINX, IxpProfile
 from repro.workloads.routing import PrefixPool, synthesize_as_path
 from repro.workloads.topology import ParticipantSpec, SyntheticIxp, generate_ixp
 from repro.workloads.policies import PolicyAssignment, generate_policies
-from repro.workloads.updates import TraceEvent, TraceStats, generate_trace
+from repro.workloads.updates import (
+    TraceEvent,
+    TraceStats,
+    generate_burst_trace,
+    generate_trace,
+)
 
 __all__ = [
     "AMS_IX",
@@ -38,6 +43,7 @@ __all__ = [
     "TraceStats",
     "generate_ixp",
     "generate_policies",
+    "generate_burst_trace",
     "generate_trace",
     "synthesize_as_path",
 ]

@@ -188,6 +188,41 @@ def generate_trace(ixp: SyntheticIxp, *, duration_seconds: float = 3_600.0,
     return events
 
 
+def generate_burst_trace(ixp: SyntheticIxp, *, bursts: int = 10,
+                         burst_size: int = 100, hot_prefixes: int = 16,
+                         gap_seconds: float = 30.0, seed: SeedLike = 0,
+                         withdraw_probability: float = 0.2) -> List[TraceEvent]:
+    """A coalescing-friendly trace: dense bursts hammering few prefixes.
+
+    Unlike :func:`generate_trace` (whose bursts touch *distinct*
+    prefixes, the Table 1 shape), each burst here draws ``burst_size``
+    updates **with replacement** from a hot set of ``hot_prefixes`` — the
+    flap-storm shape where per-(participant, prefix) coalescing pays
+    off. All updates within a burst share one timestamp; bursts are
+    ``gap_seconds`` apart, so a replayer's idle detection sees clear
+    quiet periods between them.
+    """
+    if bursts < 1 or burst_size < 1:
+        raise ValueError("bursts and burst_size must be positive")
+    rng = make_rng(seed, salt=0xB0257)
+    announcers: Dict[IPv4Prefix, List[Tuple[str, int]]] = {}
+    for name, prefix, _path in ixp.announcements:
+        asn = ixp.by_name(name).asn
+        announcers.setdefault(prefix, []).append((name, asn))
+    all_prefixes = list(announcers)
+    hot = rng.sample(all_prefixes, k=min(hot_prefixes, len(all_prefixes)))
+    sequencer = UpdateSequencer(
+        announcers, rng, withdraw_probability=withdraw_probability)
+    events: List[TraceEvent] = []
+    clock = 0.0
+    for _burst in range(bursts):
+        clock += gap_seconds
+        for _event in range(burst_size):
+            prefix = rng.choice(hot)
+            events.append(TraceEvent(time=clock, update=sequencer.step(prefix)))
+    return events
+
+
 def trace_stats(events: Sequence[TraceEvent],
                 total_prefixes: int,
                 burst_gap_seconds: float = 1.0) -> TraceStats:

@@ -1,0 +1,1 @@
+"""Tests for the control-plane runtime package."""

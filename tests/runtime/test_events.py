@@ -1,0 +1,86 @@
+"""Event classification, coalescing keys, and priority classes."""
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.runtime.events import (
+    EventClass,
+    OverloadPolicy,
+    RuntimeEvent,
+    classify_update,
+    coalescing_key,
+)
+
+PREFIX = IPv4Prefix("10.0.0.0/24")
+OTHER = IPv4Prefix("10.0.1.0/24")
+
+
+def announce(prefix=PREFIX, sender="A", med=0):
+    return Update.announce(sender, prefix, RouteAttributes(
+        next_hop=IPv4Address("172.0.0.1"), as_path=AsPath([100]), med=med))
+
+
+def withdraw(prefix=PREFIX, sender="A"):
+    return Update.withdraw(sender, prefix)
+
+
+class TestClassify:
+    def test_announcement(self):
+        assert classify_update(announce()) is EventClass.ANNOUNCEMENT
+
+    def test_withdrawal(self):
+        assert classify_update(withdraw()) is EventClass.WITHDRAWAL
+
+    def test_priority_order(self):
+        assert EventClass.POLICY < EventClass.WITHDRAWAL < EventClass.ANNOUNCEMENT
+
+    def test_labels(self):
+        assert EventClass.POLICY.label == "policy"
+        assert EventClass.WITHDRAWAL.label == "withdrawal"
+
+    def test_overload_policy_values(self):
+        assert OverloadPolicy("block") is OverloadPolicy.BLOCK
+        assert OverloadPolicy("shed-oldest") is OverloadPolicy.SHED_OLDEST
+        assert OverloadPolicy("degrade") is OverloadPolicy.DEGRADE
+
+
+class TestCoalescingKey:
+    def test_single_prefix_has_key(self):
+        assert coalescing_key(announce()) == ("bgp", "A", str(PREFIX))
+
+    def test_withdraw_shares_key_with_announce(self):
+        assert coalescing_key(withdraw()) == coalescing_key(announce())
+
+    def test_sender_distinguishes(self):
+        assert coalescing_key(announce(sender="B")) != coalescing_key(announce())
+
+    def test_multi_prefix_has_no_key(self):
+        attributes = RouteAttributes(
+            next_hop=IPv4Address("172.0.0.1"), as_path=AsPath([100]))
+        update = Update(sender="A", announcements=(
+            Update.announce("A", PREFIX, attributes).announcements[0],
+            Update.announce("A", OTHER, attributes).announcements[0]))
+        assert coalescing_key(update) is None
+
+
+class TestRuntimeEvent:
+    def test_bgp_event_key_and_coalescable(self):
+        event = RuntimeEvent(kind=EventClass.ANNOUNCEMENT, seq=1,
+                             enqueued_wall=0.0, update=announce())
+        assert event.coalescable
+        assert event.key == ("bgp", "A", str(PREFIX))
+
+    def test_policy_event_unique_key(self):
+        one = RuntimeEvent(kind=EventClass.POLICY, seq=1, enqueued_wall=0.0,
+                           apply=lambda c: None, label="x")
+        two = RuntimeEvent(kind=EventClass.POLICY, seq=2, enqueued_wall=0.0,
+                           apply=lambda c: None, label="x")
+        assert not one.coalescable
+        assert one.key != two.key
+
+    def test_describe(self):
+        event = RuntimeEvent(kind=EventClass.WITHDRAWAL, seq=3,
+                             enqueued_wall=0.0, update=withdraw())
+        assert "withdrawal" in event.describe()
+        assert str(PREFIX) in event.describe()

@@ -1,0 +1,159 @@
+"""Priority drain, coalescing, and overload handling in RuntimeQueue."""
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.runtime.events import EventClass, RuntimeEvent, classify_update
+from repro.runtime.queue import OfferOutcome, RuntimeQueue
+
+_SEQ = iter(range(1, 10_000))
+
+
+def bgp_event(update):
+    return RuntimeEvent(kind=classify_update(update), seq=next(_SEQ),
+                        enqueued_wall=0.0, update=update)
+
+
+def announce(sender="A", prefix="10.0.0.0/24", med=0):
+    return bgp_event(Update.announce(sender, IPv4Prefix(prefix), RouteAttributes(
+        next_hop=IPv4Address("172.0.0.1"), as_path=AsPath([100]), med=med)))
+
+
+def withdraw(sender="A", prefix="10.0.0.0/24"):
+    return bgp_event(Update.withdraw(sender, IPv4Prefix(prefix)))
+
+
+def policy(label="p"):
+    return RuntimeEvent(kind=EventClass.POLICY, seq=next(_SEQ),
+                        enqueued_wall=0.0, apply=lambda c: None, label=label)
+
+
+class TestPriorityDrain:
+    def test_policy_before_withdrawal_before_announcement(self):
+        queue = RuntimeQueue()
+        queue.offer(announce(sender="A"))
+        queue.offer(withdraw(sender="B"))
+        queue.offer(policy())
+        kinds = [event.kind for event in queue.pop(3)]
+        assert kinds == [EventClass.POLICY, EventClass.WITHDRAWAL,
+                         EventClass.ANNOUNCEMENT]
+
+    def test_fifo_within_class(self):
+        queue = RuntimeQueue()
+        first = announce(sender="A")
+        second = announce(sender="B")
+        queue.offer(first)
+        queue.offer(second)
+        assert [e.seq for e in queue.pop(2)] == [first.seq, second.seq]
+
+    def test_pop_respects_limit(self):
+        queue = RuntimeQueue()
+        for sender in "ABCD":
+            queue.offer(announce(sender=sender))
+        assert len(queue.pop(3)) == 3
+        assert queue.depth == 1
+
+
+class TestCoalescing:
+    def test_latest_update_wins(self):
+        queue = RuntimeQueue()
+        queue.offer(announce(med=1))
+        latest = announce(med=2)
+        assert queue.offer(latest) is OfferOutcome.COALESCED
+        (event,) = queue.pop(10)
+        assert event.update is latest.update
+        assert event.absorbed == 1
+        assert queue.coalesced_total == 1
+
+    def test_coalesced_event_keeps_queue_position(self):
+        queue = RuntimeQueue()
+        first = announce(sender="A")
+        queue.offer(first)
+        queue.offer(announce(sender="B"))
+        queue.offer(announce(sender="A", med=9))  # coalesces into first
+        seqs = [e.seq for e in queue.pop(10)]
+        assert seqs[0] == first.seq
+
+    def test_class_migration_moves_to_new_class_tail(self):
+        queue = RuntimeQueue()
+        queue.offer(withdraw(sender="B", prefix="10.0.9.0/24"))
+        queue.offer(announce(sender="A"))
+        assert queue.offer(withdraw(sender="A")) is OfferOutcome.COALESCED
+        events = queue.pop(10)
+        assert [e.kind for e in events] == [EventClass.WITHDRAWAL,
+                                            EventClass.WITHDRAWAL]
+        # The migrated event joined the withdrawal tail, behind B's.
+        assert events[0].update.sender == "B"
+        assert events[1].update.sender == "A"
+        assert queue.depth_of(EventClass.ANNOUNCEMENT) == 0
+
+    def test_coalescing_works_while_full(self):
+        queue = RuntimeQueue(max_depth=1)
+        queue.offer(announce(med=1))
+        assert queue.offer(announce(med=2)) is OfferOutcome.COALESCED
+        assert queue.depth == 1
+
+    def test_disabled_coalescing_keeps_every_event(self):
+        queue = RuntimeQueue(coalesce=False)
+        queue.offer(announce(med=1))
+        queue.offer(announce(med=2))
+        assert queue.depth == 2
+        assert queue.coalesced_total == 0
+
+
+class TestOverload:
+    def test_full_refuses_without_admitting(self):
+        queue = RuntimeQueue(max_depth=1)
+        queue.offer(announce(sender="A"))
+        outcome = queue.offer(announce(sender="B"))
+        assert outcome is OfferOutcome.FULL
+        assert queue.depth == 1
+        assert queue.offered_total == 1
+
+    def test_shed_oldest_drops_lowest_priority_first(self):
+        queue = RuntimeQueue()
+        queue.offer(policy())
+        queue.offer(withdraw(sender="B"))
+        old = announce(sender="A")
+        queue.offer(old)
+        queue.offer(announce(sender="C", prefix="10.0.5.0/24"))
+        shed = queue.shed_oldest()
+        assert shed.seq == old.seq
+        assert shed.kind is EventClass.ANNOUNCEMENT
+        assert queue.depth == 3
+
+    def test_shed_empty_queue_returns_none(self):
+        assert RuntimeQueue().shed_oldest() is None
+
+
+class TestNoCoalesceOrdering:
+    """Regression tests: with coalescing off, priority drain is unsound
+    (a withdrawal could overtake an earlier same-key announcement), so
+    the queue must fall back to one global FIFO."""
+
+    def test_same_key_events_do_not_collide(self):
+        queue = RuntimeQueue(coalesce=False)
+        queue.offer(announce())
+        queue.offer(withdraw())
+        queue.offer(announce(med=5))
+        assert queue.depth == 3
+        assert len(queue.pop(10)) == 3
+
+    def test_global_fifo_across_classes(self):
+        queue = RuntimeQueue(coalesce=False)
+        first = announce()
+        second = withdraw()
+        third = announce(med=5)
+        for event in (first, second, third):
+            queue.offer(event)
+        assert [e.seq for e in queue.pop(10)] == [
+            first.seq, second.seq, third.seq]
+
+    def test_policy_events_also_fifo(self):
+        queue = RuntimeQueue(coalesce=False)
+        early = announce()
+        late = policy()
+        queue.offer(early)
+        queue.offer(late)
+        assert [e.seq for e in queue.pop(10)] == [early.seq, late.seq]

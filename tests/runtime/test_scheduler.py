@@ -1,0 +1,93 @@
+"""Watermark, idle-gap, and rate-limit decisions of the scheduler."""
+
+from repro.core.incremental import RecompilePressure
+from repro.runtime.clock import ManualClock
+from repro.runtime.scheduler import RecompilationScheduler, SchedulerConfig
+
+
+class StubEngine:
+    """Just enough of IncrementalEngine for scheduling decisions."""
+
+    def __init__(self, *, dirty=True, rules=0, vnhs=0):
+        self.dirty = dirty
+        self.rules = rules
+        self.vnhs = vnhs
+
+    def pressure(self):
+        return RecompilePressure(fast_path_rules=self.rules,
+                                 ephemeral_vnhs=self.vnhs, dirty=self.dirty)
+
+
+def scheduler(engine, clock, **overrides):
+    defaults = dict(max_fast_path_rules=10, max_ephemeral_vnhs=5,
+                    idle_seconds=2.0, min_interval_seconds=0.0)
+    defaults.update(overrides)
+    return RecompilationScheduler(engine, SchedulerConfig(**defaults), clock)
+
+
+class TestDue:
+    def test_clean_engine_never_due(self):
+        sched = scheduler(StubEngine(dirty=False, rules=99, vnhs=99),
+                          ManualClock())
+        assert sched.due(queue_empty=True) is None
+
+    def test_rules_watermark(self):
+        sched = scheduler(StubEngine(rules=10), ManualClock())
+        assert sched.due(queue_empty=False) == "rules"
+
+    def test_vnh_watermark(self):
+        sched = scheduler(StubEngine(vnhs=5), ManualClock())
+        assert sched.due(queue_empty=False) == "vnh"
+
+    def test_rules_outrank_vnh(self):
+        sched = scheduler(StubEngine(rules=10, vnhs=5), ManualClock())
+        assert sched.due(queue_empty=False) == "rules"
+
+    def test_below_watermarks_not_due(self):
+        sched = scheduler(StubEngine(rules=9, vnhs=4), ManualClock())
+        assert sched.due(queue_empty=True) is None
+
+
+class TestIdleGap:
+    def test_idle_fires_after_gap_with_empty_queue(self):
+        clock = ManualClock()
+        sched = scheduler(StubEngine(), clock)
+        sched.note_event()
+        clock.advance(2.0)
+        assert sched.due(queue_empty=True) == "idle"
+
+    def test_idle_needs_empty_queue(self):
+        clock = ManualClock()
+        sched = scheduler(StubEngine(), clock)
+        sched.note_event()
+        clock.advance(2.0)
+        assert sched.due(queue_empty=False) is None
+
+    def test_new_event_resets_gap(self):
+        clock = ManualClock()
+        sched = scheduler(StubEngine(), clock)
+        sched.note_event()
+        clock.advance(1.5)
+        sched.note_event()
+        clock.advance(1.5)
+        assert sched.due(queue_empty=True) is None
+        clock.advance(0.5)
+        assert sched.due(queue_empty=True) == "idle"
+
+    def test_no_events_means_no_idle_trigger(self):
+        clock = ManualClock()
+        sched = scheduler(StubEngine(), clock)
+        clock.advance(100.0)
+        assert sched.due(queue_empty=True) is None
+
+
+class TestMinInterval:
+    def test_recent_recompile_suppresses_watermark(self):
+        clock = ManualClock()
+        sched = scheduler(StubEngine(rules=10), clock,
+                          min_interval_seconds=5.0)
+        sched.note_recompiled()
+        clock.advance(4.0)
+        assert sched.due(queue_empty=False) is None
+        clock.advance(1.0)
+        assert sched.due(queue_empty=False) == "rules"

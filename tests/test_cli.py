@@ -128,6 +128,35 @@ class TestCli:
         assert main(["fuzz", "--replay", str(artifacts[0])]) == 0
         assert "no failure reproduced" in capsys.readouterr().out
 
+    def test_fuzz_runtime_mode(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--scenarios", "1",
+                     "--steps", "6", "--runtime"]) == 0
+        assert "no divergence found" in capsys.readouterr().out
+
+    def test_soak_step_driven(self, capsys):
+        assert main(["soak", "--participants", "8", "--prefixes", "60",
+                     "--updates", "80", "--burst-size", "40",
+                     "--hot-prefixes", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "step-driven mode" in out
+        assert "route-server submissions" in out
+        assert "coalesced" in out
+        assert "degraded now: False" in out
+        assert "fast-path debt 0" in out
+
+    def test_soak_threaded_shed(self, capsys):
+        assert main(["soak", "--participants", "8", "--prefixes", "60",
+                     "--updates", "80", "--burst-size", "40",
+                     "--hot-prefixes", "6", "--threaded",
+                     "--overload", "shed-oldest", "--no-coalesce"]) == 0
+        out = capsys.readouterr().out
+        assert "threaded mode" in out
+        assert "overload=shed-oldest" in out
+
+    def test_soak_in_listing(self, capsys):
+        assert main(["list"]) == 0
+        assert "soak" in capsys.readouterr().out
+
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
             main(["figure-nine"])

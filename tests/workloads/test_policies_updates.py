@@ -5,7 +5,11 @@ import pytest
 from repro.workloads.datasets import ALL_PROFILES, AMS_IX, IxpProfile
 from repro.workloads.policies import generate_policies, install_assignments
 from repro.workloads.topology import generate_ixp
-from repro.workloads.updates import generate_trace, trace_stats
+from repro.workloads.updates import (
+    generate_burst_trace,
+    generate_trace,
+    trace_stats,
+)
 
 
 class TestDatasets:
@@ -153,3 +157,56 @@ class TestGenerateTrace:
         assert controller.engine.fast_path_invocations == 30
         controller.run_background_recompilation()
         assert controller.engine.fast_path_rules_live == 0
+
+
+class TestGenerateBurstTrace:
+    def make(self, **kwargs):
+        ixp = generate_ixp(20, 200, seed=0)
+        defaults = dict(bursts=5, burst_size=40, hot_prefixes=8, seed=1)
+        defaults.update(kwargs)
+        return ixp, generate_burst_trace(ixp, **defaults)
+
+    def test_deterministic(self):
+        _, first = self.make()
+        _, second = self.make()
+        assert [(e.time, e.update) for e in first] == [
+            (e.time, e.update) for e in second]
+
+    def test_size_and_timing(self):
+        _, events = self.make(gap_seconds=30.0)
+        assert len(events) == 5 * 40
+        times = sorted({event.time for event in events})
+        assert len(times) == 5  # one shared timestamp per burst
+        assert all(b - a == 30.0 for a, b in zip(times, times[1:]))
+
+    def test_hot_set_is_bounded(self):
+        _, events = self.make()
+        touched = {prefix for event in events
+                   for prefix in event.update.prefixes}
+        assert len(touched) <= 8
+
+    def test_repeats_within_a_burst(self):
+        """Sampling WITH replacement: a 40-update burst over 8 hot
+        prefixes must revisit prefixes — that's what coalescing absorbs."""
+        _, events = self.make()
+        first_burst = [event for event in events
+                       if event.time == events[0].time]
+        keys = [(e.update.sender, prefix) for e in first_burst
+                for prefix in e.update.prefixes]
+        assert len(set(keys)) < len(keys)
+
+    def test_senders_actually_announce(self):
+        ixp, events = self.make()
+        announcers = {}
+        for name, prefix, _path in ixp.announcements:
+            announcers.setdefault(prefix, set()).add(name)
+        for event in events:
+            for prefix in event.update.prefixes:
+                assert event.update.sender in announcers[prefix]
+
+    def test_rejects_nonpositive_shape(self):
+        ixp = generate_ixp(5, 20, seed=0)
+        with pytest.raises(ValueError):
+            generate_burst_trace(ixp, bursts=0)
+        with pytest.raises(ValueError):
+            generate_burst_trace(ixp, burst_size=0)
