@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-results examples docs telemetry-smoke fuzz soak-smoke clean
+.PHONY: install test lint lint-policies-smoke bench bench-results examples docs telemetry-smoke fuzz soak-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -15,9 +15,9 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Runs ruff when available (config in pyproject.toml); falls back to a
-# byte-compile pass so the target still catches syntax errors on
-# machines without ruff.
+# Runs ruff and mypy when available (config in pyproject.toml); falls
+# back to a byte-compile pass so the target still catches syntax errors
+# on machines without the linters.
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src/ tests/ benchmarks/ tools/ examples/; \
@@ -25,6 +25,25 @@ lint:
 		echo "ruff not installed; falling back to compileall"; \
 		$(PYTHON) -m compileall -q src/ tests/ benchmarks/ tools/ examples/; \
 	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
+
+# The static policy verifier over every linting surface: the example
+# apps, a generated Section 6.1 workload, and a seeded defect-injection
+# run that must detect all six defect classes. Drops a JSON artifact
+# (CI uploads it) and exits non-zero on any error-severity diagnostic.
+lint-policies-smoke:
+	@mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) -m repro lint-policies --examples \
+		--output artifacts/lint-policies-examples.json
+	PYTHONPATH=src $(PYTHON) -m repro lint-policies --workload \
+		--participants 12 --prefixes 80
+	PYTHONPATH=src $(PYTHON) -m repro lint-policies --defects \
+		--participants 8 --prefixes 16 \
+		--output artifacts/lint-policies-defects.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,6 +21,27 @@ from repro.experiments.harness import run_fig5a
 from repro.experiments.metrics import render_series
 
 
+def build():
+    """The Figure 5a exchange with the port-80 policy installed.
+
+    Mirrors the harness's mid-timeline state (after t=565 s) so the
+    static policy verifier can lint the deployment's steady state.
+    """
+    from repro import fwd, match
+    from repro.bgp.asn import AsPath
+    from repro.core.controller import SdxController
+    from repro.experiments.harness import AWS_PREFIX
+
+    sdx = SdxController()
+    sdx.add_participant("A", 65001)   # transit via Wisconsin
+    sdx.add_participant("B", 65002)   # transit via Clemson
+    client = sdx.add_participant("C", 65003)
+    sdx.announce_route("A", AWS_PREFIX, AsPath([65001, 2381, 14618]))
+    sdx.announce_route("B", AWS_PREFIX, AsPath([65002, 12148, 7843, 14618]))
+    client.add_outbound(match(dstport=80) >> fwd("B"))
+    return sdx
+
+
 def main() -> None:
     time_scale = 1.0 if "--full" in sys.argv else 0.1
     series, events = run_fig5a(time_scale=time_scale)

@@ -36,6 +36,10 @@ def build_exchange() -> SdxController:
     return sdx
 
 
+#: Uniform lint entry point (``repro lint-policies --examples``).
+build = build_exchange
+
+
 def main() -> None:
     original = build_exchange()
     original.start()
@@ -44,7 +48,8 @@ def main() -> None:
         save_config(original, handle.name)
         size = len(handle.read())
         print(f"wrote exchange configuration: {handle.name} ({size} bytes)")
-        document = json.loads(open(handle.name).read())
+        with open(handle.name) as saved:
+            document = json.loads(saved.read())
         print(f"  participants: {len(document['participants'])}, "
               f"routes: {len(document['routes'])}, "
               f"policies: {len(document['policies'])}")

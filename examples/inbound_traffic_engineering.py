@@ -18,7 +18,8 @@ from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 
 
-def main() -> None:
+def build() -> SdxController:
+    """The example exchange, policies installed but not yet compiled."""
     sdx = SdxController()
     sdx.add_participant("ContentCDN", 64500)
     sdx.add_participant("TransitX", 64501)
@@ -32,7 +33,12 @@ def main() -> None:
     eyeball.add_inbound(
         (match(srcip="0.0.0.0/1") >> fwd(eyeball.port(0)))
         + (match(srcip="128.0.0.0/1") >> fwd(eyeball.port(1))))
+    return sdx
 
+
+def main() -> None:
+    sdx = build()
+    eyeball = sdx.participant("Eyeball")
     sdx.start()
     print(f"Eyeball's ports on the fabric: {eyeball.participant.switch_ports}")
     print()

@@ -20,7 +20,8 @@ from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 
 
-def main() -> None:
+def build() -> SdxController:
+    """The example exchange with the live redirection policy installed."""
     sdx = SdxController()
     isp = sdx.add_participant("ISP", 64500)
     sdx.add_participant("Victim", 64510)
@@ -31,19 +32,25 @@ def main() -> None:
     # The scrubber advertises the victim's space too (it tunnels cleaned
     # traffic onward), making it a BGP-eligible next hop.
     sdx.announce_route("Scrubber", target, AsPath([64520, 64510, 33010]))
-    sdx.start()
 
     # Group every prefix originated by the victim's customer AS 33010
     # with a *live* AS-path filter: the set re-resolves on every
     # recompilation, so newly announced victim prefixes join the
     # redirection automatically (a snapshot via isp.filter_rib would not).
-    print(f"prefixes currently originated by AS 33010: "
-          f"{[str(p) for p in isp.filter_rib('as_path', r'.*33010$')]}")
-
     # Redirect only UDP toward that space through the scrubber.
     isp.add_outbound(
         (rib_match("dstip", "as_path", r".*33010$") & match(protocol=17))
         >> fwd("Scrubber"))
+    return sdx
+
+
+def main() -> None:
+    sdx = build()
+    isp = sdx.participant("ISP")
+    sdx.start()
+
+    print(f"prefixes currently originated by AS 33010: "
+          f"{[str(p) for p in isp.filter_rib('as_path', r'.*33010$')]}")
 
     attack = Packet(dstip="80.0.0.1", dstport=53, srcip="6.6.6.6", protocol=17)
     normal = Packet(dstip="80.0.0.1", dstport=443, srcip="9.9.9.9", protocol=6)

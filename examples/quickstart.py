@@ -16,8 +16,12 @@ from repro.bgp.asn import AsPath
 from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 
+#: The content prefix both transit providers announce.
+CONTENT = IPv4Prefix("60.0.0.0/8")
 
-def main() -> None:
+
+def build() -> SdxController:
+    """The example exchange, policies installed but not yet compiled."""
     sdx = SdxController()
     client = sdx.add_participant("A", 65001)
     sdx.add_participant("B", 65002)
@@ -25,13 +29,16 @@ def main() -> None:
 
     # B and C both provide transit to the same content prefix; C's path
     # is shorter, so plain BGP would always pick C.
-    content = IPv4Prefix("60.0.0.0/8")
-    sdx.announce_route("B", content, AsPath([65002, 7018, 15169]))
-    sdx.announce_route("C", content, AsPath([65003, 15169]))
+    sdx.announce_route("B", CONTENT, AsPath([65002, 7018, 15169]))
+    sdx.announce_route("C", CONTENT, AsPath([65003, 15169]))
 
     # Application-specific peering: web traffic via B, rest follows BGP.
     client.add_outbound(match(dstport=80) >> fwd("B"))
+    return sdx
 
+
+def main() -> None:
+    sdx = build()
     result = sdx.start()
     print(f"compiled {result.flow_rule_count} flow rules over "
           f"{result.prefix_group_count} prefix group(s) in "
@@ -48,7 +55,7 @@ def main() -> None:
     print()
 
     print("withdrawing B's route ...")
-    sdx.withdraw_route("B", content)
+    sdx.withdraw_route("B", CONTENT)
     print(f"web traffic egresses via: {sdx.egress_of('A', web)}   "
           f"(policy no longer eligible)")
 

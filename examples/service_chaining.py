@@ -19,7 +19,13 @@ from repro.net.addresses import IPv4Prefix
 from repro.net.packet import Packet
 
 
-def main() -> None:
+def build() -> SdxController:
+    """The example exchange with the two-middlebox chain installed."""
+    controller, _chain = _build_with_chain()
+    return controller
+
+
+def _build_with_chain():
     sdx = SdxController()
     sdx.add_participant("ISP", 64500)
     sdx.add_participant("Victim", 64510)
@@ -34,6 +40,11 @@ def main() -> None:
                          middleboxes=["Scrubber", "Logger"])
     chain.announce_coverage([target])   # prepended: eligible, never best
     chain.install()
+    return sdx, chain
+
+
+def main() -> None:
+    sdx, chain = _build_with_chain()
     # The scrubber normalises the source port; the logger just observes.
     chain.set_function("Scrubber", lambda p: p.modify(srcport=0))
 

@@ -19,6 +19,18 @@ from repro.workloads.topology import generate_ixp
 from repro.workloads.updates import generate_trace, trace_stats
 
 
+def build():
+    """A small Section 6.1 exchange for the static policy verifier.
+
+    Lint-sized: 12 participants and 80 prefixes keep the analyzer fast
+    while still exercising the eyeball/transit/content policy mix.
+    """
+    ixp = generate_ixp(12, 80, seed=7)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=8))
+    return controller
+
+
 def main() -> None:
     participants = int(sys.argv[1]) if len(sys.argv) > 1 else 150
     prefixes = int(sys.argv[2]) if len(sys.argv) > 2 else 5_000

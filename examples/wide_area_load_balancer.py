@@ -18,6 +18,34 @@ from repro.experiments.harness import run_fig5b
 from repro.experiments.metrics import render_series
 
 
+def build():
+    """The Figure 5b exchange in its post-policy steady state.
+
+    Mirrors the harness: a remote AWS tenant (no physical port) with the
+    two-instance load-balance policy installed, for static linting.
+    """
+    from repro import fwd, match, modify
+    from repro.bgp.asn import AsPath
+    from repro.core.controller import SdxController
+    from repro.experiments.harness import (
+        ANYCAST, AWS_PREFIX, INSTANCE_1, INSTANCE_2)
+
+    sdx = SdxController()
+    sdx.add_participant("A", 65001)   # the clients' ISP
+    sdx.add_participant("B", 65002)   # transit toward AWS
+    sdx.announce_route("B", AWS_PREFIX, AsPath([65002, 14618]))
+    tenant = sdx.add_participant("Tenant", 65099, ports=0)
+    sdx.register_ownership(ANYCAST, "Tenant")
+    tenant.add_inbound(
+        (match(dstip="74.125.1.1") & match(srcip="204.57.0.67"))
+        >> modify(dstip=INSTANCE_2) >> fwd("B"))
+    tenant.add_inbound(
+        match(dstip="74.125.1.1") >> modify(dstip=INSTANCE_1) >> fwd("B"))
+    sdx.start()
+    tenant.announce(ANYCAST)
+    return sdx
+
+
 def main() -> None:
     time_scale = 1.0 if "--full" in sys.argv else 0.1
     series, events = run_fig5b(time_scale=time_scale)

@@ -37,6 +37,8 @@ EXPERIMENTS = {
     "fig10": "Figure 10 - per-update processing CDF",
     "replay": "burst-aware trace replay (Section 4.3.2 scheduling)",
     "check": "load a JSON exchange config, compile it, report",
+    "lint-policies": "static policy verifier: lint configs, examples, "
+                     "or generated workloads pre-compilation",
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
     "fuzz": "differential fuzzing of the update pipeline (verification)",
@@ -94,6 +96,28 @@ def _parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help=EXPERIMENTS["check"])
     check.add_argument("config", help="path to a JSON exchange config")
 
+    lint = sub.add_parser("lint-policies", help=EXPERIMENTS["lint-policies"])
+    lint.add_argument("config", nargs="*",
+                      help="JSON exchange config file(s) to lint")
+    lint.add_argument("--examples", nargs="?", const="examples", default=None,
+                      metavar="DIR",
+                      help="lint every example app exposing build() in DIR "
+                           "(default: examples/)")
+    lint.add_argument("--workload", action="store_true",
+                      help="lint a generated exchange running the paper's "
+                           "application policies (peering + inbound TE)")
+    lint.add_argument("--defects", action="store_true",
+                      help="inject one seeded defect per class into a "
+                           "Section 6.1 workload and require the analyzer "
+                           "to detect every one")
+    lint.add_argument("--participants", type=int, default=12)
+    lint.add_argument("--prefixes", type=int, default=80)
+    lint.add_argument("--seed", type=int, default=0)
+    lint.add_argument("--json", action="store_true",
+                      help="emit the merged report as JSON on stdout")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="also write the JSON report to FILE")
+
     replay = common("replay")
     replay.add_argument("--participants", type=int, default=80)
     replay.add_argument("--prefixes", type=int, default=1_000)
@@ -137,6 +161,10 @@ def _parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--runtime", action="store_true",
                       help="also replay each scenario through the "
                            "control-plane runtime and check equivalence")
+    fuzz.add_argument("--statics", action="store_true",
+                      help="also cross-validate static-analyzer verdicts "
+                           "(dead clauses, route-less forwards) against "
+                           "the reference interpreter")
 
     soak = common("soak")
     soak.add_argument("--participants", type=int, default=20)
@@ -266,9 +294,142 @@ def _run_fuzz(args) -> int:
         participants=args.participants, prefixes=args.prefixes,
         policies=args.policies, artifact_dir=args.artifact_dir,
         time_budget_seconds=args.time_budget, shrink=not args.no_shrink,
-        runtime=args.runtime))
+        runtime=args.runtime, statics=args.statics))
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _lint_workload_controller(args):
+    """A generated exchange running the paper's application policies."""
+    from repro.apps.inbound_te import split_inbound_by_source
+    from repro.apps.peering import application_specific_peering
+    from repro.workloads.topology import generate_ixp
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    server = controller.route_server
+
+    # Application-specific peering between the first pair with eligible
+    # routes, so the installed forwards survive the BGP join.
+    names = [spec.name for spec in ixp.participants]
+    for sender in names:
+        peer = next(
+            (candidate for candidate in names if candidate != sender
+             and server.reachable_prefixes(sender, via=candidate)), None)
+        if peer is not None:
+            application_specific_peering(
+                controller.participant(sender), peer,
+                applications=("web", "dns"))
+            break
+
+    # Inbound traffic engineering on the first multi-port member.
+    for spec in ixp.participants:
+        if spec.ports >= 2:
+            split_inbound_by_source(controller.participant(spec.name))
+            break
+    return controller
+
+
+def _lint_defect_run(args):
+    """(report, defects, missed) for the seeded-defect recall mode."""
+    from repro.statics import analyze_controller
+    from repro.workloads.policies import (
+        defect_detected,
+        defect_documents,
+        generate_policies,
+        inject_defects,
+        install_assignments,
+    )
+    from repro.workloads.topology import generate_ixp
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=args.seed))
+    defects = inject_defects(controller, seed=args.seed)
+    report = analyze_controller(
+        controller, raw_policies=defect_documents(defects))
+    missed = [d for d in defects if not defect_detected(d, report)]
+    return report, defects, missed
+
+
+def _lint_example_targets(directory: str):
+    """(label, controller) for every example app exposing ``build()``."""
+    import importlib.util
+    import pathlib
+
+    targets = []
+    for path in sorted(pathlib.Path(directory).glob("*.py")):
+        spec = importlib.util.spec_from_file_location(
+            f"_lint_example_{path.stem}", path)
+        if spec is None or spec.loader is None:
+            continue
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        build = getattr(module, "build", None)
+        if build is None:
+            continue
+        targets.append((str(path), build()))
+    return targets
+
+
+def _run_lint(args) -> int:
+    import json as json_module
+
+    from repro.statics import analyze_controller, lint_config
+
+    if not (args.config or args.examples or args.workload or args.defects):
+        print("lint-policies: nothing to lint (pass a config file, "
+              "--examples, --workload, or --defects)", file=sys.stderr)
+        return 2
+
+    results = []   # (label, StaticsReport)
+    missed_defects = []
+    for path in args.config:
+        with open(path) as handle:
+            document = json_module.loads(handle.read())
+        results.append((path, lint_config(document)))
+    if args.examples:
+        for label, controller in _lint_example_targets(args.examples):
+            results.append((label, analyze_controller(controller)))
+    if args.workload:
+        controller = _lint_workload_controller(args)
+        results.append(("workload", analyze_controller(controller)))
+    if args.defects:
+        report, defects, missed_defects = _lint_defect_run(args)
+        results.append(("defects", report))
+
+    payload = {
+        "targets": [
+            {"target": label, **report.to_dict()} for label, report in results
+        ],
+    }
+    if args.defects:
+        payload["defects"] = {
+            "injected": [d.description for d in defects],
+            "missed": [d.description for d in missed_defects],
+        }
+    failed = any(report.has_errors for _label, report in results
+                 if _label != "defects") or bool(missed_defects)
+    payload["ok"] = not failed
+
+    rendered = json_module.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        for label, report in results:
+            print(f"== {label}: {report.summary()}")
+            text = report.render()
+            if report.diagnostics:
+                print(text)
+        if args.defects:
+            print(f"== defect recall: {len(defects) - len(missed_defects)}"
+                  f"/{len(defects)} detected")
+            for defect in missed_defects:
+                print(f"  MISSED: {defect.description}")
+    return 1 if failed else 0
 
 
 def _run_soak(args) -> str:
@@ -391,18 +552,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_run_soak(args))
     elif args.command == "check":
         from repro.config import load_config
-        from repro.core.analysis import analyze_sdx
+        from repro.statics import analyze_controller
 
         controller = load_config(args.config)
         result = controller.start()
         print(f"compiled: {result.flow_rule_count} flow rules over "
               f"{result.prefix_group_count} prefix groups in "
               f"{result.total_seconds * 1000:.0f} ms")
-        report = analyze_sdx(controller)
-        print(report.render())
-        if report.total_overlaps:
-            print(f"warning: {report.total_overlaps} overlapping clause "
-                  f"pair(s); earlier clauses win")
+        report = analyze_controller(controller)
+        print(f"statics: {report.summary()}")
+        if report.diagnostics:
+            print(report.render())
+    elif args.command == "lint-policies":
+        return _run_lint(args)
     return 0
 
 

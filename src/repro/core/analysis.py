@@ -1,52 +1,38 @@
-"""Policy-interaction analysis: overlap detection and coverage reports.
+"""Deprecated: policy-interaction analysis (superseded by ``repro.statics``).
 
-The SDX "resolv[es] conflicts that arise between participants" by
-construction — isolation makes different participants' policies disjoint,
-and one participant's overlapping clauses resolve by priority. This
-module gives operators *visibility* into those resolutions before they
-bite:
+This module was the embryonic overlap finder; the static policy verifier
+(:mod:`repro.statics`) absorbs and generalises it — stable check IDs,
+severities, BGP-refined dead-clause detection, and five further checks.
+The public names here (:func:`find_clause_overlaps`, :func:`analyze_sdx`,
+:class:`ClauseOverlap`, :class:`SdxReport`) are kept for one release as
+thin wrappers over the new engine and emit :class:`DeprecationWarning`.
 
-* :func:`find_clause_overlaps` — pairs of one participant's clauses that
-  can match the same packet, with a concrete witness packet and which
-  clause wins;
-* :func:`analyze_sdx` — an exchange-wide report: per-participant clause
-  counts, overlaps, forwarding targets, and eligible-prefix coverage per
-  outbound target.
+Migrate:
 
-Detection is sound for the clause fragment (conjunctive predicates and
-prefix/value sets); predicates containing negation are flagged as
-*possible* overlaps (the match regions are over-approximated by their
-positive parts).
+* ``find_clause_overlaps(p)`` -> ``repro.statics`` ``ShadowOverlapCheck``
+  / ``DeadClauseCheck`` diagnostics (``analyze_controller(c)``);
+* ``analyze_sdx(controller)`` -> ``analyze_controller(controller)`` and
+  :class:`~repro.statics.diagnostics.StaticsReport`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.clauses import Clause
 from repro.core.participant import Participant
 from repro.net.packet import Packet
-from repro.policy.classifier import Classifier
-from repro.policy.headerspace import HeaderSpace
-from repro.policy.policies import Negation, Policy, Predicate
+from repro.statics.checks import clause_overlaps as _clause_overlaps
+from repro.statics.regions import clause_regions as _clause_regions
 
 
-def _contains_negation(predicate: Predicate) -> bool:
-    stack: List[Policy] = [predicate]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, Negation):
-            return True
-        stack.extend(node.children())
-    return False
-
-
-def _positive_regions(predicate: Predicate) -> List[HeaderSpace]:
-    """The identity-rule matches of the compiled filter (its match set,
-    over-approximated when the predicate contains negation masks)."""
-    classifier = predicate.compile()
-    return [rule.match for rule in classifier.rules if rule.is_identity]
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.core.analysis.{name} is deprecated; use {replacement} "
+        f"from repro.statics instead",
+        DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -72,51 +58,24 @@ def find_clause_overlaps(participant: Participant,
                          direction: str = "out") -> List[ClauseOverlap]:
     """Overlapping clause pairs within one participant's policy list.
 
-    ``direction`` is ``"out"`` or ``"in"``. The earlier (winning) clause
-    is reported first in each pair.
+    Deprecated alias for the ``SDX002`` overlap computation in
+    :mod:`repro.statics.checks`.
     """
+    _deprecated("find_clause_overlaps", "analyze_controller")
     if direction == "out":
         clauses: Sequence[Clause] = participant.outbound_clauses()
     elif direction == "in":
         clauses = participant.inbound_clauses()
     else:
         raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
-    from repro.core.dynamic import contains_dynamic
-
-    # Dynamic RIB predicates have no static match region; they are
-    # excluded from overlap analysis (empty region = never reported).
-    regions = [
-        [] if contains_dynamic(clause.predicate)
-        else _positive_regions(clause.predicate)
-        for clause in clauses
+    infos = [_clause_regions(clause) for clause in clauses]
+    return [
+        ClauseOverlap(
+            participant=participant.name, direction=direction,
+            winner_index=winner, loser_index=loser,
+            witness=witness, exact=exact)
+        for winner, loser, witness, exact in _clause_overlaps(clauses, infos)
     ]
-    negated = [_contains_negation(clause.predicate) for clause in clauses]
-    overlaps: List[ClauseOverlap] = []
-    for first in range(len(clauses)):
-        for second in range(first + 1, len(clauses)):
-            witness_space = _first_intersection(regions[first], regions[second])
-            if witness_space is None:
-                continue
-            witness = witness_space.concretise(port=0)
-            exact = not (negated[first] or negated[second])
-            if exact and not (clauses[first].predicate.holds(witness)
-                              and clauses[second].predicate.holds(witness)):
-                continue
-            overlaps.append(ClauseOverlap(
-                participant=participant.name, direction=direction,
-                winner_index=first, loser_index=second,
-                witness=witness, exact=exact))
-    return overlaps
-
-
-def _first_intersection(left: Sequence[HeaderSpace],
-                        right: Sequence[HeaderSpace]) -> Optional[HeaderSpace]:
-    for space_l in left:
-        for space_r in right:
-            merged = space_l.intersect(space_r)
-            if merged is not None:
-                return merged
-    return None
 
 
 @dataclass
@@ -161,23 +120,31 @@ class SdxReport:
 
 
 def analyze_sdx(controller) -> SdxReport:
-    """Build the policy-interaction report for a controller's participants."""
+    """Build the legacy policy-interaction report for a controller.
+
+    Deprecated alias; new code should call
+    :func:`repro.statics.analyze_controller` and consume the structured
+    :class:`~repro.statics.diagnostics.StaticsReport`.
+    """
+    _deprecated("analyze_sdx", "analyze_controller")
     reports: List[ParticipantReport] = []
-    for participant in controller.topology.participants():
-        if not participant.has_policies:
-            continue
-        report = ParticipantReport(
-            name=participant.name,
-            outbound_clauses=len(participant.outbound_clauses())
-            if not participant.is_remote else 0,
-            inbound_clauses=len(participant.inbound_clauses()),
-            targets=participant.outbound_targets())
-        if not participant.is_remote:
-            report.overlaps.extend(find_clause_overlaps(participant, "out"))
-        report.overlaps.extend(find_clause_overlaps(participant, "in"))
-        for target in report.targets:
-            report.eligible_prefixes[target] = len(
-                controller.route_server.reachable_prefixes(
-                    participant.name, via=target))
-        reports.append(report)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for participant in controller.topology.participants():
+            if not participant.has_policies:
+                continue
+            report = ParticipantReport(
+                name=participant.name,
+                outbound_clauses=len(participant.outbound_clauses())
+                if not participant.is_remote else 0,
+                inbound_clauses=len(participant.inbound_clauses()),
+                targets=participant.outbound_targets())
+            if not participant.is_remote:
+                report.overlaps.extend(find_clause_overlaps(participant, "out"))
+            report.overlaps.extend(find_clause_overlaps(participant, "in"))
+            for target in report.targets:
+                report.eligible_prefixes[target] = len(
+                    controller.route_server.reachable_prefixes(
+                        participant.name, via=target))
+            reports.append(report)
     return SdxReport(participants=reports)

@@ -119,7 +119,14 @@ class SdxController:
                  with_dataplane: bool = True, reduce_table: bool = True,
                  vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL,
                  southbound_config: Optional[SouthboundConfig] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 statics_mode: str = "off"):
+        if statics_mode not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"statics_mode must be 'off', 'warn', or 'strict', "
+                f"got {statics_mode!r}")
+        self.statics_mode = statics_mode
+        self.last_statics_report = None
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.route_server = RouteServer(telemetry=self.telemetry)
         self.topology = VirtualTopology()
@@ -283,8 +290,38 @@ class SdxController:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def lint_policies(self, *, enforce: bool = False):
+        """Run the static policy verifier over the current exchange state.
+
+        Returns the :class:`~repro.statics.diagnostics.StaticsReport`
+        (also stored as ``last_statics_report``). With ``enforce=True``,
+        error-severity findings raise
+        :class:`~repro.exceptions.StaticPolicyError`.
+        """
+        from repro.statics import analyze_controller
+
+        report = analyze_controller(self, telemetry=self.telemetry)
+        self.last_statics_report = report
+        for diagnostic in report.sorted():
+            if diagnostic.severity.value == "error":
+                logger.warning("statics %s", diagnostic.describe())
+        if enforce and report.has_errors:
+            from repro.exceptions import StaticPolicyError
+            raise StaticPolicyError(
+                f"static policy verification failed with "
+                f"{len(report.errors)} error(s); first: "
+                f"{report.errors[0].describe()}", report=report)
+        return report
+
+    def _statics_gate(self) -> None:
+        """Run the analyzer per ``statics_mode`` (no-op when off)."""
+        if self.statics_mode == "off":
+            return
+        self.lint_policies(enforce=self.statics_mode == "strict")
+
     def start(self) -> CompilationResult:
         """Compile and install the initial table, then advertise routes."""
+        self._statics_gate()
         with self.telemetry.span("controller.start"):
             result = self.compiler.compile()
             self.engine.install_full(result)
@@ -333,8 +370,15 @@ class SdxController:
         return result
 
     def notify_policy_change(self, name: str) -> None:
-        """React to a policy installation/removal by ``name``."""
+        """React to a policy installation/removal by ``name``.
+
+        In ``warn``/``strict`` statics mode the verifier runs before the
+        recompilation; strict mode raises on error-severity findings
+        (the offending policy stays installed — remove it and the next
+        change recompiles cleanly).
+        """
         self.compiler.invalidate_inbound_cache(name)
+        self._statics_gate()
         if self.started:
             self.recompile()
 

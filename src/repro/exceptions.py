@@ -44,3 +44,16 @@ class ParticipantError(ReproError):
 
 class CompilationError(ReproError):
     """The SDX compiler could not produce forwarding rules."""
+
+
+class StaticPolicyError(PolicyError):
+    """The static policy verifier found error-severity diagnostics.
+
+    Raised by :class:`~repro.core.controller.SdxController` in strict
+    statics mode; carries the offending
+    :class:`~repro.statics.diagnostics.StaticsReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

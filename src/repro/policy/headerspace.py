@@ -118,10 +118,9 @@ class HeaderSpace(Mapping[str, Constraint]):
         A packet lacking a constrained field does not match (the field
         reads as ``None``), except that prefix constraints trivially fail.
         """
-        for field, constraint in self._constraints.items():
-            if not _constraint_admits(constraint, packet.get(field)):
-                return False
-        return True
+        return all(
+            _constraint_admits(constraint, packet.get(field))
+            for field, constraint in self._constraints.items())
 
     def intersect(self, other: "HeaderSpace") -> Optional["HeaderSpace"]:
         """The conjunction of two header spaces, or ``None`` when empty."""

@@ -231,10 +231,8 @@ class SouthboundEngine:
         capture in tests) attach around one flush window and must detach
         without disturbing longer-lived observers.
         """
-        try:
+        with contextlib.suppress(ValueError):
             self._observers.remove(observer)
-        except ValueError:
-            pass
 
     def flush_installs(self) -> int:
         """Apply pending adds and modifies now, leaving deletes queued.

@@ -1,0 +1,178 @@
+"""Analyzer entry points: run the check catalogue over an exchange.
+
+Three frontends share one engine:
+
+* :func:`analyze_controller` — lint a controller's installed state;
+* :func:`lint_config` — lint a JSON config document, running the raw
+  document checks first and then building the exchange (documents that
+  fail raw validation are skipped rather than aborting the build, so
+  one bad policy does not hide findings about the rest);
+* :func:`analyze_context` — the engine, for callers that assemble a
+  :class:`StaticsContext` themselves (the fuzz cross-check does).
+
+Telemetry: each run bumps ``sdx_statics_runs_total`` and the
+per-severity ``sdx_statics_*_total`` counters under a
+``statics.analyze`` span, so lint activity lands in the same ``repro
+stats`` snapshot as the pipeline it guards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import PolicyError, ReproError
+from repro.statics.checks import (
+    BlackholeCheck,
+    Check,
+    DeadClauseCheck,
+    FieldSanityCheck,
+    IsolationCheck,
+    RoutelessForwardCheck,
+    ShadowOverlapCheck,
+    StaticsContext,
+    UnreachableDefaultCheck,
+)
+from repro.statics.diagnostics import (
+    Diagnostic,
+    RawPolicyDocument,
+    Severity,
+    SourceLocation,
+    StaticsReport,
+)
+from repro.telemetry import Telemetry, get_telemetry
+
+#: The full check catalogue, in reporting order.
+DEFAULT_CHECKS: Tuple[Check, ...] = (
+    FieldSanityCheck(),
+    IsolationCheck(),
+    RoutelessForwardCheck(),
+    DeadClauseCheck(),
+    ShadowOverlapCheck(),
+    BlackholeCheck(),
+    UnreachableDefaultCheck(),
+)
+
+
+def analyze_context(context: StaticsContext,
+                    checks: Sequence[Check] = DEFAULT_CHECKS,
+                    telemetry: Optional[Telemetry] = None) -> StaticsReport:
+    """Run ``checks`` over an assembled context."""
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    registry = telemetry.registry
+    runs_counter = registry.counter(
+        "sdx_statics_runs_total", "Static-analysis runs")
+    diagnostics_counter = registry.counter(
+        "sdx_statics_diagnostics_total", "Diagnostics emitted by the "
+        "static policy verifier")
+    errors_counter = registry.counter(
+        "sdx_statics_errors_total", "Error-severity statics diagnostics")
+    warnings_counter = registry.counter(
+        "sdx_statics_warnings_total", "Warning-severity statics diagnostics")
+
+    report = StaticsReport(checks_run=tuple(check.check_id for check in checks))
+    with telemetry.span("statics.analyze", checks=len(checks)) as span:
+        participants = context.participants()
+        report.participants_analyzed = len(participants)
+        report.clauses_analyzed = sum(
+            len(context.clauses(participant, direction))
+            for participant in participants
+            for direction in context.directions(participant)
+        ) + len(context.raw_policies)
+        for check in checks:
+            report.extend(list(check.run(context)))
+        span.set_tag(diagnostics=len(report.diagnostics))
+    runs_counter.inc()
+    diagnostics_counter.inc(len(report.diagnostics))
+    errors_counter.inc(len(report.errors))
+    warnings_counter.inc(len(report.warnings))
+    return report
+
+
+def analyze_controller(controller, *,
+                       checks: Sequence[Check] = DEFAULT_CHECKS,
+                       raw_policies: Sequence[RawPolicyDocument] = (),
+                       telemetry: Optional[Telemetry] = None) -> StaticsReport:
+    """Lint everything installed in (or offered to) a controller."""
+    context = StaticsContext.from_controller(
+        controller, raw_policies=raw_policies)
+    if telemetry is None:
+        telemetry = getattr(controller, "telemetry", None)
+    return analyze_context(context, checks=checks, telemetry=telemetry)
+
+
+def _raw_documents(document: Mapping[str, Any]) -> List[RawPolicyDocument]:
+    raw: List[RawPolicyDocument] = []
+    for index, item in enumerate(document.get("policies", ())):
+        raw.append(RawPolicyDocument(
+            participant=str(item.get("participant", "?")),
+            direction=str(item.get("direction", "?")),
+            clause=item.get("clause", {}),
+            index=index))
+    return raw
+
+
+def lint_config(document: Mapping[str, Any], *,
+                checks: Sequence[Check] = DEFAULT_CHECKS,
+                telemetry: Optional[Telemetry] = None,
+                **controller_kwargs: Any) -> StaticsReport:
+    """Lint a JSON configuration document end to end.
+
+    Raw-document checks (SDX004/SDX006) run against every policy entry
+    first; entries they flag — or that installation rejects — are
+    skipped, and the remaining exchange is analyzed as a controller.
+    Returns one merged report.
+    """
+    from repro.config import clause_to_policy, controller_from_config
+
+    raw = _raw_documents(document)
+    stripped: Dict[str, Any] = dict(document)
+    stripped["policies"] = []
+    controller = controller_from_config(stripped, **controller_kwargs)
+
+    # Which documents fail the raw checks? Run the raw-only surface once
+    # so installation can skip them without raising.
+    raw_context = StaticsContext(
+        topology=controller.topology,
+        route_server=controller.route_server,
+        raw_policies=tuple(raw))
+    raw_findings: List[Diagnostic] = []
+    for check in checks:
+        if check.check_id in ("SDX004", "SDX006"):
+            raw_findings.extend(check.run(raw_context))
+    flagged = {
+        finding.location.document_index for finding in raw_findings
+        if finding.location.document_index is not None
+    }
+
+    install_findings: List[Diagnostic] = []
+    for entry in raw:
+        if entry.index in flagged:
+            continue
+        try:
+            participant = controller.topology.participant(entry.participant)
+            policy = clause_to_policy(dict(entry.clause))
+            if entry.direction == "out":
+                participant.add_outbound(policy)
+            else:
+                participant.add_inbound(policy)
+        except (PolicyError, ReproError, KeyError, TypeError) as error:
+            install_findings.append(Diagnostic(
+                check_id="SDX006", check_name="field-sanity",
+                severity=Severity.ERROR,
+                location=SourceLocation(
+                    entry.participant, entry.direction,
+                    document_index=entry.index),
+                message=f"policy rejected at installation: {error}"))
+
+    # Full analysis over what installed cleanly; raw findings merge in.
+    # The raw checks are excluded here (already run above).
+    remaining = [c for c in checks if c.check_id not in ("SDX004", "SDX006")]
+    installed_checks = [c for c in checks if c.check_id == "SDX004"]
+    report = analyze_context(
+        StaticsContext.from_controller(controller),
+        checks=remaining + installed_checks, telemetry=telemetry)
+    report.checks_run = tuple(check.check_id for check in checks)
+    report.clauses_analyzed += len(raw)
+    report.extend(raw_findings)
+    report.extend(install_findings)
+    return report

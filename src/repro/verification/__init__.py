@@ -26,6 +26,10 @@ state). This package turns both claims into executable oracles:
 - :mod:`repro.verification.runtime` — runtime-vs-inline equivalence:
   canonical (VNH/VMAC-renaming-insensitive) state snapshots and the
   coalescing oracle behind ``python -m repro fuzz --runtime``;
+- :mod:`repro.verification.statics` — cross-validation of the static
+  policy verifier: dead-clause and route-less-forward verdicts checked
+  packet-by-packet against the reference interpreter
+  (``python -m repro fuzz --statics``);
 - :mod:`repro.verification.shrink` — trace minimisation to a minimal
   failing prefix (truncate, then greedy event removal);
 - :mod:`repro.verification.artifact` — replayable JSON failure
@@ -66,6 +70,7 @@ from repro.verification.scenario import (
     generate_scenario,
 )
 from repro.verification.shrink import shrink_scenario
+from repro.verification.statics import statics_crosscheck
 
 __all__ = [
     "CanonicalState",
@@ -95,4 +100,5 @@ __all__ = [
     "replay_artifact",
     "run_fuzz",
     "shrink_scenario",
+    "statics_crosscheck",
 ]

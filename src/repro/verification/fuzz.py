@@ -35,6 +35,10 @@ class FuzzConfig:
     deterministic control-plane runtime and asserts equivalence with
     the inline execution (see
     :func:`repro.verification.runtime.check_runtime_equivalence`).
+    ``statics`` cross-validates the static policy verifier's dead-clause
+    and route-less-forward verdicts against the reference interpreter on
+    every scenario (see
+    :func:`repro.verification.statics.statics_crosscheck`).
     """
 
     seed: int = 0
@@ -49,6 +53,7 @@ class FuzzConfig:
     time_budget_seconds: Optional[float] = None
     shrink: bool = True
     runtime: bool = False
+    statics: bool = False
 
 
 @dataclass(frozen=True)
@@ -134,6 +139,9 @@ def run_fuzz(config: FuzzConfig,
     runtime_checks_counter = registry.counter(
         "sdx_fuzz_runtime_checks_total",
         "Runtime-vs-inline equivalence replays")
+    statics_checks_counter = registry.counter(
+        "sdx_fuzz_statics_checks_total",
+        "Statics-vs-reference cross-validation replays")
 
     report = FuzzReport(config=config)
     started = time.monotonic()
@@ -152,11 +160,21 @@ def run_fuzz(config: FuzzConfig,
             scenario, drain_every=config.recompile_every,
             corpus=generate_corpus(scenario, size=config.corpus_size))
 
+    def statics_check(scenario: Scenario) -> Optional[OracleFailure]:
+        if not config.statics:
+            return None
+        from repro.verification.statics import statics_crosscheck
+        statics_checks_counter.inc()
+        return statics_crosscheck(
+            scenario, corpus=generate_corpus(scenario,
+                                             size=config.corpus_size))
+
     def runner(scenario: Scenario) -> Optional[OracleFailure]:
         oracle = DifferentialOracle(
             scenario, generate_corpus(scenario, size=config.corpus_size),
             recompile_every=config.recompile_every)
-        return oracle.run() or runtime_check(scenario)
+        return (oracle.run() or runtime_check(scenario)
+                or statics_check(scenario))
 
     for index in range(config.scenarios):
         if out_of_budget():
@@ -169,7 +187,8 @@ def run_fuzz(config: FuzzConfig,
                 scenario,
                 generate_corpus(scenario, size=config.corpus_size),
                 recompile_every=config.recompile_every)
-            failure = oracle.run() or runtime_check(scenario)
+            failure = (oracle.run() or runtime_check(scenario)
+                       or statics_check(scenario))
         report.scenarios_run += 1
         report.steps_executed += oracle.steps_executed
         report.comparisons += oracle.comparisons

@@ -199,6 +199,36 @@ class ReferenceInterpreter:
             return None
         return egress, results[0][0]
 
+    def winning_outbound_clause(self, sender: str,
+                                packet: Packet) -> Optional[int]:
+        """The outbound clause index that takes ``packet``, or ``None``.
+
+        ``None`` means the packet never exercises a policy clause: it is
+        dropped before the fabric (no covering prefix, or no best route
+        for the sender) or it follows a best-route default rule. Clause
+        indices count the sender's outbound clauses in installation
+        order, exactly as :meth:`_outbound_rules` banded them
+        (``CLAUSE_BASE - index``) — which is also the order
+        :meth:`Scenario.build_controller` installs them, so the index
+        aligns with the static analyzer's clause numbering.
+        """
+        if self._dirty:
+            self._rebuild()
+        dstip = packet.get("dstip")
+        if dstip is None:
+            return None
+        covering = [prefix for prefix in self._prefixes
+                    if prefix.contains_address(dstip)]
+        if not covering:
+            return None
+        if self._server.best_route_for(sender, covering[0]) is None:
+            return None
+        stamped = packet.modify(port=self._switch_ports[sender][0])
+        rule = self._out_switches[sender].table.lookup(stamped)
+        if rule is None or rule.priority <= DEFAULT_PRIORITY:
+            return None
+        return CLAUSE_BASE - rule.priority
+
     def outcomes(self, corpus) -> Dict[Tuple[str, int], Optional[Tuple[str, int]]]:
         """Forwarding outcome of every (sender, corpus index) pair."""
         return {

@@ -1,0 +1,152 @@
+"""Fuzzer cross-validation of the static policy verifier.
+
+The analyzer's strongest verdicts are falsifiable at packet level, and
+this module holds it to them with the reference interpreter (which
+shares no code with the analyzer's region algebra):
+
+* **SDX001 (dead clause)** — a clause marked dead must never win a
+  forwarding decision: every witness packet concretised from its
+  BGP-refined regions, and every corpus packet its predicate admits,
+  must be taken by an earlier clause or the default route;
+* **SDX003 (route-less forward)** — a forward whose effective region
+  set the BGP join erased must never fire either: its traffic falls to
+  the sender's best-route default (or is dropped at the border).
+
+:func:`statics_crosscheck` replays a scenario's BGP trace, re-running
+the analysis on the live controller state at the base table and after
+every step, so the verdicts are checked against *churning* RIB state,
+not just the initial one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.policy.headerspace import HeaderSpace
+from repro.statics.checks import StaticsContext, dead_clause_map
+from repro.statics.regions import witness_packet
+from repro.verification.oracle import OracleFailure
+from repro.verification.reference import ReferenceInterpreter
+from repro.verification.scenario import Scenario
+
+
+def _routeless_indices(context: StaticsContext, participant
+                       ) -> List[int]:
+    """Outbound clause indices whose effective region set is empty.
+
+    Mirrors the SDX003 eligibility conditions: static forwards with a
+    non-empty raw region that the BGP join erased entirely.
+    """
+    infos = context.clause_info(participant, "out")
+    effective = context.effective(participant, "out")
+    erased: List[int] = []
+    for index, info in enumerate(infos):
+        clause = info.clause
+        if info.dynamic or clause.drops:
+            continue
+        if not isinstance(clause.target, str):
+            continue
+        if not info.regions or effective[index]:
+            continue
+        erased.append(index)
+    return erased
+
+
+def _probes_for(regions, clause, corpus: Sequence[Packet],
+                prefixes: Sequence) -> List[Packet]:
+    """Witnesses from each region plus corpus packets the clause admits.
+
+    A region without a destination constraint (a port-only match, say)
+    concretises to a packet the reference drops at the border for lack
+    of a covering prefix, which would vacuously pass every assertion —
+    so such regions are refined with each announced prefix first.
+    """
+    probes: List[Packet] = []
+    for region in regions:
+        if "dstip" in region:
+            probes.append(witness_packet(region))
+            continue
+        for prefix in prefixes:
+            refined = region.intersect(HeaderSpace(dstip=prefix))
+            if refined is not None:
+                probes.append(witness_packet(refined))
+    probes.extend(
+        packet for packet in corpus if clause.predicate.holds(packet))
+    return probes
+
+
+def _check_state(controller, reference: ReferenceInterpreter,
+                 corpus: Sequence[Packet],
+                 step: int) -> Optional[OracleFailure]:
+    """Check every statics verdict on the current state, or ``None``.
+
+    Clause indices align across all three systems: the scenario installs
+    one clause per policy in list order, the analyzer numbers normalised
+    clauses in installation order, and the reference bands its rules by
+    the same filtered order.
+    """
+    context = StaticsContext.from_controller(controller)
+    prefixes = context.route_server.all_prefixes()
+    for participant in context.participants():
+        if participant.is_remote:
+            continue
+        name = participant.name
+        infos = context.clause_info(participant, "out")
+        effective = context.effective(participant, "out")
+
+        for index, verdict in dead_clause_map(
+                context, participant, "out").items():
+            probes = _probes_for(
+                effective[index], infos[index].clause, corpus, prefixes)
+            for packet in probes:
+                winner = reference.winning_outbound_clause(name, packet)
+                if winner == index:
+                    return OracleFailure(
+                        kind="statics-dead-clause-fired", step=step,
+                        detail=f"{name}: clause #{index} "
+                               f"({infos[index].clause.describe()}) was "
+                               f"marked dead (covered by "
+                               f"{verdict.covered_by}) but wins {packet!r} "
+                               f"in the reference interpreter")
+
+        for index in _routeless_indices(context, participant):
+            clause = infos[index].clause
+            probes = _probes_for(infos[index].regions, clause, corpus,
+                                 prefixes)
+            for packet in probes:
+                winner = reference.winning_outbound_clause(name, packet)
+                if winner == index:
+                    return OracleFailure(
+                        kind="statics-routeless-forward-fired", step=step,
+                        detail=f"{name}: clause #{index} "
+                               f"({clause.describe()}) was marked "
+                               f"route-less but wins {packet!r} in the "
+                               f"reference interpreter instead of falling "
+                               f"to the default route")
+    return None
+
+
+def statics_crosscheck(scenario: Scenario,
+                       corpus: Sequence[Packet] = ()
+                       ) -> Optional[OracleFailure]:
+    """Cross-validate analyzer verdicts against the reference interpreter.
+
+    Runs the analysis at the base table and after every trace step,
+    firing witness and corpus packets at the reference each time.
+    Returns the first breach as an :class:`OracleFailure` (``step`` is
+    ``-1`` for the base state), or ``None`` when every verdict held.
+    """
+    controller = scenario.build_controller(with_dataplane=False)
+    reference = ReferenceInterpreter(scenario)
+    failure = _check_state(controller, reference, corpus, step=-1)
+    if failure is not None:
+        return failure
+    for step_index, step in enumerate(scenario.trace):
+        update = scenario.step_update(step)
+        controller.submit_update(update)
+        reference.apply(update)
+        failure = _check_state(controller, reference, corpus, step=step_index)
+        if failure is not None:
+            return failure
+    return None

@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.controller import SdxController
 from repro.net.addresses import IPv4Prefix
-from repro.policy.policies import Policy, fwd, match
-from repro.workloads.seeding import SeedLike, make_rng
+from repro.policy.policies import Policy, drop, fwd, match
+from repro.workloads.seeding import SeedLike, derive_seed, make_rng
 from repro.workloads.topology import ParticipantSpec, SyntheticIxp
 
 #: Single-field match options used by the generator (field, values).
@@ -191,3 +191,322 @@ def install_assignments(controller: SdxController,
             handle.participant.add_inbound(policy)
         installed += 1
     return installed
+
+
+# ----------------------------------------------------------------------
+# Seeded defect injection (static-analyzer recall testing)
+# ----------------------------------------------------------------------
+
+#: Destination ports the Section 6.1 generator never emits; injectors
+#: draw from these so an injected clause cannot collide with workload
+#: policies (which would change which clause a diagnostic lands on).
+_DEFECT_PORTS: Tuple[int, ...] = (2049, 4443, 5432, 6379, 7077, 9090)
+
+#: Documentation prefixes (RFC 5737) — never announced by any workload
+#: generator, so a forward pinned to one is route-less by construction.
+_UNROUTED_PREFIXES: Tuple[str, ...] = (
+    "192.0.2.0/24", "198.51.100.0/24", "203.0.113.0/24")
+
+#: The check ID each injector's defect must be reported under.
+DEFECT_KINDS: Tuple[str, ...] = (
+    "shadowed_clause", "routeless_forward", "isolation_violation",
+    "blackhole", "field_sanity", "unreachable_default")
+
+
+@dataclass(frozen=True)
+class InjectedDefect:
+    """One seeded defect and where the analyzer must report it."""
+
+    kind: str
+    check_id: str
+    participant: str
+    direction: str
+    description: str
+    clause_index: Optional[int] = None
+    document: Optional[Dict[str, Any]] = None
+    document_index: Optional[int] = None
+    prefix: Optional[str] = None
+
+    def matches(self, diagnostic) -> bool:
+        """True if ``diagnostic`` reports exactly this defect."""
+        if diagnostic.check_id != self.check_id:
+            return False
+        location = diagnostic.location
+        if location.participant != self.participant:
+            return False
+        if (self.clause_index is not None
+                and location.clause_index != self.clause_index):
+            return False
+        if (self.document_index is not None
+                and location.document_index != self.document_index):
+            return False
+        if self.prefix is not None:
+            data = dict(diagnostic.data)
+            if self.prefix not in data.get("prefixes", ()):
+                return False
+        return True
+
+
+def defect_detected(defect: InjectedDefect, report) -> bool:
+    """True if ``report`` contains a diagnostic for ``defect``."""
+    return any(defect.matches(diag) for diag in report.diagnostics)
+
+
+def _physical_names(controller: SdxController) -> List[str]:
+    return sorted(
+        p.name for p in controller.topology.participants() if not p.is_remote)
+
+
+def _reachable_pairs(controller: SdxController) -> List[Tuple[str, str]]:
+    """(sender, target) pairs where the target eligibly exports >=1 prefix."""
+    server = controller.route_server
+    names = _physical_names(controller)
+    peers = set(server.peers())
+    pairs: List[Tuple[str, str]] = []
+    for sender in names:
+        for target in sorted(peers - {sender}):
+            if server.reachable_prefixes(sender, via=target):
+                pairs.append((sender, target))
+    return pairs
+
+
+def _fresh_port(controller: SdxController, rng: random.Random,
+                *participants: str) -> int:
+    """A defect port no existing clause of ``participants`` matches on."""
+    used = set()
+    for name in participants:
+        p = controller.topology.participant(name)
+        clauses = list(p.inbound_clauses())
+        if not p.is_remote:
+            clauses.extend(p.outbound_clauses())
+        for clause in clauses:
+            used.update(
+                value for _f, value in _walk_dstports(clause.predicate))
+    candidates = [port for port in _DEFECT_PORTS if port not in used]
+    if not candidates:
+        raise ValueError(
+            f"no fresh defect port available for {participants!r}")
+    return rng.choice(candidates)
+
+
+def _walk_dstports(predicate) -> List[Tuple[str, int]]:
+    from repro.policy.policies import Match
+
+    found: List[Tuple[str, int]] = []
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Match) and "dstport" in node.space:
+            found.append(("dstport", node.space["dstport"]))
+        stack.extend(node.children())
+    return found
+
+
+def inject_shadowed_clause(controller: SdxController, *,
+                           seed: SeedLike = 0) -> InjectedDefect:
+    """Install a clause fully shadowed by the one before it (SDX001)."""
+    rng = make_rng(seed)
+    pairs = _reachable_pairs(controller)
+    if not pairs:
+        raise ValueError("no (sender, target) pair with eligible prefixes")
+    sender, target = rng.choice(pairs)
+    port = _fresh_port(controller, rng, sender)
+    participant = controller.topology.participant(sender)
+    participant.add_outbound(match(dstport=port) >> fwd(target))
+    participant.add_outbound(
+        (match(dstport=port) & match(protocol=6)) >> fwd(target))
+    index = len(participant.outbound_clauses()) - 1
+    return InjectedDefect(
+        kind="shadowed_clause", check_id="SDX001",
+        participant=sender, direction="out", clause_index=index,
+        description=f"{sender}: clause #{index} (dstport={port} & protocol=6 "
+                    f"-> {target}) shadowed by #{index - 1}")
+
+
+def inject_routeless_forward(controller: SdxController, *,
+                             seed: SeedLike = 0) -> InjectedDefect:
+    """Install a fwd() whose match region the BGP join erases (SDX003)."""
+    rng = make_rng(seed)
+    server = controller.route_server
+    announced = server.all_prefixes()
+    candidates = [
+        IPv4Prefix(text) for text in _UNROUTED_PREFIXES
+        if all(IPv4Prefix(text).intersection(p) is None for p in announced)
+    ]
+    if not candidates:
+        raise ValueError("no unannounced documentation prefix available")
+    unrouted = rng.choice(candidates)
+    names = _physical_names(controller)
+    peers = set(server.peers())
+    options = [
+        (sender, target)
+        for sender in names for target in sorted(peers - {sender})
+    ]
+    if not options:
+        raise ValueError("need at least two peers to inject a forward")
+    sender, target = rng.choice(options)
+    participant = controller.topology.participant(sender)
+    participant.add_outbound(match(dstip=unrouted) >> fwd(target))
+    index = len(participant.outbound_clauses()) - 1
+    return InjectedDefect(
+        kind="routeless_forward", check_id="SDX003",
+        participant=sender, direction="out", clause_index=index,
+        description=f"{sender}: clause #{index} forwards {unrouted} to "
+                    f"{target}, which exports no covering route")
+
+
+def inject_blackhole(controller: SdxController, *,
+                     seed: SeedLike = 0) -> InjectedDefect:
+    """Steer one sender's traffic into a peer whose inbound drops it
+    (SDX005)."""
+    rng = make_rng(seed)
+    pairs = _reachable_pairs(controller)
+    if not pairs:
+        raise ValueError("no (sender, target) pair with eligible prefixes")
+    sender, target = rng.choice(pairs)
+    port = _fresh_port(controller, rng, sender, target)
+    egress = controller.topology.participant(target)
+    egress.add_inbound(match(dstport=port) >> drop)
+    participant = controller.topology.participant(sender)
+    participant.add_outbound(match(dstport=port) >> fwd(target))
+    index = len(participant.outbound_clauses()) - 1
+    return InjectedDefect(
+        kind="blackhole", check_id="SDX005",
+        participant=sender, direction="out", clause_index=index,
+        description=f"{sender}: clause #{index} steers dstport={port} into "
+                    f"{target}, whose inbound drops it")
+
+
+def inject_unreachable_default(controller: SdxController, *,
+                               seed: SeedLike = 0) -> InjectedDefect:
+    """Deny one participant the only route toward a prefix (SDX007)."""
+    rng = make_rng(seed)
+    server = controller.route_server
+    names = _physical_names(controller)
+    options: List[Tuple[str, str, IPv4Prefix]] = []
+    for prefix in server.all_prefixes():
+        routes = server.all_routes_for(prefix)
+        announcers = {entry.learned_from for entry in routes}
+        if len(announcers) != 1:
+            continue
+        announcer = next(iter(announcers))
+        for victim in names:
+            if victim == announcer:
+                continue
+            if prefix in server.announced_by(victim):
+                continue
+            if server.best_route_for(victim, prefix) is None:
+                continue  # already unreachable; nothing to inject
+            options.append((victim, announcer, prefix))
+    if not options:
+        raise ValueError("no single-announcer prefix to cut off")
+    victim, announcer, prefix = rng.choice(options)
+    deny, allow = server.export_policy(announcer)
+    server.set_export_policy(
+        announcer, deny=set(deny) | {victim}, allow=allow)
+    return InjectedDefect(
+        kind="unreachable_default", check_id="SDX007",
+        participant=victim, direction="out", prefix=str(prefix),
+        description=f"{victim}: lost its only route toward {prefix} "
+                    f"(export denied by {announcer})")
+
+
+def inject_isolation_violation(controller: SdxController, *,
+                               seed: SeedLike = 0) -> InjectedDefect:
+    """A raw policy document matching the SDX virtual-MAC space (SDX004)."""
+    rng = make_rng(seed)
+    names = _physical_names(controller)
+    if not names:
+        raise ValueError("no physical participant to attribute the policy to")
+    sender = rng.choice(names)
+    others = [n for n in names if n != sender] or [sender]
+    target = rng.choice(others)
+    vmac = f"a2:00:00:00:00:{rng.randrange(256):02x}"
+    document = {
+        "match": {"kind": "match", "fields": {"dstmac": vmac}},
+        "fwd": target,
+    }
+    return InjectedDefect(
+        kind="isolation_violation", check_id="SDX004",
+        participant=sender, direction="out", document=document,
+        description=f"{sender}: raw policy matches reserved field dstmac "
+                    f"({vmac}, inside the VMAC range)")
+
+
+def inject_field_sanity_defect(controller: SdxController, *,
+                               seed: SeedLike = 0) -> InjectedDefect:
+    """A raw policy document that fails field/type validation (SDX006)."""
+    rng = make_rng(seed)
+    names = _physical_names(controller)
+    if not names:
+        raise ValueError("no physical participant to attribute the policy to")
+    sender = rng.choice(names)
+    others = [n for n in names if n != sender] or [sender]
+    target = rng.choice(others)
+    variants: Tuple[Dict[str, Any], ...] = (
+        {"match": {"kind": "match", "fields": {"dstprot": "6"}},
+         "fwd": target},
+        {"match": {"kind": "match", "fields": {"dstport": "-80"}},
+         "fwd": target},
+        {"match": {"kind": "match", "fields": {"dstip": "10.0.0.0/40"}},
+         "fwd": target},
+        {"match": {"kind": "match", "fields": {"dstport": "80"}},
+         "fwd": target, "drop": True},
+    )
+    document = rng.choice(variants)
+    return InjectedDefect(
+        kind="field_sanity", check_id="SDX006",
+        participant=sender, direction="out", document=document,
+        description=f"{sender}: raw policy fails field/type sanity "
+                    f"({document['match']['fields']})")
+
+
+_INJECTORS = {
+    "shadowed_clause": inject_shadowed_clause,
+    "routeless_forward": inject_routeless_forward,
+    "isolation_violation": inject_isolation_violation,
+    "blackhole": inject_blackhole,
+    "field_sanity": inject_field_sanity_defect,
+    "unreachable_default": inject_unreachable_default,
+}
+
+
+def inject_defects(controller: SdxController, *, seed: SeedLike = 0,
+                   kinds: Sequence[str] = DEFECT_KINDS
+                   ) -> List[InjectedDefect]:
+    """Inject one seeded defect per kind; returns them in ``kinds`` order.
+
+    Raw-document defects get consecutive ``document_index`` values in
+    injection order — pass the documents to the analyzer in that same
+    order (see :func:`defect_documents`).
+    """
+    defects: List[InjectedDefect] = []
+    document_index = 0
+    for kind in kinds:
+        try:
+            injector = _INJECTORS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown defect kind {kind!r}; known: "
+                f"{sorted(_INJECTORS)}") from None
+        defect = injector(controller, seed=derive_seed(seed, f"defect-{kind}"))
+        if defect.document is not None:
+            defect = InjectedDefect(
+                **{**defect.__dict__, "document_index": document_index})
+            document_index += 1
+        defects.append(defect)
+    return defects
+
+
+def defect_documents(defects: Sequence[InjectedDefect]):
+    """The raw policy documents of ``defects`` as analyzer inputs."""
+    from repro.statics.diagnostics import RawPolicyDocument
+
+    documents = []
+    for defect in defects:
+        if defect.document is None:
+            continue
+        documents.append(RawPolicyDocument(
+            participant=defect.participant, direction=defect.direction,
+            clause=defect.document, index=defect.document_index or 0))
+    return documents

@@ -83,4 +83,5 @@ class TestCheckCommand:
         assert main(["check", str(path)]) == 0
         out = capsys.readouterr().out
         assert "compiled:" in out
-        assert "A: 2 outbound" in out
+        assert "statics:" in out
+        assert "0 error(s)" in out

@@ -1,0 +1,138 @@
+"""Property tests for :mod:`repro.policy.headerspace` subsumption.
+
+The static analyzer's soundness rests on ``covers`` / ``intersect``
+being a faithful region algebra — a dead-clause verdict is exactly a
+chain of ``covers`` facts. These properties pin the algebra down over
+randomly drawn spaces: CIDR nesting is subsumption, the wildcard is the
+top element, empty intersections mean genuinely disjoint spaces, and
+every non-empty intersection is covered by (and matches) both operands.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPv4Prefix
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from tests.policy.strategies import (
+    clustered_prefixes,
+    header_spaces,
+    packets,
+    transport_ports,
+)
+
+ip_values = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@st.composite
+def nested_prefix_pairs(draw):
+    """(shorter, longer) with the longer prefix inside the shorter one."""
+    outer_length = draw(st.integers(min_value=0, max_value=24))
+    extra = draw(st.integers(min_value=1, max_value=32 - outer_length))
+    network = draw(ip_values)
+    outer = IPv4Prefix(network=network, length=outer_length)
+    inner = IPv4Prefix(network=network, length=outer_length + extra)
+    return outer, inner
+
+
+class TestNestedCidrCovers:
+    @settings(max_examples=120, deadline=None)
+    @given(nested_prefix_pairs())
+    def test_shorter_prefix_covers_nested_longer_prefix(self, pair):
+        outer, inner = pair
+        assert HeaderSpace(dstip=outer).covers(HeaderSpace(dstip=inner))
+
+    @settings(max_examples=120, deadline=None)
+    @given(nested_prefix_pairs())
+    def test_strictly_longer_prefix_never_covers_its_parent(self, pair):
+        outer, inner = pair
+        assert not HeaderSpace(dstip=inner).covers(HeaderSpace(dstip=outer))
+
+    @settings(max_examples=120, deadline=None)
+    @given(clustered_prefixes)
+    def test_covers_is_reflexive_on_prefixes(self, prefix):
+        assert HeaderSpace(dstip=prefix).covers(HeaderSpace(dstip=prefix))
+
+
+class TestWildcardVersusExact:
+    @settings(max_examples=120, deadline=None)
+    @given(header_spaces())
+    def test_wildcard_covers_everything(self, space):
+        assert WILDCARD.covers(space)
+        assert WILDCARD.intersect(space) == space
+
+    @settings(max_examples=120, deadline=None)
+    @given(header_spaces())
+    def test_constrained_space_never_covers_the_wildcard(self, space):
+        if space.is_wildcard:
+            assert space.covers(WILDCARD)
+        else:
+            assert not space.covers(WILDCARD)
+
+    @settings(max_examples=120, deadline=None)
+    @given(packets())
+    def test_wildcard_matches_every_packet(self, packet):
+        assert WILDCARD.matches(packet)
+
+
+class TestEmptyIntersections:
+    @settings(max_examples=120, deadline=None)
+    @given(transport_ports, transport_ports)
+    def test_distinct_exact_values_are_disjoint(self, left, right):
+        a = HeaderSpace(dstport=left)
+        b = HeaderSpace(dstport=right)
+        if left == right:
+            assert a.intersect(b) == a
+        else:
+            assert a.intersect(b) is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(clustered_prefixes, clustered_prefixes)
+    def test_prefix_intersection_mirrors_cidr_overlap(self, left, right):
+        result = HeaderSpace(dstip=left).intersect(HeaderSpace(dstip=right))
+        if left.overlaps(right):
+            longer = left if left.length >= right.length else right
+            assert result == HeaderSpace(dstip=longer)
+        else:
+            assert result is None
+
+    @settings(max_examples=120, deadline=None)
+    @given(header_spaces(), transport_ports)
+    def test_disjoint_on_one_field_kills_the_whole_space(self, space, port):
+        constrained = space.with_constraint("dstport", port)
+        if constrained is None:  # space already pinned a different port
+            return
+        other_port = 7777  # never drawn by transport_ports
+        assert constrained.intersect(
+            HeaderSpace(dstport=other_port)) is None
+
+
+class TestIntersectionSemantics:
+    @settings(max_examples=200, deadline=None)
+    @given(header_spaces(), header_spaces())
+    def test_both_operands_cover_a_non_empty_intersection(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert a.covers(result)
+            assert b.covers(result)
+
+    @settings(max_examples=200, deadline=None)
+    @given(header_spaces(), header_spaces())
+    def test_intersection_is_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(header_spaces(), header_spaces(), packets())
+    def test_intersection_matches_exactly_the_common_packets(self, a, b,
+                                                            packet):
+        result = a.intersect(b)
+        both = a.matches(packet) and b.matches(packet)
+        if result is None:
+            assert not both
+        else:
+            assert result.matches(packet) == both
+
+    @settings(max_examples=120, deadline=None)
+    @given(header_spaces())
+    def test_concretised_witness_matches_its_space(self, space):
+        witness = space.concretise(port=0)
+        assert space.matches(witness)

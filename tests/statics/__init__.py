@@ -1,0 +1,1 @@
+"""Tests for the static policy verifier (``repro.statics``)."""

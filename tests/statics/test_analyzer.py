@@ -1,0 +1,159 @@
+"""Analyzer frontends: controller linting, config linting, strict mode."""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.config import export_config
+from repro.core.controller import SdxController
+from repro.exceptions import StaticPolicyError
+from repro.net.addresses import IPv4Prefix
+from repro.policy.policies import fwd, match
+from repro.statics import DEFAULT_CHECKS, analyze_controller, lint_config
+
+P1 = IPv4Prefix("20.0.0.0/8")
+P2 = IPv4Prefix("30.0.0.0/8")
+
+ALL_CHECK_IDS = ("SDX001", "SDX002", "SDX003", "SDX004", "SDX005",
+                 "SDX006", "SDX007")
+
+
+def exchange(**kwargs):
+    sdx = SdxController(**kwargs)
+    sdx.add_participant("A", 65001)
+    sdx.add_participant("B", 65002)
+    sdx.add_participant("C", 65003)
+    sdx.announce_route("B", P1, AsPath([65002, 100]))
+    sdx.announce_route("C", P2, AsPath([65003, 200]))
+    return sdx
+
+
+def add_dead_clause(sdx):
+    a = sdx.participant("A")
+    a.add_outbound(match(dstport=80) >> fwd("B"))
+    a.add_outbound((match(dstport=80) & match(protocol=6)) >> fwd("B"))
+
+
+class TestAnalyzeController:
+    def test_catalogue_covers_all_seven_checks(self):
+        assert tuple(sorted(c.check_id for c in DEFAULT_CHECKS)) == \
+            ALL_CHECK_IDS
+
+    def test_clean_exchange_has_no_findings(self):
+        sdx = exchange()
+        sdx.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+        report = analyze_controller(sdx)
+        assert report.diagnostics == []
+        assert report.participants_analyzed == 3
+        assert report.clauses_analyzed == 1
+        assert report.checks_run == tuple(
+            check.check_id for check in DEFAULT_CHECKS)
+
+    def test_dead_clause_reported_as_error(self):
+        sdx = exchange()
+        add_dead_clause(sdx)
+        report = analyze_controller(sdx)
+        assert report.has_errors
+        assert [d.check_id for d in report.errors] == ["SDX001"]
+
+    def test_telemetry_counters_recorded(self):
+        sdx = exchange()
+        add_dead_clause(sdx)
+        analyze_controller(sdx)
+        snapshot = sdx.telemetry.registry.snapshot()
+        assert snapshot["sdx_statics_runs_total"] == 1
+        assert snapshot["sdx_statics_errors_total"] == 1
+
+
+class TestControllerModes:
+    def test_invalid_statics_mode_rejected(self):
+        with pytest.raises(Exception) as excinfo:
+            exchange(statics_mode="bogus")
+        assert "statics_mode" in str(excinfo.value)
+
+    def test_off_mode_never_lints(self):
+        sdx = exchange(statics_mode="off")
+        add_dead_clause(sdx)
+        sdx.start()
+        assert sdx.last_statics_report is None
+
+    def test_warn_mode_records_but_starts(self):
+        sdx = exchange(statics_mode="warn")
+        add_dead_clause(sdx)
+        sdx.start()
+        assert sdx.started
+        assert sdx.last_statics_report is not None
+        assert sdx.last_statics_report.has_errors
+
+    def test_strict_mode_rejects_the_offending_policy_change(self):
+        sdx = exchange(statics_mode="strict")
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        with pytest.raises(StaticPolicyError) as excinfo:
+            a.add_outbound(
+                (match(dstport=80) & match(protocol=6)) >> fwd("B"))
+        assert not sdx.started
+        assert excinfo.value.report is sdx.last_statics_report
+        assert "SDX001" in str(excinfo.value)
+
+    def test_strict_mode_refuses_to_start_with_standing_errors(self):
+        sdx = exchange()
+        add_dead_clause(sdx)
+        sdx.statics_mode = "strict"
+        with pytest.raises(StaticPolicyError):
+            sdx.start()
+        assert not sdx.started
+
+    def test_strict_mode_starts_a_clean_exchange(self):
+        sdx = exchange(statics_mode="strict")
+        sdx.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+        sdx.start()
+        assert sdx.started
+        assert not sdx.last_statics_report.has_errors
+
+
+class TestLintConfig:
+    def document(self):
+        sdx = exchange()
+        sdx.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+        return export_config(sdx)
+
+    def test_clean_config_round_trips(self):
+        report = lint_config(self.document())
+        assert not report.has_errors
+        assert report.checks_run == tuple(
+            check.check_id for check in DEFAULT_CHECKS)
+
+    def test_flagged_document_is_skipped_not_fatal(self):
+        document = self.document()
+        document["policies"].append({
+            "participant": "A", "direction": "out",
+            "clause": {"match": {"kind": "match",
+                                 "fields": {"dstmac": "a2:00:00:00:00:07"}},
+                       "fwd": "B"}})
+        report = lint_config(document)
+        assert report.has_errors
+        flagged = report.by_check("SDX004")
+        assert flagged
+        assert all(f.location.document_index == 1 for f in flagged)
+        # The clean policy still got installed and analyzed.
+        assert report.clauses_analyzed >= 3
+
+    def test_install_rejection_becomes_a_diagnostic(self):
+        document = self.document()
+        document["policies"].append({
+            "participant": "Nobody", "direction": "out",
+            "clause": {"match": {"kind": "match",
+                                 "fields": {"dstport": 80}},
+                       "fwd": "B"}})
+        report = lint_config(document)
+        rejected = [f for f in report.by_check("SDX006")
+                    if "rejected at installation" in f.message]
+        assert len(rejected) == 1
+        assert rejected[0].location.participant == "Nobody"
+
+    def test_check_subset_is_respected(self):
+        subset = tuple(
+            check for check in DEFAULT_CHECKS
+            if check.check_id in ("SDX004", "SDX006"))
+        report = lint_config(self.document(), checks=subset)
+        assert report.checks_run == ("SDX006", "SDX004")

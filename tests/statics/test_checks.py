@@ -1,0 +1,297 @@
+"""The check catalogue, exercised on small hand-built exchanges."""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.core.dynamic import rib_match
+from repro.net.addresses import IPv4Prefix
+from repro.policy.policies import drop, fwd, match
+from repro.statics.checks import (
+    BlackholeCheck,
+    DeadClauseCheck,
+    FieldSanityCheck,
+    IsolationCheck,
+    RoutelessForwardCheck,
+    ShadowOverlapCheck,
+    StaticsContext,
+    UnreachableDefaultCheck,
+    dead_clause_map,
+)
+from repro.statics.diagnostics import RawPolicyDocument, Severity
+
+P1 = IPv4Prefix("20.0.0.0/8")
+P2 = IPv4Prefix("30.0.0.0/8")
+
+
+def exchange():
+    """A/B/C with B announcing P1 and C announcing P2."""
+    sdx = SdxController()
+    sdx.add_participant("A", 65001)
+    sdx.add_participant("B", 65002)
+    sdx.add_participant("C", 65003)
+    sdx.announce_route("B", P1, AsPath([65002, 100]))
+    sdx.announce_route("C", P2, AsPath([65003, 200]))
+    return sdx
+
+
+def context(sdx, raw=()):
+    return StaticsContext.from_controller(sdx, raw_policies=raw)
+
+
+def findings(check, ctx):
+    return list(check.run(ctx))
+
+
+def participant_of(ctx, name):
+    return next(p for p in ctx.participants() if p.name == name)
+
+
+class TestStaticsContext:
+    def test_bad_direction_rejected(self):
+        ctx = context(exchange())
+        with pytest.raises(ValueError):
+            ctx.clauses(participant_of(ctx, "A"), "sideways")
+
+    def test_dead_clause_map_is_cached(self):
+        ctx = context(exchange())
+        a = participant_of(ctx, "A")
+        assert dead_clause_map(ctx, a, "out") is dead_clause_map(ctx, a, "out")
+
+
+class TestDeadClause:
+    def test_refinement_of_earlier_clause_is_dead(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound((match(dstport=80) & match(protocol=6)) >> fwd("B"))
+        found = findings(DeadClauseCheck(), context(sdx))
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.location.participant == "A"
+        assert finding.location.direction == "out"
+        assert finding.location.clause_index == 1
+        assert dict(finding.data)["covered_by"] == [0]
+        assert finding.witness is not None
+        assert finding.witness.get("dstport") == 80
+
+    def test_disjoint_clauses_are_not_dead(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound(match(dstport=443) >> fwd("C"))
+        assert findings(DeadClauseCheck(), context(sdx)) == []
+
+    def test_negated_clause_is_never_marked_dead(self):
+        # The shadow is real point-wise, but the analyzer's regions
+        # over-approximate negation, so soundness forbids the verdict.
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound(
+            (match(dstport=80) & ~match(protocol=17)) >> fwd("B"))
+        assert findings(DeadClauseCheck(), context(sdx)) == []
+
+    def test_dynamic_clause_is_skipped(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound(
+            (match(dstport=80)
+             & rib_match("dstip", "as_path", r".*100$")) >> fwd("B"))
+        ctx = context(sdx)
+        assert dead_clause_map(ctx, participant_of(ctx, "A"), "out") == {}
+
+
+class TestShadowOverlap:
+    def test_partial_overlap_reports_the_loser(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound(match(protocol=6) >> fwd("C"))
+        found = findings(ShadowOverlapCheck(), context(sdx))
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.severity is Severity.WARNING
+        assert finding.location.clause_index == 1
+        assert dict(finding.data)["winner"] == 0
+        assert dict(finding.data)["exact"] is True
+        assert finding.witness.get("dstport") == 80
+        assert finding.witness.get("protocol") == 6
+
+    def test_fully_dead_clause_left_to_sdx001(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        a.add_outbound((match(dstport=80) & match(protocol=6)) >> fwd("B"))
+        assert findings(ShadowOverlapCheck(), context(sdx)) == []
+
+
+class TestRoutelessForward:
+    def test_erased_forward_is_an_error(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstip="99.0.0.0/8") >> fwd("B"))
+        found = findings(RoutelessForwardCheck(), context(sdx))
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.location.clause_index == 0
+        assert dict(finding.data)["target"] == "B"
+        assert dict(finding.data)["eligible_prefixes"] == [str(P1)]
+
+    def test_forward_within_routes_is_clean(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstport=80) >> fwd("B"))
+        assert findings(RoutelessForwardCheck(), context(sdx)) == []
+
+    def test_drop_clauses_are_immune(self):
+        sdx = exchange()
+        a = sdx.participant("A")
+        a.add_outbound(match(dstip="99.0.0.0/8") >> drop)
+        assert findings(RoutelessForwardCheck(), context(sdx)) == []
+
+
+class TestIsolation:
+    def doc(self, clause, participant="A", direction="out", index=0):
+        return RawPolicyDocument(
+            participant=participant, direction=direction, clause=clause,
+            index=index)
+
+    def test_vmac_match_in_raw_document(self):
+        document = self.doc({
+            "match": {"kind": "match",
+                      "fields": {"dstmac": "a2:00:00:00:00:07"}},
+            "fwd": "B"})
+        found = findings(IsolationCheck(), context(exchange(), (document,)))
+        assert found, "VMAC document must be flagged"
+        assert all(f.severity is Severity.ERROR for f in found)
+        assert all(f.location.document_index == 0 for f in found)
+        assert any("virtual-MAC" in f.message for f in found)
+        assert any("reserved field" in f.message for f in found)
+
+    def test_raw_switch_port_forward(self):
+        document = self.doc({
+            "match": {"kind": "match", "fields": {"dstport": 80}},
+            "fwd": 3})
+        found = findings(IsolationCheck(), context(exchange(), (document,)))
+        assert len(found) == 1
+        assert "raw switch port" in found[0].message
+
+    def test_self_forward(self):
+        document = self.doc({
+            "match": {"kind": "match", "fields": {"dstport": 80}},
+            "fwd": "A"})
+        found = findings(IsolationCheck(), context(exchange(), (document,)))
+        assert len(found) == 1
+        assert "its own participant" in found[0].message
+
+    def test_clean_document_passes(self):
+        document = self.doc({
+            "match": {"kind": "match", "fields": {"dstport": 80}},
+            "fwd": "B"})
+        assert findings(
+            IsolationCheck(), context(exchange(), (document,))) == []
+
+
+class TestBlackhole:
+    def test_steering_into_an_inbound_drop(self):
+        sdx = exchange()
+        sdx.participant("A").add_outbound(match(dstport=2049) >> fwd("B"))
+        sdx.participant("B").add_inbound(match(dstport=2049) >> drop)
+        found = findings(BlackholeCheck(), context(sdx))
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.severity is Severity.WARNING
+        assert finding.location.participant == "A"
+        assert finding.location.clause_index == 0
+        assert dict(finding.data) == {"target": "B", "drop_clause": 0}
+        assert finding.witness.get("dstport") == 2049
+
+    def test_earlier_inbound_delivery_clears_the_verdict(self):
+        sdx = exchange()
+        sdx.participant("A").add_outbound(match(dstport=2049) >> fwd("B"))
+        b = sdx.participant("B")
+        b.add_inbound(match(dstport=2049) >> fwd(b.port(0)))
+        b.add_inbound(match(dstport=2049) >> drop)
+        assert findings(BlackholeCheck(), context(sdx)) == []
+
+
+class TestFieldSanity:
+    def doc(self, clause, direction="out", index=0):
+        return RawPolicyDocument(
+            participant="A", direction=direction, clause=clause, index=index)
+
+    def one_finding(self, document):
+        found = findings(
+            FieldSanityCheck(), context(exchange(), (document,)))
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert found[0].location.document_index == document.index
+        return found[0]
+
+    def test_invalid_direction(self):
+        finding = self.one_finding(self.doc(
+            {"match": {"kind": "true"}, "fwd": "B"}, direction="sideways"))
+        assert "direction must be" in finding.message
+
+    def test_missing_match(self):
+        finding = self.one_finding(self.doc({"fwd": "B"}))
+        assert "'match'" in finding.message
+
+    def test_drop_and_forward_conflict(self):
+        finding = self.one_finding(self.doc({
+            "match": {"kind": "match", "fields": {"dstport": 80}},
+            "drop": True, "fwd": "B"}))
+        assert "both drops and forwards" in finding.message
+
+    def test_negative_port_is_a_field_error(self):
+        finding = self.one_finding(self.doc({
+            "match": {"kind": "match", "fields": {"dstport": "-80"}},
+            "fwd": "B"}))
+        assert "field/type error" in finding.message
+
+    def test_bad_prefix_is_an_address_error(self):
+        finding = self.one_finding(self.doc({
+            "match": {"kind": "match", "fields": {"dstip": "10.0.0.0/40"}},
+            "fwd": "B"}))
+        assert "bad address or prefix" in finding.message
+
+    def test_clean_document_passes(self):
+        document = self.doc({
+            "match": {"kind": "match", "fields": {"dstport": 80}},
+            "fwd": "B"})
+        assert findings(
+            FieldSanityCheck(), context(exchange(), (document,))) == []
+
+
+class TestUnreachableDefault:
+    def hidden_exchange(self):
+        """C's P2 route withheld from A: A has no default toward P2."""
+        sdx = exchange()
+        sdx.route_server.set_export_policy("C", deny={"A"})
+        return sdx
+
+    def test_unrouted_prefix_is_informational(self):
+        found = findings(
+            UnreachableDefaultCheck(), context(self.hidden_exchange()))
+        assert len(found) == 1
+        finding = found[0]
+        assert finding.severity is Severity.INFO
+        assert finding.location.participant == "A"
+        assert finding.location.clause_index is None
+        assert dict(finding.data)["prefixes"] == [str(P2)]
+
+    def test_policy_into_the_void_upgrades_to_warning(self):
+        sdx = self.hidden_exchange()
+        sdx.participant("A").add_outbound(match(dstip=str(P2)) >> fwd("B"))
+        found = findings(UnreachableDefaultCheck(), context(sdx))
+        upgraded = [f for f in found if f.severity is Severity.WARNING]
+        assert len(upgraded) == 1
+        assert upgraded[0].location.clause_index == 0
+        assert dict(upgraded[0].data)["clause_index"] == 0
+
+    def test_fully_routed_exchange_is_silent(self):
+        assert findings(UnreachableDefaultCheck(), context(exchange())) == []

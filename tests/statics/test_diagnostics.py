@@ -1,0 +1,135 @@
+"""Diagnostic value types: severities, locations, reports, renderings."""
+
+import json
+
+from repro.net.packet import Packet
+from repro.statics.diagnostics import (
+    Diagnostic,
+    RawPolicyDocument,
+    Severity,
+    SourceLocation,
+    StaticsReport,
+)
+
+
+def diag(check_id="SDX001", severity=Severity.ERROR, participant="A",
+         direction="out", clause_index=0, **kwargs):
+    return Diagnostic(
+        check_id=check_id, check_name="test-check", severity=severity,
+        location=SourceLocation(participant, direction, clause_index),
+        message=kwargs.pop("message", "something is wrong"), **kwargs)
+
+
+class TestSeverity:
+    def test_rank_orders_most_severe_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_str_is_the_value(self):
+        assert str(Severity.WARNING) == "warning"
+        assert Severity("error") is Severity.ERROR
+
+
+class TestSourceLocation:
+    def test_describe_participant_only(self):
+        assert SourceLocation("A").describe() == "A"
+
+    def test_describe_with_direction_and_clause(self):
+        assert SourceLocation("A", "out", 2).describe() == "A:out#2"
+
+    def test_describe_with_document_index(self):
+        location = SourceLocation("B", "in", document_index=3)
+        assert location.describe() == "B:in@doc3"
+
+    def test_to_dict_omits_none_fields(self):
+        assert SourceLocation("A").to_dict() == {"participant": "A"}
+        assert SourceLocation("A", "out", 1).to_dict() == {
+            "participant": "A", "direction": "out", "clause_index": 1}
+
+    def test_raw_document_location(self):
+        document = RawPolicyDocument(
+            participant="C", direction="out", clause={"match": {}}, index=4)
+        assert document.location == SourceLocation(
+            "C", "out", document_index=4)
+
+
+class TestDiagnostic:
+    def test_describe_mentions_severity_check_and_location(self):
+        text = diag().describe()
+        assert "ERROR" in text
+        assert "SDX001" in text
+        assert "[A:out#0]" in text
+        assert "something is wrong" in text
+
+    def test_describe_includes_witness(self):
+        text = diag(witness=Packet(dstip="10.0.0.1", dstport=80)).describe()
+        assert "e.g." in text
+
+    def test_to_dict_encodes_witness_and_data(self):
+        encoded = diag(witness=Packet(dstip="10.0.0.1", dstport=80),
+                       data=(("covered_by", [0, 1]),)).to_dict()
+        assert encoded["check_id"] == "SDX001"
+        assert encoded["severity"] == "error"
+        assert encoded["witness"]["dstip"] == "10.0.0.1"
+        assert encoded["witness"]["dstport"] == "80"
+        assert encoded["data"] == {"covered_by": [0, 1]}
+        json.dumps(encoded)  # must be JSON-safe
+
+    def test_to_dict_stringifies_exotic_data_values(self):
+        encoded = diag(data=(("prefixes", (object(),)),)).to_dict()
+        assert isinstance(encoded["data"]["prefixes"][0], str)
+
+
+class TestStaticsReport:
+    def report(self):
+        report = StaticsReport(participants_analyzed=2, clauses_analyzed=5,
+                               checks_run=("SDX001", "SDX002"))
+        report.extend([
+            diag(check_id="SDX007", severity=Severity.INFO, participant="B",
+                 direction=None, clause_index=None),
+            diag(check_id="SDX002", severity=Severity.WARNING, clause_index=1),
+            diag(check_id="SDX001", severity=Severity.ERROR),
+        ])
+        return report
+
+    def test_sorted_puts_errors_first(self):
+        ordered = self.report().sorted()
+        assert [d.severity for d in ordered] == [
+            Severity.ERROR, Severity.WARNING, Severity.INFO]
+
+    def test_error_and_warning_filters(self):
+        report = self.report()
+        assert [d.check_id for d in report.errors] == ["SDX001"]
+        assert [d.check_id for d in report.warnings] == ["SDX002"]
+        assert report.has_errors
+
+    def test_by_check(self):
+        assert len(self.report().by_check("SDX002")) == 1
+        assert self.report().by_check("SDX999") == []
+
+    def test_counts_and_summary(self):
+        report = self.report()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        summary = report.summary()
+        assert "2 participant(s)" in summary
+        assert "5 clause(s)" in summary
+        assert "1 error(s), 1 warning(s), 1 info" in summary
+
+    def test_render_has_summary_plus_one_line_per_finding(self):
+        lines = self.report().render().splitlines()
+        assert len(lines) == 4
+        assert "ERROR" in lines[1]
+
+    def test_to_dict_summary_block(self):
+        encoded = self.report().to_dict()
+        assert encoded["summary"]["ok"] is False
+        assert encoded["summary"]["checks_run"] == ["SDX001", "SDX002"]
+        assert len(encoded["diagnostics"]) == 3
+
+    def test_to_json_round_trips(self):
+        decoded = json.loads(self.report().to_json())
+        assert decoded["summary"]["counts"]["error"] == 1
+
+    def test_empty_report_is_ok(self):
+        report = StaticsReport()
+        assert not report.has_errors
+        assert report.to_dict()["summary"]["ok"] is True

@@ -10,9 +10,8 @@ from repro.telemetry.trace import _NULL_HANDLE, Tracer
 class TestSpanNesting:
     def test_parent_child_ids(self):
         tracer = Tracer()
-        with tracer.span("parent"):
-            with tracer.span("child"):
-                pass
+        with tracer.span("parent"), tracer.span("child"):
+            pass
         parent, child = sorted(tracer.finished(), key=lambda s: s.span_id)
         assert parent.name == "parent"
         assert child.parent_id == parent.span_id
@@ -42,9 +41,8 @@ class TestSpanNesting:
 
     def test_durations_non_negative_and_ordered(self):
         tracer = Tracer()
-        with tracer.span("outer"):
-            with tracer.span("inner"):
-                pass
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
         spans = {span.name: span for span in tracer.finished()}
         assert spans["inner"].duration >= 0.0
         assert spans["outer"].duration >= spans["inner"].duration
@@ -58,9 +56,8 @@ class TestSpanNesting:
 
     def test_exception_recorded_as_error_tag(self):
         tracer = Tracer()
-        with pytest.raises(RuntimeError):
-            with tracer.span("work"):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), tracer.span("work"):
+            raise RuntimeError("boom")
         (finished,) = tracer.finished()
         assert finished.tags["error"] == "RuntimeError"
 
@@ -88,9 +85,8 @@ class TestLossAccounting:
 
     def test_orphaned_children_surface_as_roots(self):
         tracer = Tracer(capacity=1)
-        with tracer.span("parent"):
-            with tracer.span("child"):
-                pass
+        with tracer.span("parent"), tracer.span("child"):
+            pass
         # The child finished first, then the parent evicted it... the
         # buffer holds only the parent; with capacity 1 the child is gone.
         # Reverse case: keep the child, evict nothing else.
@@ -133,9 +129,8 @@ class TestDisabledTracer:
 class TestRendering:
     def test_span_tree_shape(self):
         tracer = Tracer()
-        with tracer.span("root"):
-            with tracer.span("child"):
-                pass
+        with tracer.span("root"), tracer.span("child"):
+            pass
         (root,) = tracer.span_tree()
         assert root["name"] == "root"
         assert root["children"][0]["name"] == "child"
@@ -143,9 +138,8 @@ class TestRendering:
 
     def test_render_tree_text(self):
         tracer = Tracer()
-        with tracer.span("root", size=2):
-            with tracer.span("child"):
-                pass
+        with tracer.span("root", size=2), tracer.span("child"):
+            pass
         text = tracer.render()
         assert "root" in text and "size=2" in text
         assert "\n  child" in text  # indented under the root

@@ -160,3 +160,88 @@ class TestCli:
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
             main(["figure-nine"])
+
+
+class TestLintPolicies:
+    def config_document(self):
+        from repro.bgp.asn import AsPath
+        from repro.config import export_config
+        from repro.core.controller import SdxController
+        from repro.net.addresses import IPv4Prefix
+        from repro.policy.policies import fwd, match
+
+        sdx = SdxController()
+        sdx.add_participant("A", 65001)
+        sdx.add_participant("B", 65002)
+        sdx.announce_route("B", IPv4Prefix("20.0.0.0/8"),
+                           AsPath([65002, 100]))
+        sdx.participant("A").add_outbound(match(dstport=80) >> fwd("B"))
+        return export_config(sdx)
+
+    def write_config(self, tmp_path, document):
+        import json
+
+        path = tmp_path / "exchange.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def examples_dir(self):
+        import os
+
+        return os.path.join(os.path.dirname(__file__), "..", "examples")
+
+    def test_lint_in_listing(self, capsys):
+        assert main(["list"]) == 0
+        assert "lint-policies" in capsys.readouterr().out
+
+    def test_nothing_to_lint_exits_2(self, capsys):
+        assert main(["lint-policies"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_clean_config_passes(self, tmp_path, capsys):
+        path = self.write_config(tmp_path, self.config_document())
+        assert main(["lint-policies", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_bad_config_fails_with_diagnostics(self, tmp_path, capsys):
+        document = self.config_document()
+        document["policies"].append({
+            "participant": "A", "direction": "out",
+            "clause": {"match": {"kind": "match",
+                                 "fields": {"dstmac": "a2:00:00:00:00:07"}},
+                       "fwd": "B"}})
+        path = self.write_config(tmp_path, document)
+        assert main(["lint-policies", path]) == 1
+        assert "SDX004" in capsys.readouterr().out
+
+    def test_json_output_and_artifact(self, tmp_path, capsys):
+        import json
+
+        path = self.write_config(tmp_path, self.config_document())
+        artifact = tmp_path / "lint.json"
+        assert main(["lint-policies", path, "--json",
+                     "--output", str(artifact)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["targets"][0]["summary"]["ok"] is True
+        assert json.loads(artifact.read_text()) == payload
+
+    def test_examples_lint_clean(self, capsys):
+        assert main(["lint-policies", "--examples", self.examples_dir()]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "synthetic_ixp" in out
+
+    def test_defect_recall_is_total(self, capsys):
+        assert main(["lint-policies", "--defects",
+                     "--participants", "8", "--prefixes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "defect recall: 6/6 detected" in out
+
+    def test_check_command_reports_statics(self, tmp_path, capsys):
+        path = self.write_config(tmp_path, self.config_document())
+        assert main(["check", path]) == 0
+        out = capsys.readouterr().out
+        assert "compiled:" in out
+        assert "statics:" in out

@@ -1,0 +1,60 @@
+"""Seeded defect injection: every planted defect must be recalled."""
+
+import pytest
+
+from repro.statics import analyze_controller
+from repro.workloads.policies import (
+    DEFECT_KINDS,
+    defect_detected,
+    defect_documents,
+    generate_policies,
+    inject_defects,
+    install_assignments,
+)
+from repro.workloads.topology import generate_ixp
+
+SEEDS = (0, 7, 23)
+
+
+def seeded_controller(seed):
+    ixp = generate_ixp(8, 16, seed=seed)
+    controller = ixp.build_controller()
+    install_assignments(controller,
+                        generate_policies(ixp, seed=seed + 1))
+    return controller
+
+
+class TestInjection:
+    def test_covers_all_six_defect_classes(self):
+        assert len(DEFECT_KINDS) == 6
+
+    def test_injection_is_deterministic(self):
+        first = inject_defects(seeded_controller(3), seed=11)
+        second = inject_defects(seeded_controller(3), seed=11)
+        assert first == second
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            inject_defects(seeded_controller(0), kinds=("made_up",))
+
+    def test_document_defects_get_consecutive_indices(self):
+        defects = inject_defects(seeded_controller(0), seed=5)
+        indices = [d.document_index for d in defects if d.document is not None]
+        assert indices == list(range(len(indices)))
+        assert len(defect_documents(defects)) == len(indices)
+
+
+class TestRecall:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_injected_defect_is_detected(self, seed):
+        controller = seeded_controller(seed)
+        defects = inject_defects(controller, seed=seed)
+        assert [d.kind for d in defects] == list(DEFECT_KINDS)
+        report = analyze_controller(
+            controller, raw_policies=defect_documents(defects))
+        missed = [d.kind for d in defects if not defect_detected(d, report)]
+        assert missed == []
+
+    def test_clean_workload_has_no_errors(self):
+        report = analyze_controller(seeded_controller(SEEDS[0]))
+        assert [d.describe() for d in report.errors] == []
