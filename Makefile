@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-policies-smoke bench bench-results examples docs telemetry-smoke fuzz soak-smoke clean
+.PHONY: install test lint lint-policies-smoke bench bench-results examples docs telemetry-smoke fuzz soak-smoke monitor-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -82,6 +82,18 @@ soak-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro soak --participants 12 \
 		--prefixes 100 --updates 400 --burst-size 100 --hot-prefixes 12 \
 		--queue-depth 64 --overload degrade --threaded
+
+# Closed-loop monitoring gate: both canned scenarios must converge —
+# the balancer evens out the shifted load, the steering offloads the
+# heavy hitter — within the reaction budget. Each run drops its JSON
+# report under artifacts/ (CI uploads them) and exits non-zero on a
+# miss.
+monitor-smoke:
+	@mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) -m repro monitor --smoke \
+		--output artifacts/monitor-shifting.json
+	PYTHONPATH=src $(PYTHON) -m repro monitor --smoke --scenario skewed \
+		--output artifacts/monitor-skewed.json
 
 # Runs a small workload, dumps the Prometheus exposition, and checks
 # that every core metric family reported activity.

@@ -10,7 +10,7 @@ A second benchmark times one single update precisely through
 pytest-benchmark's statistics machinery.
 """
 
-from conftest import publish, scaled
+from conftest import publish, publish_json, scaled
 
 from repro.experiments.harness import (
     _loaded_controller,
@@ -47,6 +47,18 @@ def test_fig10_update_cdf(benchmark):
     publish("fig10_update_cdf", render_table(
         ["participants", "median ms", "p90 ms", "p99 ms",
          "P(<=100ms)", "P(<=1s)"], rows))
+    publish_json("fig10_update_cdf", [
+        {
+            "participants": count,
+            "updates": UPDATES,
+            "median_ms": cdfs[count].median * 1000,
+            "p90_ms": cdfs[count].quantile(0.9) * 1000,
+            "p99_ms": cdfs[count].quantile(0.99) * 1000,
+            "fraction_below_100ms": cdfs[count].fraction_below(0.1),
+            "fraction_below_1s": cdfs[count].fraction_below(1.0),
+        }
+        for count in PARTICIPANTS
+    ])
 
     # Per-update latency percentiles through the runtime telemetry
     # histogram — the same implementation `repro stats` reports from.

@@ -11,7 +11,7 @@ compression and asserts the published traffic shapes:
   to instance #2.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.harness import run_fig5a, run_fig5b
 from repro.experiments.metrics import render_series
@@ -49,6 +49,13 @@ def test_fig5b_wide_area_load_balance(benchmark):
         [series[label] for label in sorted(series)],
         "time(s)", "Mbps", max_rows=20)
     publish("fig5b_load_balance", text)
+    publish_json("fig5b_load_balance", {
+        "time_scale": TIME_SCALE,
+        "events": [{"time_seconds": when, "label": label}
+                   for when, label in events],
+        "series": {label: [[x, y] for x, y in series[label].points]
+                   for label in sorted(series)},
+    })
 
     one, two = series["AWS instance #1"].ys(), series["AWS instance #2"].ys()
     steps = len(one)

@@ -1,0 +1,72 @@
+"""Monitoring loop — estimation accuracy and reaction latency.
+
+Drives both closed-loop scenarios end to end (traffic driver → flow
+table byte counters → :class:`FlowStatsCollector` → detectors → runtime
+monitoring events → reactive apps → statics-gated policy changes →
+southbound FlowMods) on a manual clock and checks the subsystem's two
+headline numbers:
+
+* **accuracy** — the collector's per-FEC (skewed scenario) and per-port
+  (shifting scenario) rate estimates must be within 5% of the driver's
+  ground truth at the default 1 s cadence, and the accumulated per-FEC
+  byte totals within 5% over the whole run (the budget absorbs the
+  one-interval counter loss when a reaction rewrites rules);
+* **reaction latency** — simulated seconds from the traffic shift (or
+  surge) to the first corrective FlowMod batch hitting the table.
+
+All reactive policy changes run through the strict statics gate. Both
+results land in ``benchmarks/results/monitoring_loop.json`` alongside
+the rendered table.
+"""
+
+from conftest import publish, publish_json
+
+from repro.experiments.metrics import render_table
+from repro.experiments.monitoring import (
+    LoopConfig,
+    run_shifting_loop,
+    run_skewed_loop,
+)
+
+CONFIG = LoopConfig(duration=40.0, shift_time=10.0,
+                    cadence_seconds=1.0, statics_mode="strict")
+#: Runtime steps allowed between the shift and the corrective FlowMod.
+CONVERGE_WITHIN_TICKS = 8
+
+
+def _run_both():
+    return run_shifting_loop(CONFIG), run_skewed_loop(CONFIG)
+
+
+def test_monitoring_loop(benchmark):
+    shifting, skewed = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    def fmt(value, suffix=""):
+        return "-" if value is None else f"{value:.2f}{suffix}"
+
+    publish("monitoring_loop", render_table(
+        ["scenario", "reaction s", "rate err %", "bytes err %", "action"],
+        [["shifting", fmt(shifting.reaction_seconds),
+          fmt(shifting.port_rate_error_pct), "-",
+          f"{shifting.rebalances} rebalance(s), "
+          f"imbalance {shifting.final_imbalance:.2f}"],
+         ["skewed", fmt(skewed.reaction_seconds),
+          fmt(skewed.fec_rate_error_pct), fmt(skewed.fec_bytes_error_pct),
+          f"offloaded {', '.join(skewed.offloaded) or 'nothing'}"]]))
+    publish_json("monitoring_loop", [shifting.to_dict(), skewed.to_dict()])
+
+    # Accuracy: estimates within 5% of ground truth at default cadence.
+    assert shifting.port_rate_error_pct <= 5.0
+    assert skewed.fec_rate_error_pct <= 5.0
+    assert skewed.fec_bytes_error_pct <= 5.0
+
+    # Reaction: both loops close within the step budget, and the
+    # balancer actually balances (trailing ground-truth share).
+    assert shifting.converged(within_ticks=CONVERGE_WITHIN_TICKS)
+    assert skewed.converged(within_ticks=CONVERGE_WITHIN_TICKS)
+    assert shifting.rebalances >= 1
+    assert skewed.offloaded == ("62.0.0.0/8",)
+
+    # The loop really ran through the runtime's monitoring event class.
+    assert shifting.runtime_submitted["monitoring"] >= 1
+    assert skewed.runtime_submitted["monitoring"] >= 1

@@ -9,6 +9,7 @@ to see them inline.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -30,3 +31,15 @@ def publish(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====")
     print(text)
+
+
+def publish_json(name: str, payload) -> None:
+    """Persist a machine-readable twin of a rendered result.
+
+    Writes ``benchmarks/results/<name>.json`` with deterministic
+    formatting (sorted keys, trailing newline) so CI can diff and
+    archive the regenerated numbers.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -36,6 +36,59 @@ def build() -> SdxController:
     return sdx
 
 
+def reactive_demo() -> None:
+    """The same idea, closed-loop: re-split when the counters skew.
+
+    Instead of a hand-written source split, the
+    :class:`~repro.apps.reactive.ReactiveInboundBalancer` owns the
+    partition (eight source slices, round-robin over the two ports) and
+    re-packs it from measured per-slice rates when the egress imbalance
+    watch raises.
+    """
+    from repro.apps.reactive import ReactiveInboundBalancer
+    from repro.monitoring.loop import DataPlaneMonitor
+    from repro.runtime.clock import ManualClock
+
+    sdx = SdxController()
+    sdx.add_participant("ContentCDN", 64500)
+    sdx.add_participant("TransitX", 64501)
+    eyeball = sdx.add_participant("Eyeball", 64510, ports=2)
+    sdx.announce_route("Eyeball", IPv4Prefix("70.0.0.0/8"), AsPath([64510]))
+    sdx.start()
+
+    runtime = sdx.build_runtime(clock=ManualClock())
+    monitor = DataPlaneMonitor(sdx)
+    balancer = ReactiveInboundBalancer(eyeball, monitor)
+    monitor.add_detector(balancer.make_watch())
+    balancer.install()
+    runtime.attach_monitor(monitor)
+    runtime.add_monitoring_handler(balancer.handle_event)
+
+    print("reactive variant: round-robin start, assignment "
+          f"{dict(balancer.assignment)}")
+
+    # All the load arrives from even-numbered source slices — which the
+    # round-robin assignment pins to port 0 — so the watch must raise
+    # and the balancer must re-pack.
+    megabit = 1_000_000 // 8
+    senders = {"10.0.0.1": 20, "66.0.0.1": 16, "130.0.0.1": 18,
+               "200.0.0.1": 14}
+    for _tick in range(8):
+        for srcip, rate_mbps in senders.items():
+            probe = Packet(dstip="70.0.0.1", dstport=443, srcip=srcip,
+                           protocol=6)
+            sdx.send("ContentCDN", probe, size_bytes=rate_mbps * megabit)
+        runtime.clock.advance(1.0)
+        runtime.step()
+        runtime.drain()
+
+    print(f"after {balancer.rebalances} rebalance(s): assignment "
+          f"{dict(balancer.assignment)}")
+    if monitor.last_sample is not None:
+        for view in monitor.last_sample.ports:
+            print(f"  port {view.key}: {view.rate_mbps:.1f} Mbps measured")
+
+
 def main() -> None:
     sdx = build()
     eyeball = sdx.participant("Eyeball")
@@ -58,6 +111,9 @@ def main() -> None:
         stats = sdx.fabric.switch.stats(port.switch_port)
         print(f"  port {index} (switch {port.switch_port}): "
               f"{stats.tx_packets} packets delivered")
+
+    print()
+    reactive_demo()
 
 
 if __name__ == "__main__":

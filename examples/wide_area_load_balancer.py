@@ -46,6 +46,28 @@ def build():
     return sdx
 
 
+def reactive_demo() -> None:
+    """The counter-driven variant: offload decided by measurement.
+
+    Figure 5b's policy shift is scripted at t=246 s; the reactive
+    version watches per-FEC rates and moves the hottest prefix to an
+    alternate egress only when a heavy hitter actually appears —
+    :class:`~repro.apps.reactive.HeavyHitterSteering` riding the
+    monitoring loop over the canned skewed-traffic scenario.
+    """
+    from repro.experiments.monitoring import LoopConfig, run_skewed_loop
+
+    result = run_skewed_loop(LoopConfig(duration=20.0, shift_time=5.0))
+    print("reactive variant (skewed scenario, surge at t=5s):")
+    print(f"  offloaded prefixes: {list(result.offloaded)}")
+    print(f"  reaction: {result.reaction_seconds:.1f}s after the surge "
+          f"(offload at t={result.offload_at:.1f}s)")
+    rates = ", ".join(f"{name}={rate:.1f}"
+                      for name, rate in sorted(result.participant_rates.items())
+                      if rate > 0.0)
+    print(f"  measured egress rates (Mbps): {rates}")
+
+
 def main() -> None:
     time_scale = 1.0 if "--full" in sys.argv else 0.1
     series, events = run_fig5b(time_scale=time_scale)
@@ -66,6 +88,8 @@ def main() -> None:
     print("load-balance policy, then one flow moves to instance #2.")
     print(f"observed: start #1={one.ys()[0]} #2={two.ys()[0]}, "
           f"end #1={one.ys()[-1]} #2={two.ys()[-1]}")
+    print()
+    reactive_demo()
 
 
 if __name__ == "__main__":

@@ -43,6 +43,8 @@ EXPERIMENTS = {
     "trace": "run a small workload, print the pipeline span tree",
     "fuzz": "differential fuzzing of the update pipeline (verification)",
     "soak": "drive a burst trace through the control-plane runtime",
+    "monitor": "closed-loop data-plane monitoring: snapshot, watch, "
+               "or smoke-test a reactive scenario",
 }
 
 
@@ -187,6 +189,38 @@ def _parser() -> argparse.ArgumentParser:
     soak.add_argument("--threaded", action="store_true",
                       help="run the runtime's worker thread instead of "
                            "the deterministic step-driven mode")
+
+    monitor = common("monitor")
+    monitor.add_argument("--scenario", choices=("shifting", "skewed"),
+                         default="shifting",
+                         help="shifting: reactive inbound balancing; "
+                              "skewed: heavy-hitter offload")
+    monitor.add_argument("--watch", action="store_true",
+                         help="print one line per monitor sample as the "
+                              "scenario runs (instead of only the final "
+                              "snapshot)")
+    monitor.add_argument("--duration", type=float, default=40.0,
+                         help="simulated seconds to drive (default 40)")
+    monitor.add_argument("--shift-time", type=float, default=10.0,
+                         help="when the traffic shift/surge hits (default 10)")
+    monitor.add_argument("--cadence", type=float, default=1.0,
+                         help="monitor sampling cadence in simulated "
+                              "seconds (default 1.0)")
+    monitor.add_argument("--statics-mode", default="strict",
+                         choices=("off", "warn", "strict"),
+                         help="statics gate for reactive policy changes "
+                              "(default strict)")
+    monitor.add_argument("--json", action="store_true",
+                         help="emit JSON (watch lines become JSON objects)")
+    monitor.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the JSON report to FILE")
+    monitor.add_argument("--smoke", action="store_true",
+                         help="exit 1 unless the reactive app converges "
+                              "(the CI monitor-smoke gate)")
+    monitor.add_argument("--converge-within", type=int, default=8,
+                         metavar="N",
+                         help="runtime steps allowed between the shift and "
+                              "the corrective FlowMod (default 8)")
     return parser
 
 
@@ -501,6 +535,76 @@ def _run_soak(args) -> str:
     return "\n".join(lines)
 
 
+def _run_monitor(args) -> int:
+    import json as json_module
+
+    from repro.experiments.monitoring import (
+        LoopConfig,
+        run_shifting_loop,
+        run_skewed_loop,
+    )
+
+    config = LoopConfig(
+        duration=args.duration, shift_time=args.shift_time,
+        cadence_seconds=args.cadence, seed=args.seed,
+        statics_mode=args.statics_mode)
+    last_sample = []
+
+    def on_sample(sample) -> None:
+        last_sample[:] = [sample]
+        if not args.watch:
+            return
+        if args.json:
+            print(json_module.dumps(sample.to_dict(), sort_keys=True))
+            return
+        ports = " ".join(
+            f"port{view.key}={view.rate_mbps:.1f}" for view in sample.ports)
+        fecs = " ".join(
+            f"{view.key}={view.rate_mbps:.1f}" for view in sample.fecs)
+        print(f"t={sample.sampled_at:6.1f} "
+              f"total={sample.total_rate_mbps:7.1f}Mbps  {ports}  {fecs}")
+
+    runner = (run_shifting_loop if args.scenario == "shifting"
+              else run_skewed_loop)
+    result = runner(config, on_sample=on_sample)
+
+    payload = {"report": result.to_dict()}
+    if last_sample:
+        payload["last_sample"] = last_sample[0].to_dict()
+    if args.smoke:
+        converged = result.converged(within_ticks=args.converge_within)
+        payload["converged"] = converged
+        payload["converge_within_ticks"] = args.converge_within
+
+    rendered = json_module.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        for key, value in sorted(payload["report"].items()):
+            print(f"{key}: {value}")
+        if last_sample:
+            sample = last_sample[0]
+            print(f"last sample (t={sample.sampled_at:g}, "
+                  f"{len(sample.rules)} rules):")
+            for title, views in (("fec", sample.fecs),
+                                 ("participant", sample.participants),
+                                 ("port", sample.ports)):
+                for view in views:
+                    print(f"  {title} {view.key}: "
+                          f"{view.rate_mbps:.2f} Mbps "
+                          f"(ewma {view.ewma_mbps:.2f}, "
+                          f"{view.bytes} bytes total)")
+        if args.smoke:
+            print(f"converged within {args.converge_within} steps: "
+                  f"{payload['converged']}")
+    if args.smoke and not payload["converged"]:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -565,6 +669,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.render())
     elif args.command == "lint-policies":
         return _run_lint(args)
+    elif args.command == "monitor":
+        return _run_monitor(args)
     return 0
 
 

@@ -11,15 +11,21 @@ library code over the participant policy API:
   in-network destination rewriting instead of DNS tricks;
 - :class:`repro.apps.chaining.ServiceChain` — steer a traffic subset
   through a sequence of middleboxes (the Section 8 "service chaining"
-  extension).
+  extension);
+- :class:`repro.apps.reactive.ReactiveInboundBalancer` and
+  :class:`repro.apps.reactive.HeavyHitterSteering` — counter-driven
+  variants that react to :mod:`repro.monitoring` events.
 """
 
 from repro.apps.peering import application_specific_peering
 from repro.apps.inbound_te import split_inbound_by_source
 from repro.apps.load_balancer import WideAreaLoadBalancer
 from repro.apps.chaining import ServiceChain, run_through_chain
+from repro.apps.reactive import HeavyHitterSteering, ReactiveInboundBalancer
 
 __all__ = [
+    "HeavyHitterSteering",
+    "ReactiveInboundBalancer",
     "ServiceChain",
     "WideAreaLoadBalancer",
     "application_specific_peering",

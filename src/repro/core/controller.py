@@ -536,11 +536,16 @@ class SdxController:
     # Traffic (simulation convenience)
     # ------------------------------------------------------------------
 
-    def send(self, name: str, packet: Packet) -> List[Delivery]:
-        """Source a packet from inside participant ``name``'s AS."""
+    def send(self, name: str, packet: Packet, *,
+             size_bytes: Optional[int] = None) -> List[Delivery]:
+        """Source a packet from inside participant ``name``'s AS.
+
+        ``size_bytes`` attributes that volume to data-plane byte counters
+        (see :mod:`repro.monitoring`); ``None`` means a default-size packet.
+        """
         if self.fabric is None:
             raise ParticipantError("controller built without a data plane")
-        return self.fabric.originate(name, packet)
+        return self.fabric.originate(name, packet, size_bytes=size_bytes)
 
     def egress_of(self, name: str, packet: Packet) -> Optional[str]:
         """Which participant a packet from ``name`` exits through.

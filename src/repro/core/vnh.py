@@ -253,6 +253,22 @@ class VnhAllocator:
         """Every assigned group, by id."""
         return tuple(self._groups[gid] for gid in sorted(self._groups))
 
+    def vmac_index(self) -> Dict[MacAddress, str]:
+        """VMAC → FEC label for every live assignment.
+
+        The label is the group's representative prefix (its smallest
+        member — stable across recomputation) or, for a fast-path
+        singleton, the overridden prefix itself. The monitoring
+        collector uses this to attribute dstmac-matching flow rules
+        back to the FEC whose traffic they carry.
+        """
+        index: Dict[MacAddress, str] = {}
+        for gid, group in self._groups.items():
+            index[self._vmac_by_group[gid]] = str(group.representative)
+        for prefix, (_vnh, vmac) in self._ephemeral.items():
+            index[vmac] = str(prefix)
+        return index
+
     @property
     def assignments(self) -> int:
         """Total live (VNH, VMAC) pairs, groups plus ephemerals."""

@@ -100,13 +100,16 @@ class Fabric:
         return tuple(
             port.switch_port for port in router.ports if port.switch_port is not None)
 
-    def send(self, packet: Packet) -> List[Delivery]:
+    def send(self, packet: Packet, *,
+             size_bytes: Optional[int] = None) -> List[Delivery]:
         """Push one already-located packet through the switch.
 
         Returns the deliveries made (empty when the switch dropped it).
+        ``size_bytes`` attributes that volume to per-rule and per-port
+        byte counters (monitoring); ``None`` means a default-size packet.
         """
         deliveries: List[Delivery] = []
-        for egress, result in self.switch.process(packet):
+        for egress, result in self.switch.process(packet, size_bytes=size_bytes):
             attachment = self._attachments.get(egress)
             if attachment is None:
                 continue
@@ -116,7 +119,8 @@ class Fabric:
             deliveries.append(delivery)
         return deliveries
 
-    def originate(self, router_name: str, packet: Packet) -> List[Delivery]:
+    def originate(self, router_name: str, packet: Packet, *,
+                  size_bytes: Optional[int] = None) -> List[Delivery]:
         """Have a participant source a packet from inside its AS.
 
         The router performs its FIB lookup/MAC stamping (:meth:`emit`),
@@ -126,7 +130,7 @@ class Fabric:
         framed = self.router(router_name).emit(packet)
         if framed is None:
             return []
-        return self.send(framed)
+        return self.send(framed, size_bytes=size_bytes)
 
     def clear_deliveries(self) -> None:
         """Forget recorded deliveries (between measurement intervals)."""

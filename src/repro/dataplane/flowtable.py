@@ -2,15 +2,29 @@
 
 Rules are kept sorted by descending priority (insertion order breaks
 ties, matching OpenFlow's undefined-but-stable behaviour in practice).
-Per-rule packet counters support the rule-utilisation measurements in the
-benchmark harness.
+Per-rule packet *and byte* counters support the rule-utilisation
+measurements in the benchmark harness and the data-plane monitoring
+subsystem (:mod:`repro.monitoring`), which samples them to estimate
+per-FEC and per-egress traffic rates.
 
 Mutation comes in two granularities: whole-rule installation/removal, and
 :meth:`FlowTable.apply_delta` — the switch-side half of the southbound
 flow-update engine, executing add/modify/delete FlowMods keyed by
 ``(priority, match)``. Delta application leaves untouched rules' objects
-(and therefore their packet counters) alone, which is what makes update
-cost measurable across recompiles.
+(and therefore their packet and byte counters) alone, which is what makes
+update cost measurable across recompiles — and what lets the monitoring
+collector's per-rule deltas survive background table swaps.
+
+Counter-survival invariant: a rule's counters are preserved across
+:meth:`apply_delta` and phased swaps exactly when the rule is untouched
+(or modified idempotently / with its actions rewritten in place at the
+same key); they reset to zero when the key is deleted and re-added.
+Each installed rule also carries a *cookie* — a monotonically increasing
+token assigned at installation and preserved by MODIFY, mirroring the
+OpenFlow cookie field. Counter consumers key per-rule state by cookie:
+a surviving cookie means the counters are a monotonic continuation, a
+fresh cookie means they restarted from zero, with no way to confuse a
+modified rule (new object, old counters) for a new one.
 """
 
 from __future__ import annotations
@@ -30,6 +44,11 @@ from repro.southbound.diff import (
     rule_key,
 )
 
+#: Bytes attributed to a processed packet when the caller gives no size.
+#: A full-size Ethernet payload: callers that only care about forwarding
+#: behaviour (tests, examples) keep byte counters plausible for free.
+DEFAULT_PACKET_BYTES = 1500
+
 
 class FlowTable:
     """An installed set of flow rules plus match counters."""
@@ -37,6 +56,9 @@ class FlowTable:
     def __init__(self) -> None:
         self._rules: List[FlowRule] = []
         self._counters: Dict[int, int] = {}
+        self._bytes: Dict[int, int] = {}
+        self._cookies: Dict[int, int] = {}
+        self._next_cookie = 1
         # First-instance-wins index: key -> installed rules with that key,
         # in table order (duplicates are legal but shadowed).
         self._by_key: Dict[RuleKey, List[FlowRule]] = {}
@@ -44,19 +66,31 @@ class FlowTable:
         # Telemetry handles, absent until bind_telemetry() is called:
         # standalone tables (property tests, ad-hoc scripts) pay one
         # None-check per operation and record nothing.
+        self._bound_registry = None
         self._rules_gauge = None
         self._mod_counters: Dict[FlowModOp, object] = {}
         self._packets_counter = None
+        self._bytes_counter = None
         self._misses_counter = None
 
     def bind_telemetry(self, telemetry) -> None:
         """Record table activity into ``telemetry``'s registry.
 
         Registers the ``sdx_flowtable_*`` families: a rule-count gauge,
-        per-op FlowMod counters, processed-packet counts, and the
-        table-miss (dropped traffic) loss counter.
+        per-op FlowMod counters, processed-packet and -byte counts, and
+        the table-miss (dropped traffic) loss counter.
+
+        Idempotent per registry: rebinding the same table to the same
+        registry — which happens when a controller-owned table is bound
+        again after a phased swap or by a test harness — is a no-op, so
+        the rule gauge is not gratuitously re-set mid-swap and handles
+        are never re-fetched. Binding to a *different* registry rebinds
+        every handle there (the previous registry stops receiving).
         """
         registry = telemetry.registry
+        if registry is self._bound_registry:
+            return
+        self._bound_registry = registry
         self._rules_gauge = registry.gauge(
             "sdx_flowtable_rules", "Rules currently installed")
         self._mod_counters = {
@@ -67,6 +101,9 @@ class FlowTable:
         }
         self._packets_counter = registry.counter(
             "sdx_flowtable_packets_total", "Packets run through the table")
+        self._bytes_counter = registry.counter(
+            "sdx_flowtable_bytes_total",
+            "Bytes carried by packets that matched a rule")
         self._misses_counter = registry.counter(
             "sdx_flowtable_misses_total",
             "Packets dropped by a table miss (no rule matched)")
@@ -76,11 +113,17 @@ class FlowTable:
         if self._rules_gauge is not None:
             self._rules_gauge.set(len(self._rules))
 
+    def _issue_cookie(self, rule: FlowRule) -> None:
+        self._cookies[id(rule)] = self._next_cookie
+        self._next_cookie += 1
+
     def install(self, rule: FlowRule) -> None:
         """Add one rule, keeping priority order."""
         insort_right(self._rules, rule, key=lambda r: -r.priority)
         self._by_key.setdefault(rule_key(rule), []).append(rule)
         self._counters[id(rule)] = 0
+        self._bytes[id(rule)] = 0
+        self._issue_cookie(rule)
         self._generation += 1
         self._note_size()
 
@@ -105,6 +148,8 @@ class FlowTable:
             removed_ids = {id(rule) for rule in self._rules} - {id(rule) for rule in keep}
             for rule_id in removed_ids:
                 self._counters.pop(rule_id, None)
+                self._bytes.pop(rule_id, None)
+                self._cookies.pop(rule_id, None)
             self._rules = keep
             self._reindex()
             self._generation += 1
@@ -115,6 +160,8 @@ class FlowTable:
         """Remove every rule."""
         self._rules.clear()
         self._counters.clear()
+        self._bytes.clear()
+        self._cookies.clear()
         self._by_key.clear()
         self._generation += 1
         self._note_size()
@@ -163,6 +210,8 @@ class FlowTable:
             rule for rule in self._rules[lo:hi] if id(rule) not in doomed]
         for rule_id in doomed:
             self._counters.pop(rule_id, None)
+            self._bytes.pop(rule_id, None)
+            self._cookies.pop(rule_id, None)
         return instances[0]
 
     def apply_mod(self, mod: FlowMod) -> None:
@@ -190,6 +239,8 @@ class FlowTable:
             insort_right(self._rules, rule, key=lambda r: -r.priority)
             self._by_key[key] = [rule]
             self._counters[id(rule)] = 0
+            self._bytes[id(rule)] = 0
+            self._issue_cookie(rule)
             self._generation += 1
             self._note_size()
             return
@@ -202,6 +253,8 @@ class FlowTable:
             index for index in range(lo, hi)
             if self._rules[index] is live)
         count = self._counters.pop(id(live), 0)
+        byte_count = self._bytes.pop(id(live), 0)
+        cookie = self._cookies.pop(id(live), 0)
         doomed = {id(rule) for rule in previous[1:]}
         self._rules[position] = replacement
         if doomed:
@@ -209,8 +262,12 @@ class FlowTable:
                 rule for rule in self._rules[lo:hi] if id(rule) not in doomed]
             for rule_id in doomed:
                 self._counters.pop(rule_id, None)
+                self._bytes.pop(rule_id, None)
+                self._cookies.pop(rule_id, None)
         self._by_key[key] = [replacement]
         self._counters[id(replacement)] = count
+        self._bytes[id(replacement)] = byte_count
+        self._cookies[id(replacement)] = cookie
         self._generation += 1
         self._note_size()
 
@@ -246,25 +303,61 @@ class FlowTable:
                 return rule
         return None
 
-    def process(self, packet: Packet) -> Tuple[Packet, ...]:
+    def process(self, packet: Packet, *,
+                size_bytes: Optional[int] = None) -> Tuple[Packet, ...]:
         """Apply the table to ``packet``; empty tuple means dropped.
 
         A table miss also drops (OpenFlow default for SDX: the controller
         installs explicit defaults, so misses indicate unmatched traffic).
+
+        ``size_bytes`` attributes that many bytes to the matched rule's
+        byte counter; traffic drivers use it to fold a whole sampling
+        interval's volume into one representative packet. Defaults to
+        :data:`DEFAULT_PACKET_BYTES`.
         """
         if self._packets_counter is not None:
             self._packets_counter.inc()
+        size = DEFAULT_PACKET_BYTES if size_bytes is None else size_bytes
         rule = self.lookup(packet)
         if rule is None:
             if self._misses_counter is not None:
                 self._misses_counter.inc()
             return ()
         self._counters[id(rule)] += 1
+        self._bytes[id(rule)] = self._bytes.get(id(rule), 0) + size
+        if self._bytes_counter is not None:
+            self._bytes_counter.inc(size)
         return tuple(action.apply(packet) for action in rule.actions)
 
     def packets_matched(self, rule: FlowRule) -> int:
         """How many packets have hit ``rule`` since installation."""
         return self._counters.get(id(rule), 0)
+
+    def bytes_matched(self, rule: FlowRule) -> int:
+        """How many bytes have hit ``rule`` since installation."""
+        return self._bytes.get(id(rule), 0)
+
+    def cookie_of(self, rule: FlowRule) -> int:
+        """The installed rule's cookie (0 if the rule is not installed).
+
+        Cookies are unique, never recycled, and survive MODIFY-in-place —
+        the stable identity counter consumers key their state by.
+        """
+        return self._cookies.get(id(rule), 0)
+
+    def counters_snapshot(self) -> Tuple[Tuple[FlowRule, int, int, int], ...]:
+        """``(rule, cookie, packets, bytes)`` for every installed rule, in
+        table order — the monitoring collector's sampling surface (the
+        simulator's ``FlowStatsReply``). Key per-rule state by cookie:
+        unlike ``id(rule)``, a cookie is never recycled and follows the
+        rule through MODIFY, so counter continuations and resets are
+        unambiguous across samples."""
+        return tuple(
+            (rule,
+             self._cookies.get(id(rule), 0),
+             self._counters.get(id(rule), 0),
+             self._bytes.get(id(rule), 0))
+            for rule in self._rules)
 
     def render(self) -> str:
         """The table as ``ovs-ofctl``-style text."""

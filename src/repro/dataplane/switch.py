@@ -8,19 +8,21 @@ numbered ports with per-port statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import FabricError
 from repro.net.packet import Packet
-from repro.dataplane.flowtable import FlowTable
+from repro.dataplane.flowtable import DEFAULT_PACKET_BYTES, FlowTable
 
 
 @dataclass
 class PortStats:
-    """Packet counters for one switch port."""
+    """Packet and byte counters for one switch port."""
 
     rx_packets: int = 0
     tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
 
 
 class SoftwareSwitch:
@@ -59,24 +61,30 @@ class SoftwareSwitch:
         except KeyError:
             raise FabricError(f"switch {self.name}: unknown port {port}") from None
 
-    def process(self, packet: Packet) -> List[Tuple[int, Packet]]:
+    def process(self, packet: Packet, *,
+                size_bytes: Optional[int] = None) -> List[Tuple[int, Packet]]:
         """Run one packet through the flow table.
 
         Returns the list of (egress port, rewritten packet) pairs; an
         empty list means the packet was dropped (by rule or table miss).
+        ``size_bytes`` is threaded to the flow table's per-rule byte
+        counters and the per-port byte stats.
         """
         ingress = packet.port
         if ingress is None or ingress not in self._ports:
             raise FabricError(f"switch {self.name}: packet on unknown port {ingress}")
+        size = DEFAULT_PACKET_BYTES if size_bytes is None else size_bytes
         self._stats[ingress].rx_packets += 1
+        self._stats[ingress].rx_bytes += size
         out: List[Tuple[int, Packet]] = []
-        for result in self.table.process(packet):
+        for result in self.table.process(packet, size_bytes=size):
             egress = result.port
             if egress is None or egress not in self._ports:
                 # A rule forwarding to a non-existent port silently drops,
                 # matching hardware behaviour.
                 continue
             self._stats[egress].tx_packets += 1
+            self._stats[egress].tx_bytes += size
             out.append((egress, result))
         return out
 

@@ -1,0 +1,59 @@
+"""Data-plane monitoring: counter sampling, detection, reaction.
+
+The paper's marquee applications (inbound TE, wide-area load balancing)
+presume the exchange can *see* traffic and react; this package closes
+that loop over the simulator. A :class:`FlowStatsCollector` samples the
+flow table's swap-surviving per-rule byte/packet counters, attributes
+each rule to its forwarding equivalence class and egress, and maintains
+rate (EWMA) and delta views; :class:`HeavyHitterDetector`,
+:class:`UtilizationWatch`, and :class:`EgressImbalanceWatch` turn those
+views into typed :class:`MonitoringEvent`\\ s; a :class:`DataPlaneMonitor`
+owns the sampling cadence and plugs into the control-plane runtime via
+:meth:`~repro.runtime.loop.ControlPlaneRuntime.attach_monitor`, which
+queues every emitted event as the lowest-priority
+:attr:`~repro.runtime.events.EventClass.MONITORING` class. Reactive
+apps (:mod:`repro.apps.reactive`) subscribe with
+:meth:`~repro.runtime.loop.ControlPlaneRuntime.add_monitoring_handler`
+and answer by changing policies through the normal participant API, so
+statics and the runtime-equivalence oracle gate every reaction.
+"""
+
+from repro.monitoring.detect import (
+    EgressImbalanceWatch,
+    HeavyHitterDetector,
+    SpaceSavingSketch,
+    UtilizationWatch,
+)
+from repro.monitoring.driver import MonitoredTrafficDriver
+from repro.monitoring.events import (
+    EgressImbalance,
+    HeavyHitter,
+    MonitoringEvent,
+    UtilizationAlarm,
+)
+from repro.monitoring.loop import DataPlaneMonitor
+from repro.monitoring.stats import (
+    AggregateView,
+    FlowStatsCollector,
+    MonitorSample,
+    RuleView,
+    fec_label,
+)
+
+__all__ = [
+    "AggregateView",
+    "DataPlaneMonitor",
+    "EgressImbalance",
+    "EgressImbalanceWatch",
+    "FlowStatsCollector",
+    "HeavyHitter",
+    "HeavyHitterDetector",
+    "MonitoredTrafficDriver",
+    "MonitoringEvent",
+    "MonitorSample",
+    "RuleView",
+    "SpaceSavingSketch",
+    "UtilizationAlarm",
+    "UtilizationWatch",
+    "fec_label",
+]

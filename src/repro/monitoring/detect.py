@@ -1,0 +1,222 @@
+"""Detectors over monitor samples: heavy hitters, watermarks, imbalance.
+
+Each detector consumes a :class:`~repro.monitoring.stats.MonitorSample`
+and returns zero or more edge-triggered
+:class:`~repro.monitoring.events.MonitoringEvent`\\ s. All three apply
+hysteresis — a condition raises at one threshold and clears at a lower
+one — so a rate hovering at the bar cannot flap the control plane with
+alternating raise/clear edges (the same discipline the runtime's degrade
+mode uses on queue depth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.monitoring.events import (
+    EgressImbalance,
+    HeavyHitter,
+    MonitoringEvent,
+    UtilizationAlarm,
+)
+from repro.monitoring.stats import UNATTRIBUTED, MonitorSample
+
+
+class SpaceSavingSketch:
+    """Metwally et al.'s space-saving top-k over a weighted stream.
+
+    Tracks at most ``capacity`` keys. A new key past capacity evicts the
+    current minimum and inherits its count as overestimation error, so
+    every tracked count is an upper bound and any key with true weight
+    above ``total / capacity`` is guaranteed to be tracked — the
+    property that makes the sketch safe for heavy-hitter detection at
+    O(capacity) memory however many FECs exist.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._counts: Dict[str, float] = {}
+        self._errors: Dict[str, float] = {}
+        self.total = 0.0
+
+    def offer(self, key: str, weight: float) -> None:
+        """Add ``weight`` observed for ``key``."""
+        if weight <= 0:
+            return
+        self.total += weight
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0.0
+            return
+        victim = min(self._counts, key=lambda k: self._counts[k])
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[str, float, float]]:
+        """The ``k`` heaviest tracked keys as (key, count, error)."""
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        if k is not None:
+            ranked = ranked[:k]
+        return [(key, count, self._errors[key]) for key, count in ranked]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class HeavyHitterDetector:
+    """Flags FECs whose smoothed rate crosses the heavy-hitter bar.
+
+    A space-saving sketch over per-sample byte deltas keeps candidate
+    selection O(capacity); the actual raise/clear decision uses the
+    collector's EWMA rate (the sketch alone cannot express "no longer
+    heavy" — its counts are cumulative). A FEC raises when its EWMA rate
+    is at least ``threshold_mbps`` *and* at least ``min_share`` of the
+    total, and clears below ``clear_fraction`` of the threshold.
+    """
+
+    def __init__(self, *, threshold_mbps: float = 100.0,
+                 min_share: float = 0.0, clear_fraction: float = 0.6,
+                 capacity: int = 32):
+        if not 0.0 < clear_fraction < 1.0:
+            raise ValueError("clear_fraction must be in (0, 1)")
+        self.threshold_mbps = threshold_mbps
+        self.min_share = min_share
+        self.clear_fraction = clear_fraction
+        self.sketch = SpaceSavingSketch(capacity)
+        self._active: Dict[str, bool] = {}
+
+    def observe(self, sample: MonitorSample) -> List[MonitoringEvent]:
+        """Feed one sample; returns raise/clear edges."""
+        events: List[MonitoringEvent] = []
+        total = sum(view.ewma_mbps for view in sample.fecs) or 1.0
+        rates: Dict[str, float] = {}
+        for view in sample.fecs:
+            if view.key == UNATTRIBUTED:
+                continue
+            self.sketch.offer(view.key, float(view.delta_bytes))
+            rates[view.key] = view.ewma_mbps
+        for key, _count, _error in self.sketch.top():
+            rate = rates.get(key, 0.0)
+            share = rate / total
+            active = self._active.get(key, False)
+            if (not active and rate >= self.threshold_mbps
+                    and share >= self.min_share):
+                self._active[key] = True
+                events.append(HeavyHitter(
+                    sampled_at=sample.sampled_at, fec=key,
+                    rate_mbps=rate, share=share, raised=True))
+            elif active and rate < self.threshold_mbps * self.clear_fraction:
+                self._active[key] = False
+                events.append(HeavyHitter(
+                    sampled_at=sample.sampled_at, fec=key,
+                    rate_mbps=rate, share=share, raised=False))
+        return events
+
+    def active(self) -> Tuple[str, ...]:
+        """FECs currently flagged, sorted."""
+        return tuple(sorted(k for k, on in self._active.items() if on))
+
+
+class UtilizationWatch:
+    """Watermark alarms on per-egress-port utilization.
+
+    ``capacities`` maps switch ports to their capacity in Mbps; ports
+    not named use ``default_capacity_mbps``. A port raises when its
+    EWMA rate exceeds ``high`` of capacity and clears below ``low``.
+    """
+
+    def __init__(self, capacities: Optional[Dict[int, float]] = None, *,
+                 default_capacity_mbps: float = 10_000.0,
+                 high: float = 0.8, low: float = 0.5):
+        if not 0.0 < low < high <= 1.0:
+            raise ValueError(f"need 0 < low < high <= 1, got {low}/{high}")
+        self.capacities = dict(capacities or {})
+        self.default_capacity_mbps = default_capacity_mbps
+        self.high = high
+        self.low = low
+        self._active: Dict[int, bool] = {}
+
+    def observe(self, sample: MonitorSample) -> List[MonitoringEvent]:
+        """Feed one sample; returns raise/clear edges."""
+        events: List[MonitoringEvent] = []
+        participant_of: Dict[int, str] = {}
+        for view in sample.rules:
+            for port, participant in view.egress:
+                participant_of.setdefault(port, participant)
+        for view in sample.ports:
+            port = int(view.key)
+            capacity = self.capacities.get(port, self.default_capacity_mbps)
+            utilization = view.ewma_mbps / capacity if capacity > 0 else 0.0
+            active = self._active.get(port, False)
+            edge: Optional[bool] = None
+            if not active and utilization >= self.high:
+                edge = True
+            elif active and utilization <= self.low:
+                edge = False
+            if edge is None:
+                continue
+            self._active[port] = edge
+            events.append(UtilizationAlarm(
+                sampled_at=sample.sampled_at, port=port,
+                participant=participant_of.get(port, "?"),
+                rate_mbps=view.ewma_mbps, capacity_mbps=capacity,
+                utilization=utilization, raised=edge))
+        return events
+
+
+class EgressImbalanceWatch:
+    """Detects unequal load across one participant's egress ports.
+
+    Watches the EWMA rates of ``ports`` (typically every physical port
+    of one participant) and compares the maximum to the mean. The
+    imbalance raises past ``high_ratio`` and clears below ``low_ratio``
+    — the hysteresis band the reactive inbound balancer keys off.
+    ``min_total_mbps`` suppresses edges while aggregate traffic is too
+    small to be worth rebalancing (ratios are noisy near zero).
+    """
+
+    def __init__(self, participant: str, ports: Sequence[int], *,
+                 high_ratio: float = 1.5, low_ratio: float = 1.15,
+                 min_total_mbps: float = 1.0):
+        if len(ports) < 2:
+            raise ValueError("imbalance needs at least two ports to compare")
+        if not 1.0 <= low_ratio < high_ratio:
+            raise ValueError(
+                f"need 1 <= low_ratio < high_ratio, got {low_ratio}/{high_ratio}")
+        self.participant = participant
+        self.ports = tuple(ports)
+        self.high_ratio = high_ratio
+        self.low_ratio = low_ratio
+        self.min_total_mbps = min_total_mbps
+        self._active = False
+
+    def observe(self, sample: MonitorSample) -> List[MonitoringEvent]:
+        """Feed one sample; returns raise/clear edges."""
+        rates = tuple(
+            (port, sample.port_rate(port, smoothed=True)) for port in self.ports)
+        total = sum(rate for _port, rate in rates)
+        if total < self.min_total_mbps:
+            return []
+        mean = total / len(rates)
+        imbalance = max(rate for _port, rate in rates) / mean if mean else 1.0
+        edge: Optional[bool] = None
+        if not self._active and imbalance >= self.high_ratio:
+            edge = True
+        elif self._active and imbalance <= self.low_ratio:
+            edge = False
+        if edge is None:
+            return []
+        self._active = edge
+        return [EgressImbalance(
+            sampled_at=sample.sampled_at, participant=self.participant,
+            port_rates=rates, imbalance=imbalance, raised=edge)]

@@ -1,0 +1,91 @@
+"""Typed observations the detectors emit onto the runtime queue.
+
+Every event is a frozen dataclass carrying the measurements that
+justified it, stamped with the (simulation) clock time of the sample it
+was derived from. Events are *edge-triggered*: detectors emit one event
+when a condition raises and one when it clears (``raised`` flag), never
+a stream of "still true" repeats — which is what lets the runtime treat
+monitoring as its cheapest-to-shed event class without losing level
+information (the latest edge always states the current level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class MonitoringEvent:
+    """Base class for data-plane observations.
+
+    ``sampled_at`` is the runtime-clock time of the sample the
+    observation was derived from, so reaction latency is measurable in
+    simulation time even when events sit queued behind routing work.
+    """
+
+    sampled_at: float
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering."""
+        return f"{type(self).__name__}@{self.sampled_at:g}"
+
+
+@dataclass(frozen=True)
+class HeavyHitter(MonitoringEvent):
+    """A forwarding equivalence class crossed the heavy-hitter bar.
+
+    ``fec`` is the FEC label (its representative prefix); ``share`` is
+    the FEC's fraction of the total monitored rate at the sample.
+    ``raised`` is True on the raising edge and False when the FEC drops
+    back below the clear threshold.
+    """
+
+    fec: str
+    rate_mbps: float
+    share: float
+    raised: bool
+
+    def describe(self) -> str:
+        edge = "raise" if self.raised else "clear"
+        return (f"heavy-hitter {edge} fec={self.fec} "
+                f"rate={self.rate_mbps:.1f}Mbps share={self.share:.0%}")
+
+
+@dataclass(frozen=True)
+class UtilizationAlarm(MonitoringEvent):
+    """An egress port crossed its utilization watermark."""
+
+    port: int
+    participant: str
+    rate_mbps: float
+    capacity_mbps: float
+    utilization: float
+    raised: bool
+
+    def describe(self) -> str:
+        edge = "raise" if self.raised else "clear"
+        return (f"utilization {edge} port={self.port} ({self.participant}) "
+                f"{self.utilization:.0%} of {self.capacity_mbps:g}Mbps")
+
+
+@dataclass(frozen=True)
+class EgressImbalance(MonitoringEvent):
+    """One participant's ports carry visibly unequal traffic.
+
+    ``imbalance`` is the max-to-mean ratio over the watched ports'
+    smoothed rates (1.0 = perfectly balanced); ``port_rates`` the
+    per-port rates the ratio was computed from. The reactive inbound
+    balancer treats a raising edge as its trigger to re-split.
+    """
+
+    participant: str
+    port_rates: Tuple[Tuple[int, float], ...]
+    imbalance: float
+    raised: bool
+
+    def describe(self) -> str:
+        edge = "raise" if self.raised else "clear"
+        rates = " ".join(f"{port}:{rate:.1f}" for port, rate in self.port_rates)
+        return (f"imbalance {edge} {self.participant} "
+                f"ratio={self.imbalance:.2f} [{rates}]")

@@ -1,0 +1,90 @@
+"""The monitor: cadenced sampling plus detector fan-out.
+
+:class:`DataPlaneMonitor` is the object the runtime polls (see
+:meth:`repro.runtime.loop.ControlPlaneRuntime.attach_monitor`). It owns
+the sampling cadence: ``poll(now)`` is cheap and returns nothing until a
+full sampling interval has elapsed on the runtime clock, then takes one
+sample, runs every detector over it, and hands back the emitted events
+for the runtime to queue. Because emission is cadence-bounded, the
+runtime's ``drain()`` still terminates with a monitor attached — the
+clock has to advance for another batch of events to appear.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.controller import SdxController
+from repro.monitoring.events import MonitoringEvent
+from repro.monitoring.stats import (
+    DEFAULT_EWMA_ALPHA,
+    FlowStatsCollector,
+    MonitorSample,
+)
+
+#: Default sampling cadence, in runtime-clock seconds.
+DEFAULT_CADENCE_SECONDS = 1.0
+
+
+class DataPlaneMonitor:
+    """Cadenced counter sampling feeding a set of detectors.
+
+    ``detectors`` are objects with ``observe(sample) -> iterable of
+    MonitoringEvent`` (the classes in :mod:`repro.monitoring.detect`,
+    or anything matching). ``last_sample`` always holds the newest
+    :class:`~repro.monitoring.stats.MonitorSample`, which is how
+    reactive apps read detailed per-rule rates when an event fires.
+    """
+
+    def __init__(self, controller: SdxController, *,
+                 cadence_seconds: float = DEFAULT_CADENCE_SECONDS,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA,
+                 detectors: Sequence[object] = ()):
+        if cadence_seconds <= 0:
+            raise ValueError(f"cadence must be positive, got {cadence_seconds}")
+        self.controller = controller
+        self.cadence_seconds = cadence_seconds
+        self.collector = FlowStatsCollector(controller, ewma_alpha=ewma_alpha)
+        self.detectors: List[object] = list(detectors)
+        self.last_sample: Optional[MonitorSample] = None
+        self._next_due: Optional[float] = None
+        self._events_counter = controller.telemetry.registry.counter(
+            "sdx_dataplane_events_total", "Monitoring events emitted")
+
+    def add_detector(self, detector: object) -> None:
+        """Run ``detector.observe(sample)`` on every future sample."""
+        self.detectors.append(detector)
+
+    def due(self, now: float) -> bool:
+        """True if ``poll(now)`` would take a sample."""
+        return self._next_due is None or now >= self._next_due
+
+    def poll(self, now: float) -> List[MonitoringEvent]:
+        """Sample if a cadence interval elapsed; returns detector events.
+
+        The first poll samples immediately (establishing the counter
+        baseline) and schedules the next sample one cadence later.
+        """
+        if not self.due(now):
+            return []
+        self._next_due = now + self.cadence_seconds
+        sample = self.collector.sample(now)
+        self.last_sample = sample
+        events: List[MonitoringEvent] = []
+        for detector in self.detectors:
+            events.extend(detector.observe(sample))
+        if events:
+            self._events_counter.inc(len(events))
+        return events
+
+    def force_sample(self, now: float) -> MonitorSample:
+        """Take an off-cadence sample (CLI snapshot mode); detectors do
+        **not** run, so no events are emitted and hysteresis state is
+        untouched — but EWMA and delta baselines do advance."""
+        sample = self.collector.sample(now)
+        self.last_sample = sample
+        return sample
+
+    def __repr__(self) -> str:
+        return (f"DataPlaneMonitor(cadence={self.cadence_seconds:g}s, "
+                f"{len(self.detectors)} detectors)")

@@ -1,0 +1,328 @@
+"""Sampling per-rule counters into per-FEC / per-egress rate estimates.
+
+:class:`FlowStatsCollector` is the sensing half of the monitoring loop.
+Each :meth:`~FlowStatsCollector.sample` reads the flow table's per-rule
+packet/byte counters (one ``counters_snapshot()`` — the simulator's
+stand-in for an OpenFlow ``FlowStatsRequest``), attributes every rule to
+
+* a **FEC** — from the rule's ``dstmac`` constraint via the VNH
+  allocator's VMAC index (SDX rules tag traffic with the FEC's virtual
+  MAC), falling back to the ``dstip`` prefix's group for inbound-style
+  rules that match on real addresses;
+* its **egress ports** and the **participants** attached there;
+
+then turns per-rule counter deltas into instantaneous and EWMA-smoothed
+rates aggregated along each axis. Aggregates are accumulated from
+deltas, not recomputed from live counters, so a rule deleted by a table
+swap stops contributing *new* traffic without retroactively erasing what
+it already carried.
+
+Delta semantics at the rule level follow the table's counter-survival
+invariant, tracked by *cookie* (the table's stable per-rule token): an
+untouched or in-place-modified rule keeps its cookie, so its delta spans
+the swap; a deleted-and-reinstalled rule carries a fresh cookie and
+restarts from zero, and the bytes it counted between the last sample and
+its deletion are lost to the estimate — the same information loss a
+hardware switch imposes, bounded by one sampling interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.controller import SdxController
+from repro.exceptions import FabricError
+from repro.net.addresses import IPv4Prefix
+from repro.policy.flowrules import FlowRule
+
+#: FEC label for rules whose match names no destination the allocator
+#: knows (ARP punts, defaults, drop-alls).
+UNATTRIBUTED = "other"
+
+#: Default EWMA smoothing factor (weight of the newest sample).
+DEFAULT_EWMA_ALPHA = 0.25
+
+
+def fec_label(controller: SdxController, prefix: IPv4Prefix) -> str:
+    """The stable FEC label for traffic destined into ``prefix``.
+
+    The label is the representative (smallest) prefix of the group
+    containing ``prefix`` — stable across FEC recomputation — or the
+    prefix itself when it is in no group (ephemeral fast-path state,
+    or simply unannounced). Ground-truth recorders and the collector
+    share this function so estimated and true rates key identically.
+    """
+    group = controller.allocator.group_of(prefix)
+    if group is not None:
+        return str(group.representative)
+    return str(prefix)
+
+
+@dataclass(frozen=True)
+class _RuleAttribution:
+    """Where one installed rule's traffic goes (cached per generation)."""
+
+    fec: str
+    egress: Tuple[Tuple[int, str], ...]  # (switch port, participant)
+
+
+@dataclass(frozen=True)
+class AggregateView:
+    """One monitored axis value: cumulative totals plus rate views."""
+
+    key: str
+    packets: int
+    bytes: int
+    delta_packets: int
+    delta_bytes: int
+    rate_mbps: float
+    ewma_mbps: float
+
+
+@dataclass(frozen=True)
+class RuleView:
+    """One installed rule's counters and attribution at a sample."""
+
+    rule: FlowRule
+    fec: str
+    egress: Tuple[Tuple[int, str], ...]
+    packets: int
+    bytes: int
+    delta_packets: int
+    delta_bytes: int
+    rate_mbps: float
+    ewma_mbps: float
+
+
+@dataclass(frozen=True)
+class MonitorSample:
+    """Everything one sampling interval produced.
+
+    ``interval`` is 0.0 on the first sample (rates undefined → 0).
+    ``fecs`` / ``participants`` / ``ports`` are sorted by key for
+    deterministic iteration; ``rules`` follows table order.
+    """
+
+    sampled_at: float
+    interval: float
+    total_rate_mbps: float
+    fecs: Tuple[AggregateView, ...]
+    participants: Tuple[AggregateView, ...]
+    ports: Tuple[AggregateView, ...]
+    rules: Tuple[RuleView, ...]
+
+    def fec_rate(self, label: str, *, smoothed: bool = False) -> float:
+        """The (EWMA if ``smoothed``) rate of one FEC, 0.0 if unseen."""
+        for view in self.fecs:
+            if view.key == label:
+                return view.ewma_mbps if smoothed else view.rate_mbps
+        return 0.0
+
+    def port_rate(self, port: int, *, smoothed: bool = False) -> float:
+        """The (EWMA if ``smoothed``) rate of one egress port."""
+        for view in self.ports:
+            if view.key == str(port):
+                return view.ewma_mbps if smoothed else view.rate_mbps
+        return 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable rendering (the ``repro monitor`` output)."""
+        def axis(views: Tuple[AggregateView, ...]) -> Dict[str, object]:
+            return {
+                view.key: {
+                    "bytes": view.bytes,
+                    "packets": view.packets,
+                    "rate_mbps": round(view.rate_mbps, 6),
+                    "ewma_mbps": round(view.ewma_mbps, 6),
+                } for view in views
+            }
+        return {
+            "sampled_at": self.sampled_at,
+            "interval_seconds": self.interval,
+            "total_rate_mbps": round(self.total_rate_mbps, 6),
+            "fecs": axis(self.fecs),
+            "participants": axis(self.participants),
+            "ports": axis(self.ports),
+            "rules": len(self.rules),
+        }
+
+
+class FlowStatsCollector:
+    """Samples a controller's flow table into rate/delta views.
+
+    Not thread-safe on its own; the runtime polls it under its lock
+    (standalone use from a single thread is fine). Exports the
+    ``sdx_dataplane_*`` metric families through the controller's
+    registry on every sample.
+    """
+
+    def __init__(self, controller: SdxController, *,
+                 ewma_alpha: float = DEFAULT_EWMA_ALPHA):
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.controller = controller
+        self.ewma_alpha = ewma_alpha
+        # Per-rule state keyed by table cookie — never recycled, survives
+        # MODIFY — so a modified rule continues its delta stream and a
+        # reinstalled one unambiguously restarts it.
+        self._last_counts: Dict[int, Tuple[int, int]] = {}
+        self._rule_ewma: Dict[int, float] = {}
+        self._attribution: Dict[int, _RuleAttribution] = {}
+        self._attr_generation: Optional[int] = None
+        self._last_time: Optional[float] = None
+        # Cumulative per-axis totals, accumulated from deltas so deleted
+        # rules' history survives. Keyed (axis, key).
+        self._totals: Dict[Tuple[str, str], List[int]] = {}
+        self._ewma: Dict[Tuple[str, str], float] = {}
+        registry = controller.telemetry.registry
+        self._samples_counter = registry.counter(
+            "sdx_dataplane_samples_total", "Counter samples taken")
+        self._rules_gauge = registry.gauge(
+            "sdx_dataplane_monitored_rules", "Rules seen by the last sample")
+        self._total_rate_gauge = registry.gauge(
+            "sdx_dataplane_rate_mbps", "Total monitored rate, last sample")
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+
+    def _attribute(self, rule: FlowRule) -> _RuleAttribution:
+        controller = self.controller
+        vmac_index = self._vmac_index
+        fec: Optional[str] = None
+        dstmac = rule.match.get("dstmac")
+        if dstmac is not None:
+            fec = vmac_index.get(dstmac)
+        if fec is None:
+            dstip = rule.match.get("dstip")
+            if isinstance(dstip, IPv4Prefix):
+                fec = fec_label(controller, dstip)
+        egress: List[Tuple[int, str]] = []
+        for action in rule.actions:
+            port = action.output_port
+            if port is None:
+                continue
+            participant = "?"
+            if controller.fabric is not None:
+                try:
+                    participant = controller.fabric.attachment_at(port).router.name
+                except FabricError:
+                    pass
+            egress.append((port, participant))
+        return _RuleAttribution(fec=fec or UNATTRIBUTED, egress=tuple(egress))
+
+    def _refresh_attribution(
+            self, snapshot: Iterable[Tuple[FlowRule, int, int, int]]) -> None:
+        generation = self.controller.table.generation
+        if generation == self._attr_generation:
+            return
+        self._vmac_index = self.controller.allocator.vmac_index()
+        self._attribution = {
+            cookie: self._attribute(rule)
+            for rule, cookie, _p, _b in snapshot}
+        self._attr_generation = generation
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _smooth(self, axis: str, key: str, rate: float) -> float:
+        held = self._ewma.get((axis, key))
+        ewma = rate if held is None else (
+            self.ewma_alpha * rate + (1.0 - self.ewma_alpha) * held)
+        self._ewma[(axis, key)] = ewma
+        return ewma
+
+    def _accumulate(self, axis: str, key: str,
+                    delta_packets: int, delta_bytes: int) -> Tuple[int, int]:
+        totals = self._totals.setdefault((axis, key), [0, 0])
+        totals[0] += delta_packets
+        totals[1] += delta_bytes
+        return totals[0], totals[1]
+
+    def sample(self, now: float) -> MonitorSample:
+        """Take one sample at clock time ``now`` and update all views."""
+        table = self.controller.table
+        snapshot = table.counters_snapshot()
+        self._refresh_attribution(snapshot)
+        interval = (0.0 if self._last_time is None
+                    else max(0.0, now - self._last_time))
+        self._last_time = now
+
+        def to_rate(delta_bytes: int) -> float:
+            if interval <= 0.0:
+                return 0.0
+            return delta_bytes * 8.0 / (interval * 1e6)
+
+        axis_deltas: Dict[str, Dict[str, List[int]]] = {
+            "fec": {}, "participant": {}, "port": {}}
+
+        def bump(axis: str, key: str, dp: int, db: int) -> None:
+            cell = axis_deltas[axis].setdefault(key, [0, 0])
+            cell[0] += dp
+            cell[1] += db
+
+        rules: List[RuleView] = []
+        seen: Dict[int, Tuple[int, int]] = {}
+        total_delta_bytes = 0
+        for rule, cookie, packets, byte_count in snapshot:
+            held = self._last_counts.get(cookie)
+            if held is not None:
+                delta_packets = packets - held[0]
+                delta_bytes = byte_count - held[1]
+            else:
+                delta_packets, delta_bytes = packets, byte_count
+            seen[cookie] = (packets, byte_count)
+            attribution = self._attribution[cookie]
+            rate = to_rate(delta_bytes)
+            held_ewma = self._rule_ewma.get(cookie)
+            ewma = rate if held_ewma is None else (
+                self.ewma_alpha * rate + (1.0 - self.ewma_alpha) * held_ewma)
+            self._rule_ewma[cookie] = ewma
+            rules.append(RuleView(
+                rule=rule, fec=attribution.fec, egress=attribution.egress,
+                packets=packets, bytes=byte_count,
+                delta_packets=delta_packets, delta_bytes=delta_bytes,
+                rate_mbps=rate, ewma_mbps=ewma))
+            total_delta_bytes += delta_bytes
+            bump("fec", attribution.fec, delta_packets, delta_bytes)
+            # Multicast attribution: every egress carries the full delta,
+            # matching the switch's per-port tx counters.
+            for port, participant in attribution.egress:
+                bump("port", str(port), delta_packets, delta_bytes)
+                if participant != "?":
+                    bump("participant", participant, delta_packets, delta_bytes)
+        self._last_counts = seen
+        self._rule_ewma = {
+            cookie: value for cookie, value in self._rule_ewma.items()
+            if cookie in seen}
+
+        registry = self.controller.telemetry.registry
+
+        def finish(axis: str, label_name: str) -> Tuple[AggregateView, ...]:
+            views = []
+            for key, (dp, db) in sorted(axis_deltas[axis].items()):
+                packets, byte_count = self._accumulate(axis, key, dp, db)
+                rate = to_rate(db)
+                views.append(AggregateView(
+                    key=key, packets=packets, bytes=byte_count,
+                    delta_packets=dp, delta_bytes=db, rate_mbps=rate,
+                    ewma_mbps=self._smooth(axis, key, rate)))
+                registry.gauge(
+                    f"sdx_dataplane_{axis}_rate_mbps",
+                    f"Estimated rate per {axis}, last sample",
+                    **{label_name: key}).set(rate)
+            return tuple(views)
+
+        fecs = finish("fec", "fec")
+        participants = finish("participant", "participant")
+        ports = finish("port", "port")
+        total_rate = to_rate(total_delta_bytes)
+        self._samples_counter.inc()
+        self._rules_gauge.set(len(rules))
+        self._total_rate_gauge.set(total_rate)
+        return MonitorSample(
+            sampled_at=now, interval=interval, total_rate_mbps=total_rate,
+            fecs=fecs, participants=participants, ports=ports,
+            rules=tuple(rules))

@@ -1,7 +1,7 @@
 """Typed control-plane events: priority classes and coalescing keys.
 
 Every piece of work the runtime schedules is a :class:`RuntimeEvent` in
-one of three priority classes, ordered by how urgently the data plane
+one of four priority classes, ordered by how urgently the data plane
 needs it:
 
 * :attr:`EventClass.POLICY` — a participant installed or removed a
@@ -11,7 +11,12 @@ needs it:
   Processed before announcements because a stale withdrawn route
   blackholes (or mis-delivers) traffic, while a stale announcement
   merely delays a better path.
-* :attr:`EventClass.ANNOUNCEMENT` — everything else.
+* :attr:`EventClass.ANNOUNCEMENT` — every other BGP update.
+* :attr:`EventClass.MONITORING` — a data-plane observation (heavy
+  hitter, utilization alarm) from :mod:`repro.monitoring`. Lowest
+  priority and first to shed: monitoring is advisory — correctness
+  never depends on it, and a stressed control plane should drop a
+  stale observation before any routing state.
 
 BGP events that touch exactly one ``(participant, prefix)`` pair carry a
 coalescing key: a burst of churn for that pair collapses in the queue to
@@ -50,6 +55,7 @@ class EventClass(enum.IntEnum):
     POLICY = 0
     WITHDRAWAL = 1
     ANNOUNCEMENT = 2
+    MONITORING = 3
 
     @property
     def label(self) -> str:
@@ -114,6 +120,10 @@ class RuntimeEvent:
     enqueued_wall: float
     update: Optional[Update] = None
     apply: Optional[Callable[["SdxController"], None]] = None
+    #: A MonitoringEvent payload (kind MONITORING only). Monitoring
+    #: events never coalesce: each observation carries distinct
+    #: measurements, and the detectors already rate-limit emission.
+    monitoring: Optional[object] = None
     label: str = ""
     absorbed: int = field(default=0)
 
@@ -136,6 +146,8 @@ class RuntimeEvent:
         if self.update is not None:
             prefixes = ",".join(str(p) for p in self.update.prefixes)
             return f"{self.kind.label}:{self.update.sender}:{prefixes}"
+        if self.monitoring is not None:
+            return f"monitoring:{self.label or type(self.monitoring).__name__}"
         return f"policy:{self.label or '?'}"
 
     def __repr__(self) -> str:

@@ -44,7 +44,7 @@ import logging
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.bgp.messages import Update
 from repro.core.controller import SdxController
@@ -114,6 +114,8 @@ class ControlPlaneRuntime:
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self._seq = 0
+        self._monitor = None
+        self._monitoring_handlers: List[Callable[[object, SdxController], None]] = []
         self._saturated_offers = 0
         self._calm_steps = 0
         self._degrade_high = max(
@@ -177,6 +179,38 @@ class ControlPlaneRuntime:
         self._submit(RuntimeEvent(
             kind=EventClass.POLICY, seq=self._next_seq(),
             enqueued_wall=time.perf_counter(), apply=apply, label=label))
+
+    def submit_monitoring(self, observation: object, label: str = "") -> None:
+        """Queue one data-plane observation for the monitoring handlers.
+
+        Monitoring events drain after every routing event and are the
+        first shed under overload; they never coalesce (each observation
+        carries distinct measurements and the detectors rate-limit).
+        """
+        self._submit(RuntimeEvent(
+            kind=EventClass.MONITORING, seq=self._next_seq(),
+            enqueued_wall=time.perf_counter(), monitoring=observation,
+            label=label or type(observation).__name__))
+
+    def attach_monitor(self, monitor) -> None:
+        """Poll ``monitor`` from the drain loop and queue what it emits.
+
+        ``monitor`` needs one method — ``poll(now) -> iterable of
+        observations`` — called with the runtime clock after every drain
+        step (including idle heartbeats, so monitoring advances while
+        the control plane is quiet). The monitor owns its cadence:
+        ``poll`` returns nothing until a sampling interval has elapsed,
+        which keeps :meth:`drain` terminating.
+        """
+        with self._lock:
+            self._monitor = monitor
+
+    def add_monitoring_handler(
+            self, handler: Callable[[object, SdxController], None]) -> None:
+        """Run ``handler(observation, controller)`` for every drained
+        monitoring event — this is where reactive apps subscribe."""
+        with self._lock:
+            self._monitoring_handlers.append(handler)
 
     def _next_seq(self) -> int:
         with self._lock:
@@ -319,7 +353,14 @@ class ControlPlaneRuntime:
         trigger = self.scheduler.due(queue_empty=self.queue.is_empty)
         if trigger is not None:
             self._recompile(trigger)
+        self._poll_monitor()
         return len(batch)
+
+    def _poll_monitor(self) -> None:
+        if self._monitor is None:
+            return
+        for observation in self._monitor.poll(self.clock.now()):
+            self.submit_monitoring(observation)
 
     def _process_batch(self, batch: List[RuntimeEvent]) -> None:
         with self.telemetry.span("runtime.step", events=len(batch)):
@@ -340,6 +381,9 @@ class ControlPlaneRuntime:
             self.controller.submit_update(event.update)
         elif event.apply is not None:
             event.apply(self.controller)
+        elif event.monitoring is not None:
+            for handler in self._monitoring_handlers:
+                handler(event.monitoring, self.controller)
         self._ingest_histogram.observe(
             time.perf_counter() - event.enqueued_wall)
 

@@ -37,8 +37,11 @@ from typing import Dict, List, Optional
 
 from repro.runtime.events import EventClass, EventKey, RuntimeEvent, classify_update
 
-#: Classes in drain order (highest priority first).
-DRAIN_ORDER = (EventClass.POLICY, EventClass.WITHDRAWAL, EventClass.ANNOUNCEMENT)
+#: Classes in drain order (highest priority first). MONITORING drains
+#: last and — via the reversal below — sheds first: observations are
+#: advisory, so they are the cheapest information to lose under load.
+DRAIN_ORDER = (EventClass.POLICY, EventClass.WITHDRAWAL,
+               EventClass.ANNOUNCEMENT, EventClass.MONITORING)
 
 #: Classes in shed order (lowest priority sheds first).
 SHED_ORDER = tuple(reversed(DRAIN_ORDER))

@@ -1,0 +1,187 @@
+"""Canned traffic scenarios for the monitoring loop.
+
+Two families, both built for :class:`repro.monitoring.driver
+.MonitoredTrafficDriver`:
+
+* **shifting** — an eyeball AS with two ports receives traffic from
+  eight source slices whose per-slice rates change at ``shift_time``:
+  balanced under the balancer's initial round-robin split before it,
+  concentrated onto one port's slices after it. The shift is exactly
+  the condition the reactive inbound balancer must detect and correct
+  (a counter-driven generalisation of the paper's fig5b inbound TE).
+* **skewed** — one sender pushes Zipf-skewed traffic toward several
+  announced prefixes, with a clear heavy hitter emerging mid-run; the
+  heavy-hitter steering app offloads it to an alternate transit.
+
+Everything is deterministic given ``seed`` (rates are fixed; the seed
+only jitters source host addresses within their slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.workloads.seeding import SeedLike, make_rng
+
+#: The eyeball AS's block in the shifting scenario.
+EYEBALL_PREFIX = IPv4Prefix("70.0.0.0/8")
+
+#: Source-address slices: eight /3 blocks covering the IPv4 space —
+#: the same carve the reactive balancer defaults to.
+SLICE_COUNT = 8
+
+#: Per-slice rates (Mbps) before and after the shift, designed around
+#: the balancer's initial round-robin split (even slices → port A, odd
+#: → port B for a two-port member): BEFORE is balanced under it (A=40,
+#: B=36 — inside the hysteresis band, so the watch stays quiet), while
+#: AFTER piles every heavy slice onto the even positions (A=68, B=8 —
+#: imbalance 1.8, well past the raising threshold). The heavy rates are
+#: distinct, so an LPT re-pack can spread them back to a near-even
+#: split.
+SHIFT_RATES_BEFORE = (20.0, 2.0, 2.0, 18.0, 16.0, 2.0, 2.0, 14.0)
+SHIFT_RATES_AFTER = (20.0, 2.0, 16.0, 2.0, 18.0, 2.0, 14.0, 2.0)
+
+#: Prefixes announced in the skewed (heavy-hitter) scenario.
+SKEWED_PREFIXES = tuple(
+    IPv4Prefix(f"{60 + index}.0.0.0/8") for index in range(5))
+
+#: Per-prefix rates (Mbps) in the skewed scenario's two phases: flat at
+#: first, then one prefix surges into an unmistakable heavy hitter. The
+#: surger is deliberately *not* the group's representative (smallest)
+#: prefix, so FEC-level detection alone cannot name it — the steering
+#: app's per-rule drill-down has to.
+SKEWED_SURGE_INDEX = 2
+SKEWED_RATES_BEFORE = (8.0, 6.0, 5.0, 4.0, 3.0)
+SKEWED_RATES_AFTER = (8.0, 6.0, 120.0, 4.0, 3.0)
+
+
+@dataclass(frozen=True)
+class ScenarioFlow:
+    """One constant-rate flow over a time window of the scenario."""
+
+    name: str
+    source: str
+    packet: Packet
+    dst_prefix: IPv4Prefix
+    rate_mbps: float
+    start: float
+    end: float
+
+    def active_at(self, when: float) -> bool:
+        """True while the flow is sending (start inclusive, end exclusive)."""
+        return self.start <= when < self.end
+
+
+def source_slices(count: int = SLICE_COUNT) -> Tuple[IPv4Prefix, ...]:
+    """``count`` equal-width prefixes covering the IPv4 address space.
+
+    ``count`` must be a power of two. This is the shared definition of
+    "slice" between the scenarios and the reactive inbound balancer.
+    """
+    if count < 1 or count & (count - 1):
+        raise ValueError(f"slice count must be a power of two, got {count}")
+    length = count.bit_length() - 1
+    step = (1 << 32) >> length if length else 0
+    return tuple(
+        IPv4Prefix(network=index * step, length=length)
+        for index in range(count))
+
+
+def build_shifting_controller(*, statics_mode: str = "off") -> SdxController:
+    """The shifting scenario's exchange: two senders, one two-port eyeball.
+
+    ``Eyeball`` (two ports) announces :data:`EYEBALL_PREFIX`; ``CDN``
+    and ``Transit`` send toward it. Returns the started controller.
+    """
+    sdx = SdxController(statics_mode=statics_mode)
+    sdx.add_participant("Eyeball", 65010, ports=2)
+    sdx.add_participant("CDN", 65020)
+    sdx.add_participant("Transit", 65030)
+    sdx.announce_route("Eyeball", EYEBALL_PREFIX, AsPath([65010]))
+    sdx.start()
+    return sdx
+
+
+def shifting_flows(*, shift_time: float, duration: float,
+                   seed: SeedLike = 0,
+                   rate_scale: float = 1.0) -> List[ScenarioFlow]:
+    """Per-slice flows whose rates flip at ``shift_time``.
+
+    One flow per source slice and phase; slice ``i`` carries
+    ``SHIFT_RATES_BEFORE[i]`` Mbps until the shift and
+    ``SHIFT_RATES_AFTER[i]`` after. Sources alternate CDN/Transit.
+    """
+    rng = make_rng(seed, salt=0x51C3)
+    slices = source_slices()
+    flows: List[ScenarioFlow] = []
+    for index, block in enumerate(slices):
+        srcip = block.first_address + rng.randrange(1, 1000)
+        source = "CDN" if index % 2 == 0 else "Transit"
+        packet = Packet(dstip=EYEBALL_PREFIX.first_address + 10 + index,
+                        srcip=srcip, dstport=443,
+                        srcport=10_000 + index, protocol=6)
+        for phase, (start, end, rates) in enumerate((
+                (0.0, shift_time, SHIFT_RATES_BEFORE),
+                (shift_time, duration, SHIFT_RATES_AFTER))):
+            rate = rates[index] * rate_scale
+            if rate <= 0:
+                continue
+            flows.append(ScenarioFlow(
+                name=f"slice{index}-p{phase}", source=source, packet=packet,
+                dst_prefix=EYEBALL_PREFIX, rate_mbps=rate,
+                start=start, end=end))
+    return flows
+
+
+def build_skewed_controller(*, statics_mode: str = "off") -> SdxController:
+    """The skewed scenario's exchange: one sender, two transits.
+
+    ``Primary`` and ``Alternate`` both announce every skewed prefix;
+    ``Primary`` wins best-route selection on AS-path length, so all
+    traffic uses it until a steering policy says otherwise. Returns the
+    started controller.
+    """
+    sdx = SdxController(statics_mode=statics_mode)
+    sdx.add_participant("Sender", 65040)
+    sdx.add_participant("Primary", 65050)
+    sdx.add_participant("Alternate", 65060)
+    for index, prefix in enumerate(SKEWED_PREFIXES):
+        origin = 64_900 + index
+        sdx.announce_route("Primary", prefix, AsPath([65050, origin]))
+        sdx.announce_route("Alternate", prefix, AsPath([65060, 65061, origin]))
+    sdx.start()
+    return sdx
+
+
+def skewed_flows(*, surge_time: float, duration: float,
+                 seed: SeedLike = 0,
+                 rate_scale: float = 1.0) -> List[ScenarioFlow]:
+    """Per-prefix flows from ``Sender``; one prefix surges at ``surge_time``
+    (index :data:`SKEWED_SURGE_INDEX`)."""
+    rng = make_rng(seed, salt=0x5EED)
+    flows: List[ScenarioFlow] = []
+    for index, prefix in enumerate(SKEWED_PREFIXES):
+        packet = Packet(dstip=prefix.first_address + 1 + rng.randrange(200),
+                        srcip=IPv4Prefix("8.0.0.0/8").first_address + index,
+                        dstport=80, srcport=20_000 + index, protocol=6)
+        for phase, (start, end, rates) in enumerate((
+                (0.0, surge_time, SKEWED_RATES_BEFORE),
+                (surge_time, duration, SKEWED_RATES_AFTER))):
+            rate = rates[index] * rate_scale
+            if rate <= 0:
+                continue
+            flows.append(ScenarioFlow(
+                name=f"prefix{index}-p{phase}", source="Sender", packet=packet,
+                dst_prefix=prefix, rate_mbps=rate, start=start, end=end))
+    return flows
+
+
+def phase_rates_by_slice(after: bool) -> Dict[int, float]:
+    """Nominal per-slice rates of a shifting phase (test convenience)."""
+    rates = SHIFT_RATES_AFTER if after else SHIFT_RATES_BEFORE
+    return {index: rate for index, rate in enumerate(rates)}

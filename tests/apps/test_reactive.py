@@ -1,0 +1,267 @@
+"""Tests for the counter-driven reactive apps (repro.apps.reactive)."""
+
+import pytest
+
+from repro.apps.reactive import HeavyHitterSteering, ReactiveInboundBalancer
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.exceptions import PolicyError
+from repro.monitoring.detect import EgressImbalanceWatch
+from repro.monitoring.events import EgressImbalance, HeavyHitter
+from repro.monitoring.loop import DataPlaneMonitor
+from repro.monitoring.stats import MonitorSample, RuleView, fec_label
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import HeaderSpace
+from repro.workloads.scenarios import (
+    EYEBALL_PREFIX,
+    SKEWED_PREFIXES,
+    build_shifting_controller,
+    build_skewed_controller,
+)
+
+
+def make_sample(rules, at=0.0):
+    return MonitorSample(
+        sampled_at=at, interval=1.0,
+        total_rate_mbps=sum(view.ewma_mbps for view in rules),
+        fecs=(), participants=(), ports=(), rules=tuple(rules))
+
+
+def imbalance_event(participant, at=0.0, raised=True):
+    return EgressImbalance(sampled_at=at, participant=participant,
+                           port_rates=((1, 10.0), (2, 1.0)),
+                           imbalance=1.8, raised=raised)
+
+
+class TestReactiveInboundBalancer:
+    def make(self):
+        sdx = build_shifting_controller()
+        monitor = DataPlaneMonitor(sdx)
+        balancer = ReactiveInboundBalancer(sdx.participant("Eyeball"), monitor)
+        return sdx, monitor, balancer
+
+    def slice_sample(self, balancer, rates, at=0.0):
+        """Per-slice rule views shaped like the balancer's own policies."""
+        views = []
+        for index, rate in rates.items():
+            port = balancer.ports[balancer.assignment[index]]
+            rule = FlowRule(priority=1,
+                            match=HeaderSpace(srcip=balancer.slices[index]),
+                            actions=(Action(port=port),))
+            views.append(RuleView(
+                rule=rule, fec="f", egress=((port, balancer.handle.name),),
+                packets=0, bytes=0, delta_packets=0, delta_bytes=0,
+                rate_mbps=rate, ewma_mbps=rate))
+        return make_sample(views, at=at)
+
+    def test_needs_two_local_ports(self):
+        sdx = build_shifting_controller()
+        monitor = DataPlaneMonitor(sdx)
+        with pytest.raises(PolicyError):
+            ReactiveInboundBalancer(sdx.participant("CDN"), monitor)
+
+    def test_install_round_robin_partition(self):
+        sdx, _monitor, balancer = self.make()
+        balancer.install()
+        assert balancer.assignment == {i: i % 2 for i in range(8)}
+        # A packet from slice i lands on the assigned port.
+        for index in (0, 1, 2, 3):
+            packet = Packet(dstip=EYEBALL_PREFIX.first_address + 9,
+                            srcip=balancer.slices[index].first_address + 5,
+                            dstport=443, srcport=777, protocol=6)
+            (delivery,) = [d for d in sdx.send("CDN", packet) if d.accepted]
+            assert delivery.switch_port == balancer.ports[index % 2]
+
+    def test_uninstall_removes_the_partition(self):
+        sdx, _monitor, balancer = self.make()
+        balancer.install()
+        balancer.uninstall()
+        packet = Packet(dstip=EYEBALL_PREFIX.first_address + 9,
+                        srcip=balancer.slices[3].first_address + 5,
+                        dstport=443, srcport=777, protocol=6)
+        accepted = [d for d in sdx.send("CDN", packet) if d.accepted]
+        # Default forwarding still delivers, on the default (first) port.
+        assert all(d.switch_port == balancer.ports[0] for d in accepted)
+
+    def test_repack_balances_known_rates(self):
+        _sdx, _monitor, balancer = self.make()
+        rates = {0: 20.0, 1: 2.0, 2: 16.0, 3: 2.0,
+                 4: 18.0, 5: 2.0, 6: 14.0, 7: 2.0}
+        assignment = balancer._repack(rates)
+        loads = [0.0, 0.0]
+        for slice_index, port_index in assignment.items():
+            loads[port_index] += rates[slice_index]
+        assert loads[0] == pytest.approx(loads[1])
+
+    def test_make_watch_is_wired_to_the_participant(self):
+        _sdx, _monitor, balancer = self.make()
+        watch = balancer.make_watch(high_ratio=2.0)
+        assert isinstance(watch, EgressImbalanceWatch)
+        assert watch.participant == "Eyeball"
+        assert watch.ports == balancer.ports
+        assert watch.high_ratio == 2.0
+
+    def test_slice_rates_sum_matching_rules(self):
+        _sdx, _monitor, balancer = self.make()
+        sample = self.slice_sample(balancer, {0: 12.0, 3: 4.0})
+        rates = balancer.slice_rates(sample)
+        assert rates[0] == 12.0 and rates[3] == 4.0
+        assert rates[1] == 0.0
+
+    def test_imbalance_edge_triggers_one_rebalance(self):
+        sdx, monitor, balancer = self.make()
+        balancer.install()
+        before = dict(balancer.assignment)
+        monitor.last_sample = self.slice_sample(
+            balancer, {0: 20.0, 2: 16.0, 4: 18.0, 6: 14.0, 1: 2.0,
+                       3: 2.0, 5: 2.0, 7: 2.0}, at=5.0)
+        balancer.handle_event(imbalance_event("Eyeball", at=5.0), sdx)
+        assert balancer.rebalances == 1
+        assert balancer.assignment != before
+
+    def test_cooldown_and_edge_filtering(self):
+        sdx, monitor, balancer = self.make()
+        balancer.install()
+        monitor.last_sample = self.slice_sample(
+            balancer, {0: 20.0, 1: 2.0}, at=5.0)
+        balancer.handle_event(imbalance_event("Eyeball", at=5.0), sdx)
+        assert balancer.rebalances == 1
+        # Within the cooldown window: ignored.
+        monitor.last_sample = self.slice_sample(
+            balancer, {1: 30.0, 0: 1.0}, at=6.0)
+        balancer.handle_event(imbalance_event("Eyeball", at=6.0), sdx)
+        assert balancer.rebalances == 1
+        # Clearing edges and other participants never trigger.
+        balancer.handle_event(
+            imbalance_event("Eyeball", at=60.0, raised=False), sdx)
+        balancer.handle_event(imbalance_event("CDN", at=60.0), sdx)
+        assert balancer.rebalances == 1
+
+    def test_no_action_when_repack_is_identical(self):
+        sdx, monitor, balancer = self.make()
+        balancer.install()
+        monitor.last_sample = self.slice_sample(
+            balancer, {0: 20.0, 1: 2.0}, at=5.0)
+        balancer.handle_event(imbalance_event("Eyeball", at=5.0), sdx)
+        assert balancer.rebalances == 1
+        # Same measured rates well past the cooldown: the repack
+        # reproduces the current assignment, so nothing is reinstalled.
+        monitor.last_sample = self.slice_sample(
+            balancer, {0: 20.0, 1: 2.0}, at=50.0)
+        balancer.handle_event(imbalance_event("Eyeball", at=50.0), sdx)
+        assert balancer.rebalances == 1
+
+
+class TestHeavyHitterSteering:
+    def make(self, **kwargs):
+        sdx = build_skewed_controller()
+        monitor = DataPlaneMonitor(sdx)
+        steering = HeavyHitterSteering(
+            sdx.participant("Sender"), monitor, prefixes=SKEWED_PREFIXES,
+            primary="Primary", alternate="Alternate", **kwargs)
+        steering.install()
+        return sdx, monitor, steering
+
+    def prefix_sample(self, rates, at=0.0):
+        views = []
+        for label, rate in rates.items():
+            rule = FlowRule(priority=1,
+                            match=HeaderSpace(dstip=IPv4Prefix(label)),
+                            actions=())
+            views.append(RuleView(
+                rule=rule, fec="g", egress=(), packets=0, bytes=0,
+                delta_packets=0, delta_bytes=0,
+                rate_mbps=rate, ewma_mbps=rate))
+        return make_sample(views, at=at)
+
+    def hitter(self, sdx, at=0.0, raised=True, fec=None):
+        return HeavyHitter(
+            sampled_at=at,
+            fec=fec if fec is not None else fec_label(sdx, SKEWED_PREFIXES[0]),
+            rate_mbps=120.0, share=0.8, raised=raised)
+
+    def egress(self, sdx, prefix):
+        return sdx.egress_of("Sender", Packet(
+            dstip=prefix.first_address + 1, srcip="8.0.0.1",
+            dstport=80, srcport=999, protocol=6))
+
+    def test_install_routes_everything_via_primary(self):
+        sdx, _monitor, _steering = self.make()
+        for prefix in SKEWED_PREFIXES:
+            assert self.egress(sdx, prefix) == "Primary"
+
+    def test_offload_drills_down_to_the_hottest_prefix(self):
+        sdx, monitor, steering = self.make()
+        monitor.last_sample = self.prefix_sample(
+            {"60.0.0.0/8": 8.0, "61.0.0.0/8": 6.0, "62.0.0.0/8": 120.0,
+             "63.0.0.0/8": 4.0, "64.0.0.0/8": 3.0})
+        steering.handle_event(self.hitter(sdx), sdx)
+        assert steering.offloaded() == ("62.0.0.0/8",)
+        assert self.egress(sdx, IPv4Prefix("62.0.0.0/8")) == "Alternate"
+        # The rest of the FEC stays on the primary route.
+        assert self.egress(sdx, IPv4Prefix("60.0.0.0/8")) == "Primary"
+        assert steering.declined == []
+
+    def test_clear_edge_releases_offloaded_prefixes(self):
+        sdx, monitor, steering = self.make()
+        monitor.last_sample = self.prefix_sample({"62.0.0.0/8": 120.0})
+        steering.handle_event(self.hitter(sdx), sdx)
+        assert steering.offloaded()
+        steering.handle_event(self.hitter(sdx, at=10.0, raised=False), sdx)
+        assert steering.offloaded() == ()
+        assert self.egress(sdx, IPv4Prefix("62.0.0.0/8")) == "Primary"
+
+    def test_prefix_rates_reads_only_steerable_rules(self):
+        _sdx, _monitor, steering = self.make()
+        sample = self.prefix_sample({"62.0.0.0/8": 50.0, "8.0.0.0/8": 99.0})
+        rates = steering.prefix_rates(sample)
+        assert rates["62.0.0.0/8"] == 50.0
+        assert "8.0.0.0/8" not in rates
+
+    def test_foreign_fec_is_ignored(self):
+        sdx, monitor, steering = self.make()
+        monitor.last_sample = self.prefix_sample({"62.0.0.0/8": 120.0})
+        steering.handle_event(
+            self.hitter(sdx, fec="203.0.113.0/24"), sdx)
+        assert steering.offloaded() == ()
+        assert steering.declined == []
+
+    def test_capacity_exhaustion_declines(self):
+        sdx, monitor, steering = self.make(max_offloads=0)
+        monitor.last_sample = self.prefix_sample({"62.0.0.0/8": 120.0})
+        event = self.hitter(sdx)
+        steering.handle_event(event, sdx)
+        assert steering.offloaded() == ()
+        assert steering.declined == [event.fec]
+
+    def test_no_sample_means_no_action(self):
+        sdx, monitor, steering = self.make()
+        assert monitor.last_sample is None
+        steering.handle_event(self.hitter(sdx), sdx)
+        assert steering.offloaded() == ()
+
+    def test_unreachable_alternate_declines(self):
+        # The alternate never announced the prefixes: BGP consistency
+        # forbids steering there, however hot the hitter.
+        sdx = SdxController()
+        sdx.add_participant("Sender", 65040)
+        sdx.add_participant("Primary", 65050)
+        sdx.add_participant("Alternate", 65060)
+        for index, prefix in enumerate(SKEWED_PREFIXES):
+            sdx.announce_route("Primary", prefix,
+                               AsPath([65050, 64_900 + index]))
+        sdx.start()
+        monitor = DataPlaneMonitor(sdx)
+        steering = HeavyHitterSteering(
+            sdx.participant("Sender"), monitor, prefixes=SKEWED_PREFIXES,
+            primary="Primary", alternate="Alternate")
+        steering.install()
+        monitor.last_sample = self.prefix_sample({"62.0.0.0/8": 120.0})
+        event = self.hitter(sdx)
+        steering.handle_event(event, sdx)
+        assert steering.offloaded() == ()
+        assert steering.declined == [event.fec]
+        assert self.egress(sdx, IPv4Prefix("62.0.0.0/8")) == "Primary"

@@ -1,0 +1,131 @@
+"""Property tests: counter survival across delta application.
+
+The flow table's contract (see :mod:`repro.dataplane.flowtable`): a
+rule's packet/byte counters are preserved across :meth:`apply_delta`
+and two-phase swaps exactly when its ``(priority, match)`` key survives
+the swap — untouched rules keep their objects, modified keys transfer
+counters to the replacement — and reset to zero when the key is deleted
+and later re-added. Cookies follow the same lifecycle: stable across
+survival, fresh after a delete + re-add.
+
+Hypothesis drives random table states through random two-phase swaps
+and checks the invariant for every key.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.flowtable import FlowTable
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import WILDCARD, HeaderSpace
+from repro.southbound.diff import compute_delta
+from repro.southbound.engine import schedule_two_phase
+
+PRIORITIES = (1, 2, 3)
+DSTPORTS = (22, 80, 443, None)
+ACTION_CHOICES = ((), (Action(port=1),), (Action(port=2),))
+
+#: All (priority, dstport) keys a generated table can use.
+KEYS = tuple((priority, dstport)
+             for priority in PRIORITIES for dstport in DSTPORTS)
+
+
+def build_rule(key, action_index):
+    priority, dstport = key
+    space = WILDCARD if dstport is None else HeaderSpace(dstport=dstport)
+    return FlowRule(priority=priority, match=space,
+                    actions=ACTION_CHOICES[action_index])
+
+
+#: A table state: a mapping key -> action choice (keys are unique, which
+#: matches what compiled classifiers produce).
+table_states = st.dictionaries(
+    st.sampled_from(KEYS), st.integers(min_value=0, max_value=2),
+    max_size=len(KEYS))
+
+
+def populate(state):
+    table = FlowTable()
+    for key, action_index in sorted(state.items(), key=str):
+        table.install(build_rule(key, action_index))
+    return table
+
+
+def exercise(table):
+    """Run traffic through every match so counters are non-trivial."""
+    for dstport in (22, 80, 443, 9999):
+        table.process(Packet(port=1, dstport=dstport), size_bytes=100)
+
+
+def swap(table, target_state):
+    """Two-phase apply of the delta toward ``target_state``."""
+    target = [build_rule(key, action_index)
+              for key, action_index in sorted(target_state.items(), key=str)]
+    delta = compute_delta(table.rules, target)
+    table.apply_delta(schedule_two_phase(delta.mods))
+
+
+def state_of(table):
+    """key -> (packets, bytes, cookie) for every installed rule."""
+    return {
+        (rule.priority, rule.match.get("dstport")):
+            (table.packets_matched(rule), table.bytes_matched(rule),
+             table.cookie_of(rule))
+        for rule in table.rules
+    }
+
+
+@given(initial=table_states, target=table_states)
+@settings(max_examples=60, deadline=None)
+def test_counters_survive_exactly_for_surviving_keys(initial, target):
+    table = populate(initial)
+    exercise(table)
+    before = state_of(table)
+    swap(table, target)
+
+    after = state_of(table)
+    assert set(after) == set(target)
+    for key, action_index in target.items():
+        packets, byte_count, cookie = after[key]
+        rule = table.rule_for_key(*_key_space(key))
+        assert rule.actions == ACTION_CHOICES[action_index]
+        if key in initial:
+            # Survived (untouched or modified in place): counters and
+            # cookie carry over verbatim.
+            assert (packets, byte_count, cookie) == before[key]
+        else:
+            # Newly added: zeroed counters, a never-seen cookie.
+            assert (packets, byte_count) == (0, 0)
+            assert cookie > max(
+                (c for _p, _b, c in before.values()), default=0)
+
+
+@given(state=table_states, intermediate=table_states)
+@settings(max_examples=60, deadline=None)
+def test_delete_and_readd_resets_counters(state, intermediate):
+    # state -> intermediate -> state: keys missing from the middle table
+    # were deleted and re-added, so they must restart from zero with a
+    # fresh cookie; keys present throughout keep everything.
+    table = populate(state)
+    exercise(table)
+    before = state_of(table)
+    swap(table, intermediate)
+    swap(table, state)
+
+    after = state_of(table)
+    assert set(after) == set(state)
+    for key in state:
+        packets, byte_count, cookie = after[key]
+        if key in intermediate:
+            assert (packets, byte_count, cookie) == before[key]
+        else:
+            assert (packets, byte_count) == (0, 0)
+            assert cookie > before[key][2]
+
+
+def _key_space(key):
+    priority, dstport = key
+    return priority, (WILDCARD if dstport is None
+                      else HeaderSpace(dstport=dstport))

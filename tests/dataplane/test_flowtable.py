@@ -171,3 +171,104 @@ class TestCounterPreservingReplace:
         table = FlowTable()
         table.install(rule(9))
         assert table.replace_with(self._classifier(web_port=1)) == 3
+
+
+class TestCookies:
+    """The OpenFlow-style per-rule cookie: issued at install, transferred
+    by MODIFY, dropped (never recycled) on DELETE — the stable identity
+    the monitoring collector keys its counter deltas by."""
+
+    def test_install_issues_monotonic_cookies(self):
+        table = FlowTable()
+        first = rule(5, (Action(port=1),), dstport=80)
+        second = rule(3, (Action(port=2),), dstport=22)
+        table.install(first)
+        table.install(second)
+        assert 0 < table.cookie_of(first) < table.cookie_of(second)
+
+    def test_uninstalled_rule_reads_zero(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        assert table.cookie_of(web) == 0
+        table.install(web)
+        table.remove_where(lambda r: True)
+        assert table.cookie_of(web) == 0
+
+    def test_modify_transfers_the_cookie(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        table.install(web)
+        cookie = table.cookie_of(web)
+        table.apply_mod(FlowMod.modify(rule(5, (Action(port=9),), dstport=80)))
+        survivor = table.rules[0]
+        assert survivor is not web
+        assert table.cookie_of(survivor) == cookie
+        assert table.cookie_of(web) == 0
+
+    def test_idempotent_modify_keeps_the_rule_object(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        table.install(web)
+        cookie = table.cookie_of(web)
+        table.apply_mod(FlowMod.modify(rule(5, (Action(port=1),), dstport=80)))
+        assert table.rules == (web,)
+        assert table.cookie_of(web) == cookie
+
+    def test_delete_and_readd_issues_a_fresh_cookie(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=1),), dstport=80)
+        table.install(web)
+        cookie = table.cookie_of(web)
+        table.apply_mod(FlowMod.delete(web))
+        table.apply_mod(FlowMod.add(rule(5, (Action(port=1),), dstport=80)))
+        assert table.cookie_of(table.rules[0]) > cookie
+
+    def test_counters_snapshot_rows_match_accessors(self):
+        table = FlowTable()
+        web = rule(5, (Action(port=2),), dstport=80)
+        ssh = rule(3, (Action(port=3),), dstport=22)
+        table.install(web)
+        table.install(ssh)
+        table.process(Packet(port=1, dstport=80), size_bytes=500)
+        table.process(Packet(port=1, dstport=80), size_bytes=700)
+        table.process(Packet(port=1, dstport=22), size_bytes=100)
+        assert table.counters_snapshot() == (
+            (web, table.cookie_of(web), 2, 1200),
+            (ssh, table.cookie_of(ssh), 1, 100),
+        )
+
+
+class TestTelemetryBinding:
+    """Regression: rebinding the table's telemetry must be idempotent
+    per registry — no handle re-fetch, no gratuitous gauge writes."""
+
+    def _bound(self):
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry()
+        table = FlowTable()
+        table.bind_telemetry(telemetry)
+        table.install(rule(5, (Action(port=1),), dstport=80))
+        table.process(Packet(port=1, dstport=80))
+        return telemetry, table
+
+    def test_rebinding_the_same_registry_is_a_noop(self):
+        telemetry, table = self._bound()
+        gauge = telemetry.registry.get("sdx_flowtable_rules")
+        table.bind_telemetry(telemetry)
+        # Same handle objects, and activity keeps accumulating in place.
+        assert telemetry.registry.get("sdx_flowtable_rules") is gauge
+        table.process(Packet(port=1, dstport=80))
+        assert telemetry.registry.get(
+            "sdx_flowtable_packets_total").value == 2
+
+    def test_rebinding_a_different_registry_moves_recording(self):
+        from repro.telemetry import Telemetry
+        first, table = self._bound()
+        second = Telemetry()
+        table.bind_telemetry(second)
+        table.process(Packet(port=1, dstport=80))
+        # The old registry stops receiving; the new one starts fresh,
+        # with the rule gauge synced at bind time.
+        assert first.registry.get("sdx_flowtable_packets_total").value == 1
+        assert second.registry.get("sdx_flowtable_packets_total").value == 1
+        assert second.registry.get("sdx_flowtable_rules").value == 1

@@ -1,0 +1,46 @@
+"""Shared fixtures for the monitoring tests.
+
+A deliberately tiny exchange — one sender, two egress participants each
+announcing one /8 — so every byte a test sends has an unambiguous FEC,
+participant, and egress port to be attributed to.
+"""
+
+import pytest
+
+from repro.bgp.asn import AsPath
+from repro.core.controller import SdxController
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import fwd, match
+
+EAST_PREFIX = IPv4Prefix("40.0.0.0/8")
+WEST_PREFIX = IPv4Prefix("50.0.0.0/8")
+
+
+def make_exchange():
+    sdx = SdxController()
+    sender = sdx.add_participant("Sender", 64500)
+    sdx.add_participant("East", 64501)
+    sdx.add_participant("West", 64502)
+    sdx.announce_route("East", EAST_PREFIX, AsPath([64501, 100]))
+    sdx.announce_route("West", WEST_PREFIX, AsPath([64502, 200]))
+    # Per-prefix outbound policies give every prefix a FEC group and
+    # keep the compiled rules' dstip constraints — the same baseline
+    # shape the heavy-hitter steering app installs.
+    sender.add_outbound(match(dstip=EAST_PREFIX) >> fwd("East"))
+    sender.add_outbound(match(dstip=WEST_PREFIX) >> fwd("West"))
+    sdx.start()
+    return sdx
+
+
+def send_bytes(sdx, prefix, size, *, srcport=1234):
+    """Push ``size`` bytes toward ``prefix``'s first host; must deliver."""
+    packet = Packet(dstip=prefix.first_address + 1, srcip="10.0.0.1",
+                    dstport=80, srcport=srcport, protocol=6)
+    deliveries = sdx.send("Sender", packet, size_bytes=size)
+    assert any(delivery.accepted for delivery in deliveries)
+
+
+@pytest.fixture
+def sdx():
+    return make_exchange()

@@ -1,0 +1,170 @@
+"""Tests for the sample-driven detectors (repro.monitoring.detect)."""
+
+import pytest
+
+from repro.monitoring.detect import (
+    EgressImbalanceWatch,
+    HeavyHitterDetector,
+    SpaceSavingSketch,
+    UtilizationWatch,
+)
+from repro.monitoring.events import (
+    EgressImbalance,
+    HeavyHitter,
+    UtilizationAlarm,
+)
+from repro.monitoring.stats import UNATTRIBUTED, AggregateView, MonitorSample
+
+
+def view(key, rate):
+    delta = int(rate * 1e6 / 8)
+    return AggregateView(key=key, packets=1, bytes=delta, delta_packets=1,
+                         delta_bytes=delta, rate_mbps=rate, ewma_mbps=rate)
+
+
+def sample(*, fecs=(), ports=(), at=0.0):
+    """A hand-built sample where every rate is already its own EWMA."""
+    return MonitorSample(
+        sampled_at=at, interval=1.0,
+        total_rate_mbps=sum(v.rate_mbps for v in (*fecs, *ports)),
+        fecs=tuple(fecs), participants=(), ports=tuple(ports), rules=())
+
+
+def fec_sample(rates, at=0.0):
+    return sample(fecs=[view(key, rate) for key, rate in sorted(rates.items())],
+                  at=at)
+
+
+def port_sample(rates, at=0.0):
+    return sample(ports=[view(str(port), rate)
+                         for port, rate in sorted(rates.items())], at=at)
+
+
+class TestSpaceSavingSketch:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(0)
+
+    def test_exact_below_capacity(self):
+        sketch = SpaceSavingSketch(4)
+        sketch.offer("a", 5.0)
+        sketch.offer("b", 3.0)
+        sketch.offer("a", 2.0)
+        assert sketch.top() == [("a", 7.0, 0.0), ("b", 3.0, 0.0)]
+        assert sketch.total == 10.0
+
+    def test_eviction_inherits_victim_count_as_error(self):
+        sketch = SpaceSavingSketch(2)
+        sketch.offer("a", 5.0)
+        sketch.offer("b", 3.0)
+        sketch.offer("c", 1.0)  # evicts b (the minimum)
+        assert "b" not in sketch
+        assert sketch.top() == [("a", 5.0, 0.0), ("c", 4.0, 3.0)]
+        assert len(sketch) == 2
+
+    def test_heavy_key_always_tracked(self):
+        # Any key above total/capacity is guaranteed present.
+        sketch = SpaceSavingSketch(2)
+        for index in range(20):
+            sketch.offer(f"mouse{index}", 1.0)
+        sketch.offer("elephant", 30.0)
+        assert "elephant" in sketch
+
+    def test_top_k_limit_and_nonpositive_weights(self):
+        sketch = SpaceSavingSketch(8)
+        sketch.offer("a", 1.0)
+        sketch.offer("b", 2.0)
+        sketch.offer("b", 0.0)
+        sketch.offer("b", -5.0)
+        assert [key for key, _c, _e in sketch.top(1)] == ["b"]
+        assert sketch.total == 3.0
+
+
+class TestHeavyHitterDetector:
+    def test_edge_triggered_raise_and_clear(self):
+        detector = HeavyHitterDetector(threshold_mbps=50.0, clear_fraction=0.6)
+        assert detector.observe(fec_sample({"f": 40.0})) == []
+        (raised,) = detector.observe(fec_sample({"f": 60.0}, at=1.0))
+        assert isinstance(raised, HeavyHitter)
+        assert raised.raised and raised.fec == "f"
+        assert raised.rate_mbps == 60.0
+        assert detector.active() == ("f",)
+        # Still high: no repeat event.
+        assert detector.observe(fec_sample({"f": 80.0}, at=2.0)) == []
+        # Hysteresis band (>= 30, < 50): neither raise nor clear.
+        assert detector.observe(fec_sample({"f": 40.0}, at=3.0)) == []
+        (cleared,) = detector.observe(fec_sample({"f": 10.0}, at=4.0))
+        assert not cleared.raised
+        assert detector.active() == ()
+
+    def test_min_share_suppresses_small_fraction(self):
+        detector = HeavyHitterDetector(threshold_mbps=50.0, min_share=0.5)
+        events = detector.observe(fec_sample({"f": 60.0, "g": 100.0}))
+        assert all(event.fec == "g" for event in events)
+
+    def test_unattributed_traffic_is_ignored(self):
+        detector = HeavyHitterDetector(threshold_mbps=1.0)
+        assert detector.observe(fec_sample({UNATTRIBUTED: 500.0})) == []
+
+    def test_clear_fraction_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterDetector(clear_fraction=1.0)
+
+
+class TestUtilizationWatch:
+    def test_watermark_raise_then_clear(self):
+        watch = UtilizationWatch({1: 100.0}, high=0.8, low=0.5)
+        assert watch.observe(port_sample({1: 70.0})) == []
+        (raised,) = watch.observe(port_sample({1: 85.0}, at=1.0))
+        assert isinstance(raised, UtilizationAlarm)
+        assert raised.raised and raised.port == 1
+        assert raised.utilization == pytest.approx(0.85)
+        # Between low and high: the alarm holds silently.
+        assert watch.observe(port_sample({1: 60.0}, at=2.0)) == []
+        (cleared,) = watch.observe(port_sample({1: 40.0}, at=3.0))
+        assert not cleared.raised
+
+    def test_default_capacity_applies_to_unlisted_ports(self):
+        watch = UtilizationWatch(default_capacity_mbps=10.0, high=0.8, low=0.5)
+        (event,) = watch.observe(port_sample({7: 9.0}))
+        assert event.capacity_mbps == 10.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationWatch(high=0.5, low=0.5)
+
+
+class TestEgressImbalanceWatch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EgressImbalanceWatch("A", [1])
+        with pytest.raises(ValueError):
+            EgressImbalanceWatch("A", [1, 2], high_ratio=1.2, low_ratio=1.5)
+
+    def test_quiet_below_min_total(self):
+        watch = EgressImbalanceWatch("A", [1, 2], min_total_mbps=5.0)
+        assert watch.observe(port_sample({1: 2.0, 2: 0.0})) == []
+
+    def test_raise_hold_clear_cycle(self):
+        watch = EgressImbalanceWatch("A", [1, 2], high_ratio=1.5,
+                                     low_ratio=1.15, min_total_mbps=1.0)
+        assert watch.observe(port_sample({1: 10.0, 2: 10.0})) == []
+        (raised,) = watch.observe(port_sample({1: 18.0, 2: 2.0}, at=1.0))
+        assert isinstance(raised, EgressImbalance)
+        assert raised.raised and raised.participant == "A"
+        assert raised.imbalance == pytest.approx(1.8)
+        assert dict(raised.port_rates) == {1: 18.0, 2: 2.0}
+        # Still skewed: edge already reported.
+        assert watch.observe(port_sample({1: 18.0, 2: 2.0}, at=2.0)) == []
+        # Inside the hysteresis band: holds.
+        assert watch.observe(port_sample({1: 13.0, 2: 7.0}, at=3.0)) == []
+        (cleared,) = watch.observe(port_sample({1: 11.0, 2: 9.0}, at=4.0))
+        assert not cleared.raised
+        assert cleared.imbalance == pytest.approx(1.1)
+
+    def test_unwatched_ports_read_zero(self):
+        # A port with no traffic at all counts as 0 toward the ratio.
+        watch = EgressImbalanceWatch("A", [1, 2], min_total_mbps=1.0)
+        (event,) = watch.observe(port_sample({1: 10.0}))
+        assert event.raised
+        assert event.imbalance == pytest.approx(2.0)

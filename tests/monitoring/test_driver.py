@@ -1,0 +1,106 @@
+"""Tests for the monitored traffic driver (repro.monitoring.driver)."""
+
+import pytest
+
+from repro.monitoring.driver import MonitoredTrafficDriver
+from repro.monitoring.stats import fec_label
+from repro.net.packet import Packet
+from repro.runtime.clock import ManualClock
+from repro.workloads.scenarios import ScenarioFlow
+
+from tests.monitoring.conftest import EAST_PREFIX, WEST_PREFIX, make_exchange
+
+
+def flow(prefix, rate_mbps, *, start=0.0, end=100.0, name="f"):
+    packet = Packet(dstip=prefix.first_address + 1, srcip="10.0.0.1",
+                    dstport=80, srcport=4000, protocol=6)
+    return ScenarioFlow(name=name, source="Sender", packet=packet,
+                        dst_prefix=prefix, rate_mbps=rate_mbps,
+                        start=start, end=end)
+
+
+def make_driver(flows, **kwargs):
+    sdx = make_exchange()
+    runtime = sdx.build_runtime(clock=ManualClock())
+    return sdx, MonitoredTrafficDriver(sdx, runtime, flows, **kwargs)
+
+
+class TestValidation:
+    def test_tick_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_driver([], tick_seconds=0.0)
+
+    def test_runtime_must_front_the_controller(self):
+        sdx = make_exchange()
+        other = make_exchange()
+        runtime = other.build_runtime(clock=ManualClock())
+        with pytest.raises(ValueError):
+            MonitoredTrafficDriver(sdx, runtime, [])
+
+    def test_clock_must_be_manual(self):
+        sdx = make_exchange()
+        runtime = sdx.build_runtime()  # wall-clock MonotonicClock
+        with pytest.raises(ValueError):
+            MonitoredTrafficDriver(sdx, runtime, [])
+
+
+class TestRun:
+    def test_ticks_and_clock_advance(self):
+        sdx, driver = make_driver([flow(EAST_PREFIX, 8.0)])
+        assert driver.run(5.0) == 5
+        assert driver.clock.now() == 5.0
+        assert [record.time for record in driver.history] == [0.0, 1.0, 2.0,
+                                                              3.0, 4.0]
+
+    def test_on_tick_observes_each_record(self):
+        _sdx, driver = make_driver([flow(EAST_PREFIX, 8.0)])
+        seen = []
+        driver.run(3.0, on_tick=lambda record: seen.append(record.time))
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_flow_windows_bound_activity(self):
+        # Active for the first tick only (start inclusive, end exclusive).
+        _sdx, driver = make_driver([flow(EAST_PREFIX, 8.0, start=0.0, end=1.0)])
+        driver.run(3.0)
+        assert driver.history[0].fec_bytes and not driver.history[1].fec_bytes
+
+
+class TestGroundTruth:
+    def test_fec_rates_match_flow_spec(self):
+        sdx, driver = make_driver([flow(EAST_PREFIX, 8.0),
+                                   flow(WEST_PREFIX, 2.0, name="g")])
+        driver.run(4.0)
+        rates = driver.ground_truth_rates(2.0)
+        assert rates[fec_label(sdx, EAST_PREFIX)] == pytest.approx(8.0)
+        assert rates[fec_label(sdx, WEST_PREFIX)] == pytest.approx(2.0)
+
+    def test_window_is_half_open(self):
+        sdx, driver = make_driver([flow(EAST_PREFIX, 8.0, start=0.0, end=1.0)])
+        driver.run(3.0)
+        east = fec_label(sdx, EAST_PREFIX)
+        # (−1, 0] holds the t=0 tick; (0, 1] starts exactly at it and
+        # must exclude it.
+        assert driver.ground_truth_rates(1.0, until=0.0)[east] == pytest.approx(8.0)
+        assert east not in driver.ground_truth_rates(1.0, until=1.0)
+
+    def test_port_rates_follow_deliveries(self):
+        sdx, driver = make_driver([flow(EAST_PREFIX, 8.0)])
+        driver.run(4.0)
+        (east_port,) = sdx.participant("East").participant.switch_ports
+        rates = driver.ground_truth_port_rates(2.0)
+        assert rates[east_port] == pytest.approx(8.0)
+
+    def test_port_share_normalises(self):
+        sdx, driver = make_driver([flow(EAST_PREFIX, 6.0),
+                                   flow(WEST_PREFIX, 2.0, name="g")])
+        driver.run(4.0)
+        (east_port,) = sdx.participant("East").participant.switch_ports
+        (west_port,) = sdx.participant("West").participant.switch_ports
+        share = driver.port_share((east_port, west_port), window_seconds=2.0)
+        assert share == (pytest.approx(0.75), pytest.approx(0.25))
+
+    def test_empty_history_reads_empty(self):
+        _sdx, driver = make_driver([])
+        assert driver.ground_truth_rates(5.0) == {}
+        assert driver.ground_truth_port_rates(5.0) == {}
+        assert driver.port_share((1, 2), window_seconds=5.0) == (0.0, 0.0)

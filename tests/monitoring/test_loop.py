@@ -1,0 +1,86 @@
+"""Tests for the cadenced monitor (repro.monitoring.loop)."""
+
+import pytest
+
+from repro.monitoring.events import MonitoringEvent
+from repro.monitoring.loop import DataPlaneMonitor
+
+
+class Recorder:
+    """A detector stub that returns a canned event per sample."""
+
+    def __init__(self):
+        self.samples = []
+
+    def observe(self, sample):
+        self.samples.append(sample)
+        return [MonitoringEvent(sampled_at=sample.sampled_at)]
+
+
+class TestCadence:
+    def test_cadence_validation(self, sdx):
+        with pytest.raises(ValueError):
+            DataPlaneMonitor(sdx, cadence_seconds=0.0)
+
+    def test_first_poll_samples_immediately(self, sdx):
+        monitor = DataPlaneMonitor(sdx, cadence_seconds=2.0)
+        assert monitor.due(0.0)
+        monitor.poll(0.0)
+        assert monitor.last_sample is not None
+        assert monitor.last_sample.sampled_at == 0.0
+
+    def test_polls_inside_the_interval_are_noops(self, sdx):
+        recorder = Recorder()
+        monitor = DataPlaneMonitor(sdx, cadence_seconds=2.0,
+                                   detectors=[recorder])
+        monitor.poll(0.0)
+        assert not monitor.due(1.0)
+        assert monitor.poll(1.0) == []
+        assert monitor.poll(1.9) == []
+        assert len(recorder.samples) == 1  # only the t=0 sample
+        assert monitor.last_sample.sampled_at == 0.0
+
+    def test_next_sample_on_cadence(self, sdx):
+        monitor = DataPlaneMonitor(sdx, cadence_seconds=2.0)
+        monitor.poll(0.0)
+        assert monitor.due(2.0)
+        monitor.poll(2.0)
+        assert monitor.last_sample.sampled_at == 2.0
+        assert monitor.last_sample.interval == 2.0
+
+
+class TestDetectorFanout:
+    def test_every_detector_sees_each_sample(self, sdx):
+        first, second = Recorder(), Recorder()
+        monitor = DataPlaneMonitor(sdx, detectors=[first])
+        monitor.add_detector(second)
+        events = monitor.poll(0.0)
+        assert len(events) == 2
+        assert first.samples == second.samples == [monitor.last_sample]
+
+    def test_events_counted_in_telemetry(self, sdx):
+        monitor = DataPlaneMonitor(sdx, detectors=[Recorder()])
+        monitor.poll(0.0)
+        monitor.poll(1.0)
+        counter = sdx.telemetry.registry.get("sdx_dataplane_events_total")
+        assert counter.value == 2
+
+    def test_force_sample_skips_detectors(self, sdx):
+        recorder = Recorder()
+        monitor = DataPlaneMonitor(sdx, cadence_seconds=5.0,
+                                   detectors=[recorder])
+        monitor.poll(0.0)
+        sample = monitor.force_sample(1.0)
+        assert monitor.last_sample is sample
+        assert sample.sampled_at == 1.0
+        # Detectors did not run on the forced sample...
+        assert len(recorder.samples) == 1
+        # ...and no events were booked for it.
+        counter = sdx.telemetry.registry.get("sdx_dataplane_events_total")
+        assert counter.value == 1
+
+    def test_repr_names_cadence_and_detectors(self, sdx):
+        monitor = DataPlaneMonitor(sdx, cadence_seconds=2.5,
+                                   detectors=[Recorder()])
+        assert "2.5s" in repr(monitor)
+        assert "1 detectors" in repr(monitor)

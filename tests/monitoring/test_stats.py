@@ -1,0 +1,178 @@
+"""Tests for the flow-stats collector (repro.monitoring.stats)."""
+
+import pytest
+
+from repro.monitoring.stats import FlowStatsCollector, fec_label
+from repro.net.addresses import IPv4Prefix
+from repro.southbound.diff import FlowMod, FlowModOp
+
+from tests.monitoring.conftest import EAST_PREFIX, WEST_PREFIX, send_bytes
+
+MBIT = 1_000_000 // 8  # bytes whose delta over 1 s is exactly 1 Mbps
+
+
+def hot_rule(sdx):
+    """The installed rule carrying the most bytes."""
+    return max(sdx.table.rules, key=sdx.table.bytes_matched)
+
+
+class TestFecLabel:
+    def test_announced_prefix_maps_to_group_representative(self, sdx):
+        group = sdx.allocator.group_of(EAST_PREFIX)
+        assert group is not None
+        assert fec_label(sdx, EAST_PREFIX) == str(group.representative)
+
+    def test_unknown_prefix_falls_back_to_itself(self, sdx):
+        assert fec_label(sdx, IPv4Prefix("99.0.0.0/8")) == "99.0.0.0/8"
+
+
+class TestSampling:
+    def test_first_sample_has_zero_interval_and_rates(self, sdx):
+        send_bytes(sdx, EAST_PREFIX, 5 * MBIT)
+        sample = FlowStatsCollector(sdx).sample(7.0)
+        assert sample.sampled_at == 7.0
+        assert sample.interval == 0.0
+        assert sample.total_rate_mbps == 0.0
+        # Cumulative totals are still booked even though rates are not.
+        east = fec_label(sdx, EAST_PREFIX)
+        assert sample.fec_rate(east) == 0.0
+        assert {v.key: v.bytes for v in sample.fecs}[east] == 5 * MBIT
+
+    def test_rate_is_delta_bytes_over_interval(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        sample = collector.sample(1.0)
+        assert sample.interval == 1.0
+        assert sample.fec_rate(fec_label(sdx, EAST_PREFIX)) == pytest.approx(8.0)
+        assert sample.total_rate_mbps == pytest.approx(8.0)
+
+    def test_interval_scales_the_rate(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        sample = collector.sample(2.0)  # same bytes over twice the time
+        assert sample.fec_rate(fec_label(sdx, EAST_PREFIX)) == pytest.approx(4.0)
+
+    def test_attribution_covers_participant_and_port_axes(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 3 * MBIT)
+        send_bytes(sdx, WEST_PREFIX, 1 * MBIT)
+        sample = collector.sample(1.0)
+        rates = {v.key: v.rate_mbps for v in sample.participants}
+        assert rates["East"] == pytest.approx(3.0)
+        assert rates["West"] == pytest.approx(1.0)
+        # Each participant's bytes landed on its own switch port.
+        port_rates = {v.key: v.rate_mbps for v in sample.ports}
+        (east_port,) = sdx.participant("East").participant.switch_ports
+        (west_port,) = sdx.participant("West").participant.switch_ports
+        assert port_rates[str(east_port)] == pytest.approx(3.0)
+        assert port_rates[str(west_port)] == pytest.approx(1.0)
+
+    def test_ewma_smooths_toward_new_rate(self, sdx):
+        collector = FlowStatsCollector(sdx, ewma_alpha=0.25)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        east = fec_label(sdx, EAST_PREFIX)
+        first = collector.sample(1.0)
+        # The baseline sample seeded the EWMA at 0, so one 8 Mbps
+        # interval pulls it up by alpha...
+        assert first.fec_rate(east) == pytest.approx(8.0)
+        assert first.fec_rate(east, smoothed=True) == pytest.approx(2.0)
+        # ...and a silent interval decays it by (1 - alpha).
+        second = collector.sample(2.0)
+        assert second.fec_rate(east) == 0.0
+        assert second.fec_rate(east, smoothed=True) == pytest.approx(1.5)
+
+    def test_unseen_keys_read_zero(self, sdx):
+        sample = FlowStatsCollector(sdx).sample(0.0)
+        assert sample.fec_rate("203.0.113.0/24") == 0.0
+        assert sample.port_rate(999) == 0.0
+
+    def test_alpha_validation(self, sdx):
+        with pytest.raises(ValueError):
+            FlowStatsCollector(sdx, ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            FlowStatsCollector(sdx, ewma_alpha=1.5)
+
+    def test_to_dict_is_json_shaped(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, MBIT)
+        payload = collector.sample(1.0).to_dict()
+        assert payload["interval_seconds"] == 1.0
+        assert payload["total_rate_mbps"] == pytest.approx(1.0)
+        east = fec_label(sdx, EAST_PREFIX)
+        assert payload["fecs"][east]["rate_mbps"] == pytest.approx(1.0)
+        assert payload["rules"] == len(sdx.table)
+
+
+class TestCookieKeyedDeltas:
+    """The collector keys per-rule state by table cookie, so counter
+    continuations (MODIFY) and resets (delete + re-add) are never
+    confused — the exact bug class that produced phantom rate spikes."""
+
+    def test_modify_in_place_continues_the_delta_stream(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        collector.sample(1.0)
+        rule = hot_rule(sdx)
+        # Rewrite the rule's actions at the same key: counters (and the
+        # cookie) transfer to the replacement object.
+        sdx.table.apply_mod(FlowMod(
+            op=FlowModOp.MODIFY, priority=rule.priority, match=rule.match,
+            actions=tuple(reversed(rule.actions)) or rule.actions[:1]))
+        sample = collector.sample(2.0)
+        # No traffic since the last sample: the modified rule must NOT
+        # replay its cumulative history as a fresh delta.
+        assert sample.total_rate_mbps == 0.0
+
+    def test_delete_and_readd_restarts_from_zero(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        collector.sample(1.0)
+        rule = hot_rule(sdx)
+        sdx.table.apply_mod(FlowMod(op=FlowModOp.DELETE, priority=rule.priority,
+                                    match=rule.match))
+        sdx.table.apply_mod(FlowMod(op=FlowModOp.ADD, priority=rule.priority,
+                                    match=rule.match, actions=rule.actions))
+        send_bytes(sdx, EAST_PREFIX, 4 * MBIT)
+        sample = collector.sample(2.0)
+        # Fresh cookie: the delta is exactly the new rule's own bytes.
+        assert sample.fec_rate(fec_label(sdx, EAST_PREFIX)) == pytest.approx(4.0)
+
+    def test_aggregates_survive_rule_churn(self, sdx):
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        collector.sample(1.0)
+        rule = hot_rule(sdx)
+        sdx.table.apply_mod(FlowMod(op=FlowModOp.DELETE, priority=rule.priority,
+                                    match=rule.match))
+        sdx.table.apply_mod(FlowMod(op=FlowModOp.ADD, priority=rule.priority,
+                                    match=rule.match, actions=rule.actions))
+        send_bytes(sdx, EAST_PREFIX, 4 * MBIT)
+        sample = collector.sample(2.0)
+        # Cumulative FEC bytes keep the pre-churn history.
+        east = fec_label(sdx, EAST_PREFIX)
+        assert {v.key: v.bytes for v in sample.fecs}[east] == 12 * MBIT
+
+
+class TestMetrics:
+    def test_sample_exports_dataplane_families(self, sdx):
+        registry = sdx.telemetry.registry
+        collector = FlowStatsCollector(sdx)
+        collector.sample(0.0)
+        send_bytes(sdx, EAST_PREFIX, 8 * MBIT)
+        sample = collector.sample(1.0)
+        assert registry.get("sdx_dataplane_samples_total").value == 2
+        assert registry.get("sdx_dataplane_monitored_rules").value == len(
+            sample.rules)
+        assert registry.get("sdx_dataplane_rate_mbps").value == pytest.approx(8.0)
+        per_participant = registry.get(
+            "sdx_dataplane_participant_rate_mbps", participant="East")
+        assert per_participant is not None
+        assert per_participant.value == pytest.approx(8.0)

@@ -245,3 +245,60 @@ class TestLintPolicies:
         out = capsys.readouterr().out
         assert "compiled:" in out
         assert "statics:" in out
+
+
+class TestMonitorCommand:
+    SHORT = ["monitor", "--duration", "20", "--shift-time", "5"]
+
+    def test_monitor_in_listing(self, capsys):
+        assert main(["list"]) == 0
+        assert "monitor" in capsys.readouterr().out
+
+    def test_snapshot_reports_the_loop(self, capsys):
+        assert main(self.SHORT) == 0
+        out = capsys.readouterr().out
+        assert "rebalances" in out
+        assert "reaction_seconds" in out
+        assert "last sample" in out
+
+    def test_watch_prints_a_line_per_sample(self, capsys):
+        assert main(self.SHORT + ["--watch"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.startswith("t=")]
+        # One line per cadence tick over the simulated 20 seconds.
+        assert len(lines) == 20
+        assert "Mbps" in lines[0]
+
+    def test_json_payload_round_trips(self, capsys):
+        import json
+
+        assert main(self.SHORT + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["scenario"] == "shifting"
+        assert payload["report"]["rebalances"] >= 1
+        assert payload["last_sample"]["fecs"]
+
+    def test_skewed_scenario(self, capsys):
+        import json
+
+        assert main(["monitor", "--scenario", "skewed", "--duration", "20",
+                     "--shift-time", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["scenario"] == "skewed"
+        assert payload["report"]["offloaded"]
+
+    def test_smoke_converges_and_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "monitor.json"
+        assert main(self.SHORT + ["--smoke", "--output",
+                                  str(artifact)]) == 0
+        assert "converged within 8 steps: True" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["converged"] is True
+        assert payload["report"]["reaction_seconds"] is not None
+
+    def test_smoke_failure_exits_1(self, capsys):
+        # An impossible reaction budget forces the smoke gate to fail.
+        assert main(self.SHORT + ["--smoke", "--converge-within", "0"]) == 1
+        assert "False" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Tests for the canned monitoring scenarios (repro.workloads.scenarios)."""
+
+import pytest
+
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.workloads.scenarios import (
+    EYEBALL_PREFIX,
+    SHIFT_RATES_AFTER,
+    SHIFT_RATES_BEFORE,
+    SKEWED_PREFIXES,
+    SKEWED_RATES_AFTER,
+    SKEWED_RATES_BEFORE,
+    SKEWED_SURGE_INDEX,
+    ScenarioFlow,
+    build_shifting_controller,
+    build_skewed_controller,
+    phase_rates_by_slice,
+    shifting_flows,
+    skewed_flows,
+    source_slices,
+)
+
+
+class TestSourceSlices:
+    def test_rejects_non_powers_of_two(self):
+        for count in (0, 3, 6, -4):
+            with pytest.raises(ValueError):
+                source_slices(count)
+
+    def test_one_slice_is_the_whole_space(self):
+        assert source_slices(1) == (IPv4Prefix("0.0.0.0/0"),)
+
+    def test_eight_slices_partition_the_space(self):
+        slices = source_slices(8)
+        assert len(slices) == 8
+        assert all(block.length == 3 for block in slices)
+        assert slices[0] == IPv4Prefix("0.0.0.0/3")
+        # Contiguous and non-overlapping: each starts where the last ended.
+        for earlier, later in zip(slices, slices[1:]):
+            assert int(later.first_address) == int(earlier.first_address) + 2**29
+
+
+class TestScenarioFlow:
+    def test_window_is_start_inclusive_end_exclusive(self):
+        flow = ScenarioFlow(name="f", source="A",
+                            packet=Packet(dstip="1.2.3.4"),
+                            dst_prefix=IPv4Prefix("1.0.0.0/8"),
+                            rate_mbps=1.0, start=2.0, end=5.0)
+        assert not flow.active_at(1.9)
+        assert flow.active_at(2.0)
+        assert flow.active_at(4.9)
+        assert not flow.active_at(5.0)
+
+
+class TestShiftingScenario:
+    def test_controller_shape(self):
+        sdx = build_shifting_controller()
+        assert {h.name for h in sdx.participants()} == {
+            "Eyeball", "CDN", "Transit"}
+        assert len(sdx.participant("Eyeball").participant.switch_ports) == 2
+
+    def test_rates_are_balanced_then_concentrated(self):
+        # BEFORE is near-even under the round-robin split (even slices →
+        # port A, odd → port B); AFTER concentrates on the even slices.
+        before_a = sum(SHIFT_RATES_BEFORE[::2])
+        before_b = sum(SHIFT_RATES_BEFORE[1::2])
+        assert max(before_a, before_b) / min(before_a, before_b) < 1.15
+        after_a = sum(SHIFT_RATES_AFTER[::2])
+        after_b = sum(SHIFT_RATES_AFTER[1::2])
+        assert max(after_a, after_b) / min(after_a, after_b) > 1.5
+
+    def test_flows_flip_rates_at_the_shift(self):
+        flows = shifting_flows(shift_time=10.0, duration=40.0)
+        assert len(flows) == 16  # 8 slices x 2 phases
+        for index in range(8):
+            phase0, phase1 = [f for f in flows
+                              if f.name.startswith(f"slice{index}-")]
+            assert (phase0.start, phase0.end) == (0.0, 10.0)
+            assert (phase1.start, phase1.end) == (10.0, 40.0)
+            assert phase0.rate_mbps == SHIFT_RATES_BEFORE[index]
+            assert phase1.rate_mbps == SHIFT_RATES_AFTER[index]
+            assert phase0.dst_prefix == EYEBALL_PREFIX
+            # The flow's source address really lives in its slice.
+            assert source_slices()[index].contains_address(phase0.packet["srcip"])
+
+    def test_rate_scale_and_seed_determinism(self):
+        scaled = shifting_flows(shift_time=10.0, duration=40.0, rate_scale=2.0)
+        assert scaled[0].rate_mbps == 2 * SHIFT_RATES_BEFORE[0]
+        again = shifting_flows(shift_time=10.0, duration=40.0, rate_scale=2.0)
+        assert [f.packet["srcip"] for f in again] == [
+            f.packet["srcip"] for f in scaled]
+
+
+class TestSkewedScenario:
+    def test_controller_prefers_the_primary(self):
+        sdx = build_skewed_controller()
+        for prefix in SKEWED_PREFIXES:
+            packet = Packet(dstip=prefix.first_address + 1, srcip="8.0.0.1",
+                            dstport=80, srcport=1, protocol=6)
+            assert sdx.egress_of("Sender", packet) == "Primary"
+
+    def test_surger_is_not_the_group_representative(self):
+        # The drill-down story depends on the hitter not being the FEC
+        # label: detection names the group, per-rule rates name the prefix.
+        assert SKEWED_SURGE_INDEX != 0
+        surge = SKEWED_PREFIXES[SKEWED_SURGE_INDEX]
+        assert surge != min(SKEWED_PREFIXES, key=str)
+
+    def test_only_the_surger_changes_rate(self):
+        for index, (before, after) in enumerate(
+                zip(SKEWED_RATES_BEFORE, SKEWED_RATES_AFTER)):
+            if index == SKEWED_SURGE_INDEX:
+                assert after > 10 * before
+            else:
+                assert after == before
+
+    def test_flows_surge_at_the_boundary(self):
+        flows = skewed_flows(surge_time=10.0, duration=30.0)
+        assert len(flows) == 10  # 5 prefixes x 2 phases
+        surger = [f for f in flows
+                  if f.name == f"prefix{SKEWED_SURGE_INDEX}-p1"][0]
+        assert surger.start == 10.0 and surger.end == 30.0
+        assert surger.rate_mbps == SKEWED_RATES_AFTER[SKEWED_SURGE_INDEX]
+        assert surger.dst_prefix == SKEWED_PREFIXES[SKEWED_SURGE_INDEX]
+
+
+class TestPhaseRates:
+    def test_selects_the_right_vector(self):
+        assert phase_rates_by_slice(False) == dict(
+            enumerate(SHIFT_RATES_BEFORE))
+        assert phase_rates_by_slice(True) == dict(enumerate(SHIFT_RATES_AFTER))
