@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-policies-smoke bench bench-results examples docs telemetry-smoke fuzz soak-smoke monitor-smoke clean
+.PHONY: install test lint lint-policies-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke monitor-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -50,6 +50,26 @@ bench:
 
 bench-results: bench
 	@cat benchmarks/results/*.txt
+	@PYTHONPATH=src $(PYTHON) -m repro bench results
+
+# Re-measures the quick family subset and compares it against the
+# committed baselines under benchmarks/baselines/; exits non-zero on a
+# regression beyond the per-metric tolerance band (see
+# docs/PERFORMANCE.md for the policy). Drops the comparison report under
+# artifacts/ so CI can upload it.
+bench-compare:
+	@mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) -m repro bench compare --quick \
+		--output artifacts/bench-compare.json
+
+# The CI perf gate: the quick benchmark families plus a profiler
+# coverage check — `repro profile` must attribute >=90% of wall time to
+# named pipeline phases on a small fig8-sized workload.
+perf-smoke: bench-compare
+	@mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) -m repro profile --participants 40 \
+		--prefixes 400 --updates 20 --min-coverage 0.9 --json \
+		--output artifacts/profile-smoke.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -11,7 +11,7 @@ The naive path is quadratic in participants, so this ablation runs at a
 deliberately small scale.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.metrics import render_table
 from repro.workloads.policies import generate_policies, install_assignments
@@ -40,6 +40,16 @@ def test_ablation_composition(benchmark):
           f"{optimized.total_seconds:.3f}", optimized.flow_rule_count],
          ["naive cross product", naive.report.stats.rule_pairs_examined,
           f"{naive.total_seconds:.3f}", naive.flow_rule_count]]))
+    publish_json("ablation_compose", [
+        {"variant": "optimized",
+         "rule_pairs_examined": optimized.report.stats.rule_pairs_examined,
+         "compile_seconds": optimized.total_seconds,
+         "flow_rule_count": optimized.flow_rule_count},
+        {"variant": "naive_cross_product",
+         "rule_pairs_examined": naive.report.stats.rule_pairs_examined,
+         "compile_seconds": naive.total_seconds,
+         "flow_rule_count": naive.flow_rule_count},
+    ])
 
     # The optimisations cut composition work by well over an order of
     # magnitude even at this tiny scale.

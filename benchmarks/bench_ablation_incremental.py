@@ -11,7 +11,7 @@ temporary extra rules that the background pass reclaims.
 import random
 import time
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.harness import _loaded_controller, _perturb_prefix
 from repro.experiments.metrics import render_table
@@ -43,6 +43,12 @@ def test_ablation_incremental(benchmark):
         ["variant", "seconds per update"],
         [["two-stage fast path", f"{fast_seconds:.4f}"],
          ["full recompilation per update", f"{full_seconds:.4f}"]]))
+    publish_json("ablation_incremental", {
+        "updates": UPDATES,
+        "fast_seconds_per_update": fast_seconds,
+        "full_seconds_per_update": full_seconds,
+        "speedup": full_seconds / fast_seconds,
+    })
 
     # The fast path is the point of Section 4.3.2.
     assert full_seconds > 3 * fast_seconds

@@ -8,7 +8,7 @@ forwarding rules"), while both planes forward identically — which the
 integration test suite verifies packet-by-packet.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.metrics import render_table
 from repro.policy.policies import fwd, match
@@ -48,6 +48,16 @@ def test_ablation_mds_grouping(benchmark):
           grouped.flow_rule_count, f"{grouped.total_seconds:.3f}"],
          ["naive per-prefix", naive.prefix_group_count,
           naive.flow_rule_count, f"{naive.total_seconds:.3f}"]]))
+    publish_json("ablation_mds", [
+        {"variant": "vnh_mds_grouping",
+         "prefix_group_count": grouped.prefix_group_count,
+         "flow_rule_count": grouped.flow_rule_count,
+         "compile_seconds": grouped.total_seconds},
+        {"variant": "naive_per_prefix",
+         "prefix_group_count": naive.prefix_group_count,
+         "flow_rule_count": naive.flow_rule_count,
+         "compile_seconds": naive.total_seconds},
+    ])
 
     # Grouping wins by a large factor on table size.
     assert naive.flow_rule_count > 4 * grouped.flow_rule_count

@@ -10,7 +10,7 @@ since participant-pinned rules install only where that participant
 attaches.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.dataplane.multiswitch import SdxTopology, partition_classifier
 from repro.experiments.metrics import render_table
@@ -79,6 +79,16 @@ def test_ext_multiswitch_partitioning(benchmark):
           ", ".join(f"{name}={sizes[name]}" for name in sorted(sizes)),
           ", ".join(f"{name}={pinned[name]}" for name in sorted(pinned))]
          for count, total, big_pinned, sizes, pinned in rows]))
+    publish_json("ext_multiswitch", [
+        {
+            "switch_count": count,
+            "big_switch_rules": total,
+            "big_switch_pinned": big_pinned,
+            "per_switch_rules": dict(sorted(sizes.items())),
+            "per_switch_pinned": dict(sorted(pinned.items())),
+        }
+        for count, total, big_pinned, sizes, pinned in rows
+    ])
 
     for switch_count, total, big_pinned, sizes, pinned in rows:
         assert len(sizes) == switch_count

@@ -9,7 +9,7 @@ nearly all packets, which is why composing only traffic-exchanging
 participants' policies is safe.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.metrics import render_table
 from repro.workloads.policies import generate_policies, install_assignments
@@ -61,6 +61,16 @@ def test_ext_traffic_locality(benchmark):
          ["installed flow rules", rules],
          ["rules matched at least once", rules_hit],
          ["rules carrying 95% of packets", hot_rules]]))
+    publish_json("ext_traffic_locality", {
+        "flows": FLOWS,
+        "flows_delivered": delivered,
+        "active_pairs": stats.pairs,
+        "pairs_for_95_percent": stats.pairs_for_95_percent,
+        "pair_fraction_for_95_percent": stats.pair_fraction_for_95_percent,
+        "installed_flow_rules": rules,
+        "rules_hit": rules_hit,
+        "hot_rules": hot_rules,
+    })
 
     # Nearly all generated flows have routes and get delivered.
     assert delivered > 0.9 * FLOWS

@@ -27,6 +27,13 @@ def test_fig5a_application_specific_peering(benchmark):
         [series[label] for label in sorted(series)],
         "time(s)", "Mbps", max_rows=20)
     publish("fig5a_app_peering", text)
+    publish_json("fig5a_app_peering", {
+        "time_scale": TIME_SCALE,
+        "events": [{"time_seconds": when, "label": label}
+                   for when, label in events],
+        "series": {label: [[x, y] for x, y in series[label].points]
+                   for label in sorted(series)},
+    })
 
     a_ys, b_ys = series["A"].ys(), series["B"].ys()
     steps = len(a_ys)

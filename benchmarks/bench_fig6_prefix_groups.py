@@ -8,7 +8,7 @@ count, with group counts in the hundreds-to-~1,500 range (far below the
 prefix count).
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.harness import run_fig6
 from repro.experiments.metrics import render_chart, render_series
@@ -28,6 +28,11 @@ def test_fig6_prefix_groups(benchmark):
             render_series(series_list, "prefixes", "prefix groups")
             + "\n\n" + render_chart(series_list, x_label="prefixes",
                                     y_label="prefix groups"))
+    publish_json("fig6_prefix_groups", {
+        "series": {series.label: [[x, y] for x, y in
+                                  zip(series.xs(), series.ys())]
+                   for series in series_list},
+    })
 
     by_label = {series.label: series for series in series_list}
     for count in PARTICIPANTS:

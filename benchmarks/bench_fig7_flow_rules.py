@@ -7,7 +7,7 @@ on a disjoint slice of flow space), with more participants producing
 more rules at comparable group counts.
 """
 
-from conftest import publish, scaled
+from conftest import publish, publish_json, scaled
 
 from repro.experiments.harness import run_compilation_sweep
 from repro.experiments.metrics import render_table
@@ -27,6 +27,15 @@ def test_fig7_flow_rules(benchmark):
         ["participants", "prefixes", "prefix groups", "flow rules"],
         [[p.participants, p.prefixes, p.prefix_groups, p.flow_rules]
          for p in points]))
+    publish_json("fig7_flow_rules", [
+        {
+            "participants": p.participants,
+            "prefixes": p.prefixes,
+            "prefix_groups": p.prefix_groups,
+            "flow_rules": p.flow_rules,
+        }
+        for p in points
+    ])
 
     by_count = {}
     for point in points:

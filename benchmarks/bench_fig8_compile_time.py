@@ -8,7 +8,7 @@ participant count. Our absolute times are far below the paper's minutes
 match.
 """
 
-from conftest import publish, scaled
+from conftest import publish, publish_json, scaled
 
 from repro.experiments.harness import run_compilation_sweep
 from repro.experiments.metrics import render_table
@@ -29,6 +29,16 @@ def test_fig8_compile_time(benchmark):
         ["participants", "prefixes", "prefix groups", "compile seconds"],
         [[p.participants, p.prefixes, p.prefix_groups, f"{p.seconds:.3f}"]
          for p in points]))
+    publish_json("fig8_compile_time", [
+        {
+            "participants": p.participants,
+            "prefixes": p.prefixes,
+            "prefix_groups": p.prefix_groups,
+            "flow_rules": p.flow_rules,
+            "compile_seconds": p.seconds,
+        }
+        for p in points
+    ])
 
     # Summary percentiles through the runtime telemetry histogram, so
     # the figure script and `repro stats` report from one implementation.

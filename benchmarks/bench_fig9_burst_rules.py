@@ -7,7 +7,7 @@ Expected shape: linear in burst size, with a slope that grows with the
 number of participants carrying policies.
 """
 
-from conftest import publish, scaled
+from conftest import publish, publish_json, scaled
 
 from repro.bgp.asn import AsPath
 from repro.experiments.harness import run_fig9, run_fig9_delta
@@ -32,6 +32,11 @@ def test_fig9_burst_rules(benchmark):
         series_list, "burst size (updates)", "additional rules")
         + "\n\n" + render_chart(series_list, x_label="burst size",
                                 y_label="additional rules"))
+    publish_json("fig9_burst_rules", {
+        "series": {series.label: [[x, y] for x, y in
+                                  zip(series.xs(), series.ys())]
+                   for series in series_list},
+    })
 
     for series in series_list:
         ys = series.ys()
@@ -61,6 +66,17 @@ def test_fig9_delta_engine(benchmark):
     publish("fig9_delta_flowmods", render_table(
         ["burst", "table rules", "flowmods sent", "full reinstall",
          "unchanged", "saved"], rows))
+    publish_json("fig9_delta_flowmods", [
+        {
+            "burst": p.burst,
+            "table_rules": p.table_rules,
+            "flowmods_sent": p.flowmods_sent,
+            "full_reinstall_cost": p.full_reinstall_cost,
+            "rules_unchanged": p.rules_unchanged,
+            "savings": p.savings,
+        }
+        for p in points
+    ])
 
     for point in points:
         # The swap always does real work (the burst dirtied the table)...

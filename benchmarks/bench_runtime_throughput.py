@@ -20,11 +20,9 @@ Throughput and ingest-to-install latency per burst size land in
 table.
 """
 
-import json
-import pathlib
 import time
 
-from conftest import RESULTS_DIR, publish, scaled
+from conftest import publish, publish_json, scaled
 
 from repro.experiments.metrics import render_table
 from repro.runtime import RuntimeConfig
@@ -138,9 +136,7 @@ def test_runtime_throughput(benchmark):
     publish("runtime_throughput", render_table(
         ["burst", "arm", "updates", "upd/s", "p50 ms", "p99 ms",
          "rs subs", "coalesce"], table_rows))
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = pathlib.Path(RESULTS_DIR) / "runtime_throughput.json"
-    payload.write_text(json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    publish_json("runtime_throughput", rows)
 
     # Coalescing must measurably absorb the hot-prefix churn: fewer
     # route-server submissions than both the inline and the

@@ -7,7 +7,7 @@ fraction of prefixes that see any update (9.9-13.6%), plus the Section
 4.3 burst statistics the incremental compiler is designed around.
 """
 
-from conftest import publish
+from conftest import publish, publish_json
 
 from repro.experiments.harness import run_table1
 from repro.experiments.metrics import render_table
@@ -38,6 +38,21 @@ def test_table1_datasets(benchmark):
           f"{row.measured_fraction_gaps_over_10s:.2f}"]
          for row in rows])
     publish("table1_datasets", rendered)
+    publish_json("table1_datasets", [
+        {
+            "ixp": row.profile.name,
+            "scale": SCALE,
+            "paper_prefixes": row.profile.prefixes,
+            "paper_updates": row.profile.bgp_updates,
+            "paper_fraction_updated": row.profile.fraction_prefixes_updated,
+            "measured_prefixes": row.measured_prefixes,
+            "measured_updates": row.measured_updates,
+            "measured_fraction_updated": row.measured_fraction_updated,
+            "fraction_small_bursts": row.measured_fraction_small_bursts,
+            "fraction_gaps_over_10s": row.measured_fraction_gaps_over_10s,
+        }
+        for row in rows
+    ])
 
     assert [row.profile.name for row in rows] == ["AMS-IX", "DE-CIX", "LINX"]
     for row in rows:

@@ -38,8 +38,23 @@ def publish_json(name: str, payload) -> None:
 
     Writes ``benchmarks/results/<name>.json`` with deterministic
     formatting (sorted keys, trailing newline) so CI can diff and
-    archive the regenerated numbers.
+    archive the regenerated numbers. The payload rides in a
+    schema-versioned envelope with the environment fingerprint from
+    :mod:`repro.profiling.baselines`, so archived results from
+    different machines and different code versions stay comparable
+    (``repro bench results`` summarizes them).
     """
+    from repro.profiling.baselines import (
+        SCHEMA_VERSION,
+        environment_fingerprint,
+    )
+
     RESULTS_DIR.mkdir(exist_ok=True)
+    document = {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "environment": environment_fingerprint(),
+        "data": payload,
+    }
     (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -31,6 +31,7 @@ Flags:
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -64,6 +65,11 @@ from repro.telemetry import Telemetry
 
 #: Above this rule count the quadratic shadow-elimination pass is skipped.
 REDUCTION_LIMIT = 4_000
+
+#: Env var (milliseconds) that injects a synthetic sleep into every
+#: compilation — the perf gate's self-test that a real compile-hot-path
+#: regression is caught by `repro bench compare` (docs/PERFORMANCE.md).
+SELFTEST_SLOWDOWN_ENV = "SDX_BENCH_SELFTEST_SLOWDOWN_MS"
 
 #: A guard factory: (participant, target, optional dstip constraint) ->
 #: eligibility predicate.
@@ -241,6 +247,15 @@ class SdxCompiler:
         stats = report.stats
         self._rib_views.clear()
         started = time.perf_counter()
+
+        delay_ms = os.environ.get(SELFTEST_SLOWDOWN_ENV)
+        if delay_ms:
+            # Perf-gate self-test hook: `make perf-smoke` injects a
+            # synthetic slowdown here to prove `repro bench compare`
+            # actually fails on a compile-hot-path regression. Inside
+            # the timed window on purpose — the sleep must show up in
+            # ``timings["total"]`` exactly like a real slowdown would.
+            time.sleep(float(delay_ms) / 1000.0)
 
         with self._stage("fec", timings):
             groups = self._compute_groups()

@@ -1,0 +1,324 @@
+"""The benchmark baseline store and regression comparison engine.
+
+Baselines live under ``benchmarks/baselines/<family>-<mode>.json`` as
+schema-versioned JSON: an environment fingerprint (python version, CPU
+count, hostname hash, bench scale) plus one entry per metric with its
+recorded value, tolerance band, and direction. ``repro bench compare``
+re-runs the family and diffs each measured metric against its band:
+
+- ``lower`` (latencies, compile seconds): regression when measured
+  exceeds ``value * (1 + tolerance)``;
+- ``higher`` (throughput, hit fractions): regression when measured
+  falls below ``value * (1 - tolerance)``;
+- ``near`` (rule counts, group counts — machine-independent): failure
+  when the measured value leaves the band in *either* direction, since
+  a count that shrank usually means the workload changed, not that the
+  code got faster.
+
+Timing comparisons are noise-aware twice over: families report the
+median of N runs (see :mod:`repro.profiling.families`), and when the
+measuring environment's fingerprint differs from the recording one,
+timing tolerances are widened by ``ENV_RELAX_FACTOR`` — a baseline
+recorded on one machine should gate a different machine loosely, and
+the same machine tightly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Version of the on-disk baseline/results envelope.
+SCHEMA_VERSION = 1
+
+#: Multiplier applied to timing tolerances when the measuring
+#: environment differs from the recording one (python minor version or
+#: CPU count — hostname alone is informational).
+ENV_RELAX_FACTOR = 2.0
+
+#: Default repo-relative location of committed baselines.
+DEFAULT_BASELINE_DIR = pathlib.Path("benchmarks") / "baselines"
+
+#: Metric directions the comparison engine understands.
+DIRECTIONS = ("lower", "higher", "near")
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """The environment a measurement was taken in.
+
+    The hostname is hashed — fingerprints land in committed JSON and CI
+    artifacts, and the comparison only needs equality, not identity.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+        "hostname_hash": hashlib.sha256(
+            socket.gethostname().encode()).hexdigest()[:12],
+        "bench_scale": float(os.environ.get("SDX_BENCH_SCALE", "1")),
+    }
+
+
+def environments_match(recorded: Dict[str, object],
+                       current: Dict[str, object]) -> bool:
+    """Whether two fingerprints agree on the load-bearing fields.
+
+    Python minor version, implementation, CPU count, and bench scale
+    shift absolute timings; the hostname hash is deliberately excluded
+    (same container image on a different host measures the same).
+    """
+    def minor(version: object) -> str:
+        return ".".join(str(version).split(".")[:2])
+
+    return (minor(recorded.get("python")) == minor(current.get("python"))
+            and recorded.get("implementation") == current.get("implementation")
+            and recorded.get("cpu_count") == current.get("cpu_count")
+            and recorded.get("bench_scale") == current.get("bench_scale"))
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one benchmark metric is recorded and gated.
+
+    ``tolerance`` is a fraction (0.6 = ±60%); ``direction`` is one of
+    :data:`DIRECTIONS`. ``timing`` marks wall-clock-derived metrics,
+    which get the environment relaxation on fingerprint mismatch —
+    counts and ratios don't, because they're machine-independent.
+    """
+
+    tolerance: float
+    direction: str = "lower"
+    timing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+
+@dataclass
+class Baseline:
+    """One family's recorded metrics plus recording environment."""
+
+    family: str
+    mode: str
+    samples: int
+    environment: Dict[str, object]
+    metrics: Dict[str, Dict[str, object]]
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        """The on-disk JSON document."""
+        return {
+            "schema": self.schema,
+            "family": self.family,
+            "mode": self.mode,
+            "samples": self.samples,
+            "environment": dict(self.environment),
+            "metrics": {name: dict(entry)
+                        for name, entry in sorted(self.metrics.items())},
+        }
+
+    @classmethod
+    def from_measurement(cls, family: str, mode: str, samples: int,
+                         values: Dict[str, float],
+                         specs: Dict[str, "MetricSpec"]) -> "Baseline":
+        """Bundle measured values with their gating specs."""
+        metrics = {}
+        for name, value in values.items():
+            spec = specs[name]
+            metrics[name] = {
+                "value": value,
+                "tolerance": spec.tolerance,
+                "direction": spec.direction,
+                "timing": spec.timing,
+            }
+        return cls(family=family, mode=mode, samples=samples,
+                   environment=environment_fingerprint(), metrics=metrics)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "Baseline":
+        """Parse (and schema-check) an on-disk document."""
+        schema = document.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} "
+                f"(this build reads schema {SCHEMA_VERSION})")
+        return cls(
+            family=str(document["family"]),
+            mode=str(document["mode"]),
+            samples=int(document.get("samples", 1)),
+            environment=dict(document.get("environment", {})),
+            metrics={str(name): dict(entry)
+                     for name, entry in dict(document["metrics"]).items()},
+            schema=int(schema))
+
+
+def baseline_path(family: str, mode: str,
+                  directory: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Where a family/mode baseline lives on disk."""
+    base = directory if directory is not None else DEFAULT_BASELINE_DIR
+    return pathlib.Path(base) / f"{family}-{mode}.json"
+
+
+def save_baseline(baseline: Baseline,
+                  directory: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Write a baseline document; returns the path written."""
+    path = baseline_path(baseline.family, baseline.mode, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline.to_dict(), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(family: str, mode: str,
+                  directory: Optional[pathlib.Path] = None) -> Baseline:
+    """Read a family/mode baseline; raises ``FileNotFoundError``."""
+    path = baseline_path(family, mode, directory)
+    return Baseline.from_dict(json.loads(path.read_text()))
+
+
+@dataclass
+class MetricComparison:
+    """One metric's verdict against its baseline band."""
+
+    metric: str
+    baseline: float
+    measured: float
+    tolerance: float
+    direction: str
+    status: str          # ok | regression | improved | missing
+    relaxed: bool = False
+
+    @property
+    def delta_fraction(self) -> float:
+        """Relative change vs the baseline (0 when the baseline is 0)."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.measured - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        """One rendered comparison row."""
+        relax = " (env-relaxed)" if self.relaxed else ""
+        return (f"{self.status.upper():<10} {self.metric:<28} "
+                f"base={self.baseline:.6g} measured={self.measured:.6g} "
+                f"delta={self.delta_fraction:+.1%} "
+                f"tol=±{self.tolerance:.0%} [{self.direction}]{relax}")
+
+
+@dataclass
+class ComparisonReport:
+    """Every metric verdict for one family comparison."""
+
+    family: str
+    mode: str
+    environment_matches: bool
+    rows: List[MetricComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        """Rows that fail the gate."""
+        return [row for row in self.rows
+                if row.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the family passes its perf budget."""
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable view (the CI comparison artifact)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "family": self.family,
+            "mode": self.mode,
+            "ok": self.ok,
+            "environment_matches": self.environment_matches,
+            "metrics": [
+                {
+                    "metric": row.metric,
+                    "baseline": row.baseline,
+                    "measured": row.measured,
+                    "delta_fraction": row.delta_fraction,
+                    "tolerance": row.tolerance,
+                    "direction": row.direction,
+                    "status": row.status,
+                    "relaxed": row.relaxed,
+                }
+                for row in self.rows
+            ],
+        }
+
+    def render(self) -> str:
+        """The comparison as plain text, regressions first."""
+        header = (f"== {self.family} [{self.mode}] "
+                  f"{'OK' if self.ok else 'REGRESSION'}"
+                  + ("" if self.environment_matches
+                     else " (environment differs from baseline; "
+                          "timing tolerances relaxed)"))
+        ordered = sorted(
+            self.rows, key=lambda row: (row.status not in
+                                        ("regression", "missing"),
+                                        row.metric))
+        return "\n".join([header] + [f"  {row.describe()}"
+                                     for row in ordered])
+
+
+def _band(value: float, tolerance: float) -> Tuple[float, float]:
+    spread = abs(value) * tolerance
+    return value - spread, value + spread
+
+
+def compare_metrics(baseline: Baseline,
+                    measured: Dict[str, float]) -> ComparisonReport:
+    """Diff measured metrics against a baseline's tolerance bands.
+
+    Metrics present in the baseline but absent from the measurement are
+    reported as ``missing`` (and fail the gate — a silently vanished
+    metric must not read as a pass). Extra measured metrics are ignored:
+    they'll enter the gate when the baseline is re-recorded.
+    """
+    current_env = environment_fingerprint()
+    env_ok = environments_match(baseline.environment, current_env)
+    report = ComparisonReport(family=baseline.family, mode=baseline.mode,
+                              environment_matches=env_ok)
+
+    for name in sorted(baseline.metrics):
+        entry = baseline.metrics[name]
+        base_value = float(entry["value"])
+        tolerance = float(entry.get("tolerance", 0.0))
+        direction = str(entry.get("direction", "lower"))
+        timing = bool(entry.get("timing", True))
+        relaxed = timing and not env_ok
+        if relaxed:
+            tolerance *= ENV_RELAX_FACTOR
+
+        if name not in measured:
+            report.rows.append(MetricComparison(
+                metric=name, baseline=base_value, measured=float("nan"),
+                tolerance=tolerance, direction=direction,
+                status="missing", relaxed=relaxed))
+            continue
+
+        value = float(measured[name])
+        low, high = _band(base_value, tolerance)
+        if direction == "lower":
+            status = ("regression" if value > high
+                      else "improved" if value < low else "ok")
+        elif direction == "higher":
+            status = ("regression" if value < low
+                      else "improved" if value > high else "ok")
+        else:  # near
+            status = "ok" if low <= value <= high else "regression"
+        report.rows.append(MetricComparison(
+            metric=name, baseline=base_value, measured=value,
+            tolerance=tolerance, direction=direction, status=status,
+            relaxed=relaxed))
+    return report

@@ -1,0 +1,253 @@
+"""Benchmark families: the named workloads behind ``repro bench``.
+
+A *family* is a self-contained measurement the perf gate can re-run:
+a callable that drives one paper workload (figure 8 compilation,
+figure 10 update latency, runtime throughput, the monitoring loop) and
+returns a flat ``{metric: value}`` dict, plus a
+:class:`~repro.profiling.baselines.MetricSpec` per metric saying how
+the value is gated. Each family runs in two modes:
+
+- ``quick`` — a minutes-of-CI-budget subset sized for the perf gate
+  (and for committed baselines);
+- ``full`` — the paper-scale sweep, run by the scheduled full-bench CI
+  job to build the long-term trajectory.
+
+Timing metrics are noise-aware at the source: :func:`run_family` runs
+the workload ``samples`` times and reports the per-metric **median**,
+so one GC pause or scheduler hiccup can't fail the gate on its own.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.profiling.baselines import MetricSpec
+
+#: Gate modes a family understands.
+MODES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class BenchFamily:
+    """One named benchmark workload and its gated metrics."""
+
+    name: str
+    description: str
+    specs: Mapping[str, MetricSpec]
+    runner: Callable[[str], Dict[str, float]]
+
+    def run(self, mode: str) -> Dict[str, float]:
+        """Run the workload once; returns ``{metric: value}``."""
+        if mode not in MODES:
+            raise ValueError(f"unknown bench mode {mode!r}")
+        return self.runner(mode)
+
+
+# ----------------------------------------------------------------------
+# Family runners
+# ----------------------------------------------------------------------
+
+
+def _run_fig8(mode: str) -> Dict[str, float]:
+    """Figure 8: full-pipeline compilation across a sweep grid."""
+    from repro.experiments.harness import run_compilation_sweep
+
+    if mode == "quick":
+        points = run_compilation_sweep(
+            participant_counts=(60,), prefix_counts=(400, 800))
+    else:
+        points = run_compilation_sweep(
+            participant_counts=(100, 200, 300),
+            prefix_counts=(2_000, 5_000, 10_000, 15_000))
+    return {
+        "compile_seconds_sum": sum(p.seconds for p in points),
+        "compile_seconds_max": max(p.seconds for p in points),
+        "prefix_groups_total": float(sum(p.prefix_groups for p in points)),
+        "flow_rules_total": float(sum(p.flow_rules for p in points)),
+    }
+
+
+_FIG8_SPECS = {
+    "compile_seconds_sum": MetricSpec(tolerance=0.6, direction="lower"),
+    "compile_seconds_max": MetricSpec(tolerance=0.75, direction="lower"),
+    "prefix_groups_total": MetricSpec(tolerance=0.02, direction="near",
+                                      timing=False),
+    "flow_rules_total": MetricSpec(tolerance=0.02, direction="near",
+                                   timing=False),
+}
+
+
+def _run_fig10(mode: str) -> Dict[str, float]:
+    """Figure 10: per-update fast-path latency distribution."""
+    from repro.experiments.harness import run_fig10
+
+    if mode == "quick":
+        cdfs = run_fig10(updates=40, participant_counts=(40,), prefixes=400)
+        cdf = cdfs[40]
+    else:
+        cdfs = run_fig10(updates=150, participant_counts=(100, 200, 300),
+                         prefixes=2_000)
+        cdf = cdfs[300]
+    return {
+        "update_p50_ms": cdf.median * 1000,
+        "update_p90_ms": cdf.quantile(0.9) * 1000,
+        "update_p99_ms": cdf.quantile(0.99) * 1000,
+        "fraction_below_100ms": cdf.fraction_below(0.1),
+    }
+
+
+_FIG10_SPECS = {
+    "update_p50_ms": MetricSpec(tolerance=0.6, direction="lower"),
+    "update_p90_ms": MetricSpec(tolerance=0.6, direction="lower"),
+    "update_p99_ms": MetricSpec(tolerance=0.75, direction="lower"),
+    "fraction_below_100ms": MetricSpec(tolerance=0.15, direction="higher"),
+}
+
+
+def _run_runtime_throughput(mode: str) -> Dict[str, float]:
+    """Runtime throughput: coalescing event loop under burst load."""
+    from repro.runtime import RuntimeConfig
+    from repro.workloads.policies import (
+        generate_policies,
+        install_assignments,
+    )
+    from repro.workloads.topology import generate_ixp
+    from repro.workloads.updates import generate_burst_trace
+
+    seed = 7
+    if mode == "quick":
+        participants, prefixes, updates = 12, 100, 600
+        burst_size, hot_prefixes, batch_size = 100, 12, 64
+    else:
+        participants, prefixes, updates = 20, 200, 5_000
+        burst_size, hot_prefixes, batch_size = 250, 24, 64
+
+    ixp = generate_ixp(participants, prefixes, seed=seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=seed + 1))
+    controller.start()
+    events = generate_burst_trace(
+        ixp, bursts=max(1, updates // burst_size), burst_size=burst_size,
+        hot_prefixes=hot_prefixes, seed=seed + 2)
+    runtime = controller.build_runtime(RuntimeConfig(batch_size=batch_size))
+
+    started = time.perf_counter()
+    for index, event in enumerate(events):
+        runtime.submit_update(event.update)
+        if (index + 1) % batch_size == 0:
+            runtime.step()
+    runtime.settle()
+    elapsed = time.perf_counter() - started
+
+    stats = runtime.stats()
+    ingest = stats["ingest_seconds"]
+    return {
+        "updates_per_second": len(events) / elapsed,
+        "ingest_p50_ms": ingest["p50"] * 1000,
+        "ingest_p99_ms": ingest["p99"] * 1000,
+        "coalescing_ratio": stats["coalescing_ratio"],
+        "rs_submissions": float(
+            controller.route_server.updates_processed),
+    }
+
+
+_RUNTIME_SPECS = {
+    "updates_per_second": MetricSpec(tolerance=0.5, direction="higher"),
+    "ingest_p50_ms": MetricSpec(tolerance=0.75, direction="lower"),
+    "ingest_p99_ms": MetricSpec(tolerance=0.75, direction="lower"),
+    "coalescing_ratio": MetricSpec(tolerance=0.3, direction="higher",
+                                   timing=False),
+    "rs_submissions": MetricSpec(tolerance=0.15, direction="near",
+                                 timing=False),
+}
+
+
+def _run_monitoring_loop(mode: str) -> Dict[str, float]:
+    """Closed monitoring loop: reaction latency and estimate accuracy.
+
+    Runs on the manual clock, so the "timings" are simulated seconds —
+    deterministic for a seed, and gated tightly as non-timing metrics.
+    """
+    from repro.experiments.monitoring import (
+        LoopConfig,
+        run_shifting_loop,
+        run_skewed_loop,
+    )
+
+    duration = 30.0 if mode == "quick" else 40.0
+    config = LoopConfig(duration=duration, shift_time=10.0,
+                        cadence_seconds=1.0, statics_mode="strict")
+    shifting = run_shifting_loop(config)
+    skewed = run_skewed_loop(config)
+    return {
+        "shifting_reaction_seconds": float(shifting.reaction_seconds or 0.0),
+        "skewed_reaction_seconds": float(skewed.reaction_seconds or 0.0),
+        "port_rate_error_pct": float(shifting.port_rate_error_pct or 0.0),
+        "fec_rate_error_pct": float(skewed.fec_rate_error_pct or 0.0),
+        "rebalances": float(shifting.rebalances),
+    }
+
+
+_MONITORING_SPECS = {
+    "shifting_reaction_seconds": MetricSpec(tolerance=0.25,
+                                            direction="lower",
+                                            timing=False),
+    "skewed_reaction_seconds": MetricSpec(tolerance=0.25, direction="lower",
+                                          timing=False),
+    "port_rate_error_pct": MetricSpec(tolerance=0.5, direction="lower",
+                                      timing=False),
+    "fec_rate_error_pct": MetricSpec(tolerance=0.5, direction="lower",
+                                     timing=False),
+    "rebalances": MetricSpec(tolerance=0.0, direction="near", timing=False),
+}
+
+
+#: Every registered family, in gate order. The perf gate runs all of
+#: these in quick mode; ``repro bench --family`` selects a subset.
+FAMILIES: Dict[str, BenchFamily] = {
+    family.name: family
+    for family in (
+        BenchFamily(
+            name="fig8",
+            description="Figure 8 compilation-time sweep",
+            specs=_FIG8_SPECS,
+            runner=_run_fig8),
+        BenchFamily(
+            name="fig10",
+            description="Figure 10 per-update fast-path latency",
+            specs=_FIG10_SPECS,
+            runner=_run_fig10),
+        BenchFamily(
+            name="runtime_throughput",
+            description="Control-plane runtime burst throughput",
+            specs=_RUNTIME_SPECS,
+            runner=_run_runtime_throughput),
+        BenchFamily(
+            name="monitoring_loop",
+            description="Closed-loop monitoring reaction and accuracy",
+            specs=_MONITORING_SPECS,
+            runner=_run_monitoring_loop),
+    )
+}
+
+
+def run_family(name: str, mode: str = "quick",
+               samples: int = 3) -> Tuple[Dict[str, float],
+                                          List[Dict[str, float]]]:
+    """Run a family ``samples`` times; return (medians, raw samples).
+
+    The median-of-N is the noise control for wall-clock metrics: it is
+    what ``repro bench`` records into baselines and diffs against them.
+    """
+    family = FAMILIES[name]
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    runs = [family.run(mode) for _ in range(samples)]
+    medians = {
+        metric: statistics.median(run[metric] for run in runs)
+        for metric in runs[0]
+    }
+    return medians, runs

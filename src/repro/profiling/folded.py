@@ -1,0 +1,62 @@
+"""Folded-stack export: span trees as standard flamegraph input.
+
+One line per unique span path, semicolon-joined root-to-leaf, followed
+by the path's summed **self time** in integer microseconds::
+
+    controller.start;compile;compile.composition 41823
+    controller.start;compile;compile.fec 9011
+
+That is exactly the format ``flamegraph.pl`` (and speedscope, and
+inferno) consume, so ``repro profile --flamegraph > out.folded`` pipes
+straight into any off-the-shelf renderer. Self time — duration minus
+direct children — is used so a parent frame's width equals its own
+work, and the stack's total width equals real wall time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.profiling.phases import self_times
+from repro.telemetry.trace import Span, Tracer
+
+
+def folded_stacks(source: Union[Tracer, Sequence[Span]],
+                  *, minimum_microseconds: int = 1) -> str:
+    """Render finished spans as folded flamegraph stacks.
+
+    ``source`` is a tracer (its whole finished buffer is exported) or a
+    span sequence. Identical paths aggregate; paths whose summed self
+    time rounds below ``minimum_microseconds`` are dropped so trivial
+    instrumentation points don't flood the output. Spans whose parent
+    was evicted from the buffer root their own stack, matching
+    :meth:`~repro.telemetry.trace.Tracer.span_tree`'s accounting.
+    """
+    spans = list(source.finished() if isinstance(source, Tracer) else source)
+    by_id = {span.span_id: span for span in spans}
+    selfs = self_times(spans)
+
+    path_cache: Dict[int, str] = {}
+
+    def path_of(span: Span) -> str:
+        cached = path_cache.get(span.span_id)
+        if cached is not None:
+            return cached
+        parent = (by_id.get(span.parent_id)
+                  if span.parent_id is not None else None)
+        path = (f"{path_of(parent)};{span.name}"
+                if parent is not None else span.name)
+        path_cache[span.span_id] = path
+        return path
+
+    totals: Dict[str, float] = {}
+    for span in spans:
+        path = path_of(span)
+        totals[path] = totals.get(path, 0.0) + selfs[span.span_id]
+
+    lines: List[str] = []
+    for path in sorted(totals):
+        microseconds = round(totals[path] * 1_000_000)
+        if microseconds >= minimum_microseconds:
+            lines.append(f"{path} {microseconds}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""The phase profiler: memory and CPU capture riding telemetry spans.
+
+:class:`PhaseProfiler` attaches to a tracer as a span listener (see
+:meth:`repro.telemetry.trace.Tracer.add_listener`) and, while attached:
+
+- tags every finished span with its net allocation delta and its peak
+  allocation high-water mark (``mem_net_bytes`` / ``mem_peak_bytes``),
+  taken from :mod:`tracemalloc` snapshots at the span boundaries — the
+  peak is tracked correctly across nesting by resetting the tracemalloc
+  peak at every boundary and folding each child's observed peak back
+  into its parent;
+- optionally scopes a :mod:`cProfile` capture to the first occurrence
+  of one named span (``cprofile_span="compile"``), so a single stage
+  can be drilled into at function granularity without paying profiler
+  overhead for the whole run;
+- on :meth:`report`, folds the finished-span buffer through
+  :func:`repro.profiling.phases.attribute_spans` and publishes the
+  ``sdx_profile_*`` metric family into the telemetry registry.
+
+The profiler is deterministic given a span buffer: attribution is a
+pure function of the recorded spans, so two runs of the same seeded
+workload produce the same phase structure (timings differ, shares
+agree).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+import tracemalloc
+from typing import Dict, List, Optional
+
+from repro.profiling.phases import PhaseReport, attribute_spans
+from repro.telemetry import Telemetry
+from repro.telemetry.trace import Span
+
+
+class PhaseProfiler:
+    """Profile pipeline phases over one :class:`~repro.telemetry.Telemetry`.
+
+    Use as a context manager around the workload to profile::
+
+        profiler = PhaseProfiler(controller.telemetry, memory=True)
+        with profiler:
+            controller.start()
+            ...
+        report = profiler.report()
+
+    ``memory=True`` starts :mod:`tracemalloc` while attached (and stops
+    it again on detach if this profiler started it). ``cprofile_span``
+    names one span to capture under :mod:`cProfile`;
+    :meth:`cprofile_stats` renders the result.
+    """
+
+    def __init__(self, telemetry: Telemetry, *, memory: bool = False,
+                 cprofile_span: Optional[str] = None):
+        self.telemetry = telemetry
+        self.memory = memory
+        self.cprofile_span = cprofile_span
+        self._local = threading.local()
+        self._attached = False
+        self._started_tracemalloc = False
+        self._cprofile: Optional[cProfile.Profile] = None
+        self._cprofile_span_id: Optional[int] = None
+        self._cprofile_done = False
+
+    # ------------------------------------------------------------------
+    # Attachment lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self) -> "PhaseProfiler":
+        """Start listening (and tracing memory, when enabled)."""
+        if self._attached:
+            return self
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self.telemetry.tracer.add_listener(self)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Stop listening; leaves the span buffer for :meth:`report`."""
+        if not self._attached:
+            return
+        self.telemetry.tracer.remove_listener(self)
+        if self._cprofile is not None and self._cprofile_span_id is not None:
+            # A capture left open (span never closed) is abandoned.
+            self._cprofile_span_id = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+        self._attached = False
+
+    def __enter__(self) -> "PhaseProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Tracer listener protocol
+    # ------------------------------------------------------------------
+
+    def _mem_stack(self) -> List[Dict[str, int]]:
+        stack = getattr(self._local, "mem_stack", None)
+        if stack is None:
+            stack = []
+            self._local.mem_stack = stack
+        return stack
+
+    def span_opened(self, span: Span) -> None:
+        """Snapshot memory and maybe arm the scoped cProfile capture."""
+        if self.memory and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            stack = self._mem_stack()
+            if stack:
+                # Fold the interval since the parent's last boundary
+                # into the parent before resetting the peak for the
+                # child's exclusive window.
+                stack[-1]["peak"] = max(stack[-1]["peak"], peak)
+            stack.append({"open": current, "peak": current})
+            tracemalloc.reset_peak()
+        if (self.cprofile_span is not None and not self._cprofile_done
+                and span.name == self.cprofile_span
+                and self._cprofile_span_id is None):
+            self._cprofile = cProfile.Profile()
+            self._cprofile_span_id = span.span_id
+            self._cprofile.enable()
+
+    def span_closed(self, span: Span) -> None:
+        """Tag the span with memory deltas; close the cProfile capture."""
+        if (self._cprofile is not None
+                and span.span_id == self._cprofile_span_id):
+            self._cprofile.disable()
+            self._cprofile_span_id = None
+            self._cprofile_done = True
+        if self.memory and tracemalloc.is_tracing():
+            stack = self._mem_stack()
+            if stack:
+                entry = stack.pop()
+                current, peak = tracemalloc.get_traced_memory()
+                peak = max(entry["peak"], peak)
+                span.tags["mem_net_bytes"] = current - entry["open"]
+                span.tags["mem_peak_bytes"] = max(0, peak - entry["open"])
+                if stack:
+                    stack[-1]["peak"] = max(stack[-1]["peak"], peak)
+                tracemalloc.reset_peak()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def report(self, total_seconds: Optional[float] = None) -> PhaseReport:
+        """Attribute the tracer's finished spans into a phase report.
+
+        Publishes the ``sdx_profile_*`` family into the registry:
+        per-phase self-time totals and call counts, the attribution
+        coverage, and the peak-memory high-water mark.
+        """
+        report = attribute_spans(
+            self.telemetry.tracer.finished(), total_seconds)
+        registry = self.telemetry.registry
+        for stat in report.phases.values():
+            registry.gauge(
+                "sdx_profile_phase_seconds",
+                "Self wall time attributed to a pipeline phase",
+                phase=stat.name).set(stat.self_seconds)
+            registry.gauge(
+                "sdx_profile_phase_calls",
+                "Spans attributed to a pipeline phase",
+                phase=stat.name).set(stat.calls)
+            if self.memory:
+                registry.gauge(
+                    "sdx_profile_phase_peak_bytes",
+                    "Peak allocation high-water mark within the phase",
+                    phase=stat.name).set(stat.peak_bytes)
+        registry.gauge(
+            "sdx_profile_coverage_ratio",
+            "Fraction of profiled wall time attributed to named "
+            "stages").set(report.coverage)
+        registry.gauge(
+            "sdx_profile_total_seconds",
+            "Wall time of the profiled region").set(report.total_seconds)
+        return report
+
+    def cprofile_stats(self, limit: int = 25,
+                       sort: str = "cumulative") -> str:
+        """The scoped cProfile capture as a rendered stats table.
+
+        Returns an explanatory placeholder when no capture ran (no
+        ``cprofile_span`` configured, or the span never fired).
+        """
+        if self._cprofile is None or not self._cprofile_done:
+            return (f"(no cProfile capture: span "
+                    f"{self.cprofile_span!r} never completed)")
+        buffer = io.StringIO()
+        stats = pstats.Stats(self._cprofile, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:
+        state = "attached" if self._attached else "detached"
+        return (f"PhaseProfiler({state}, memory={self.memory}, "
+                f"cprofile_span={self.cprofile_span!r})")

@@ -137,8 +137,9 @@ class SouthboundEngine:
         """
         with self.telemetry.span("southbound.sync",
                                  rules=len(classifier)) as span:
-            delta = diff_classifier(self._projected_rules(), classifier,
-                                    base_priority)
+            with self.telemetry.span("southbound.diff"):
+                delta = diff_classifier(self._projected_rules(), classifier,
+                                        base_priority)
             span.set_tag(mods=delta.total, unchanged=delta.unchanged)
             self.stats.syncs += 1
             self.stats.rules_unchanged += delta.unchanged

@@ -124,6 +124,7 @@ class Tracer:
         self._local = threading.local()
         self._finished: Deque[Span] = deque()
         self._lock = threading.Lock()
+        self._listeners: Tuple[object, ...] = ()
         self.spans_dropped = 0
         self._spans_counter = None
         self._dropped_counter = None
@@ -164,11 +165,19 @@ class Tracer:
         else:
             span.parent_id = None
             span.trace_id = span.span_id
+        for listener in self._listeners:
+            opened = getattr(listener, "span_opened", None)
+            if opened is not None:
+                opened(span)
         span.start = time.perf_counter() - self._epoch
         stack.append(span)
 
     def _close(self, span: Span) -> None:
         span.end = time.perf_counter() - self._epoch
+        for listener in self._listeners:
+            closed = getattr(listener, "span_closed", None)
+            if closed is not None:
+                closed(span)
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
@@ -192,6 +201,29 @@ class Tracer:
         """The innermost open span on this thread, if any."""
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: object) -> None:
+        """Attach a span lifecycle listener.
+
+        A listener may define ``span_opened(span)`` (called just before
+        the span's clock starts, with ids/parents assigned) and/or
+        ``span_closed(span)`` (called right after the clock stops,
+        before the span enters the finished buffer). The phase profiler
+        rides these hooks to snapshot memory at span boundaries without
+        the tracer knowing about :mod:`tracemalloc`.
+        """
+        if listener not in self._listeners:
+            self._listeners = self._listeners + (listener,)
+
+    def remove_listener(self, listener: object) -> None:
+        """Detach a listener; unknown listeners are ignored."""
+        self._listeners = tuple(
+            existing for existing in self._listeners
+            if existing is not listener)
 
     # ------------------------------------------------------------------
     # Reading spans back

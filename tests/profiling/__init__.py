@@ -1,0 +1,1 @@
+"""Tests for the performance observability subsystem."""

@@ -1,0 +1,177 @@
+"""Tests for the baseline store and the regression comparison engine."""
+
+import pytest
+
+from repro.profiling.baselines import (
+    ENV_RELAX_FACTOR,
+    Baseline,
+    MetricSpec,
+    baseline_path,
+    compare_metrics,
+    environment_fingerprint,
+    environments_match,
+    load_baseline,
+    save_baseline,
+)
+
+
+def make_baseline(metrics, environment=None, family="fam", mode="quick"):
+    """A baseline literal with the current environment by default."""
+    return Baseline(family=family, mode=mode, samples=1,
+                    environment=environment or environment_fingerprint(),
+                    metrics=metrics)
+
+
+class TestFingerprint:
+    def test_fields_present(self):
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == {"python", "implementation", "cpu_count",
+                                    "hostname_hash", "bench_scale"}
+        assert len(fingerprint["hostname_hash"]) == 12
+
+    def test_hostname_excluded_from_matching(self):
+        recorded = environment_fingerprint()
+        recorded["hostname_hash"] = "another-host"
+        assert environments_match(recorded, environment_fingerprint())
+
+    def test_python_minor_mismatch_detected(self):
+        recorded = environment_fingerprint()
+        recorded["python"] = "2.7.18"
+        assert not environments_match(recorded, environment_fingerprint())
+
+    def test_cpu_count_mismatch_detected(self):
+        recorded = environment_fingerprint()
+        recorded["cpu_count"] = 10_000
+        assert not environments_match(recorded, environment_fingerprint())
+
+
+class TestMetricSpec:
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            MetricSpec(tolerance=0.1, direction="sideways")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSpec(tolerance=-0.1)
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        baseline = make_baseline({
+            "compile_seconds": {"value": 1.5, "tolerance": 0.5,
+                                "direction": "lower", "timing": True},
+        })
+        path = save_baseline(baseline, tmp_path)
+        assert path == baseline_path("fam", "quick", tmp_path)
+        loaded = load_baseline("fam", "quick", tmp_path)
+        assert loaded.metrics == baseline.metrics
+        assert loaded.family == "fam" and loaded.mode == "quick"
+
+    def test_from_measurement_bundles_specs(self):
+        baseline = Baseline.from_measurement(
+            "fam", "quick", 3, {"rules": 100.0},
+            {"rules": MetricSpec(tolerance=0.02, direction="near",
+                                 timing=False)})
+        entry = baseline.metrics["rules"]
+        assert entry == {"value": 100.0, "tolerance": 0.02,
+                         "direction": "near", "timing": False}
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.from_dict({"schema": 99, "family": "fam",
+                                "mode": "quick", "metrics": {}})
+
+    def test_missing_baseline_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_baseline("fam", "quick", tmp_path)
+
+
+class TestCompare:
+    def test_lower_direction(self):
+        baseline = make_baseline({
+            "seconds": {"value": 1.0, "tolerance": 0.5,
+                        "direction": "lower", "timing": False},
+        })
+        assert compare_metrics(baseline, {"seconds": 1.4}).ok
+        report = compare_metrics(baseline, {"seconds": 1.6})
+        assert not report.ok
+        assert report.regressions[0].metric == "seconds"
+        # Going faster is an improvement, never a failure.
+        assert compare_metrics(baseline, {"seconds": 0.1}).ok
+
+    def test_higher_direction(self):
+        baseline = make_baseline({
+            "throughput": {"value": 1000.0, "tolerance": 0.2,
+                           "direction": "higher", "timing": False},
+        })
+        assert compare_metrics(baseline, {"throughput": 900.0}).ok
+        assert not compare_metrics(baseline, {"throughput": 700.0}).ok
+        assert compare_metrics(baseline, {"throughput": 2000.0}).ok
+
+    def test_near_direction_fails_both_ways(self):
+        baseline = make_baseline({
+            "rules": {"value": 100.0, "tolerance": 0.02,
+                      "direction": "near", "timing": False},
+        })
+        assert compare_metrics(baseline, {"rules": 101.0}).ok
+        assert not compare_metrics(baseline, {"rules": 110.0}).ok
+        # A shrunken count is a workload change, not an improvement.
+        assert not compare_metrics(baseline, {"rules": 90.0}).ok
+
+    def test_missing_metric_fails_the_gate(self):
+        baseline = make_baseline({
+            "seconds": {"value": 1.0, "tolerance": 0.5,
+                        "direction": "lower", "timing": True},
+        })
+        report = compare_metrics(baseline, {})
+        assert not report.ok
+        assert report.regressions[0].status == "missing"
+
+    def test_extra_measured_metrics_ignored(self):
+        baseline = make_baseline({
+            "seconds": {"value": 1.0, "tolerance": 0.5,
+                        "direction": "lower", "timing": False},
+        })
+        report = compare_metrics(baseline, {"seconds": 1.0, "novel": 7.0})
+        assert report.ok and len(report.rows) == 1
+
+    def test_env_mismatch_relaxes_timing_only(self):
+        environment = environment_fingerprint()
+        environment["cpu_count"] = 10_000  # force a mismatch
+        baseline = make_baseline({
+            "seconds": {"value": 1.0, "tolerance": 0.5,
+                        "direction": "lower", "timing": True},
+            "rules": {"value": 100.0, "tolerance": 0.02,
+                      "direction": "near", "timing": False},
+        }, environment=environment)
+        # 1.8 would regress at ±50% but passes at the relaxed ±100%.
+        report = compare_metrics(baseline, {"seconds": 1.8, "rules": 100.0})
+        assert report.ok
+        by_name = {row.metric: row for row in report.rows}
+        assert by_name["seconds"].relaxed
+        assert by_name["seconds"].tolerance == 0.5 * ENV_RELAX_FACTOR
+        assert not by_name["rules"].relaxed
+        # The count band stays tight even with the environment mismatch.
+        assert not compare_metrics(
+            baseline, {"seconds": 1.0, "rules": 110.0}).ok
+
+    def test_render_puts_regressions_first(self):
+        baseline = make_baseline({
+            "a_ok": {"value": 1.0, "tolerance": 0.5,
+                     "direction": "lower", "timing": False},
+            "z_bad": {"value": 1.0, "tolerance": 0.1,
+                      "direction": "lower", "timing": False},
+        })
+        report = compare_metrics(baseline, {"a_ok": 1.0, "z_bad": 5.0})
+        lines = report.render().splitlines()
+        assert "REGRESSION" in lines[0]
+        assert "z_bad" in lines[1]
+
+    def test_to_dict_is_json_shaped(self):
+        baseline = make_baseline({
+            "seconds": {"value": 1.0, "tolerance": 0.5,
+                        "direction": "lower", "timing": False},
+        })
+        document = compare_metrics(baseline, {"seconds": 0.9}).to_dict()
+        assert document["ok"] is True
+        assert document["metrics"][0]["metric"] == "seconds"

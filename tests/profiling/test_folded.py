@@ -1,0 +1,62 @@
+"""Tests for the folded-stack (flamegraph input) exporter."""
+
+from repro.profiling import folded_stacks
+from repro.telemetry.trace import Span, Tracer
+
+
+def make_span(name, span_id, parent_id, start, end, trace_id=1):
+    """A finished span literal for exporter tests."""
+    return Span(name=name, span_id=span_id, parent_id=parent_id,
+                trace_id=trace_id, start=start, end=end)
+
+
+class TestFoldedStacks:
+    def test_paths_are_semicolon_joined_root_to_leaf(self):
+        spans = [
+            make_span("root", 1, None, 0.0, 1.0),
+            make_span("mid", 2, 1, 0.0, 0.6),
+            make_span("leaf", 3, 2, 0.0, 0.2),
+        ]
+        lines = folded_stacks(spans).splitlines()
+        assert "root;mid;leaf 200000" in lines
+        assert "root;mid 400000" in lines  # 0.6 - 0.2 self time
+        assert "root 400000" in lines      # 1.0 - 0.6 self time
+
+    def test_identical_paths_aggregate(self):
+        spans = [
+            make_span("root", 1, None, 0.0, 1.0),
+            make_span("step", 2, 1, 0.0, 0.2),
+            make_span("step", 3, 1, 0.3, 0.6),
+        ]
+        lines = folded_stacks(spans).splitlines()
+        assert "root;step 500000" in lines
+
+    def test_minimum_filter_drops_trivial_paths(self):
+        spans = [
+            make_span("root", 1, None, 0.0, 1.0),
+            make_span("blip", 2, 1, 0.0, 0.0000001),
+        ]
+        text = folded_stacks(spans, minimum_microseconds=10)
+        assert "blip" not in text
+        assert "root" in text
+
+    def test_evicted_parent_roots_its_own_stack(self):
+        spans = [make_span("orphan", 7, 999, 0.0, 0.5)]
+        assert folded_stacks(spans) == "orphan 500000"
+
+    def test_accepts_a_live_tracer(self):
+        tracer = Tracer()
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
+        text = folded_stacks(tracer, minimum_microseconds=0)
+        assert any(line.startswith("outer;inner ")
+                   for line in text.splitlines())
+
+    def test_every_line_parses_as_flamegraph_input(self):
+        spans = [
+            make_span("a", 1, None, 0.0, 0.5),
+            make_span("b", 2, 1, 0.0, 0.25),
+        ]
+        for line in folded_stacks(spans).splitlines():
+            path, _, count = line.rpartition(" ")
+            assert path and int(count) >= 0

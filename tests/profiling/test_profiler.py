@@ -1,0 +1,125 @@
+"""Tests for the phase profiler: listeners, memory tags, cProfile."""
+
+from repro.profiling import PhaseProfiler
+from repro.telemetry import Telemetry
+
+
+def busy_allocate(kib):
+    """Allocate and drop a list big enough to move tracemalloc's peak.
+
+    The chunk size rides a variable so the peephole optimizer can't
+    constant-fold every chunk into one shared bytes object.
+    """
+    size = 1024 + kib - kib
+    return sum(len(chunk) for chunk in [bytes(size) for _ in range(kib)])
+
+
+class TestAttachment:
+    def test_context_manager_attaches_and_detaches(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry)
+        with profiler:
+            assert profiler in telemetry.tracer._listeners
+        assert profiler not in telemetry.tracer._listeners
+
+    def test_double_attach_is_idempotent(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry)
+        profiler.attach()
+        profiler.attach()
+        assert telemetry.tracer._listeners.count(profiler) == 1
+        profiler.detach()
+        profiler.detach()
+        assert profiler not in telemetry.tracer._listeners
+
+    def test_spans_after_detach_are_untagged(self):
+        telemetry = Telemetry()
+        with PhaseProfiler(telemetry, memory=True):
+            pass
+        with telemetry.span("compile"):
+            pass
+        (span,) = telemetry.tracer.finished()
+        assert "mem_net_bytes" not in span.tags
+
+
+class TestMemoryCapture:
+    def test_spans_get_memory_tags(self):
+        telemetry = Telemetry()
+        with PhaseProfiler(telemetry, memory=True):
+            with telemetry.span("compile"):
+                busy_allocate(64)
+        (span,) = telemetry.tracer.finished()
+        assert isinstance(span.tags["mem_net_bytes"], int)
+        assert span.tags["mem_peak_bytes"] >= 0
+
+    def test_child_peak_folds_into_parent(self):
+        telemetry = Telemetry()
+        with PhaseProfiler(telemetry, memory=True):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    busy_allocate(128)
+        spans = {span.name: span for span in telemetry.tracer.finished()}
+        # The allocation happened inside the child; the parent's peak
+        # must still account for it (a high-water mark, not self-only).
+        assert (spans["outer"].tags["mem_peak_bytes"]
+                >= spans["inner"].tags["mem_peak_bytes"])
+        assert spans["inner"].tags["mem_peak_bytes"] >= 100 * 1024
+
+    def test_memory_off_means_no_tags(self):
+        telemetry = Telemetry()
+        with PhaseProfiler(telemetry, memory=False):
+            with telemetry.span("compile"):
+                busy_allocate(16)
+        (span,) = telemetry.tracer.finished()
+        assert "mem_net_bytes" not in span.tags
+
+
+class TestCProfileScope:
+    def test_captures_only_the_named_span(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry, cprofile_span="compile")
+        with profiler:
+            with telemetry.span("other"):
+                busy_allocate(4)
+            with telemetry.span("compile"):
+                busy_allocate(4)
+        stats = profiler.cprofile_stats()
+        assert "busy_allocate" in stats
+
+    def test_placeholder_when_span_never_fires(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry, cprofile_span="never")
+        with profiler:
+            with telemetry.span("compile"):
+                pass
+        assert "never" in profiler.cprofile_stats()
+
+
+class TestReport:
+    def test_report_publishes_profile_metrics(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry, memory=True)
+        with profiler:
+            with telemetry.span("compile"):
+                busy_allocate(8)
+        report = profiler.report()
+        assert report.phases["compile_overhead"].calls == 1
+        registry = telemetry.registry
+        assert registry.get("sdx_profile_phase_seconds",
+                            phase="compile_overhead") is not None
+        assert registry.get("sdx_profile_phase_calls",
+                            phase="compile_overhead").value == 1
+        assert registry.get("sdx_profile_coverage_ratio").value > 0.99
+        assert registry.get("sdx_profile_phase_peak_bytes",
+                            phase="compile_overhead") is not None
+
+    def test_report_is_deterministic_over_the_buffer(self):
+        telemetry = Telemetry()
+        profiler = PhaseProfiler(telemetry)
+        with profiler:
+            with telemetry.span("compile"):
+                with telemetry.span("compile.fec"):
+                    pass
+        first = profiler.report().to_dict()
+        second = profiler.report().to_dict()
+        assert first == second

@@ -82,6 +82,27 @@ class TestHistogram:
         assert histogram.quantile(1.0) == 5.0
         assert histogram.quantile(0.5) >= 0.0
 
+    def test_single_sample_all_quantiles_collapse(self):
+        histogram = Histogram.from_samples("latency", [3.7])
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.quantile(q) == 3.7
+        summary = histogram.percentiles()
+        assert summary["p50"] == summary["p99"] == summary["max"] == 3.7
+
+    def test_heavily_skewed_distribution(self):
+        # 999 fast samples and one 10^6x outlier: the tail quantiles
+        # must not contaminate the body, and the max stays exact.
+        samples = [0.001] * 999 + [1000.0]
+        histogram = Histogram.from_samples("latency", samples)
+        assert histogram.quantile(0.5) == pytest.approx(0.001, rel=0.06)
+        assert histogram.quantile(0.99) == pytest.approx(0.001, rel=0.06)
+        assert histogram.quantile(1.0) == 1000.0
+        assert histogram.percentiles()["max"] == 1000.0
+        # Quantiles stay monotone across the jump to the outlier bucket.
+        values = [histogram.quantile(q)
+                  for q in (0.5, 0.9, 0.99, 0.999, 1.0)]
+        assert values == sorted(values)
+
     def test_percentiles_summary(self):
         histogram = Histogram.from_samples("latency", [1.0, 2.0, 3.0])
         summary = histogram.percentiles()

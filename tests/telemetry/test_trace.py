@@ -107,6 +107,116 @@ class TestLossAccounting:
         assert tracer.spans_dropped == 2
 
 
+class TestSpanTreeTraversal:
+    def test_evicted_parent_promotes_child_to_root(self):
+        tracer = Tracer(capacity=2)
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        # Buffer holds [second, parent]; "first" was evicted. Its
+        # sibling still nests; nothing is silently lost from the forest.
+        names = {span.name for span in tracer.finished()}
+        assert names == {"second", "parent"}
+        (root,) = tracer.span_tree()
+        assert root["name"] == "parent"
+        assert [child["name"] for child in root["children"]] == ["second"]
+
+    def test_children_ordered_by_start_time(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        (root,) = tracer.span_tree()
+        assert [child["name"] for child in root["children"]] == \
+            ["a", "b", "c"]
+
+    def test_forest_accounts_for_every_buffered_span(self):
+        tracer = Tracer(capacity=3)
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("deep1"):
+                    pass
+                with tracer.span("deep2"):
+                    pass
+
+        def count(node):
+            return 1 + sum(count(child) for child in node["children"])
+
+        total = sum(count(root) for root in tracer.span_tree())
+        assert total == len(tracer.finished()) == 3
+
+
+class RecordingListener:
+    """Captures the span_opened/span_closed callback order."""
+
+    def __init__(self):
+        self.events = []
+
+    def span_opened(self, span):
+        self.events.append(("open", span.name, span.start))
+
+    def span_closed(self, span):
+        self.events.append(("close", span.name, span.end))
+
+
+class TestListeners:
+    def test_opened_before_clock_closed_after(self):
+        tracer = Tracer()
+        listener = RecordingListener()
+        tracer.add_listener(listener)
+        with tracer.span("work"):
+            pass
+        (opened, closed) = listener.events
+        # span_opened fires before the clock starts (start still 0);
+        # span_closed fires after it stops (end is set).
+        assert opened == ("open", "work", 0.0)
+        assert closed[0] == "close" and closed[2] > 0.0
+
+    def test_nesting_order_is_stack_like(self):
+        tracer = Tracer()
+        listener = RecordingListener()
+        tracer.add_listener(listener)
+        with tracer.span("outer"), tracer.span("inner"):
+            pass
+        kinds = [(kind, name) for kind, name, _ in listener.events]
+        assert kinds == [("open", "outer"), ("open", "inner"),
+                         ("close", "inner"), ("close", "outer")]
+
+    def test_remove_listener_stops_callbacks(self):
+        tracer = Tracer()
+        listener = RecordingListener()
+        tracer.add_listener(listener)
+        tracer.remove_listener(listener)
+        with tracer.span("work"):
+            pass
+        assert listener.events == []
+
+    def test_duplicate_add_registers_once(self):
+        tracer = Tracer()
+        listener = RecordingListener()
+        tracer.add_listener(listener)
+        tracer.add_listener(listener)
+        with tracer.span("work"):
+            pass
+        assert len(listener.events) == 2  # one open + one close
+
+    def test_partial_listener_without_open_hook(self):
+        class CloseOnly:
+            closed = 0
+
+            def span_closed(self, span):
+                CloseOnly.closed += 1
+
+        tracer = Tracer()
+        tracer.add_listener(CloseOnly())
+        with tracer.span("work"):
+            pass
+        assert CloseOnly.closed == 1
+
+
 class TestDisabledTracer:
     def test_disabled_returns_shared_null_handle(self):
         tracer = Tracer(enabled=False)
