@@ -2,12 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-policies-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke monitor-smoke clean
+.PHONY: install test lint lint-policies-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke chaos-smoke monitor-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
 FUZZ_BUDGET ?= 60
 FUZZ_ARTIFACTS ?= artifacts/fuzz
+
+# Chaos soak session knobs (see docs/TESTING.md).
+CHAOS_SEED ?= 0
+CHAOS_BUDGET ?= 60
+CHAOS_ARTIFACTS ?= artifacts/chaos
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -102,6 +107,17 @@ soak-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro soak --participants 12 \
 		--prefixes 100 --updates 400 --burst-size 100 --hot-prefixes 12 \
 		--queue-depth 64 --overload degrade --threaded
+
+# Time-boxed BGP churn/failure chaos soak: the chaos test package (the
+# golden replay among it), then a budgeted seeded `repro soak --chaos`
+# session covering all six fault classes. A failed settle assertion
+# shrinks to a minimal schedule and drops a replayable artifact under
+# $(CHAOS_ARTIFACTS).
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/chaos -q
+	PYTHONPATH=src $(PYTHON) -m repro soak --chaos --seed $(CHAOS_SEED) \
+		--scenarios 1000 --time-budget $(CHAOS_BUDGET) \
+		--artifact-dir $(CHAOS_ARTIFACTS)
 
 # Closed-loop monitoring gate: both canned scenarios must converge —
 # the balancer evens out the shifted load, the steering offloads the

@@ -1,0 +1,58 @@
+"""Churn convergence — per-fault-class cost of the chaos soak.
+
+Runs the seeded chaos soak (the same workload the ``churn_convergence``
+gate family measures) and reports, per fault class, how much runtime
+work convergence took: events processed, batches drained, and storm
+updates replayed. Two claims are checked, not just measured: every one
+of the six fault classes must actually fire, and every settle assertion
+— runtime-vs-inline equivalence, clean swaps, no surviving stuck route
+— must hold. Results land in
+``benchmarks/results/churn_convergence.json`` alongside the rendered
+table.
+"""
+
+from conftest import publish, publish_json, scaled
+
+from repro.chaos import ChaosSoakConfig, run_chaos_soak
+from repro.experiments.metrics import render_table
+from repro.workloads.churn import FAULT_KINDS
+
+SEED = 3
+SCENARIOS = 3
+STEPS = 16
+
+
+def _run_soak():
+    report = run_chaos_soak(ChaosSoakConfig(
+        seed=SEED, scenarios=max(1, scaled(SCENARIOS)), steps=STEPS))
+    rows = []
+    for kind in FAULT_KINDS:
+        stats = report.convergence.get(kind, {})
+        rows.append({
+            "kind": kind,
+            "faults": int(stats.get("faults", 0)),
+            "events": int(stats.get("events", 0)),
+            "batches": int(stats.get("batches", 0)),
+            "wall_seconds": stats.get("wall_seconds", 0.0),
+        })
+    return report, rows
+
+
+def test_churn_convergence(benchmark):
+    report, rows = benchmark.pedantic(_run_soak, rounds=1, iterations=1)
+
+    table_rows = [[
+        row["kind"], row["faults"], row["events"], row["batches"],
+        f"{row['wall_seconds'] * 1000:.1f}",
+    ] for row in rows]
+    publish("churn_convergence", render_table(
+        ["fault kind", "faults", "events", "batches", "wall ms"],
+        table_rows))
+    publish_json("churn_convergence", rows)
+
+    # Coverage: the soak must exercise every fault class, and the
+    # standing settle assertions must all hold.
+    assert report.ok, report.summary()
+    assert report.kinds_covered() == FAULT_KINDS, report.kinds_covered()
+    for row in rows:
+        assert row["faults"] >= 1, row

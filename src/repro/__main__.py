@@ -42,7 +42,8 @@ EXPERIMENTS = {
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
     "fuzz": "differential fuzzing of the update pipeline (verification)",
-    "soak": "drive a burst trace through the control-plane runtime",
+    "soak": "drive a burst trace through the control-plane runtime "
+            "(--chaos: seeded BGP session fault injection)",
     "monitor": "closed-loop data-plane monitoring: snapshot, watch, "
                "or smoke-test a reactive scenario",
     "profile": "phase-attributed profiling of a compile+update workload "
@@ -173,8 +174,10 @@ def _parser() -> argparse.ArgumentParser:
                            "the reference interpreter")
 
     soak = common("soak")
-    soak.add_argument("--participants", type=int, default=20)
-    soak.add_argument("--prefixes", type=int, default=200)
+    soak.add_argument("--participants", type=int, default=None,
+                      help="exchange size (default 20; 4 in --chaos mode)")
+    soak.add_argument("--prefixes", type=int, default=None,
+                      help="prefix count (default 200; 4 in --chaos mode)")
     soak.add_argument("--updates", type=int, default=1_000,
                       help="total updates to push (default 1000)")
     soak.add_argument("--burst-size", type=int, default=100,
@@ -193,6 +196,32 @@ def _parser() -> argparse.ArgumentParser:
     soak.add_argument("--threaded", action="store_true",
                       help="run the runtime's worker thread instead of "
                            "the deterministic step-driven mode")
+    soak.add_argument("--chaos", action="store_true",
+                      help="run the BGP session fault-injection soak "
+                           "instead of the clean burst soak")
+    soak.add_argument("--scenarios", type=int, default=3,
+                      help="chaos: independent scenarios (default 3)")
+    soak.add_argument("--steps", type=int, default=16,
+                      help="chaos: trace steps per scenario (default 16)")
+    soak.add_argument("--policies", type=int, default=4,
+                      help="chaos: generated policies per scenario")
+    soak.add_argument("--faults", type=int, default=6,
+                      help="chaos: faults per schedule (default 6, one "
+                           "of each class)")
+    soak.add_argument("--fault-kinds", default=None,
+                      help="chaos: comma-separated subset of the fault "
+                           "classes (default: all six)")
+    soak.add_argument("--artifact-dir", default=None,
+                      help="chaos: directory for replayable failure "
+                           "artifacts")
+    soak.add_argument("--time-budget", type=float, default=None,
+                      help="chaos: wall-clock budget in seconds")
+    soak.add_argument("--no-shrink", action="store_true",
+                      help="chaos: skip schedule/trace minimisation on "
+                           "failure")
+    soak.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="chaos: replay a saved chaos artifact instead "
+                           "of soaking")
 
     monitor = common("monitor")
     monitor.add_argument("--scenario", choices=("shifting", "skewed"),
@@ -524,6 +553,38 @@ def _run_lint(args) -> int:
     return 1 if failed else 0
 
 
+def _run_chaos_soak(args) -> int:
+    from repro.chaos import (
+        ChaosSoakConfig,
+        replay_chaos_artifact,
+        run_chaos_soak,
+    )
+    from repro.workloads.churn import FAULT_KINDS
+
+    if args.replay is not None:
+        failure = replay_chaos_artifact(args.replay)
+        if failure is None:
+            print(f"replay {args.replay}: no failure reproduced")
+            return 0
+        print(f"replay {args.replay}: {failure}")
+        return 1
+    kinds = FAULT_KINDS
+    if args.fault_kinds is not None:
+        kinds = tuple(kind.strip() for kind in args.fault_kinds.split(",")
+                      if kind.strip())
+    report = run_chaos_soak(ChaosSoakConfig(
+        seed=args.seed, scenarios=args.scenarios, steps=args.steps,
+        participants=(args.participants
+                      if args.participants is not None else 4),
+        prefixes=args.prefixes if args.prefixes is not None else 4,
+        policies=args.policies, faults=args.faults, fault_kinds=kinds,
+        artifact_dir=args.artifact_dir,
+        time_budget_seconds=args.time_budget,
+        shrink=not args.no_shrink))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _run_soak(args) -> str:
     import time as time_module
 
@@ -532,7 +593,9 @@ def _run_soak(args) -> str:
     from repro.workloads.topology import generate_ixp
     from repro.workloads.updates import generate_burst_trace
 
-    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    participants = args.participants if args.participants is not None else 20
+    prefixes = args.prefixes if args.prefixes is not None else 200
+    ixp = generate_ixp(participants, prefixes, seed=args.seed)
     controller = ixp.build_controller()
     install_assignments(controller, generate_policies(ixp, seed=args.seed + 1))
     controller.start()
@@ -887,6 +950,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fuzz":
         return _run_fuzz(args)
     elif args.command == "soak":
+        if args.chaos:
+            return _run_chaos_soak(args)
         print(_run_soak(args))
     elif args.command == "check":
         from repro.config import load_config

@@ -99,6 +99,19 @@ class RouteServer:
         self._readvertise_skipped_counter = registry.counter(
             "sdx_bgp_readvertise_skipped_total",
             "Re-advertisements dropped because the peer session was down")
+        self._session_down_counters = {
+            reason: registry.counter(
+                "sdx_bgp_session_downs_total",
+                "Session teardowns processed by the route server",
+                reason=reason)
+            for reason in ("reset", "fail")}
+        self._implied_withdrawals_counter = registry.counter(
+            "sdx_bgp_implied_withdrawals_total",
+            "Prefixes flushed by implied withdrawal on session teardown")
+        self._unnotified_counter = registry.counter(
+            "sdx_bgp_unnotified_updates_total",
+            "Updates applied to the Adj-RIB-In without listener "
+            "notification (chaos stuck-route injection)")
         self._sessions: Dict[str, BgpSession] = {}
         self._adj_in: Dict[str, AdjRibIn] = {}
         self._announcers: Dict[IPv4Prefix, Set[str]] = {}
@@ -109,6 +122,7 @@ class RouteServer:
         self._update_listeners: List[UpdateListener] = []
         self._next_hop_rewriter: Optional[NextHopRewriter] = None
         self.updates_processed = 0
+        self._last_down_changes: List[BestRouteChange] = []
 
     # ------------------------------------------------------------------
     # Peering management
@@ -118,7 +132,8 @@ class RouteServer:
         """Create (and by default establish) a session with ``name``."""
         if name in self._sessions:
             raise ParticipantError(f"peer {name!r} already exists")
-        session = BgpSession(name, asn, on_update=self._process_update)
+        session = BgpSession(name, asn, on_update=self._process_update,
+                             on_down=self._session_down)
         self._sessions[name] = session
         self._adj_in[name] = AdjRibIn(name)
         if connect:
@@ -152,16 +167,64 @@ class RouteServer:
         return tuple(sorted(self._sessions))
 
     def reset_session(self, name: str) -> List[BestRouteChange]:
-        """Simulate a session reset: flush the peer's routes, reconnect."""
+        """Simulate an administrative session reset: flush + reconnect.
+
+        The session's own teardown synthesizes the implied withdrawal
+        (see :meth:`BgpSession.reset`), which :meth:`_session_down`
+        pushes through the normal decision/notify pipeline; the session
+        then reconnects immediately. The peer must re-announce its
+        routes afterwards, exactly as after a real reset.
+        """
         session = self.session(name)
-        adj = self._adj_in[name]
-        update = Update(sender=name, withdrawals=tuple(
-            Withdrawal(p) for p in adj.prefixes()))
-        changes = self._apply_and_diff(name, update)
         session.reset()
         session.connect()
-        self._notify(update, changes)
-        return changes
+        return self._last_down_changes
+
+    def fail_peer(self, name: str) -> List[BestRouteChange]:
+        """Simulate a session failure: flush the peer's routes, stay DOWN.
+
+        Unlike :meth:`reset_session` the session is *not* reconnected:
+        re-advertisements to the peer are skipped (counted in
+        ``sdx_bgp_readvertise_skipped_total``) until
+        :meth:`recover_peer` brings it back.
+        """
+        session = self.session(name)
+        session.fail()
+        return self._last_down_changes
+
+    def recover_peer(self, name: str) -> BgpSession:
+        """Re-establish a DOWN (or IDLE) session after a failure.
+
+        The Adj-RIB-In stays empty — BGP has no state transfer across a
+        session death — so the caller models the peer-up re-announcement
+        storm by submitting the peer's routes again.
+        """
+        session = self.session(name)
+        session.open()
+        session.establish()
+        return session
+
+    def _session_down(self, update: Update, reason: str) -> None:
+        """Apply a teardown's implied withdrawal through the pipeline.
+
+        Wired as every session's ``on_down`` hook, so the flush happens
+        no matter who tears the session down (the server's own
+        :meth:`reset_session` / :meth:`fail_peer`, or a chaos driver
+        poking the session directly).
+        """
+        self._session_down_counters[reason].inc()
+        self._last_down_changes = []
+        if not update.withdrawals:
+            return
+        self._implied_withdrawals_counter.inc(len(update.withdrawals))
+        with self.telemetry.span("bgp.session_down", sender=update.sender,
+                                 reason=reason):
+            self._count_update(update)
+            changes = self._apply_and_diff(update.sender, update)
+            self._changes_counter.inc(len(changes))
+            self.updates_processed += 1
+            self._notify(update, changes)
+        self._last_down_changes = changes
 
     # ------------------------------------------------------------------
     # Export policy
@@ -284,21 +347,48 @@ class RouteServer:
             session = self.session(update.sender)
             if not session.is_established:
                 raise BgpError(f"bulk load from unestablished peer {update.sender!r}")
-            session.updates_received += 1
-            self._count_update(update)
-            self._note_community_filters(update)
-            adj = self._adj_in[update.sender]
-            for prefix in adj.apply(update):
-                announcers = self._announcers.setdefault(prefix, set())
-                if adj.route(prefix) is None:
-                    announcers.discard(update.sender)
-                    if not announcers:
-                        del self._announcers[prefix]
-                else:
-                    announcers.add(update.sender)
-            self.updates_processed += 1
+            session.note_update(update)
+            self._apply_silent(update)
             count += 1
         return count
+
+    def _apply_silent(self, update: Update) -> None:
+        """Apply one update to the Adj-RIB-In with no diffing or notify.
+
+        Shared by :meth:`bulk_load` (initial table transfer) and
+        :meth:`inject_unnotified` (chaos stuck-route injection).
+        """
+        self._count_update(update)
+        self._note_community_filters(update)
+        adj = self._adj_in[update.sender]
+        for prefix in adj.apply(update):
+            announcers = self._announcers.setdefault(prefix, set())
+            if adj.route(prefix) is None:
+                announcers.discard(update.sender)
+                if not announcers:
+                    del self._announcers[prefix]
+            else:
+                announcers.add(update.sender)
+        self.updates_processed += 1
+
+    def inject_unnotified(self, update: Update) -> None:
+        """Chaos hook: apply ``update`` without notifying any listener.
+
+        Models a *stuck route* — a best-route change whose notification
+        was lost between the route server and the SDX controller. The
+        server's RIBs move, but no fast-path compilation and no router
+        re-advertisement happen, so the compiled state wedges until an
+        explicit flush (a full recompilation, which re-reads route-server
+        state) resynchronises it. Counted in
+        ``sdx_bgp_unnotified_updates_total``.
+        """
+        session = self.session(update.sender)
+        if not session.is_established:
+            raise BgpError(
+                f"cannot inject from unestablished peer {update.sender!r}")
+        session.note_update(update)
+        self._unnotified_counter.inc()
+        self._apply_silent(update)
 
     def _count_update(self, update: Update) -> None:
         """Account one inbound UPDATE's announcements and withdrawals."""

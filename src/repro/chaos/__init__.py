@@ -1,0 +1,53 @@
+"""Fault injection for the BGP session lifecycle (``repro soak --chaos``).
+
+The PR-3 fuzzer proves the incremental compiler equals a full
+recompilation on *clean* traces; this package proves the same pipeline
+— and the PR-4 control-plane runtime in front of it — survives the
+traces operators actually see: sessions failing mid-burst, flap storms
+with damping holds, correlated multi-peer outages, wedged routes, and
+resets racing the southbound two-phase swap.
+
+Faults are data (:class:`~repro.workloads.churn.ChaosSchedule`), the
+driver replays them against two arms (inline controller vs runtime) and
+checks settle assertions after every fault, failures shrink to minimal
+schedules and save as replayable JSON artifacts, and the whole loop runs
+budgeted soak sessions exactly like ``repro fuzz``.
+"""
+
+from repro.chaos.artifact import (
+    CHAOS_ARTIFACT_VERSION,
+    ChaosArtifact,
+    replay_chaos_artifact,
+)
+from repro.chaos.driver import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosRunner,
+    FaultOutcome,
+    chaos_failure,
+    run_chaos,
+)
+from repro.chaos.shrink import shrink_chaos
+from repro.chaos.soak import (
+    ChaosFinding,
+    ChaosSoakConfig,
+    ChaosSoakReport,
+    run_chaos_soak,
+)
+
+__all__ = [
+    "CHAOS_ARTIFACT_VERSION",
+    "ChaosArtifact",
+    "ChaosConfig",
+    "ChaosFinding",
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosSoakConfig",
+    "ChaosSoakReport",
+    "FaultOutcome",
+    "chaos_failure",
+    "replay_chaos_artifact",
+    "run_chaos",
+    "run_chaos_soak",
+    "shrink_chaos",
+]

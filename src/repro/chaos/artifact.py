@@ -1,0 +1,107 @@
+"""Replayable chaos failure artifacts (the PR-3 JSON format, extended).
+
+A chaos artifact is one self-contained JSON file: the (shrunk) scenario,
+the (shrunk) fault schedule, and the failure they reproduce. ``python -m
+repro soak --chaos --replay <file>`` (or :func:`replay_chaos_artifact`)
+rebuilds both and re-runs the driver — on an unmodified tree the same
+failure reappears; on a fixed tree the replay comes back clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.chaos.driver import ChaosConfig, chaos_failure
+from repro.verification.oracle import OracleFailure
+from repro.verification.scenario import Scenario
+from repro.workloads.churn import ChaosSchedule
+
+#: Chaos artifact format version.
+CHAOS_ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChaosArtifact:
+    """One saved chaos failure: scenario + schedule + what they broke."""
+
+    scenario: Scenario
+    schedule: ChaosSchedule
+    kind: str
+    step: int
+    detail: str
+    original_trace_length: int
+    original_fault_count: int
+
+    @property
+    def failure(self) -> OracleFailure:
+        """The recorded failure as an :class:`OracleFailure`."""
+        return OracleFailure(kind=self.kind, step=self.step,
+                             detail=self.detail)
+
+    def file_name(self) -> str:
+        """A deterministic, filesystem-safe artifact name."""
+        slug = "".join(ch if ch.isalnum() else "-" for ch in self.kind)
+        return (f"chaos-failure-seed{self.schedule.seed}"
+                f"-faults{len(self.schedule.faults)}-{slug}.json")
+
+    def to_json(self) -> str:
+        """The artifact as deterministic, pretty-printed JSON."""
+        payload = {
+            "version": CHAOS_ARTIFACT_VERSION,
+            "kind": self.kind,
+            "step": self.step,
+            "detail": self.detail,
+            "original_trace_length": self.original_trace_length,
+            "original_fault_count": self.original_fault_count,
+            "scenario": self.scenario.to_dict(),
+            "schedule": self.schedule.to_dict(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def save(self, directory: Union[str, os.PathLike]) -> str:
+        """Write the artifact under ``directory``; returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(os.fspath(directory), self.file_name())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosArtifact":
+        """Rebuild an artifact from :meth:`to_json` output."""
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != CHAOS_ARTIFACT_VERSION:
+            raise ValueError(
+                f"unsupported chaos artifact version {version!r}")
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            schedule=ChaosSchedule.from_dict(payload["schedule"]),
+            kind=payload["kind"],
+            step=payload["step"],
+            detail=payload["detail"],
+            original_trace_length=payload["original_trace_length"],
+            original_fault_count=payload["original_fault_count"])
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "ChaosArtifact":
+        """Read an artifact file back."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def replay_chaos_artifact(source: Union[str, os.PathLike, ChaosArtifact], *,
+                          config: Optional[ChaosConfig] = None
+                          ) -> Optional[OracleFailure]:
+    """Re-run a saved chaos failure; returns what the driver finds now.
+
+    ``None`` means the recorded failure no longer reproduces (fixed, or
+    environment-dependent — which the deterministic pipeline is designed
+    to rule out).
+    """
+    artifact = (source if isinstance(source, ChaosArtifact)
+                else ChaosArtifact.load(source))
+    return chaos_failure(artifact.scenario, artifact.schedule, config=config)

@@ -1,0 +1,548 @@
+"""The chaos driver: replay a fault schedule against two lockstep arms.
+
+One :class:`ChaosRunner` executes a PR-3 :class:`~repro.verification
+.scenario.Scenario` trace twice — inline (direct ``submit_update`` per
+event, the oracle's incremental arm) and through a deterministic
+:class:`~repro.runtime.loop.ControlPlaneRuntime` — while injecting the
+faults of a :class:`~repro.workloads.churn.ChaosSchedule` into *both*
+arms at the same trace positions. Because every fault is applied
+symmetrically, the runtime-vs-inline equivalence contract of PR-4 must
+keep holding at every quiesce point, fault or no fault.
+
+Standing assertions, checked after each fault and at final settle:
+
+* **equivalence** — :func:`~repro.verification.runtime.canonical_state`
+  of the two arms matches (up to VNH renaming);
+* **no FlowMod loss** — a :class:`~repro.verification.invariants
+  .SwapMonitor` wraps every single-transition region (each individual
+  peer failure and the final flush) and must observe only
+  old-path-or-new-path outcomes;
+* **no stuck route** — after the final flush, forwarding equivalence
+  over the probe corpus plus every standing invariant
+  (:func:`~repro.verification.invariants.check_all`, which contains the
+  FIB-vs-route-server conformance check that catches a surviving wedge).
+
+Peer state is modelled honestly: while a session is down the peer's
+*intended* table keeps evolving with the trace (real routers do not
+pause BGP because one exchange session died), trace steps from a down
+peer are skipped at the exchange, and recovery re-announces the intended
+table as a storm through the runtime's ingest queue. All activity is
+recorded as ``sdx_chaos_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
+from repro.bgp.messages import Update
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.runtime.clock import ManualClock
+from repro.runtime.loop import ControlPlaneRuntime, RuntimeConfig
+from repro.telemetry import Telemetry, get_telemetry
+from repro.verification.corpus import generate_corpus
+from repro.verification.invariants import SwapMonitor, check_all
+from repro.verification.oracle import OracleFailure, compare_controllers
+from repro.verification.runtime import canonical_state
+from repro.verification.scenario import Scenario
+from repro.workloads.churn import ChaosFault, ChaosSchedule
+
+#: An intended route at a peer: (as-path, MED) for one prefix.
+IntendedRoute = Tuple[Tuple[int, ...], int]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Tunables for one chaos run.
+
+    ``drain_every`` is the background quiesce cadence between faults
+    (matching the PR-3 oracle's ``recompile_every``); ``runtime_config``
+    overrides the runtime arm's queueing configuration (coalescing,
+    overload policy); ``check_swaps`` attaches :class:`SwapMonitor`
+    around single-transition regions; ``recover_at_end`` brings every
+    still-down peer back (with its re-announcement storm) before the
+    final settle so the end state is fault-free; ``final_flush`` runs
+    the explicit full recompilation that un-wedges stuck routes.
+    """
+
+    drain_every: int = 4
+    corpus_size: int = 12
+    runtime_config: Optional[RuntimeConfig] = None
+    check_swaps: bool = True
+    recover_at_end: bool = True
+    final_flush: bool = True
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """Convergence accounting for one injected fault.
+
+    ``events`` and ``batches`` are the runtime-arm deltas (events
+    processed / batches drained) spent converging after the fault —
+    deterministic proxies for convergence work — and ``wall_seconds``
+    the measured wall-clock time (noisy; benchmarks prefer the deltas).
+    ``applied`` is False when a determinism guard skipped the fault
+    (e.g. ``peer_down`` on an already-down peer).
+    """
+
+    kind: str
+    step: int
+    participants: Tuple[str, ...]
+    applied: bool
+    events: int
+    batches: int
+    storm_updates: int
+    wall_seconds: float
+
+
+@dataclass
+class ChaosReport:
+    """The outcome of one chaos run."""
+
+    scenario: Scenario
+    schedule: ChaosSchedule
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+    failure: Optional[OracleFailure] = None
+    steps_executed: int = 0
+    steps_skipped: int = 0
+    storm_updates: int = 0
+    settle_checks: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every assertion held."""
+        return self.failure is None
+
+    def convergence_by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Per-fault-kind convergence aggregates (for the bench family)."""
+        grouped: Dict[str, List[FaultOutcome]] = {}
+        for outcome in self.outcomes:
+            if outcome.applied:
+                grouped.setdefault(outcome.kind, []).append(outcome)
+        out: Dict[str, Dict[str, float]] = {}
+        for kind, outcomes in grouped.items():
+            out[kind] = {
+                "faults": float(len(outcomes)),
+                "events": float(sum(o.events for o in outcomes)),
+                "batches": float(sum(o.batches for o in outcomes)),
+                "wall_seconds": sum(o.wall_seconds for o in outcomes),
+            }
+        return out
+
+    def summary(self) -> str:
+        """A deterministic multi-line summary (no wall-clock numbers)."""
+        applied = [o for o in self.outcomes if o.applied]
+        lines = [
+            f"chaos seed={self.schedule.seed}: "
+            f"{len(self.schedule.faults)} fault(s) scheduled, "
+            f"{len(applied)} applied, {self.steps_executed} step(s), "
+            f"{self.steps_skipped} skipped while down, "
+            f"{self.storm_updates} storm update(s)",
+        ]
+        for outcome in applied:
+            lines.append(
+                f"  {outcome.kind}@{outcome.step}"
+                f"({','.join(outcome.participants)}): "
+                f"{outcome.events} event(s), {outcome.batches} batch(es)")
+        if self.failure is None:
+            lines.append("all settle assertions held")
+        else:
+            lines.append(f"FAIL {self.failure.kind} after step "
+                         f"{self.failure.step}: {self.failure.detail}")
+        return "\n".join(lines)
+
+
+class ChaosRunner:
+    """Execute one scenario + schedule; see the module docstring."""
+
+    def __init__(self, scenario: Scenario, schedule: ChaosSchedule, *,
+                 config: Optional[ChaosConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
+        self.scenario = scenario
+        self.schedule = schedule
+        self.config = config if config is not None else ChaosConfig()
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        registry = self.telemetry.registry
+        self._fault_counters = {
+            kind: registry.counter(
+                "sdx_chaos_faults_total", "Chaos faults injected", kind=kind)
+            for kind in set(fault.kind for fault in schedule.faults)}
+        self._convergence_counters = {
+            kind: registry.counter(
+                "sdx_chaos_convergence_events_total",
+                "Runtime events processed converging after a fault",
+                kind=kind)
+            for kind in set(fault.kind for fault in schedule.faults)}
+        self._skipped_faults_counter = registry.counter(
+            "sdx_chaos_faults_skipped_total",
+            "Faults skipped by a determinism guard")
+        self._storm_counter = registry.counter(
+            "sdx_chaos_storm_updates_total",
+            "Re-announcement storm updates submitted after recoveries")
+        self._steps_skipped_counter = registry.counter(
+            "sdx_chaos_steps_skipped_total",
+            "Trace steps dropped because the sender's session was down")
+        self._settle_checks_counter = registry.counter(
+            "sdx_chaos_settle_checks_total",
+            "Equivalence/invariant assertion rounds evaluated")
+        self._assertion_failures_counter = registry.counter(
+            "sdx_chaos_assertion_failures_total",
+            "Settle assertions that failed")
+        self._report = ChaosReport(scenario=scenario, schedule=schedule)
+        self._down: Set[str] = set()
+        self._pending_recovery: Dict[int, List[str]] = {}
+        self._needs_flush = False
+        self._port_ips = scenario.port_ips()
+        self._intended: Dict[str, Dict[str, IntendedRoute]] = {
+            name: {} for name in scenario.participant_names()}
+        for announcement in scenario.announcements:
+            self._intended[announcement.participant][announcement.prefix] = (
+                tuple(announcement.as_path), 0)
+
+    # ------------------------------------------------------------------
+    # Arm plumbing
+    # ------------------------------------------------------------------
+
+    def _build_arms(self) -> None:
+        self.inline = self.scenario.build_controller()
+        self.routed = self.scenario.build_controller()
+        self.runtime = ControlPlaneRuntime(
+            self.routed,
+            config=(self.config.runtime_config
+                    if self.config.runtime_config is not None
+                    else RuntimeConfig()),
+            clock=ManualClock())
+        self.probes: Tuple[Packet, ...] = tuple(generate_corpus(
+            self.scenario, size=self.config.corpus_size))
+
+    def _quiesce(self) -> List[str]:
+        """Drain both arms; returns swap violations seen on the routed arm."""
+        violations = self._swap_guarded(self.runtime.settle)
+        self.inline.run_background_recompilation()
+        return violations
+
+    def _swap_guarded(self, region: Callable[[], object]) -> List[str]:
+        """Run ``region`` under a :class:`SwapMonitor` when enabled."""
+        if not self.config.check_swaps:
+            region()
+            return []
+        with SwapMonitor(self.routed, self.probes) as monitor:
+            region()
+        return [str(violation) for violation in monitor.violations()]
+
+    def _submit_both(self, update: Update) -> None:
+        self.inline.submit_update(update)
+        self.runtime.submit_update(update)
+
+    def _runtime_counts(self) -> Tuple[int, int]:
+        stats = self.runtime.stats()
+        return int(stats["processed"]), int(stats["batches"])
+
+    # ------------------------------------------------------------------
+    # Peer lifecycle helpers
+    # ------------------------------------------------------------------
+
+    def _storm_updates_for(self, peer: str) -> List[Update]:
+        """The peer's intended table as a re-announcement storm."""
+        out: List[Update] = []
+        for prefix, (as_path, med) in sorted(self._intended[peer].items()):
+            attributes = RouteAttributes(
+                next_hop=self._port_ips[peer], as_path=AsPath(as_path),
+                med=med)
+            out.append(Update.announce(peer, IPv4Prefix(prefix), attributes))
+        return out
+
+    def _fail_one(self, peer: str) -> List[str]:
+        """Fail ``peer`` on both arms; returns routed-arm swap violations.
+
+        Both arms quiesce first so no event from the peer is still
+        queued when its session dies — the lockstep model's analogue of
+        TCP teardown flushing in-flight updates before the notification.
+        """
+        violations = self._quiesce()
+        violations += self._swap_guarded(
+            lambda: self.routed.route_server.fail_peer(peer))
+        self.inline.route_server.fail_peer(peer)
+        self._down.add(peer)
+        return violations
+
+    def _recover_one(self, peer: str) -> int:
+        """Recover ``peer`` on both arms and submit its storm."""
+        self.routed.route_server.recover_peer(peer)
+        self.inline.route_server.recover_peer(peer)
+        self._down.discard(peer)
+        storm = self._storm_updates_for(peer)
+        for update in storm:
+            self._submit_both(update)
+        self._storm_counter.inc(len(storm))
+        self._report.storm_updates += len(storm)
+        return len(storm)
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+
+    def _apply_fault(self, fault: ChaosFault,
+                     fired_at: int) -> Tuple[bool, int, List[str]]:
+        """Inject one fault into both arms.
+
+        Returns ``(applied, storm updates submitted, swap violations)``.
+        Determinism guards make every fault meaningful regardless of the
+        session states the schedule happens to meet: failing a dead peer
+        is a no-op, flapping or mid-swap-resetting a dead peer recovers
+        it first, injecting a stuck route needs a live session.
+        """
+        swap_violations: List[str] = []
+        storms = 0
+        if fault.kind == "peer_down":
+            targets = [p for p in fault.participants if p not in self._down]
+            if not targets:
+                return False, 0, []
+            for peer in targets:
+                swap_violations += self._fail_one(peer)
+        elif fault.kind == "correlated_failure":
+            targets = [p for p in fault.participants if p not in self._down]
+            if not targets:
+                return False, 0, []
+            for peer in targets:
+                swap_violations += self._fail_one(peer)
+        elif fault.kind == "peer_up":
+            for peer in fault.participants:
+                if peer in self._down:
+                    storms += self._recover_one(peer)
+                else:
+                    # Already up: a pure (idempotent) announcement storm.
+                    storm = self._storm_updates_for(peer)
+                    for update in storm:
+                        self._submit_both(update)
+                    self._storm_counter.inc(len(storm))
+                    self._report.storm_updates += len(storm)
+                    storms += len(storm)
+        elif fault.kind == "flap":
+            peer = fault.participants[0]
+            if peer in self._down:
+                storms += self._recover_one(peer)
+            for cycle in range(max(1, fault.flaps)):
+                self._fail_one(peer)
+                last = cycle == max(1, fault.flaps) - 1
+                if last and fault.hold_steps > 0:
+                    # Damping: the final recovery is held back.
+                    self._pending_recovery.setdefault(
+                        fired_at + fault.hold_steps, []).append(peer)
+                else:
+                    storms += self._recover_one(peer)
+        elif fault.kind == "stuck_route":
+            peer = fault.participants[0]
+            if peer in self._down or fault.prefix is None:
+                return False, 0, []
+            # Drain first: a queued trace update for the same (peer,
+            # prefix) must not reorder past the injection on one arm.
+            swap_violations += self._quiesce()
+            attributes = RouteAttributes(
+                next_hop=self._port_ips[peer],
+                as_path=AsPath(fault.as_path))
+            update = Update.announce(
+                peer, IPv4Prefix(fault.prefix), attributes)
+            self.routed.route_server.inject_unnotified(update)
+            self.inline.route_server.inject_unnotified(update)
+            self._intended[peer][fault.prefix] = (fault.as_path, 0)
+            self._needs_flush = True
+        elif fault.kind == "midswap_reset":
+            peer = fault.participants[0]
+            if peer in self._down:
+                storms += self._recover_one(peer)
+                self._quiesce()
+            storms += self._midswap_reset(peer)
+        return True, storms, swap_violations
+
+    def _midswap_reset(self, peer: str) -> int:
+        """Reset ``peer`` from inside a southbound swap on both arms."""
+        self._quiesce()
+
+        def one_shot(controller) -> Callable[[object], None]:
+            fired = [False]
+
+            def on_batch(_batch: object) -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                controller.route_server.reset_session(peer)
+            return on_batch
+
+        for controller in (self.inline, self.routed):
+            observer = one_shot(controller)
+            controller.southbound.add_observer(observer)
+            try:
+                controller.recompile()
+            finally:
+                controller.southbound.remove_observer(observer)
+        # The reset flushed the peer's table; it re-announces as usual.
+        storm = self._storm_updates_for(peer)
+        for update in storm:
+            self._submit_both(update)
+        self._storm_counter.inc(len(storm))
+        self._report.storm_updates += len(storm)
+        return len(storm)
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+
+    def _check_equivalence(self, step: int, label: str,
+                           swap_violations: List[str]) -> Optional[OracleFailure]:
+        """The per-fault settle assertion: swaps clean + states equal."""
+        self._settle_checks_counter.inc()
+        self._report.settle_checks += 1
+        if swap_violations:
+            return OracleFailure(f"chaos-swap:{label}", step,
+                                 swap_violations[0])
+        problems = canonical_state(self.inline).diff(
+            canonical_state(self.routed))
+        if problems:
+            return OracleFailure(f"chaos-equivalence:{label}", step,
+                                 problems[0])
+        return None
+
+    def _check_final(self, step: int) -> Optional[OracleFailure]:
+        """The end-of-run assertions: forwarding + standing invariants."""
+        failure = self._check_equivalence(step, "final", [])
+        if failure is not None:
+            return failure
+        violations = compare_controllers(self.inline, self.routed,
+                                         self.probes)
+        if violations:
+            return OracleFailure("chaos-forwarding", step,
+                                 violations[0].detail)
+        violations = check_all(self.routed, self.probes)
+        if violations:
+            first = violations[0]
+            return OracleFailure(f"chaos-invariant:{first.invariant}", step,
+                                 first.detail)
+        return None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _fire_faults(self, index: int,
+                     faults: Tuple[ChaosFault, ...]) -> Optional[OracleFailure]:
+        for fault in faults:
+            started = time.monotonic()
+            events_before, batches_before = self._runtime_counts()
+            applied, storms, swap_violations = self._apply_fault(fault, index)
+            if not applied:
+                self._skipped_faults_counter.inc()
+                self._report.outcomes.append(FaultOutcome(
+                    kind=fault.kind, step=fault.step,
+                    participants=fault.participants, applied=False,
+                    events=0, batches=0, storm_updates=0, wall_seconds=0.0))
+                continue
+            swap_violations += self._quiesce()
+            events_after, batches_after = self._runtime_counts()
+            self._fault_counters[fault.kind].inc()
+            self._convergence_counters[fault.kind].inc(
+                events_after - events_before)
+            self._report.outcomes.append(FaultOutcome(
+                kind=fault.kind, step=fault.step,
+                participants=fault.participants, applied=True,
+                events=events_after - events_before,
+                batches=batches_after - batches_before,
+                storm_updates=storms,
+                wall_seconds=time.monotonic() - started))
+            # A wedge is *expected* to defeat equivalence-by-settle only
+            # in the compiled state, which canonical_state excludes; the
+            # stuck prefix appears in both arms' RIBs identically, so the
+            # assertion still must hold here and the flush check comes
+            # at the end.
+            failure = self._check_equivalence(fault.step, fault.kind,
+                                              swap_violations)
+            if failure is not None:
+                return failure
+        return None
+
+    def _fire_pending(self, index: int) -> None:
+        for peer in self._pending_recovery.pop(index, []):
+            if peer in self._down:
+                self._recover_one(peer)
+
+    def run(self) -> ChaosReport:
+        """Execute the schedule; never raises on an assertion failure."""
+        started = time.monotonic()
+        self._build_arms()
+        report = self._report
+        trace = self.scenario.trace
+        with self.telemetry.span("chaos.run", seed=self.schedule.seed,
+                                 faults=len(self.schedule.faults)):
+            for index, step in enumerate(trace):
+                if step.participant in self._down:
+                    self._steps_skipped_counter.inc()
+                    report.steps_skipped += 1
+                else:
+                    self._submit_both(self.scenario.step_update(step))
+                    report.steps_executed += 1
+                self._note_intended(step)
+                if (index + 1) % self.config.drain_every == 0:
+                    self._quiesce()
+                self._fire_pending(index)
+                report.failure = self._fire_faults(
+                    index, self.schedule.faults_at(index))
+                if report.failure is not None:
+                    break
+            if report.failure is None:
+                # Post-trace faults, oldest step first (schedule order).
+                report.failure = self._fire_faults(
+                    len(trace), self.schedule.faults_after(len(trace)))
+            if report.failure is None:
+                for pending in sorted(self._pending_recovery):
+                    self._fire_pending(pending)
+                if self.config.recover_at_end:
+                    for peer in sorted(self._down):
+                        self._recover_one(peer)
+                self._quiesce()
+                if self.config.final_flush:
+                    swap_violations = self._swap_guarded(
+                        self.routed.recompile)
+                    self.inline.recompile()
+                    self._needs_flush = False
+                    if swap_violations:
+                        report.failure = OracleFailure(
+                            "chaos-swap:final-flush", len(trace),
+                            swap_violations[0])
+                if report.failure is None:
+                    report.failure = self._check_final(len(trace))
+            if report.failure is not None:
+                self._assertion_failures_counter.inc()
+        report.elapsed_seconds = time.monotonic() - started
+        return report
+
+    def _note_intended(self, step) -> None:
+        """Advance the sender's intended table, down or not."""
+        table = self._intended[step.participant]
+        if step.kind == "withdraw":
+            table.pop(step.prefix, None)
+        else:
+            table[step.prefix] = (tuple(step.as_path), step.med)
+
+
+def run_chaos(scenario: Scenario, schedule: ChaosSchedule, *,
+              config: Optional[ChaosConfig] = None,
+              telemetry: Optional[Telemetry] = None) -> ChaosReport:
+    """Run one chaos schedule against ``scenario``; see :class:`ChaosRunner`."""
+    return ChaosRunner(scenario, schedule, config=config,
+                       telemetry=telemetry).run()
+
+
+def chaos_failure(scenario: Scenario, schedule: ChaosSchedule, *,
+                  config: Optional[ChaosConfig] = None
+                  ) -> Optional[OracleFailure]:
+    """The first assertion failure of a chaos run, or ``None``.
+
+    The shrinker's runner: a full :class:`ChaosReport` reduced to the
+    pass/fail signal.
+    """
+    return run_chaos(scenario, schedule, config=config).failure

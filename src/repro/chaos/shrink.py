@@ -1,0 +1,81 @@
+"""Chaos shrinking: minimise a failing (scenario, schedule) pair.
+
+Same philosophy as :mod:`repro.verification.shrink`, extended to the
+two-dimensional input of a chaos run. Deterministic passes:
+
+1. **fault removal** — try deleting each scheduled fault, scanning from
+   the end; keep any deletion after which the run still fails. A
+   one-fault reproduction is worth far more to a human than a six-fault
+   pile-up, so faults shrink before trace steps.
+2. **trace removal** — try deleting each trace step, end first; when a
+   step is removed every fault scheduled after it shifts one position
+   earlier (:meth:`~repro.workloads.churn.ChaosSchedule
+   .remap_for_removed_step`), so fault/trace alignment is preserved.
+
+Both passes iterate to a fixpoint under a shared ``max_runs`` budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional, Tuple
+
+from repro.chaos.driver import chaos_failure
+from repro.verification.oracle import OracleFailure
+from repro.verification.scenario import Scenario
+from repro.workloads.churn import ChaosSchedule
+
+#: A runner: executes one chaos run, returns its first failure (or None).
+ChaosRunnerFn = Callable[[Scenario, ChaosSchedule], Optional[OracleFailure]]
+
+
+def shrink_chaos(scenario: Scenario, schedule: ChaosSchedule,
+                 failure: Optional[OracleFailure] = None, *,
+                 runner: ChaosRunnerFn = chaos_failure,
+                 max_runs: int = 100
+                 ) -> Tuple[Scenario, ChaosSchedule, OracleFailure, int]:
+    """Minimise a failing chaos run.
+
+    Returns ``(shrunk scenario, shrunk schedule, the failure it
+    reproduces, runs spent)``. Raises ``ValueError`` when the input does
+    not fail at all. ``max_runs`` bounds total chaos executions (each
+    one replays the trace twice), so shrinking a pathological run stops
+    early with whatever reduction it has.
+    """
+    runs = 0
+    if failure is None:
+        failure = runner(scenario, schedule)
+        runs += 1
+        if failure is None:
+            raise ValueError("chaos run does not fail; nothing to shrink")
+
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+
+        # Pass 1: drop faults, end first.
+        for index in reversed(range(len(schedule.faults))):
+            if runs >= max_runs:
+                break
+            candidate = schedule.without_fault(index)
+            result = runner(scenario, candidate)
+            runs += 1
+            if result is not None:
+                schedule, failure = candidate, result
+                changed = True
+
+        # Pass 2: drop trace steps, end first, remapping fault steps.
+        for index in reversed(range(len(scenario.trace))):
+            if runs >= max_runs:
+                break
+            candidate_scenario = replace(
+                scenario,
+                trace=(scenario.trace[:index] + scenario.trace[index + 1:]))
+            candidate_schedule = schedule.remap_for_removed_step(index)
+            result = runner(candidate_scenario, candidate_schedule)
+            runs += 1
+            if result is not None:
+                scenario = candidate_scenario
+                schedule, failure = candidate_schedule, result
+                changed = True
+    return scenario, schedule, failure, runs

@@ -1,0 +1,235 @@
+"""The budgeted chaos soak loop behind ``python -m repro soak --chaos``.
+
+Mirrors :mod:`repro.verification.fuzz`: each iteration derives an
+independent (scenario, schedule) pair from the session seed, runs the
+chaos driver, and — on an assertion failure — shrinks both dimensions
+and saves a replayable artifact. The loop stops at the configured
+scenario count or when the wall-clock budget is spent. All activity
+lands in the ``sdx_chaos_*`` metric family next to the driver's own
+counters, so a soak session shows up in ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.artifact import ChaosArtifact
+from repro.chaos.driver import ChaosConfig, ChaosReport, run_chaos
+from repro.chaos.shrink import shrink_chaos
+from repro.telemetry import Telemetry, get_telemetry
+from repro.verification.oracle import OracleFailure
+from repro.verification.scenario import Scenario, generate_scenario
+from repro.workloads.churn import (
+    FAULT_KINDS,
+    ChaosSchedule,
+    generate_chaos_schedule,
+)
+from repro.workloads.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class ChaosSoakConfig:
+    """Tunables for one chaos soak session.
+
+    Scenario shape parameters match :class:`~repro.verification.fuzz
+    .FuzzConfig`; ``faults`` and ``fault_kinds`` shape each derived
+    schedule (the default schedule length covers every kind, see
+    :func:`~repro.workloads.churn.generate_chaos_schedule`); ``chaos``
+    overrides the per-run driver configuration.
+    """
+
+    seed: int = 0
+    scenarios: int = 3
+    steps: int = 16
+    participants: int = 4
+    prefixes: int = 4
+    policies: int = 4
+    faults: int = 6
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    artifact_dir: Optional[str] = None
+    time_budget_seconds: Optional[float] = None
+    shrink: bool = True
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
+
+
+@dataclass(frozen=True)
+class ChaosFinding:
+    """One failing chaos run: where it came from and what it broke."""
+
+    scenario_index: int
+    scenario_seed: int
+    schedule_seed: int
+    failure: OracleFailure
+    shrunk_trace_length: int
+    shrunk_fault_count: int
+    original_trace_length: int
+    original_fault_count: int
+    artifact_path: Optional[str]
+
+
+@dataclass
+class ChaosSoakReport:
+    """The outcome of one chaos soak session."""
+
+    config: ChaosSoakConfig
+    scenarios_run: int = 0
+    faults_applied: int = 0
+    steps_executed: int = 0
+    settle_checks: int = 0
+    shrink_runs: int = 0
+    findings: List[ChaosFinding] = field(default_factory=list)
+    convergence: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    budget_exhausted: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no run failed an assertion."""
+        return not self.findings
+
+    def kinds_covered(self) -> Tuple[str, ...]:
+        """Fault kinds applied at least once, in canonical order."""
+        return tuple(kind for kind in FAULT_KINDS
+                     if kind in self.convergence)
+
+    def _merge_convergence(self, report: ChaosReport) -> None:
+        for kind, stats in report.convergence_by_kind().items():
+            slot = self.convergence.setdefault(kind, {
+                "faults": 0.0, "events": 0.0, "batches": 0.0,
+                "wall_seconds": 0.0})
+            for key, value in stats.items():
+                slot[key] += value
+
+    def summary(self) -> str:
+        """A deterministic multi-line summary (no wall-clock numbers)."""
+        lines = [
+            f"chaos seed={self.config.seed}: {self.scenarios_run} "
+            f"scenario(s), {self.faults_applied} fault(s) applied, "
+            f"{self.steps_executed} step(s), {self.settle_checks} "
+            f"settle check(s)",
+        ]
+        covered = self.kinds_covered()
+        if covered:
+            lines.append("fault kinds covered: " + ", ".join(covered))
+        for kind in covered:
+            stats = self.convergence[kind]
+            lines.append(
+                f"  {kind}: {int(stats['faults'])} fault(s), "
+                f"{int(stats['events'])} convergence event(s), "
+                f"{int(stats['batches'])} batch(es)")
+        if self.budget_exhausted:
+            lines.append("time budget exhausted before the scenario count")
+        if not self.findings:
+            lines.append("no assertion failure found")
+        for finding in self.findings:
+            lines.append(
+                f"FAIL scenario#{finding.scenario_index} "
+                f"(seed {finding.scenario_seed}): {finding.failure.kind} "
+                f"after step {finding.failure.step}, shrunk to "
+                f"{finding.shrunk_trace_length} step(s) + "
+                f"{finding.shrunk_fault_count} fault(s)")
+            lines.append(f"  {finding.failure.detail}")
+            if finding.artifact_path:
+                lines.append(f"  artifact: {finding.artifact_path}")
+        return "\n".join(lines)
+
+
+def _scenario_for(config: ChaosSoakConfig, index: int) -> Scenario:
+    """The ``index``-th scenario of a session, independently seeded."""
+    return generate_scenario(
+        derive_seed(config.seed, f"chaos-scenario-{index}"),
+        participants=config.participants,
+        prefixes=config.prefixes,
+        policies=config.policies,
+        steps=config.steps)
+
+
+def _schedule_for(config: ChaosSoakConfig, index: int,
+                  scenario: Scenario) -> ChaosSchedule:
+    """The fault schedule paired with the ``index``-th scenario."""
+    return generate_chaos_schedule(
+        derive_seed(config.seed, f"chaos-schedule-{index}"),
+        scenario.participant_names(),
+        prefixes=scenario.prefixes,
+        trace_length=len(scenario.trace),
+        faults=config.faults,
+        kinds=config.fault_kinds)
+
+
+def run_chaos_soak(config: ChaosSoakConfig,
+                   telemetry: Optional[Telemetry] = None) -> ChaosSoakReport:
+    """Run one chaos soak session; never raises on a finding."""
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    registry = telemetry.registry
+    scenarios_counter = registry.counter(
+        "sdx_chaos_scenarios_total", "Chaos scenarios executed")
+    failures_counter = registry.counter(
+        "sdx_chaos_runs_failed_total",
+        "Chaos runs that failed a settle assertion")
+    shrink_counter = registry.counter(
+        "sdx_chaos_shrink_runs_total", "Chaos executions spent shrinking")
+
+    report = ChaosSoakReport(config=config)
+    started = time.monotonic()
+
+    def out_of_budget() -> bool:
+        if config.time_budget_seconds is None:
+            return False
+        return time.monotonic() - started >= config.time_budget_seconds
+
+    def runner(scenario: Scenario,
+               schedule: ChaosSchedule) -> Optional[OracleFailure]:
+        return run_chaos(scenario, schedule, config=config.chaos,
+                         telemetry=telemetry).failure
+
+    for index in range(config.scenarios):
+        if out_of_budget():
+            report.budget_exhausted = True
+            break
+        scenario = _scenario_for(config, index)
+        schedule = _schedule_for(config, index, scenario)
+        with telemetry.span("chaos.scenario", index=index,
+                            seed=scenario.seed):
+            run = run_chaos(scenario, schedule, config=config.chaos,
+                            telemetry=telemetry)
+        report.scenarios_run += 1
+        report.faults_applied += sum(
+            1 for outcome in run.outcomes if outcome.applied)
+        report.steps_executed += run.steps_executed
+        report.settle_checks += run.settle_checks
+        report._merge_convergence(run)
+        scenarios_counter.inc()
+        if run.failure is None:
+            continue
+        failures_counter.inc()
+        original_trace = len(scenario.trace)
+        original_faults = len(schedule.faults)
+        if config.shrink and not out_of_budget():
+            scenario, schedule, failure, runs = shrink_chaos(
+                scenario, schedule, run.failure, runner=runner)
+        else:
+            failure, runs = run.failure, 0
+        report.shrink_runs += runs
+        shrink_counter.inc(runs)
+        artifact_path: Optional[str] = None
+        if config.artifact_dir is not None:
+            artifact = ChaosArtifact(
+                scenario=scenario, schedule=schedule, kind=failure.kind,
+                step=failure.step, detail=failure.detail,
+                original_trace_length=original_trace,
+                original_fault_count=original_faults)
+            artifact_path = artifact.save(config.artifact_dir)
+        report.findings.append(ChaosFinding(
+            scenario_index=index,
+            scenario_seed=scenario.seed,
+            schedule_seed=schedule.seed,
+            failure=failure,
+            shrunk_trace_length=len(scenario.trace),
+            shrunk_fault_count=len(schedule.faults),
+            original_trace_length=original_trace,
+            original_fault_count=original_faults,
+            artifact_path=artifact_path))
+    report.elapsed_seconds = time.monotonic() - started
+    return report

@@ -205,6 +205,55 @@ _MONITORING_SPECS = {
 }
 
 
+def _run_churn_convergence(mode: str) -> Dict[str, float]:
+    """Churn convergence: per-fault-class cost of the chaos soak.
+
+    Runs a seeded chaos soak (all six fault classes) and reports the
+    runtime events spent converging after each class — deterministic
+    for a seed, so they gate as tight non-timing metrics — plus the
+    wall-clock cost of the whole session and the assertion-failure
+    count, which must stay at exactly zero.
+    """
+    from repro.chaos import ChaosSoakConfig, run_chaos_soak
+    from repro.workloads.churn import FAULT_KINDS
+
+    if mode == "quick":
+        config = ChaosSoakConfig(seed=3, scenarios=2, steps=16)
+    else:
+        config = ChaosSoakConfig(seed=3, scenarios=5, steps=24, faults=8)
+    report = run_chaos_soak(config)
+    out = {
+        "faults_applied": float(report.faults_applied),
+        "assertion_failures": float(len(report.findings)),
+        "chaos_wall_seconds": report.elapsed_seconds,
+    }
+    for kind in FAULT_KINDS:
+        stats = report.convergence.get(kind)
+        out[f"{kind}_events"] = stats["events"] if stats else 0.0
+    return out
+
+
+_CHURN_SPECS = {
+    "faults_applied": MetricSpec(tolerance=0.0, direction="near",
+                                 timing=False),
+    "assertion_failures": MetricSpec(tolerance=0.0, direction="near",
+                                     timing=False),
+    "chaos_wall_seconds": MetricSpec(tolerance=0.75, direction="lower"),
+    "peer_down_events": MetricSpec(tolerance=0.25, direction="near",
+                                   timing=False),
+    "peer_up_events": MetricSpec(tolerance=0.25, direction="near",
+                                 timing=False),
+    "flap_events": MetricSpec(tolerance=0.25, direction="near",
+                              timing=False),
+    "correlated_failure_events": MetricSpec(tolerance=0.25,
+                                            direction="near", timing=False),
+    "stuck_route_events": MetricSpec(tolerance=0.25, direction="near",
+                                     timing=False),
+    "midswap_reset_events": MetricSpec(tolerance=0.25, direction="near",
+                                       timing=False),
+}
+
+
 #: Every registered family, in gate order. The perf gate runs all of
 #: these in quick mode; ``repro bench --family`` selects a subset.
 FAMILIES: Dict[str, BenchFamily] = {
@@ -230,6 +279,11 @@ FAMILIES: Dict[str, BenchFamily] = {
             description="Closed-loop monitoring reaction and accuracy",
             specs=_MONITORING_SPECS,
             runner=_run_monitoring_loop),
+        BenchFamily(
+            name="churn_convergence",
+            description="Per-fault-class chaos convergence cost",
+            specs=_CHURN_SPECS,
+            runner=_run_churn_convergence),
     )
 }
 

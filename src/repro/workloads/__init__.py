@@ -19,6 +19,13 @@ this package regenerates statistically equivalent inputs:
 Everything is seeded and deterministic.
 """
 
+from repro.workloads.churn import (
+    FAULT_KINDS,
+    ChaosFault,
+    ChaosSchedule,
+    generate_chaos_schedule,
+    generate_withdrawal_flood,
+)
 from repro.workloads.datasets import AMS_IX, DE_CIX, LINX, IxpProfile
 from repro.workloads.routing import PrefixPool, synthesize_as_path
 from repro.workloads.topology import ParticipantSpec, SyntheticIxp, generate_ixp
@@ -32,7 +39,10 @@ from repro.workloads.updates import (
 
 __all__ = [
     "AMS_IX",
+    "ChaosFault",
+    "ChaosSchedule",
     "DE_CIX",
+    "FAULT_KINDS",
     "IxpProfile",
     "LINX",
     "ParticipantSpec",
@@ -41,8 +51,10 @@ __all__ = [
     "SyntheticIxp",
     "TraceEvent",
     "TraceStats",
+    "generate_chaos_schedule",
     "generate_ixp",
     "generate_policies",
+    "generate_withdrawal_flood",
     "generate_burst_trace",
     "generate_trace",
     "synthesize_as_path",

@@ -1,0 +1,235 @@
+"""Churn and failure workloads: seeded BGP session-lifecycle faults.
+
+The paper's evaluation (Section 6, Fig. 8) drives the SDX with clean
+update bursts; operational exchanges additionally see sessions dying
+mid-burst, flap storms, and wedged routes. This module describes those
+faults as data — a :class:`ChaosSchedule` of :class:`ChaosFault` records,
+fully serialisable and derived from one integer seed — so a failing
+chaos run replays bit-for-bit and shrinks exactly like a PR-3 fuzzing
+scenario. The execution engine lives in :mod:`repro.chaos`; this module
+deliberately knows nothing about controllers or runtimes so the
+dependency arrow points one way (chaos -> workloads).
+
+Six fault kinds model the session lifecycle (:data:`FAULT_KINDS`):
+
+``peer_down``
+    The peer's session fails; its input RIB is flushed by the implied
+    withdrawal that :meth:`repro.bgp.session.BgpSession.fail` emits, and
+    re-advertisements to it are skipped until recovery.
+``peer_up``
+    A failed (or healthy) peer (re)announces its full intended table —
+    the post-recovery announcement storm of a real session bounce.
+``flap``
+    ``flaps`` consecutive down/up cycles; with ``hold_steps > 0`` the
+    final recovery is *damped*, deferred that many trace steps (the
+    configurable hold timer).
+``correlated_failure``
+    Several peers fail at the same instant (shared backhaul, power).
+``stuck_route``
+    An update applied to the route server without notifying the
+    compiler — the wedge stays until an explicit flush.
+``midswap_reset``
+    A session reset fired from a southbound observer *while* a two-phase
+    table swap is in flight, racing teardown against rule installation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.messages import Update
+from repro.net.addresses import IPv4Prefix
+from repro.workloads.seeding import SeedLike, make_rng
+
+#: Serialisation format version stamped into every schedule dict.
+CHAOS_SCHEDULE_VERSION = 1
+
+#: The six fault classes, in the order coverage-first generation uses.
+FAULT_KINDS: Tuple[str, ...] = (
+    "peer_down",
+    "peer_up",
+    "flap",
+    "correlated_failure",
+    "stuck_route",
+    "midswap_reset",
+)
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled fault.
+
+    ``step`` is the trace index the fault fires after (an index at or
+    beyond the trace length fires after the whole trace has been
+    submitted). ``participants`` names the affected peers — one for
+    most kinds, two or more for ``correlated_failure``. ``flaps`` and
+    ``hold_steps`` parameterise ``flap``; ``prefix``/``as_path``
+    describe the route a ``stuck_route`` fault injects.
+    """
+
+    kind: str
+    step: int
+    participants: Tuple[str, ...]
+    flaps: int = 0
+    hold_steps: int = 0
+    prefix: Optional[str] = None
+    as_path: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not self.participants:
+            raise ValueError(f"{self.kind} fault names no participants")
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering."""
+        who = ",".join(self.participants)
+        extra = ""
+        if self.kind == "flap":
+            extra = f" x{self.flaps} hold={self.hold_steps}"
+        elif self.kind == "stuck_route":
+            extra = f" prefix={self.prefix}"
+        return f"{self.kind}@{self.step}({who}{extra})"
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded, serialisable fault schedule for one scenario trace."""
+
+    seed: int
+    faults: Tuple[ChaosFault, ...]
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The distinct fault kinds scheduled, in :data:`FAULT_KINDS` order."""
+        present = {fault.kind for fault in self.faults}
+        return tuple(kind for kind in FAULT_KINDS if kind in present)
+
+    def faults_at(self, step: int) -> Tuple[ChaosFault, ...]:
+        """Every fault that fires after trace index ``step``."""
+        return tuple(fault for fault in self.faults if fault.step == step)
+
+    def faults_after(self, trace_length: int) -> Tuple[ChaosFault, ...]:
+        """Every fault scheduled past the end of a ``trace_length`` trace."""
+        return tuple(fault for fault in self.faults
+                     if fault.step >= trace_length)
+
+    def without_fault(self, index: int) -> "ChaosSchedule":
+        """A copy with the ``index``-th fault removed (for shrinking)."""
+        return replace(self, faults=(self.faults[:index]
+                                     + self.faults[index + 1:]))
+
+    def remap_for_removed_step(self, removed: int) -> "ChaosSchedule":
+        """Shift fault steps after trace index ``removed`` was deleted."""
+        return replace(self, faults=tuple(
+            replace(fault, step=fault.step - 1)
+            if fault.step > removed else fault
+            for fault in self.faults))
+
+    # ------------------------------------------------------------------
+    # Serialisation (exact JSON round-trip, like PR-3 scenarios)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (see :meth:`from_dict` for the inverse)."""
+        payload = asdict(self)
+        payload["version"] = CHAOS_SCHEDULE_VERSION
+        return payload
+
+    def to_json(self) -> str:
+        """The schedule as deterministic, pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        version = payload.get("version", CHAOS_SCHEDULE_VERSION)
+        if version != CHAOS_SCHEDULE_VERSION:
+            raise ValueError(f"unsupported chaos schedule version {version!r}")
+        return cls(
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            faults=tuple(
+                ChaosFault(
+                    kind=item["kind"], step=int(item["step"]),
+                    participants=tuple(item["participants"]),
+                    flaps=int(item.get("flaps", 0)),
+                    hold_steps=int(item.get("hold_steps", 0)),
+                    prefix=item.get("prefix"),
+                    as_path=tuple(item.get("as_path", ())))
+                for item in payload["faults"]))  # type: ignore[union-attr]
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        """Rebuild a schedule from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def generate_chaos_schedule(seed: SeedLike, participants: Sequence[str], *,
+                            prefixes: Sequence[str],
+                            trace_length: int,
+                            faults: int = 6,
+                            kinds: Sequence[str] = FAULT_KINDS,
+                            max_flaps: int = 3,
+                            max_hold_steps: int = 3) -> ChaosSchedule:
+    """A deterministic fault schedule from one seed.
+
+    The first ``min(faults, len(kinds))`` faults cycle through ``kinds``
+    in order, so a schedule long enough is guaranteed to cover every
+    requested class; later faults draw kinds at random. Fault steps are
+    drawn over ``[0, trace_length]`` (the extra slot fires after the
+    trace ends) and the result is sorted by step, stable within a step.
+    """
+    if not participants:
+        raise ValueError("a chaos schedule needs at least one participant")
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+    rng = make_rng(seed, salt=0xC4A0)
+    base_seed = seed if isinstance(seed, int) else rng.getrandbits(31)
+    names = list(participants)
+    out: List[ChaosFault] = []
+    for index in range(faults):
+        kind = (kinds[index % len(kinds)] if index < len(kinds)
+                else rng.choice(list(kinds)))
+        step = rng.randrange(trace_length + 1)
+        if kind == "correlated_failure" and len(names) >= 2:
+            count = rng.randrange(2, len(names) + 1)
+            chosen = tuple(sorted(rng.sample(names, count)))
+        else:
+            chosen = (rng.choice(names),)
+        flaps = rng.randrange(1, max_flaps + 1) if kind == "flap" else 0
+        hold = (rng.randrange(0, max_hold_steps + 1)
+                if kind == "flap" else 0)
+        prefix = rng.choice(list(prefixes)) if (
+            kind == "stuck_route" and prefixes) else None
+        as_path: Tuple[int, ...] = ()
+        if kind == "stuck_route":
+            as_path = tuple(rng.randrange(1_000, 60_000)
+                            for _ in range(rng.randrange(1, 4)))
+        out.append(ChaosFault(
+            kind=kind, step=step, participants=chosen, flaps=flaps,
+            hold_steps=hold, prefix=prefix, as_path=as_path))
+    out.sort(key=lambda fault: fault.step)
+    return ChaosSchedule(seed=base_seed, faults=tuple(out))
+
+
+def generate_withdrawal_flood(participants: Sequence[str],
+                              prefixes: Sequence[str], *,
+                              count: int,
+                              seed: SeedLike = 0) -> List[Update]:
+    """``count`` withdrawal-only updates, seeded and deterministic.
+
+    The overload tests drive the runtime's shed/degrade paths with this:
+    withdrawals never coalesce *upward* into announcements, so a pure
+    flood exercises the queue's pressure handling without the mixed-burst
+    structure the calibrated trace generator produces.
+    """
+    if not participants or not prefixes:
+        raise ValueError("a withdrawal flood needs participants and prefixes")
+    rng = make_rng(seed, salt=0xF10D)
+    return [
+        Update.withdraw(rng.choice(list(participants)),
+                        IPv4Prefix(rng.choice(list(prefixes))))
+        for _ in range(count)
+    ]

@@ -55,10 +55,56 @@ class TestPeering:
         server = make_server()
         server.announce("B", P1, attrs("172.0.0.2", [65002]))
         changes = server.reset_session("B")
+        assert any(change.new is None for change in changes)
         assert server.best_route_for("A", P1) is None
         assert server.session("B").is_established
         assert server.session("B").resets == 1
-        assert changes
+
+    def test_fail_peer_flushes_and_stays_down(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        changes = server.fail_peer("B")
+        assert any(change.new is None for change in changes)
+        assert server.best_route_for("A", P1) is None
+        assert server.announced_by("B") == ()
+        assert server.session("B").is_down
+        with pytest.raises(BgpError):
+            server.submit(Update.withdraw("B", P1))
+
+    def test_fail_peer_notifies_listeners(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        seen = []
+        server.add_listener(seen.extend)
+        server.fail_peer("B")
+        assert [change.prefix for change in seen].count(P1) >= 1
+
+    def test_recover_peer_reestablishes_with_empty_rib(self):
+        server = make_server()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        server.fail_peer("B")
+        server.recover_peer("B")
+        assert server.session("B").is_established
+        assert server.announced_by("B") == ()
+        server.announce("B", P1, attrs("172.0.0.2", [65002]))
+        assert server.best_route_for("A", P1) is not None
+
+    def test_inject_unnotified_moves_rib_silently(self):
+        server = make_server()
+        seen = []
+        server.add_listener(seen.extend)
+        server.inject_unnotified(
+            Update.announce("B", P1, attrs("172.0.0.2", [65002])))
+        assert seen == []
+        assert server.best_route_for("A", P1) is not None
+        assert server.announced_by("B") == (P1,)
+
+    def test_inject_unnotified_requires_established(self):
+        server = make_server()
+        server.fail_peer("B")
+        with pytest.raises(BgpError):
+            server.inject_unnotified(
+                Update.announce("B", P1, attrs("172.0.0.2", [65002])))
 
 
 class TestBestRouteSelection:

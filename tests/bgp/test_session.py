@@ -2,10 +2,18 @@
 
 import pytest
 
+from repro.bgp.asn import AsPath
+from repro.bgp.attributes import RouteAttributes
 from repro.bgp.messages import Update
 from repro.bgp.session import BgpSession, SessionState
 from repro.exceptions import SessionStateError
-from repro.net.addresses import IPv4Prefix
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+def announce(sender, prefix, asn=64999):
+    """An announcement update with minimal valid attributes."""
+    return Update.announce(sender, IPv4Prefix(prefix), RouteAttributes(
+        next_hop=IPv4Address("172.0.0.9"), as_path=AsPath((asn,))))
 
 
 class TestLifecycle:
@@ -79,3 +87,80 @@ class TestUpdateFlow:
         with pytest.raises(SessionStateError):
             BgpSession("A", 65001).send(
                 Update.withdraw("route-server", IPv4Prefix("10.0.0.0/8")))
+
+
+class TestTeardown:
+    def test_reset_from_idle_rejected(self):
+        with pytest.raises(SessionStateError):
+            BgpSession("A", 65001).reset()
+
+    def test_fail_from_idle_rejected(self):
+        with pytest.raises(SessionStateError):
+            BgpSession("A", 65001).fail()
+
+    def test_fail_lands_in_down_and_counts(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.fail()
+        assert session.state is SessionState.DOWN
+        assert session.is_down
+        assert session.failures == 1
+        assert session.resets == 0
+
+    def test_reset_from_down_rejected(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.fail()
+        with pytest.raises(SessionStateError):
+            session.reset()
+
+    def test_double_fail_rejected(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.fail()
+        with pytest.raises(SessionStateError):
+            session.fail()
+
+    def test_down_recovers_via_open(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.fail()
+        session.open()
+        session.establish()
+        assert session.is_established
+
+    def test_teardown_clears_logs_and_announced(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.receive(announce("A", "10.1.0.0/16"))
+        session.send(Update.withdraw("route-server", IPv4Prefix("9.0.0.0/8")))
+        assert session.announced == {IPv4Prefix("10.1.0.0/16")}
+        session.reset()
+        assert session.sent_log == []
+        assert session.received_log == []
+        assert session.announced == frozenset()
+        assert session.updates_received == 1  # counters survive the reset
+
+    def test_teardown_emits_implied_withdrawal(self):
+        down = []
+        session = BgpSession("A", 65001,
+                             on_down=lambda update, why: down.append((update, why)))
+        session.connect()
+        session.receive(announce("A", "10.1.0.0/16"))
+        session.receive(announce("A", "10.2.0.0/16"))
+        session.receive(Update.withdraw("A", IPv4Prefix("10.2.0.0/16")))
+        implied = session.fail()
+        assert [w.prefix for w in implied.withdrawals] == [
+            IPv4Prefix("10.1.0.0/16")]
+        assert implied.sender == "A"
+        assert down == [(implied, "fail")]
+
+    def test_announced_tracks_note_update(self):
+        session = BgpSession("A", 65001)
+        session.connect()
+        session.note_update(announce("A", "10.1.0.0/16"))
+        session.note_update(announce("A", "10.1.0.0/16"))
+        assert session.announced == {IPv4Prefix("10.1.0.0/16")}
+        assert session.updates_received == 2
+        session.note_update(Update.withdraw("A", IPv4Prefix("10.1.0.0/16")))
+        assert session.announced == frozenset()

@@ -1,0 +1,1 @@
+"""Tests for the chaos fault-injection subsystem."""

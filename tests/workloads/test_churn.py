@@ -1,0 +1,145 @@
+"""Tests for the churn workload generators (chaos schedules, floods)."""
+
+import pytest
+
+from repro.workloads.churn import (
+    FAULT_KINDS,
+    ChaosFault,
+    ChaosSchedule,
+    generate_chaos_schedule,
+    generate_withdrawal_flood,
+)
+
+PEERS = ["as100", "as200", "as300", "as400"]
+PREFIXES = [f"40.{index}.0.0/16" for index in range(6)]
+
+
+def schedule(seed=0, **overrides):
+    options = {"prefixes": PREFIXES, "trace_length": 20, "faults": 8}
+    options.update(overrides)
+    return generate_chaos_schedule(seed, PEERS, **options)
+
+
+class TestGeneration:
+    def test_deterministic_for_a_seed(self):
+        assert schedule(seed=3) == schedule(seed=3)
+        assert schedule(seed=3) != schedule(seed=4)
+
+    def test_first_faults_cover_every_kind(self):
+        # faults >= len(kinds) guarantees full lifecycle coverage.
+        assert schedule(faults=len(FAULT_KINDS)).kinds() == FAULT_KINDS
+
+    def test_sorted_by_step_within_trace_bounds(self):
+        generated = schedule(seed=11, trace_length=15)
+        steps = [fault.step for fault in generated.faults]
+        assert steps == sorted(steps)
+        assert all(0 <= step <= 15 for step in steps)
+
+    def test_kind_subset_is_respected(self):
+        generated = schedule(seed=5, kinds=("peer_down", "flap"), faults=6)
+        assert set(generated.kinds()) <= {"peer_down", "flap"}
+
+    def test_correlated_failures_name_multiple_peers(self):
+        generated = schedule(seed=7, faults=12)
+        correlated = [fault for fault in generated.faults
+                      if fault.kind == "correlated_failure"]
+        assert correlated
+        for fault in correlated:
+            assert len(fault.participants) >= 2
+            assert list(fault.participants) == sorted(fault.participants)
+
+    def test_stuck_routes_carry_prefix_and_path(self):
+        generated = schedule(seed=9, faults=12)
+        stuck = [fault for fault in generated.faults
+                 if fault.kind == "stuck_route"]
+        assert stuck
+        for fault in stuck:
+            assert fault.prefix in PREFIXES
+            assert fault.as_path
+
+    def test_flaps_are_parameterised(self):
+        generated = schedule(seed=2, faults=12, max_flaps=2,
+                             max_hold_steps=2)
+        flaps = [fault for fault in generated.faults if fault.kind == "flap"]
+        assert flaps
+        for fault in flaps:
+            assert 1 <= fault.flaps <= 2
+            assert 0 <= fault.hold_steps <= 2
+
+    def test_rejects_empty_participants(self):
+        with pytest.raises(ValueError):
+            generate_chaos_schedule(0, [], prefixes=PREFIXES, trace_length=5)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            schedule(kinds=("peer_down", "meteor_strike"))
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosFault(kind="nope", step=0, participants=("a",))
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosFault(kind="peer_down", step=0, participants=())
+
+    def test_describe_mentions_parameters(self):
+        fault = ChaosFault(kind="flap", step=3, participants=("a",),
+                           flaps=2, hold_steps=1)
+        assert "flap@3" in fault.describe()
+        assert "x2" in fault.describe()
+
+
+class TestScheduleOperations:
+    def test_faults_at_and_after(self):
+        generated = schedule(seed=1, trace_length=10)
+        for fault in generated.faults_at(4):
+            assert fault.step == 4
+        for fault in generated.faults_after(10):
+            assert fault.step >= 10
+
+    def test_without_fault_shrinks_by_one(self):
+        generated = schedule(seed=1)
+        smaller = generated.without_fault(0)
+        assert len(smaller.faults) == len(generated.faults) - 1
+        assert smaller.faults == generated.faults[1:]
+
+    def test_remap_shifts_only_later_steps(self):
+        generated = ChaosSchedule(seed=0, faults=(
+            ChaosFault(kind="peer_down", step=2, participants=("a",)),
+            ChaosFault(kind="peer_up", step=5, participants=("a",)),
+        ))
+        remapped = generated.remap_for_removed_step(3)
+        assert remapped.faults[0].step == 2  # before the removed index
+        assert remapped.faults[1].step == 4  # shifted down past it
+
+    def test_json_round_trip_is_exact(self):
+        generated = schedule(seed=13)
+        assert ChaosSchedule.from_json(generated.to_json()) == generated
+
+    def test_unsupported_version_rejected(self):
+        payload = schedule().to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            ChaosSchedule.from_dict(payload)
+
+
+class TestWithdrawalFlood:
+    def test_deterministic_and_withdrawal_only(self):
+        flood = generate_withdrawal_flood(
+            PEERS, PREFIXES, count=30, seed=4)
+        assert flood == generate_withdrawal_flood(
+            PEERS, PREFIXES, count=30, seed=4)
+        assert len(flood) == 30
+        for update in flood:
+            assert not update.announcements
+            assert len(update.withdrawals) == 1
+            assert update.sender in PEERS
+            assert str(update.withdrawals[0].prefix) in PREFIXES
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            generate_withdrawal_flood([], PREFIXES, count=1)
+        with pytest.raises(ValueError):
+            generate_withdrawal_flood(PEERS, [], count=1)
