@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-policies-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke chaos-smoke monitor-smoke clean
+.PHONY: install test lint lint-policies-smoke federation-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke chaos-smoke monitor-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -49,6 +49,30 @@ lint-policies-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro lint-policies --defects \
 		--participants 8 --prefixes 16 \
 		--output artifacts/lint-policies-defects.json
+	PYTHONPATH=src $(PYTHON) -m repro lint-policies --federation-defects \
+		--output artifacts/lint-policies-federation-defects.json
+
+# Multi-SDX federation cross-validation: a time-boxed federated fuzz
+# session (SDX008/SDX009 witness contracts + real-vs-reference walk
+# differential at every churn step) over 2- and 3-exchange shapes, plus
+# the federation defect-recall gate. Failure artifacts (raw federated
+# scenario JSON) land under artifacts/federation for CI upload.
+FEDERATION_SEED ?= 0
+FEDERATION_BUDGET ?= 60
+FEDERATION_ARTIFACTS ?= artifacts/federation
+
+federation-smoke:
+	@mkdir -p $(FEDERATION_ARTIFACTS)
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --federation \
+		--seed $(FEDERATION_SEED) --scenarios 40 --steps 6 \
+		--time-budget $(FEDERATION_BUDGET) \
+		--artifact-dir $(FEDERATION_ARTIFACTS)
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --federation --exchanges 3 \
+		--seed $(FEDERATION_SEED) --scenarios 10 --steps 4 \
+		--time-budget $(FEDERATION_BUDGET) \
+		--artifact-dir $(FEDERATION_ARTIFACTS)
+	PYTHONPATH=src $(PYTHON) -m repro lint-policies --federation-defects \
+		--output $(FEDERATION_ARTIFACTS)/defect-recall.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

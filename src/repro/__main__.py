@@ -37,11 +37,13 @@ EXPERIMENTS = {
     "fig10": "Figure 10 - per-update processing CDF",
     "replay": "burst-aware trace replay (Section 4.3.2 scheduling)",
     "check": "load a JSON exchange config, compile it, report",
-    "lint-policies": "static policy verifier: lint configs, examples, "
-                     "or generated workloads pre-compilation",
+    "lint-policies": "static policy verifier: lint configs (single-exchange "
+                     "or federated), examples, or generated workloads "
+                     "pre-compilation",
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
-    "fuzz": "differential fuzzing of the update pipeline (verification)",
+    "fuzz": "differential fuzzing of the update pipeline "
+            "(--federation: multi-exchange cross-validation)",
     "soak": "drive a burst trace through the control-plane runtime "
             "(--chaos: seeded BGP session fault injection)",
     "monitor": "closed-loop data-plane monitoring: snapshot, watch, "
@@ -117,6 +119,13 @@ def _parser() -> argparse.ArgumentParser:
                       help="inject one seeded defect per class into a "
                            "Section 6.1 workload and require the analyzer "
                            "to detect every one")
+    lint.add_argument("--federation-defects", action="store_true",
+                      help="inject a seeded inter-exchange loop and a "
+                           "stitched blackhole into a generated federation "
+                           "and require SDX008/SDX009 to detect both")
+    lint.add_argument("--exchanges", type=int, default=2,
+                      help="exchanges in the generated federation "
+                           "(with --federation-defects; default 2)")
     lint.add_argument("--participants", type=int, default=12)
     lint.add_argument("--prefixes", type=int, default=80)
     lint.add_argument("--seed", type=int, default=0)
@@ -172,6 +181,13 @@ def _parser() -> argparse.ArgumentParser:
                       help="also cross-validate static-analyzer verdicts "
                            "(dead clauses, route-less forwards) against "
                            "the reference interpreter")
+    fuzz.add_argument("--federation", action="store_true",
+                      help="fuzz multi-exchange federations instead: "
+                           "SDX008/SDX009 witness contracts plus the "
+                           "real-vs-reference federated walk comparison")
+    fuzz.add_argument("--exchanges", type=int, default=2,
+                      help="exchanges per federated scenario "
+                           "(with --federation; default 2)")
 
     soak = common("soak")
     soak.add_argument("--participants", type=int, default=None,
@@ -415,7 +431,8 @@ def _run_fuzz(args) -> int:
         participants=args.participants, prefixes=args.prefixes,
         policies=args.policies, artifact_dir=args.artifact_dir,
         time_budget_seconds=args.time_budget, shrink=not args.no_shrink,
-        runtime=args.runtime, statics=args.statics))
+        runtime=args.runtime, statics=args.statics,
+        federation=args.federation, exchanges=args.exchanges))
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -473,6 +490,39 @@ def _lint_defect_run(args):
     return report, defects, missed
 
 
+def _lint_federation_defect_run(args):
+    """(report, defects, missed) for the federation defect recall mode."""
+    from repro.federation import analyze_federation, generate_federated_scenario
+    from repro.workloads.policies import (
+        defect_detected,
+        inject_federation_defects,
+    )
+
+    # A random presence assignment occasionally lacks two shared
+    # participants with two common exchanges; walk derived seeds until
+    # the injectors find their canonical shape.
+    last_error: Exception | None = None
+    federation = None
+    defects = []
+    for attempt in range(8):
+        scenario = generate_federated_scenario(
+            args.seed + attempt, exchanges=args.exchanges,
+            participants=max(args.participants, 2 * args.exchanges),
+            policies=0)
+        federation = scenario.build_controller(with_dataplane=False)
+        try:
+            defects = inject_federation_defects(federation, seed=args.seed)
+            break
+        except ValueError as error:
+            last_error = error
+    else:
+        raise SystemExit(f"lint-policies --federation-defects: no suitable "
+                         f"federation shape in 8 attempts: {last_error}")
+    report = analyze_federation(federation)
+    missed = [d for d in defects if not defect_detected(d, report)]
+    return report, defects, missed
+
+
 def _lint_example_targets(directory: str):
     """(label, controller) for every example app exposing ``build()``."""
     import importlib.util
@@ -498,11 +548,14 @@ def _run_lint(args) -> int:
 
     from repro.statics import analyze_controller, lint_config
 
-    if not (args.config or args.examples or args.workload or args.defects):
+    if not (args.config or args.examples or args.workload or args.defects
+            or args.federation_defects):
         print("lint-policies: nothing to lint (pass a config file, "
-              "--examples, --workload, or --defects)", file=sys.stderr)
+              "--examples, --workload, --defects, or --federation-defects)",
+              file=sys.stderr)
         return 2
 
+    defect_labels = ("defects", "federation-defects")
     results = []   # (label, StaticsReport)
     missed_defects = []
     for path in args.config:
@@ -515,22 +568,31 @@ def _run_lint(args) -> int:
     if args.workload:
         controller = _lint_workload_controller(args)
         results.append(("workload", analyze_controller(controller)))
+    defects = []
     if args.defects:
-        report, defects, missed_defects = _lint_defect_run(args)
+        report, single_defects, single_missed = _lint_defect_run(args)
         results.append(("defects", report))
+        defects.extend(single_defects)
+        missed_defects.extend(single_missed)
+    if args.federation_defects:
+        report, federation_defects, federation_missed = (
+            _lint_federation_defect_run(args))
+        results.append(("federation-defects", report))
+        defects.extend(federation_defects)
+        missed_defects.extend(federation_missed)
 
     payload = {
         "targets": [
             {"target": label, **report.to_dict()} for label, report in results
         ],
     }
-    if args.defects:
+    if defects:
         payload["defects"] = {
             "injected": [d.description for d in defects],
             "missed": [d.description for d in missed_defects],
         }
-    failed = any(report.has_errors for _label, report in results
-                 if _label != "defects") or bool(missed_defects)
+    failed = any(report.has_errors for label, report in results
+                 if label not in defect_labels) or bool(missed_defects)
     payload["ok"] = not failed
 
     rendered = json_module.dumps(payload, indent=2)
@@ -545,7 +607,7 @@ def _run_lint(args) -> int:
             text = report.render()
             if report.diagnostics:
                 print(text)
-        if args.defects:
+        if defects:
             print(f"== defect recall: {len(defects) - len(missed_defects)}"
                   f"/{len(defects)} detected")
             for defect in missed_defects:

@@ -1,0 +1,302 @@
+"""The federation coordinator: one SdxController per exchange, one surface.
+
+:class:`FederatedController` owns a :class:`~repro.core.controller.\
+SdxController` per exchange and funnels every configuration change —
+participant registration, route announcements, policy installs — through
+one API, so a single ``statics_mode`` gate can reason about the *whole*
+federation (including the cross-exchange SDX008/SDX009 checks) before
+any exchange compiles the change into its fabric.
+
+Per-exchange controllers always run with their own statics gate off: a
+single exchange cannot see an inter-exchange loop, and double-gating
+would re-report every single-exchange finding. The federated gate runs
+:func:`repro.federation.checks.analyze_federation`, which includes the
+full single-exchange check battery per member exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.bgp.messages import Update
+from repro.core.controller import SdxController
+from repro.core.sdxpolicy import ParticipantHandle
+from repro.exceptions import ParticipantError, StaticPolicyError
+from repro.federation.dataplane import FederatedDataPlane, FederatedOutcome
+from repro.federation.topology import (
+    ExchangePresence,
+    FederatedParticipantSpec,
+    FederationTopology,
+)
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.policies import Policy
+
+#: Valid federated statics gate modes (same surface as SdxController).
+STATICS_MODES = ("off", "warn", "strict")
+
+
+class FederatedController:
+    """Several SDX instances behind a single policy-change/settle surface."""
+
+    def __init__(self, *, statics_mode: str = "off", telemetry=None,
+                 with_dataplane: bool = True, **controller_kwargs) -> None:
+        if statics_mode not in STATICS_MODES:
+            raise ValueError(
+                f"statics_mode must be one of {STATICS_MODES}, "
+                f"got {statics_mode!r}")
+        self.statics_mode = statics_mode
+        self.telemetry = telemetry
+        self.with_dataplane = with_dataplane
+        self.topology = FederationTopology()
+        self.started = False
+        self.last_statics_report = None
+        self._controllers: Dict[str, SdxController] = {}
+        self._controller_kwargs = dict(controller_kwargs)
+        self._dataplane: Optional[FederatedDataPlane] = None
+
+    # ------------------------------------------------------------------
+    # Exchanges and participants
+    # ------------------------------------------------------------------
+
+    def add_exchange(self, name: str, **overrides) -> SdxController:
+        """Register exchange ``name`` and build its member controller.
+
+        Keyword overrides pass through to that exchange's
+        :class:`~repro.core.controller.SdxController`.
+        """
+        self.topology.add_exchange(name)
+        kwargs = dict(self._controller_kwargs)
+        kwargs.update(overrides)
+        kwargs.setdefault("with_dataplane", self.with_dataplane)
+        kwargs.setdefault("telemetry", self.telemetry)
+        kwargs["statics_mode"] = "off"
+        controller = SdxController(**kwargs)
+        self._controllers[name] = controller
+        return controller
+
+    def exchange(self, name: str) -> SdxController:
+        """The member controller of exchange ``name``."""
+        try:
+            return self._controllers[name]
+        except KeyError:
+            raise ParticipantError(f"unknown exchange {name!r}") from None
+
+    def exchanges(self) -> Tuple[str, ...]:
+        """Member exchange names, in registration order."""
+        return self.topology.exchanges()
+
+    def add_participant(self, name: str, asn: int, *,
+                        exchanges: Optional[Sequence[str]] = None,
+                        ports: int = 1,
+                        ports_by_exchange: Optional[Dict[str, int]] = None
+                        ) -> FederatedParticipantSpec:
+        """Register a participant at one or more exchanges.
+
+        ``exchanges`` defaults to every registered exchange; the listed
+        order is the participant's re-entry preference order.
+        ``ports_by_exchange`` overrides the uniform ``ports`` count per
+        exchange.
+        """
+        attended = tuple(exchanges) if exchanges is not None else self.exchanges()
+        if not attended:
+            raise ParticipantError(
+                f"participant {name!r} must attend at least one exchange")
+        overrides = ports_by_exchange or {}
+        presence = tuple(
+            ExchangePresence(exchange, overrides.get(exchange, ports))
+            for exchange in attended)
+        spec = FederatedParticipantSpec(name=name, asn=asn, presence=presence)
+        self.topology.add_participant(spec)
+        for entry in spec.presence:
+            self.exchange(entry.exchange).add_participant(
+                name, asn, ports=entry.ports)
+        return spec
+
+    def handle(self, exchange: str, name: str) -> ParticipantHandle:
+        """The per-exchange programming handle of one participant."""
+        return self.exchange(exchange).participant(name)
+
+    def presence(self, name: str) -> Tuple[str, ...]:
+        """The exchanges ``name`` attends, in preference order."""
+        return self.topology.presence(name)
+
+    def shared_participants(self) -> Tuple[str, ...]:
+        """Participants present at more than one exchange."""
+        return self.topology.shared_participants()
+
+    # ------------------------------------------------------------------
+    # Prefix origins
+    # ------------------------------------------------------------------
+
+    def register_origin(self, prefix: IPv4Prefix, participant: str) -> None:
+        """Record which participant's network owns ``prefix``."""
+        self.topology.register_origin(prefix, participant)
+
+    def origin_of(self, address: IPv4Address) -> Optional[str]:
+        """The origin participant of ``address``, if registered."""
+        return self.topology.origin_of(address)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def announce_route(self, exchange: str, name: str, prefix: IPv4Prefix,
+                       as_path, *, med: int = 0, local_pref: int = 100,
+                       communities: Tuple = ()) -> None:
+        """Announce ``prefix`` from ``name`` at one exchange."""
+        self.exchange(exchange).announce_route(
+            name, prefix, as_path, med=med, local_pref=local_pref,
+            communities=communities)
+
+    def withdraw_route(self, exchange: str, name: str,
+                       prefix: IPv4Prefix) -> None:
+        """Withdraw ``prefix`` from ``name`` at one exchange."""
+        self.exchange(exchange).withdraw_route(name, prefix)
+
+    def submit_update(self, exchange: str, update: Update) -> None:
+        """Feed one raw BGP update into one exchange's route server."""
+        self.exchange(exchange).submit_update(update)
+
+    # ------------------------------------------------------------------
+    # Policies (the single change surface)
+    # ------------------------------------------------------------------
+
+    def add_outbound(self, exchange: str, name: str, policy: Policy) -> None:
+        """Install an outbound policy at one exchange, gated federation-wide.
+
+        In strict mode a gate failure rolls the policy back out before
+        re-raising, so a rejected change never reaches any fabric.
+        """
+        self._install(exchange, name, policy, direction="out")
+
+    def add_inbound(self, exchange: str, name: str, policy: Policy) -> None:
+        """Install an inbound policy at one exchange, gated federation-wide."""
+        self._install(exchange, name, policy, direction="in")
+
+    def _install(self, exchange: str, name: str, policy: Policy,
+                 *, direction: str) -> None:
+        handle = self.handle(exchange, name)
+        if direction == "out":
+            handle.add_outbound(policy)
+        else:
+            handle.add_inbound(policy)
+        try:
+            self._statics_gate()
+        except StaticPolicyError:
+            participant = handle.participant
+            if direction == "out":
+                participant.remove_outbound(policy)
+            else:
+                participant.remove_inbound(policy)
+            self.exchange(exchange).notify_policy_change(name)
+            raise
+
+    def notify_policy_change(self, exchange: str, name: str) -> None:
+        """Re-gate and recompile after an out-of-band policy edit."""
+        self._statics_gate()
+        self.exchange(exchange).notify_policy_change(name)
+
+    # ------------------------------------------------------------------
+    # Statics gating
+    # ------------------------------------------------------------------
+
+    def lint_policies(self, *, enforce: bool = False):
+        """Run the full federation analysis (per-exchange + SDX008/SDX009).
+
+        Stores and returns the :class:`~repro.statics.diagnostics.\
+StaticsReport`; with ``enforce`` raises
+        :class:`~repro.exceptions.StaticPolicyError` on any
+        error-severity finding.
+        """
+        from repro.federation.checks import analyze_federation
+
+        report = analyze_federation(self, telemetry=self.telemetry)
+        self.last_statics_report = report
+        if enforce and report.has_errors:
+            heads = "; ".join(
+                diagnostic.describe() for diagnostic in report.sorted()[:3])
+            raise StaticPolicyError(
+                f"federated static policy verification failed with "
+                f"{len(report.errors)} error(s): {heads}", report=report)
+        return report
+
+    def _statics_gate(self) -> None:
+        """Apply ``statics_mode`` to the current federation state."""
+        if self.statics_mode == "off":
+            return
+        if self.statics_mode == "strict":
+            self.lint_policies(enforce=True)
+            return
+        report = self.lint_policies(enforce=False)
+        if report.diagnostics:  # pragma: no branch - trivial guard
+            for diagnostic in report.sorted():
+                print(f"statics: {diagnostic.describe()}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> Dict[str, object]:
+        """Gate, then compile and start every member exchange.
+
+        Returns the per-exchange
+        :class:`~repro.core.compile_pipeline.CompilationResult` map.
+        """
+        self._statics_gate()
+        results = {
+            name: self._controllers[name].start()
+            for name in self.exchanges()
+        }
+        self.started = True
+        return results
+
+    def settle(self) -> None:
+        """Run background recompilation on every member exchange."""
+        for name in self.exchanges():
+            self._controllers[name].run_background_recompilation()
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+
+    @property
+    def dataplane(self) -> FederatedDataPlane:
+        """The lazily-built cross-fabric driver for this federation."""
+        if self._dataplane is None:
+            self._dataplane = FederatedDataPlane(self)
+        return self._dataplane
+
+    def forward(self, exchange: str, sender: str,
+                packet: Packet) -> FederatedOutcome:
+        """Walk a packet across the federation through the real fabrics."""
+        return self.dataplane.forward(exchange, sender, packet)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """A status snapshot across all member exchanges."""
+        per_exchange = {
+            name: self._controllers[name].summary()
+            for name in self.exchanges()
+        }
+        totals: Dict[str, int] = {}
+        for snapshot in per_exchange.values():
+            for key, value in snapshot.items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return {
+            "exchanges": len(self._controllers),
+            "shared_participants": len(self.shared_participants()),
+            "transit_links": len(self.topology.transit_links()),
+            "origins": len(self.topology.origins()),
+            "totals": totals,
+            "per_exchange": per_exchange,
+        }
+
+    def __repr__(self) -> str:
+        state = "started" if self.started else "configured"
+        names = ", ".join(self.exchanges())
+        return (f"FederatedController([{names}], {state}, "
+                f"{len(self.topology.names())} participants)")

@@ -1,0 +1,118 @@
+"""The naive federated reference interpreter.
+
+One :class:`~repro.verification.reference.ReferenceInterpreter` per
+exchange — each a direct, unoptimized compilation of that exchange's
+policies and BGP view — glued together by the same hop-state walk the
+real cross-fabric driver runs (:func:`~repro.federation.dataplane.\
+walk_federation`). It shares no code with the production compiler or the
+region algebra of the statics checks, which is what makes it a usable
+oracle: an SDX008 diagnostic is only *confirmed* when this interpreter
+actually forwards the witness packet in a cycle, and an SDX009
+diagnostic only when it actually drops the witness beyond the first
+exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bgp.messages import Update
+from repro.federation.dataplane import (
+    FederatedOutcome,
+    covering_prefix,
+    walk_federation,
+)
+from repro.federation.scenario import FederatedScenario
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Packet
+from repro.verification.reference import ReferenceInterpreter
+
+
+class FederatedReferenceInterpreter:
+    """Per-exchange naive interpreters joined by the shared federation walk."""
+
+    def __init__(self, scenario: FederatedScenario):
+        self.scenario = scenario
+        self._references: Dict[str, ReferenceInterpreter] = {
+            exchange: ReferenceInterpreter(scenario.project(exchange))
+            for exchange in scenario.exchanges
+        }
+        self._owners = {prefix: name for prefix, name in scenario.owners}
+
+    def reference(self, exchange: str) -> ReferenceInterpreter:
+        """The member interpreter of one exchange."""
+        return self._references[exchange]
+
+    def apply(self, exchange: str, update: Update) -> None:
+        """Feed one BGP update into one exchange's reference view."""
+        self._references[exchange].apply(update)
+
+    def winning_outbound_clause(self, exchange: str, sender: str,
+                                packet: Packet) -> Optional[int]:
+        """Which outbound clause of ``sender`` wins at one exchange."""
+        return self._references[exchange].winning_outbound_clause(
+            sender, packet)
+
+    # ------------------------------------------------------------------
+    # The walk
+    # ------------------------------------------------------------------
+
+    def origin_of(self, dstip: IPv4Address) -> Optional[str]:
+        """The scenario-declared origin of ``dstip``, if any (longest
+        match)."""
+        best_name: Optional[str] = None
+        best_length = -1
+        for prefix_text, name in self._owners.items():
+            prefix = self._prefix(prefix_text)
+            if prefix.contains_address(dstip) and prefix.length > best_length:
+                best_name = name
+                best_length = prefix.length
+        return best_name
+
+    @staticmethod
+    def _prefix(text: str):
+        from repro.net.addresses import IPv4Prefix
+
+        return IPv4Prefix(text)
+
+    def _classify(self, exchange: str, sender: str,
+                  packet: Packet) -> Optional[str]:
+        """One naive classification pass at one exchange."""
+        result = self._references[exchange].forward(sender, packet)
+        return result[0] if result is not None else None
+
+    def _next_exchange(self, participant: str, arrived_at: str,
+                       dstip: IPv4Address) -> Optional[str]:
+        """First other attended exchange whose reference view has a
+        usable route."""
+        for exchange in self.scenario.presence(participant):
+            if exchange == arrived_at:
+                continue
+            server = self._references[exchange].route_server
+            prefix = covering_prefix(server.all_prefixes(), dstip)
+            if prefix is not None and server.best_route_for(
+                    participant, prefix) is not None:
+                return exchange
+        return None
+
+    def forward(self, exchange: str, sender: str,
+                packet: Packet) -> FederatedOutcome:
+        """Walk ``packet`` across the federation through the naive arms."""
+        return walk_federation(
+            exchange, sender, packet,
+            classify=self._classify,
+            next_exchange=self._next_exchange,
+            origin_of=self.origin_of)
+
+    def verify_alignment(self, federation) -> Optional[str]:
+        """Check every member interpreter against its real controller.
+
+        Returns a description of the first topology-fact mismatch, or
+        ``None``. A mismatch is a harness bug, not a finding.
+        """
+        for exchange in self.scenario.exchanges:
+            problem = self._references[exchange].verify_alignment(
+                federation.exchange(exchange))
+            if problem is not None:
+                return f"{exchange}: {problem}"
+        return None

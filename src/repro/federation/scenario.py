@@ -1,0 +1,512 @@
+"""Seeded, exactly-serialisable federated scenarios.
+
+A :class:`FederatedScenario` is the multi-exchange analogue of
+:class:`~repro.verification.scenario.Scenario`: everything needed to
+rebuild identical federations — exchanges, participants with their
+presence sets, a global non-overlapping prefix pool, federation-wide
+prefix origins, per-exchange announcements and policies, and a BGP churn
+trace whose steps each target one exchange. The encoding round-trips
+exactly through JSON (``to_json`` / ``from_json``), so fuzz failures
+replay bit-identically.
+
+Per-exchange *projections* (:meth:`FederatedScenario.project`) are plain
+single-exchange scenarios restricted to one exchange's members; they are
+what the per-exchange reference interpreters are built from, and their
+participant order matches :class:`~repro.federation.controller.\
+FederatedController` registration order so switch-port numbering lines
+up across all execution arms.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bgp.asn import AsPath
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.verification.scenario import (
+    FIELD_CHOICES,
+    Scenario,
+    ScenarioAnnouncement,
+    ScenarioParticipant,
+    ScenarioPolicy,
+    TraceStep,
+)
+from repro.workloads.routing import PrefixPool, synthesize_as_path
+from repro.workloads.seeding import SeedLike, derive_seed, make_rng
+
+#: Bump when the JSON encoding changes incompatibly.
+FEDERATED_SCENARIO_VERSION = 1
+
+#: Exchange names are letters appended to a common stem.
+_EXCHANGE_STEM = "IXP-"
+
+
+def _exchange_names(count: int) -> Tuple[str, ...]:
+    """``IXP-A``, ``IXP-B``, ... for ``count`` exchanges."""
+    return tuple(f"{_EXCHANGE_STEM}{chr(ord('A') + i)}" for i in range(count))
+
+
+@dataclass(frozen=True)
+class FederatedParticipant:
+    """One participant and the exchanges it attends (preference order)."""
+
+    name: str
+    asn: int
+    exchanges: Tuple[str, ...]
+    ports: int = 1
+
+
+@dataclass(frozen=True)
+class FederatedAnnouncement:
+    """One base-table announcement at one exchange."""
+
+    exchange: str
+    participant: str
+    prefix: str
+    as_path: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FederatedPolicy:
+    """One generated policy clause, pinned to one exchange."""
+
+    exchange: str
+    participant: str
+    direction: str
+    field: str
+    value: Union[int, str]
+    target: Optional[str] = None
+    dst_prefix: Optional[str] = None
+    port_index: int = 0
+
+    def to_scenario_policy(self) -> ScenarioPolicy:
+        """The clause without its exchange tag."""
+        return ScenarioPolicy(
+            participant=self.participant, direction=self.direction,
+            field=self.field, value=self.value, target=self.target,
+            dst_prefix=self.dst_prefix, port_index=self.port_index)
+
+
+@dataclass(frozen=True)
+class FederatedTraceStep:
+    """One BGP churn step targeting one exchange."""
+
+    exchange: str
+    kind: str
+    participant: str
+    prefix: str
+    as_path: Tuple[int, ...] = ()
+    med: int = 0
+
+    def to_step(self) -> TraceStep:
+        """The step without its exchange tag."""
+        return TraceStep(kind=self.kind, participant=self.participant,
+                         prefix=self.prefix, as_path=self.as_path,
+                         med=self.med)
+
+
+@dataclass(frozen=True)
+class FederatedScenario:
+    """Everything needed to rebuild one federation identically."""
+
+    seed: int
+    exchanges: Tuple[str, ...]
+    participants: Tuple[FederatedParticipant, ...]
+    prefixes: Tuple[str, ...]
+    owners: Tuple[Tuple[str, str], ...]
+    announcements: Tuple[FederatedAnnouncement, ...]
+    policies: Tuple[FederatedPolicy, ...]
+    trace: Tuple[FederatedTraceStep, ...]
+
+    # ------------------------------------------------------------------
+    # Derived facts
+    # ------------------------------------------------------------------
+
+    def participant_names(self) -> Tuple[str, ...]:
+        """Member names in registration order."""
+        return tuple(spec.name for spec in self.participants)
+
+    def asn_of(self, name: str) -> int:
+        """The ASN of participant ``name``."""
+        for spec in self.participants:
+            if spec.name == name:
+                return spec.asn
+        raise KeyError(name)
+
+    def presence(self, name: str) -> Tuple[str, ...]:
+        """The exchanges ``name`` attends, in preference order."""
+        for spec in self.participants:
+            if spec.name == name:
+                return spec.exchanges
+        raise KeyError(name)
+
+    def participants_at(self, exchange: str) -> Tuple[FederatedParticipant, ...]:
+        """Members present at ``exchange``, in registration order."""
+        return tuple(spec for spec in self.participants
+                     if exchange in spec.exchanges)
+
+    def owner_of(self, prefix: str) -> Optional[str]:
+        """The registered origin of ``prefix``, if any."""
+        for owned, name in self.owners:
+            if owned == prefix:
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+
+    def project(self, exchange: str) -> Scenario:
+        """This scenario restricted to one exchange's members and state."""
+        if exchange not in self.exchanges:
+            raise KeyError(exchange)
+        return Scenario(
+            seed=derive_seed(self.seed, f"exchange-{exchange}"),
+            participants=tuple(
+                ScenarioParticipant(name=spec.name, asn=spec.asn,
+                                    ports=spec.ports)
+                for spec in self.participants_at(exchange)),
+            prefixes=self.prefixes,
+            announcements=tuple(
+                ScenarioAnnouncement(participant=item.participant,
+                                     prefix=item.prefix,
+                                     as_path=item.as_path)
+                for item in self.announcements if item.exchange == exchange),
+            policies=tuple(
+                item.to_scenario_policy()
+                for item in self.policies if item.exchange == exchange),
+            trace=tuple(
+                item.to_step()
+                for item in self.trace if item.exchange == exchange),
+        )
+
+    def step_update(self, step: FederatedTraceStep):
+        """One trace step as the exact update every execution consumes."""
+        return self.project(step.exchange).step_update(step.to_step())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def build_controller(self, *, statics_mode: str = "off",
+                         start: bool = True, **kwargs):
+        """A federation loaded with this scenario's base state.
+
+        Identical on every call (same registration order, same base
+        routes, same policies in list order). Policies install through
+        the federated change surface, so ``statics_mode="strict"``
+        rejects a loop-prone scenario at install time. Keyword arguments
+        pass through to the per-exchange controllers.
+        """
+        from repro.federation.controller import FederatedController
+
+        kwargs.setdefault("with_dataplane", True)
+        with_dataplane = kwargs.pop("with_dataplane")
+        federation = FederatedController(
+            statics_mode=statics_mode, with_dataplane=with_dataplane,
+            **kwargs)
+        for exchange in self.exchanges:
+            federation.add_exchange(exchange)
+        for spec in self.participants:
+            federation.add_participant(
+                spec.name, spec.asn, exchanges=spec.exchanges,
+                ports=spec.ports)
+        for prefix, owner in self.owners:
+            federation.register_origin(IPv4Prefix(prefix), owner)
+        for item in self.announcements:
+            federation.announce_route(
+                item.exchange, item.participant, IPv4Prefix(item.prefix),
+                AsPath(item.as_path))
+        for item in self.policies:
+            controller = federation.exchange(item.exchange)
+            built = item.to_scenario_policy().build(
+                lambda name, index: controller.participant(name).port(index))
+            if item.direction == "out":
+                federation.add_outbound(item.exchange, item.participant, built)
+            else:
+                federation.add_inbound(item.exchange, item.participant, built)
+        if start:
+            federation.start()
+        return federation
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (see :meth:`from_dict` for the inverse)."""
+        payload = asdict(self)
+        payload["version"] = FEDERATED_SCENARIO_VERSION
+        return payload
+
+    def to_json(self) -> str:
+        """The scenario as deterministic, pretty-printed JSON."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FederatedScenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        version = payload.get("version", FEDERATED_SCENARIO_VERSION)
+        if version != FEDERATED_SCENARIO_VERSION:
+            raise ValueError(
+                f"unsupported federated scenario version {version!r}")
+        return cls(
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            exchanges=tuple(payload["exchanges"]),  # type: ignore[arg-type]
+            participants=tuple(
+                FederatedParticipant(
+                    name=item["name"], asn=item["asn"],
+                    exchanges=tuple(item["exchanges"]), ports=item["ports"])
+                for item in payload["participants"]),  # type: ignore[union-attr]
+            prefixes=tuple(payload["prefixes"]),  # type: ignore[arg-type]
+            owners=tuple(
+                (item[0], item[1])
+                for item in payload["owners"]),  # type: ignore[union-attr]
+            announcements=tuple(
+                FederatedAnnouncement(
+                    exchange=item["exchange"], participant=item["participant"],
+                    prefix=item["prefix"], as_path=tuple(item["as_path"]))
+                for item in payload["announcements"]),  # type: ignore[union-attr]
+            policies=tuple(
+                FederatedPolicy(**item)
+                for item in payload["policies"]),  # type: ignore[union-attr]
+            trace=tuple(
+                FederatedTraceStep(
+                    exchange=item["exchange"], kind=item["kind"],
+                    participant=item["participant"], prefix=item["prefix"],
+                    as_path=tuple(item["as_path"]), med=item["med"])
+                for item in payload["trace"]),  # type: ignore[union-attr]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FederatedScenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def wrap_scenario(scenario: Scenario,
+                  exchange: str = "IXP-A") -> FederatedScenario:
+    """A single-exchange scenario as a one-exchange federation.
+
+    No participant is shared and no origin is registered, so every
+    egress exits upstream immediately — the federated semantics collapse
+    to plain single-exchange SDX semantics, which the hypothesis
+    equivalence properties pin down.
+    """
+    return FederatedScenario(
+        seed=scenario.seed,
+        exchanges=(exchange,),
+        participants=tuple(
+            FederatedParticipant(name=spec.name, asn=spec.asn,
+                                 exchanges=(exchange,), ports=spec.ports)
+            for spec in scenario.participants),
+        prefixes=scenario.prefixes,
+        owners=(),
+        announcements=tuple(
+            FederatedAnnouncement(exchange=exchange,
+                                  participant=item.participant,
+                                  prefix=item.prefix, as_path=item.as_path)
+            for item in scenario.announcements),
+        policies=tuple(
+            FederatedPolicy(exchange=exchange, participant=item.participant,
+                            direction=item.direction, field=item.field,
+                            value=item.value, target=item.target,
+                            dst_prefix=item.dst_prefix,
+                            port_index=item.port_index)
+            for item in scenario.policies),
+        trace=tuple(
+            FederatedTraceStep(exchange=exchange, kind=item.kind,
+                               participant=item.participant,
+                               prefix=item.prefix, as_path=item.as_path,
+                               med=item.med)
+            for item in scenario.trace),
+    )
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def _assign_presence(rng, names: Sequence[str], exchanges: Tuple[str, ...],
+                     shared: int) -> Dict[str, Tuple[str, ...]]:
+    """Presence sets: the first ``shared`` names attend several exchanges,
+    the rest are spread round-robin so every exchange has members."""
+    presence: Dict[str, Tuple[str, ...]] = {}
+    for index, name in enumerate(names):
+        if index < shared:
+            count = rng.randint(2, len(exchanges)) if len(exchanges) > 2 else 2
+            attended = sorted(rng.sample(range(len(exchanges)), count))
+            ordered = [exchanges[i] for i in attended]
+            rng.shuffle(ordered)
+            presence[name] = tuple(ordered)
+        else:
+            home = exchanges[(index - shared) % len(exchanges)]
+            presence[name] = (home,)
+    return presence
+
+
+def generate_federated_scenario(
+        seed: SeedLike, *, exchanges: int = 2, participants: int = 6,
+        shared: int = 2, prefixes: int = 4, policies: int = 6,
+        steps: int = 12,
+        withdraw_probability: float = 0.25) -> FederatedScenario:
+    """A seeded random federation with cross-exchange structure.
+
+    The first ``shared`` participants attend several exchanges (these
+    are the stitch points loops and blackholes need); the rest are
+    single-homed, spread so every exchange has members. Each prefix has
+    one federation-wide origin that announces it everywhere it peers;
+    shared participants re-announce prefixes they can reach at other
+    exchanges with longer AS paths (transit claims), which is what makes
+    the cross-exchange walk non-trivial. Policies and the churn trace
+    mirror the single-exchange generator, pinned to exchanges.
+    """
+    if exchanges < 1:
+        raise ValueError("need at least one exchange")
+    if participants < exchanges:
+        raise ValueError("need at least one participant per exchange")
+    shared = min(shared, participants) if exchanges > 1 else 0
+    rng = make_rng(seed, salt=0xFEDE)
+    exchange_names = _exchange_names(exchanges)
+
+    specs: List[FederatedParticipant] = []
+    names = [f"AS{i + 1}" for i in range(participants)]
+    presence = _assign_presence(rng, names, exchange_names, shared)
+    for index, name in enumerate(names):
+        specs.append(FederatedParticipant(
+            name=name, asn=65_001 + index, exchanges=presence[name],
+            ports=2 if rng.random() < 0.25 else 1))
+    by_name = {spec.name: spec for spec in specs}
+
+    pool = PrefixPool(lengths=(24, 16), seed=derive_seed(seed, "prefixes"))
+    prefix_list = tuple(str(prefix) for prefix in pool.take(prefixes))
+
+    owners: List[Tuple[str, str]] = []
+    announcements: List[FederatedAnnouncement] = []
+    for prefix in prefix_list:
+        owner = rng.choice(specs)
+        origin_asn = rng.randrange(1_000, 60_000)
+        owners.append((prefix, owner.name))
+        for exchange in owner.exchanges:
+            announcements.append(FederatedAnnouncement(
+                exchange=exchange, participant=owner.name, prefix=prefix,
+                as_path=tuple(synthesize_as_path(
+                    origin_asn, owner.asn, rng, min_length=2))))
+        # Transit claims: shared participants that peer alongside the
+        # owner somewhere re-announce the prefix at their *other*
+        # exchanges with a longer path — the stitches of the federation.
+        for spec in specs:
+            if spec.name == owner.name or not spec.exchanges:
+                continue
+            meets_owner = bool(set(spec.exchanges) & set(owner.exchanges))
+            for exchange in spec.exchanges:
+                if exchange in owner.exchanges:
+                    continue
+                if meets_owner and rng.random() < 0.6:
+                    announcements.append(FederatedAnnouncement(
+                        exchange=exchange, participant=spec.name,
+                        prefix=prefix,
+                        as_path=tuple(synthesize_as_path(
+                            origin_asn, spec.asn, rng, min_length=3))))
+
+    policy_list: List[FederatedPolicy] = []
+    for _ in range(policies):
+        exchange = rng.choice(exchange_names)
+        members = [spec for spec in specs if exchange in spec.exchanges]
+        if len(members) < 2:
+            continue
+        sender = rng.choice(members)
+        field, values = rng.choice(FIELD_CHOICES)
+        value = rng.choice(values)
+        if rng.random() < 0.3:
+            policy_list.append(FederatedPolicy(
+                exchange=exchange, participant=sender.name, direction="in",
+                field=field, value=value,
+                port_index=rng.randrange(sender.ports)))
+            continue
+        target = rng.choice([s for s in members if s.name != sender.name])
+        dst_prefix = (rng.choice(prefix_list)
+                      if prefix_list and rng.random() < 0.5 else None)
+        policy_list.append(FederatedPolicy(
+            exchange=exchange, participant=sender.name, direction="out",
+            field=field, value=value, target=target.name,
+            dst_prefix=dst_prefix))
+
+    trace: List[FederatedTraceStep] = []
+    announced: Dict[Tuple[str, str, str], Tuple[int, ...]] = {
+        (item.exchange, item.participant, item.prefix): item.as_path
+        for item in announcements
+    }
+    trace_rng = make_rng(derive_seed(seed, "federated-trace"))
+    for _ in range(steps):
+        exchange = trace_rng.choice(exchange_names)
+        members = [spec for spec in specs if exchange in spec.exchanges]
+        if not members or not prefix_list:
+            continue
+        spec = trace_rng.choice(members)
+        prefix = trace_rng.choice(prefix_list)
+        key = (exchange, spec.name, prefix)
+        if key in announced and trace_rng.random() < withdraw_probability:
+            del announced[key]
+            trace.append(FederatedTraceStep(
+                exchange=exchange, kind="withdraw", participant=spec.name,
+                prefix=prefix))
+        else:
+            path = tuple(synthesize_as_path(
+                trace_rng.randrange(1_000, 60_000), spec.asn, trace_rng,
+                min_length=2))
+            announced[key] = path
+            trace.append(FederatedTraceStep(
+                exchange=exchange, kind="announce", participant=spec.name,
+                prefix=prefix, as_path=path,
+                med=trace_rng.choice((0, 0, 0, 50, 100))))
+
+    return FederatedScenario(
+        seed=_seed_int(seed),
+        exchanges=exchange_names,
+        participants=tuple(specs),
+        prefixes=prefix_list,
+        owners=tuple(owners),
+        announcements=tuple(announcements),
+        policies=tuple(policy_list),
+        trace=tuple(trace),
+    )
+
+
+def _seed_int(seed: SeedLike) -> int:
+    """A stable integer encoding of any accepted seed value."""
+    if isinstance(seed, int):
+        return seed
+    return derive_seed(seed, "federated-scenario")
+
+
+def generate_federated_corpus(scenario: FederatedScenario, *,
+                              size: int = 12,
+                              seed: Optional[int] = None) -> Tuple[Packet, ...]:
+    """A deduplicated probe corpus covering every member exchange.
+
+    Unions the single-exchange corpora of each projection (structured
+    prefix x policy-field probes plus seeded random packets), so every
+    exchange's policies and announcements have covering probes.
+    """
+    from repro.verification.corpus import generate_corpus
+
+    merged: List[Packet] = []
+    seen = set()
+    for exchange in scenario.exchanges:
+        projection = scenario.project(exchange)
+        packets = generate_corpus(
+            projection, size=size,
+            seed=seed if seed is not None else derive_seed(
+                scenario.seed, f"corpus-{exchange}"))
+        for packet in packets:
+            key = tuple(sorted((name, str(value))
+                               for name, value in packet.items()))
+            if key not in seen:
+                seen.add(key)
+                merged.append(packet)
+    return tuple(merged)

@@ -254,6 +254,83 @@ _CHURN_SPECS = {
 }
 
 
+def _run_federation_compile(mode: str) -> Dict[str, float]:
+    """Federation build + cross-exchange statics + federated walk cost.
+
+    Sweeps exchange counts: each point generates a seeded federated
+    scenario, compiles every member fabric through the federated change
+    surface, runs the full cross-exchange analysis (per-exchange battery
+    plus SDX008/SDX009), then walks a probe corpus through the real
+    cross-fabric driver from every ``(exchange, sender)`` state. The
+    structural counts are deterministic for the seed, so they gate as
+    tight non-timing metrics; the three wall-clock phases gate loosely.
+    """
+    from repro.federation import (
+        analyze_federation,
+        generate_federated_corpus,
+        generate_federated_scenario,
+    )
+
+    if mode == "quick":
+        grid = ((2, 6),)
+        corpus_size = 8
+    else:
+        grid = ((2, 10), (3, 14), (4, 18))
+        corpus_size = 12
+
+    build_seconds = 0.0
+    statics_seconds = 0.0
+    walk_seconds = 0.0
+    diagnostics = 0.0
+    clauses = 0.0
+    walks = 0.0
+    for exchanges, participants in grid:
+        scenario = generate_federated_scenario(
+            11, exchanges=exchanges, participants=participants,
+            prefixes=6, policies=8, steps=0)
+        started = time.perf_counter()
+        federation = scenario.build_controller(with_dataplane=True)
+        build_seconds += time.perf_counter() - started
+
+        started = time.perf_counter()
+        report = analyze_federation(federation)
+        statics_seconds += time.perf_counter() - started
+        diagnostics += len(report.diagnostics)
+        clauses += report.clauses_analyzed
+
+        corpus = generate_federated_corpus(scenario, size=corpus_size)
+        started = time.perf_counter()
+        for exchange in scenario.exchanges:
+            for spec in scenario.participants_at(exchange):
+                for packet in corpus:
+                    federation.forward(exchange, spec.name, packet)
+                    walks += 1
+        walk_seconds += time.perf_counter() - started
+    return {
+        "federation_build_seconds": build_seconds,
+        "federation_statics_seconds": statics_seconds,
+        "federated_walk_seconds": walk_seconds,
+        "federation_diagnostics_total": diagnostics,
+        "federation_clauses_total": clauses,
+        "federated_walks_total": walks,
+    }
+
+
+_FEDERATION_SPECS = {
+    "federation_build_seconds": MetricSpec(tolerance=0.6, direction="lower"),
+    "federation_statics_seconds": MetricSpec(tolerance=0.6,
+                                             direction="lower"),
+    "federated_walk_seconds": MetricSpec(tolerance=0.75, direction="lower"),
+    "federation_diagnostics_total": MetricSpec(tolerance=0.0,
+                                               direction="near",
+                                               timing=False),
+    "federation_clauses_total": MetricSpec(tolerance=0.0, direction="near",
+                                           timing=False),
+    "federated_walks_total": MetricSpec(tolerance=0.0, direction="near",
+                                        timing=False),
+}
+
+
 #: Every registered family, in gate order. The perf gate runs all of
 #: these in quick mode; ``repro bench --family`` selects a subset.
 FAMILIES: Dict[str, BenchFamily] = {
@@ -284,6 +361,12 @@ FAMILIES: Dict[str, BenchFamily] = {
             description="Per-fault-class chaos convergence cost",
             specs=_CHURN_SPECS,
             runner=_run_churn_convergence),
+        BenchFamily(
+            name="federation_compile",
+            description="Federated build, cross-exchange statics, and "
+                        "cross-fabric walk cost",
+            specs=_FEDERATION_SPECS,
+            runner=_run_federation_compile),
     )
 }
 

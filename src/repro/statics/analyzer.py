@@ -92,7 +92,19 @@ def analyze_controller(controller, *,
                        checks: Sequence[Check] = DEFAULT_CHECKS,
                        raw_policies: Sequence[RawPolicyDocument] = (),
                        telemetry: Optional[Telemetry] = None) -> StaticsReport:
-    """Lint everything installed in (or offered to) a controller."""
+    """Lint everything installed in (or offered to) a controller.
+
+    A :class:`~repro.federation.controller.FederatedController` gets the
+    federation-wide analysis (the member-exchange battery plus the
+    cross-exchange SDX008/SDX009 checks) instead of the single-exchange
+    engine; ``checks``/``raw_policies`` apply to single exchanges only.
+    """
+    from repro.federation.controller import FederatedController
+
+    if isinstance(controller, FederatedController):
+        from repro.federation.checks import analyze_federation
+
+        return analyze_federation(controller, telemetry=telemetry)
     context = StaticsContext.from_controller(
         controller, raw_policies=raw_policies)
     if telemetry is None:
@@ -120,8 +132,14 @@ def lint_config(document: Mapping[str, Any], *,
     Raw-document checks (SDX004/SDX006) run against every policy entry
     first; entries they flag — or that installation rejects — are
     skipped, and the remaining exchange is analyzed as a controller.
-    Returns one merged report.
+    Returns one merged report. A document with an ``exchanges`` key
+    describes a federation and is dispatched to
+    :func:`repro.federation.config.lint_federated_config` instead.
     """
+    if "exchanges" in document:
+        from repro.federation.config import lint_federated_config
+
+        return lint_federated_config(document, telemetry=telemetry)
     from repro.config import clause_to_policy, controller_from_config
 
     raw = _raw_documents(document)

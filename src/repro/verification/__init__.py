@@ -30,6 +30,10 @@ state). This package turns both claims into executable oracles:
   policy verifier: dead-clause and route-less-forward verdicts checked
   packet-by-packet against the reference interpreter
   (``python -m repro fuzz --statics``);
+- :mod:`repro.verification.federation` — cross-validation of the
+  federation layer: SDX008/SDX009 witness contracts plus the
+  real-vs-reference federated walk comparison
+  (``python -m repro fuzz --federation``);
 - :mod:`repro.verification.shrink` — trace minimisation to a minimal
   failing prefix (truncate, then greedy event removal);
 - :mod:`repro.verification.artifact` — replayable JSON failure
@@ -40,6 +44,10 @@ state). This package turns both claims into executable oracles:
 
 from repro.verification.artifact import FailureArtifact, replay_artifact
 from repro.verification.corpus import generate_corpus
+from repro.verification.federation import (
+    FederationCrosscheckResult,
+    federation_crosscheck,
+)
 from repro.verification.fuzz import FuzzConfig, FuzzReport, run_fuzz
 from repro.verification.invariants import (
     SwapMonitor,
@@ -76,6 +84,7 @@ __all__ = [
     "CanonicalState",
     "DifferentialOracle",
     "FailureArtifact",
+    "FederationCrosscheckResult",
     "FuzzConfig",
     "FuzzReport",
     "OracleFailure",
@@ -94,6 +103,7 @@ __all__ = [
     "check_runtime_equivalence",
     "check_single_delivery",
     "compare_controllers",
+    "federation_crosscheck",
     "forwarding_outcomes",
     "generate_corpus",
     "generate_scenario",

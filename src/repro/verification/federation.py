@@ -1,0 +1,150 @@
+"""Fuzzer cross-validation of the federation layer.
+
+Two falsifiable surfaces, checked exactly like SDX001/SDX003 in
+:mod:`repro.verification.statics`:
+
+* **SDX008 (inter-exchange loop)** — every diagnostic's witness packet,
+  fired from the diagnosed ``(exchange, participant)`` state, must
+  actually walk a cycle in the federated reference interpreter;
+* **SDX009 (stitched blackhole)** — every witness must actually be
+  dropped beyond its first exchange.
+
+On top of the point-wise statics checks, every corpus packet is
+forwarded from every ``(exchange, sender)`` state through both execution
+arms — the real cross-fabric driver
+(:class:`~repro.federation.dataplane.FederatedDataPlane` over compiled
+:class:`~repro.dataplane.switch.SoftwareSwitch` fabrics) and the naive
+:class:`~repro.federation.reference.FederatedReferenceInterpreter` —
+and the outcomes compared hop-for-hop. The whole battery re-runs after
+every BGP trace step, so verdicts are held against churning RIB state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.net.packet import Packet
+from repro.verification.oracle import OracleFailure
+
+if TYPE_CHECKING:  # the federation package imports verification modules,
+    # so runtime imports here must stay lazy to avoid a cycle
+    from repro.federation.reference import FederatedReferenceInterpreter
+    from repro.federation.scenario import FederatedScenario
+
+
+@dataclass
+class FederationCrosscheckResult:
+    """The outcome of one federated cross-validation run."""
+
+    failure: Optional[OracleFailure] = None
+    steps_executed: int = 0
+    comparisons: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every verdict held and both arms agreed."""
+        return self.failure is None
+
+
+def _data_map(diagnostic) -> dict:
+    """The diagnostic's payload as a plain dict."""
+    return dict(diagnostic.data)
+
+
+def _check_statics(federation, reference: "FederatedReferenceInterpreter",
+                   step: int) -> Optional[OracleFailure]:
+    """Hold SDX008/SDX009 to their witness contracts on current state."""
+    from repro.federation.checks import analyze_federation
+
+    report = analyze_federation(federation)
+    for diagnostic in report.by_check("SDX008"):
+        payload = _data_map(diagnostic)
+        outcome = reference.forward(
+            payload["origin_exchange"], payload["origin_participant"],
+            diagnostic.witness)
+        if not outcome.is_loop:
+            return OracleFailure(
+                kind="statics-loop-not-reproduced", step=step,
+                detail=f"SDX008 at [{diagnostic.location.describe()}] "
+                       f"claimed witness {diagnostic.witness!r} loops from "
+                       f"{payload['origin_exchange']}:"
+                       f"{payload['origin_participant']}, but the federated "
+                       f"reference resolves it to {outcome.describe()}")
+    for diagnostic in report.by_check("SDX009"):
+        payload = _data_map(diagnostic)
+        outcome = reference.forward(
+            payload["origin_exchange"], payload["origin_participant"],
+            diagnostic.witness)
+        if outcome.kind != "dropped" or len(outcome.hops) < 2:
+            return OracleFailure(
+                kind="statics-blackhole-not-reproduced", step=step,
+                detail=f"SDX009 at [{diagnostic.location.describe()}] "
+                       f"claimed witness {diagnostic.witness!r} blackholes "
+                       f"beyond {payload['origin_exchange']}:"
+                       f"{payload['origin_participant']}, but the federated "
+                       f"reference resolves it to {outcome.describe()}")
+    return None
+
+
+def _check_differential(scenario: "FederatedScenario", federation,
+                        reference: "FederatedReferenceInterpreter",
+                        corpus: Sequence[Packet], step: int,
+                        result: FederationCrosscheckResult
+                        ) -> Optional[OracleFailure]:
+    """Compare both arms' walks for every (exchange, sender, packet)."""
+    for exchange in scenario.exchanges:
+        for spec in scenario.participants_at(exchange):
+            for packet in corpus:
+                real = federation.forward(exchange, spec.name, packet)
+                naive = reference.forward(exchange, spec.name, packet)
+                result.comparisons += 1
+                if real.comparable() != naive.comparable():
+                    return OracleFailure(
+                        kind="federated-forwarding-divergence", step=step,
+                        detail=f"{exchange}:{spec.name} x {packet!r}: "
+                               f"real dataplane {real.describe()} != "
+                               f"reference {naive.describe()}")
+    return None
+
+
+def federation_crosscheck(scenario: "FederatedScenario",
+                          corpus: Sequence[Packet] = ()
+                          ) -> FederationCrosscheckResult:
+    """Cross-validate one federated scenario end to end.
+
+    Builds the real federation (compiled fabrics) and the naive
+    federated reference from the same scenario, verifies their derived
+    topology facts align, then runs the statics-witness and differential
+    batteries at the base table and after every trace step. The first
+    breach stops the run.
+    """
+    from repro.federation.reference import FederatedReferenceInterpreter
+
+    result = FederationCrosscheckResult()
+    federation = scenario.build_controller(with_dataplane=True)
+    reference = FederatedReferenceInterpreter(scenario)
+    problem = reference.verify_alignment(federation)
+    if problem is not None:
+        result.failure = OracleFailure(
+            kind="federated-alignment", step=-1, detail=problem)
+        return result
+
+    def check(step: int) -> Optional[OracleFailure]:
+        return (_check_statics(federation, reference, step)
+                or _check_differential(scenario, federation, reference,
+                                       corpus, step, result))
+
+    result.failure = check(-1)
+    if result.failure is not None:
+        return result
+    for index, step in enumerate(scenario.trace):
+        update = scenario.step_update(step)
+        federation.submit_update(step.exchange, update)
+        reference.apply(step.exchange, update)
+        federation.settle()
+        result.steps_executed += 1
+        result.failure = check(index)
+        if result.failure is not None:
+            return result
+    return result

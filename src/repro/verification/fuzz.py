@@ -39,6 +39,13 @@ class FuzzConfig:
     and route-less-forward verdicts against the reference interpreter on
     every scenario (see
     :func:`repro.verification.statics.statics_crosscheck`).
+    ``federation`` switches the session to multi-exchange scenarios:
+    each iteration generates a federated scenario over ``exchanges``
+    exchanges and runs
+    :func:`repro.verification.federation.federation_crosscheck` (the
+    SDX008/SDX009 witness contracts plus the real-vs-reference federated
+    walk comparison) instead of the single-exchange oracle. Federated
+    failures are saved as raw scenario JSON without shrinking.
     """
 
     seed: int = 0
@@ -54,6 +61,8 @@ class FuzzConfig:
     shrink: bool = True
     runtime: bool = False
     statics: bool = False
+    federation: bool = False
+    exchanges: int = 2
 
 
 @dataclass(frozen=True)
@@ -120,10 +129,92 @@ def _scenario_for(config: FuzzConfig, index: int) -> Scenario:
         steps=config.steps)
 
 
+def _run_federation_fuzz(config: FuzzConfig,
+                         telemetry: Telemetry) -> FuzzReport:
+    """The federated fuzzing loop: one cross-check per scenario.
+
+    Findings are not shrunk (the federated walk has no shrinking
+    machinery yet); instead the failing scenario is written verbatim as
+    replayable JSON next to the usual artifacts.
+    """
+    import json
+    import os
+
+    from repro.federation.scenario import (
+        generate_federated_corpus,
+        generate_federated_scenario,
+    )
+    from repro.verification.federation import federation_crosscheck
+
+    registry = telemetry.registry
+    scenarios_counter = registry.counter(
+        "sdx_fuzz_federation_scenarios_total",
+        "Federated fuzz scenarios executed")
+    failures_counter = registry.counter(
+        "sdx_fuzz_federation_failures_total",
+        "Federated scenarios that broke a witness contract or diverged")
+
+    report = FuzzReport(config=config)
+    started = time.monotonic()
+    for index in range(config.scenarios):
+        if (config.time_budget_seconds is not None
+                and time.monotonic() - started
+                >= config.time_budget_seconds):
+            report.budget_exhausted = True
+            break
+        scenario = generate_federated_scenario(
+            derive_seed(config.seed, f"federation-{index}"),
+            exchanges=config.exchanges,
+            participants=config.participants,
+            prefixes=config.prefixes,
+            policies=config.policies,
+            steps=config.steps)
+        corpus = generate_federated_corpus(
+            scenario, size=config.corpus_size)
+        with telemetry.span("fuzz.federation", index=index,
+                            seed=scenario.seed):
+            result = federation_crosscheck(scenario, corpus)
+        report.scenarios_run += 1
+        report.steps_executed += result.steps_executed
+        report.comparisons += result.comparisons
+        scenarios_counter.inc()
+        if result.failure is None:
+            continue
+        failures_counter.inc()
+        artifact_path: Optional[str] = None
+        if config.artifact_dir is not None:
+            os.makedirs(config.artifact_dir, exist_ok=True)
+            slug = "".join(ch if ch.isalnum() else "-"
+                           for ch in result.failure.kind)
+            artifact_path = os.path.join(
+                config.artifact_dir,
+                f"federated-seed{scenario.seed}-{slug}.json")
+            payload = {
+                "kind": result.failure.kind,
+                "step": result.failure.step,
+                "detail": result.failure.detail,
+                "scenario": scenario.to_dict(),
+            }
+            with open(artifact_path, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, indent=2, sort_keys=True)
+                             + "\n")
+        report.findings.append(FuzzFinding(
+            scenario_index=index,
+            scenario_seed=scenario.seed,
+            failure=result.failure,
+            shrunk_trace_length=len(scenario.trace),
+            original_trace_length=len(scenario.trace),
+            artifact_path=artifact_path))
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
 def run_fuzz(config: FuzzConfig,
              telemetry: Optional[Telemetry] = None) -> FuzzReport:
     """Run one fuzzing session; never raises on a finding."""
     telemetry = telemetry if telemetry is not None else get_telemetry()
+    if config.federation:
+        return _run_federation_fuzz(config, telemetry)
     registry = telemetry.registry
     scenarios_counter = registry.counter(
         "sdx_fuzz_scenarios_total", "Fuzz scenarios executed")

@@ -75,6 +75,12 @@ class ReferenceInterpreter:
     # Control plane
     # ------------------------------------------------------------------
 
+    @property
+    def route_server(self) -> RouteServer:
+        """The interpreter's independent BGP view (read-only access for
+        the federated walk's re-entry decisions)."""
+        return self._server
+
     def apply(self, update: Update) -> None:
         """Consume one BGP update (the same object the executions get)."""
         self._server.submit(update)

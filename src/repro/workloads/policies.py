@@ -510,3 +510,181 @@ def defect_documents(defects: Sequence[InjectedDefect]):
             participant=defect.participant, direction=defect.direction,
             clause=defect.document, index=defect.document_index or 0))
     return documents
+
+
+# ----------------------------------------------------------------------
+# Federation defect injection (SDX008/SDX009 recall testing)
+# ----------------------------------------------------------------------
+
+#: The federation-level defect kinds and their check IDs.
+FEDERATION_DEFECT_KINDS: Tuple[str, ...] = (
+    "federation_loop", "stitched_blackhole")
+
+
+def _federation_fresh_port(federation, rng: random.Random) -> int:
+    """A defect port no clause anywhere in the federation matches on."""
+    used = set()
+    for exchange in federation.exchanges():
+        controller = federation.exchange(exchange)
+        for participant in controller.topology.participants():
+            clauses = list(participant.inbound_clauses())
+            if not participant.is_remote:
+                clauses.extend(participant.outbound_clauses())
+            for clause in clauses:
+                used.update(
+                    value for _f, value in _walk_dstports(clause.predicate))
+    candidates = [port for port in _DEFECT_PORTS if port not in used]
+    if not candidates:
+        raise ValueError("no fresh defect port available in the federation")
+    return rng.choice(candidates)
+
+
+def _federation_unrouted_prefix(federation, rng: random.Random) -> IPv4Prefix:
+    """A documentation prefix no exchange in the federation announces."""
+    announced: List[IPv4Prefix] = []
+    for exchange in federation.exchanges():
+        announced.extend(federation.exchange(exchange)
+                         .route_server.all_prefixes())
+    candidates = [
+        IPv4Prefix(text) for text in _UNROUTED_PREFIXES
+        if all(IPv4Prefix(text).intersection(p) is None for p in announced)
+    ]
+    if not candidates:
+        raise ValueError("no unannounced documentation prefix available")
+    return rng.choice(candidates)
+
+
+def _shared_pairs(federation) -> List[Tuple[str, str, str, str]]:
+    """(X, Y, A, B) choices: shared X and Y both present at A and B."""
+    shared = federation.shared_participants()
+    pairs: List[Tuple[str, str, str, str]] = []
+    for left in shared:
+        for right in shared:
+            if right == left:
+                continue
+            common = [exchange for exchange in federation.presence(left)
+                      if exchange in federation.presence(right)]
+            if len(common) >= 2:
+                pairs.append((left, right, common[0], common[1]))
+    return pairs
+
+
+def inject_federation_loop(federation, *,
+                           seed: SeedLike = 0) -> InjectedDefect:
+    """Seed the canonical Prelude loop across two exchanges (SDX008).
+
+    Shared participants X and Y each claim transit for a fresh prefix at
+    a different exchange; X's outbound at B steers matching traffic into
+    Y, Y's outbound at A steers it back into X. Each clause is locally
+    valid, and the composed path cycles ``(B,X) -> (A,Y) -> (B,X)``.
+    """
+    from repro.bgp.asn import AsPath
+
+    rng = make_rng(seed)
+    pairs = _shared_pairs(federation)
+    if not pairs:
+        raise ValueError(
+            "need two shared participants with two common exchanges")
+    left, right, first, second = rng.choice(pairs)
+    prefix = _federation_unrouted_prefix(federation, rng)
+    port = _federation_fresh_port(federation, rng)
+    left_asn = federation.topology.participant(left).asn
+    right_asn = federation.topology.participant(right).asn
+    origin_asn = rng.randrange(1_000, 60_000)
+    federation.announce_route(
+        first, left, prefix, AsPath([left_asn, origin_asn]))
+    federation.announce_route(
+        second, right, prefix, AsPath([right_asn, origin_asn]))
+    clause = match(dstport=port)
+    federation.exchange(second).topology.participant(left).add_outbound(
+        clause >> fwd(right))
+    federation.exchange(first).topology.participant(right).add_outbound(
+        clause >> fwd(left))
+    anchor = federation.exchange(second).topology.participant(left)
+    index = len(anchor.outbound_clauses()) - 1
+    return InjectedDefect(
+        kind="federation_loop", check_id="SDX008",
+        participant=left, direction="out", clause_index=index,
+        description=f"{left}: clause #{index} at {second} "
+                    f"(dstport={port} -> {right}) composes with "
+                    f"{right}'s clause at {first} into the cycle "
+                    f"{second}:{left} -> {first}:{right}")
+
+
+def inject_stitched_blackhole(federation, *,
+                              seed: SeedLike = 0) -> InjectedDefect:
+    """Seed a cross-exchange blackhole (SDX009).
+
+    A sender at exchange A steers matching traffic into a shared
+    participant T whose route re-enters exchange B — where T's own
+    outbound policy drops it. Exchange A accepted traffic the stitched
+    path can never deliver.
+    """
+    from repro.bgp.asn import AsPath
+
+    rng = make_rng(seed)
+    options: List[Tuple[str, str, str, str, str]] = []
+    for transit in federation.shared_participants():
+        presence = federation.presence(transit)
+        for entry in presence:
+            for other in presence:
+                if other == entry:
+                    continue
+                senders = [name for name in federation.topology.names()
+                           if name != transit
+                           and entry in federation.presence(name)]
+                relays = [name for name in federation.topology.names()
+                          if name != transit
+                          and other in federation.presence(name)]
+                for sender in senders:
+                    for relay in relays:
+                        options.append(
+                            (sender, transit, relay, entry, other))
+    if not options:
+        raise ValueError(
+            "need a shared participant with peers at two exchanges")
+    sender, transit, relay, first, second = rng.choice(options)
+    prefix = _federation_unrouted_prefix(federation, rng)
+    port = _federation_fresh_port(federation, rng)
+    transit_asn = federation.topology.participant(transit).asn
+    relay_asn = federation.topology.participant(relay).asn
+    origin_asn = rng.randrange(1_000, 60_000)
+    federation.announce_route(
+        first, transit, prefix, AsPath([transit_asn, origin_asn]))
+    federation.announce_route(
+        second, relay, prefix, AsPath([relay_asn, origin_asn]))
+    federation.exchange(first).topology.participant(sender).add_outbound(
+        match(dstport=port) >> fwd(transit))
+    federation.exchange(second).topology.participant(transit).add_outbound(
+        match(dstport=port) >> drop)
+    anchor = federation.exchange(first).topology.participant(sender)
+    index = len(anchor.outbound_clauses()) - 1
+    return InjectedDefect(
+        kind="stitched_blackhole", check_id="SDX009",
+        participant=sender, direction="out", clause_index=index,
+        description=f"{sender}: clause #{index} at {first} steers "
+                    f"dstport={port} into {transit}, whose outbound at "
+                    f"{second} drops it after re-entry")
+
+
+_FEDERATION_INJECTORS = {
+    "federation_loop": inject_federation_loop,
+    "stitched_blackhole": inject_stitched_blackhole,
+}
+
+
+def inject_federation_defects(federation, *, seed: SeedLike = 0,
+                              kinds: Sequence[str] = FEDERATION_DEFECT_KINDS
+                              ) -> List[InjectedDefect]:
+    """Inject one seeded federation defect per kind, in ``kinds`` order."""
+    defects: List[InjectedDefect] = []
+    for kind in kinds:
+        try:
+            injector = _FEDERATION_INJECTORS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown federation defect kind {kind!r}; known: "
+                f"{sorted(_FEDERATION_INJECTORS)}") from None
+        defects.append(injector(
+            federation, seed=derive_seed(seed, f"defect-{kind}")))
+    return defects

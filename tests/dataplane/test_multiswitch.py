@@ -224,3 +224,57 @@ class TestRandomLayouts:
                 }
                 actual = set(plane.process(framed))
                 assert actual == expected
+
+
+class TestCrossFabricPortMapping:
+    """Edge cases where two federated fabrics reuse the same port numbers.
+
+    Switch ports are fabric-local integers: both exchanges number their
+    ports from 1, so the federated driver must resolve (exchange,
+    participant) pairs, never bare port numbers, when a packet crosses
+    fabrics.
+    """
+
+    def federation(self):
+        from tests.federation.scenarios import clean_scenario
+
+        return clean_scenario().build_controller()
+
+    def test_port_numbers_collide_across_fabrics(self):
+        federation = self.federation()
+        ports_a = federation.exchange("IXP-A").fabric.switch.ports
+        ports_b = federation.exchange("IXP-B").fabric.switch.ports
+        # The premise of the edge case: overlapping numeric port spaces.
+        assert set(ports_a) & set(ports_b)
+
+    def test_reentry_resolves_ports_in_the_new_fabric(self):
+        from repro.net.packet import Packet
+
+        federation = self.federation()
+        outcome = federation.forward(
+            "IXP-B", "Eyeball", Packet(dstip="198.51.100.9", dstport=80))
+        assert outcome.is_delivered
+        content = federation.handle("IXP-A", "Content")
+        delivery = outcome.deliveries[0]
+        assert delivery.participant == "Content"
+        assert delivery.switch_port == content.port(0)
+        # The same number exists at IXP-B but belongs to someone else;
+        # attribution is by fabric, not by bare number.
+        owner_b = next(
+            name
+            for name in federation.exchange("IXP-B").topology.names()
+            if federation.handle("IXP-B", name).port(0)
+            == delivery.switch_port)
+        assert owner_b != "Content"
+
+    def test_shared_participant_has_one_port_entry_per_fabric(self):
+        federation = self.federation()
+        transit_a = federation.handle("IXP-A", "Transit")
+        transit_b = federation.handle("IXP-B", "Transit")
+        switch_a = federation.exchange("IXP-A").fabric.switch
+        switch_b = federation.exchange("IXP-B").fabric.switch
+        assert transit_a.port(0) in switch_a.ports
+        assert transit_b.port(0) in switch_b.ports
+        # Each incarnation's counters start independent.
+        assert switch_a.stats(transit_a.port(0)).rx_packets == 0
+        assert switch_b.stats(transit_b.port(0)).rx_packets == 0

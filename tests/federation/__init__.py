@@ -1,0 +1,1 @@
+"""Tests for the multi-SDX federation subsystem (``repro.federation``)."""

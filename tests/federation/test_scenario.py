@@ -1,0 +1,142 @@
+"""Tests for federated scenario generation, projection and round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.federation import (
+    FederatedScenario,
+    generate_federated_corpus,
+    generate_federated_scenario,
+    wrap_scenario,
+)
+from repro.verification.scenario import generate_scenario
+
+from tests.federation.scenarios import clean_scenario, loop_scenario
+
+
+class TestGeneration:
+    def test_same_seed_same_scenario(self):
+        first = generate_federated_scenario(7, exchanges=3, participants=8)
+        second = generate_federated_scenario(7, exchanges=3, participants=8)
+        assert first == second
+
+    def test_different_seeds_diverge(self):
+        first = generate_federated_scenario(7)
+        second = generate_federated_scenario(8)
+        assert first != second
+
+    def test_every_exchange_has_members(self):
+        scenario = generate_federated_scenario(5, exchanges=3, participants=9)
+        for exchange in scenario.exchanges:
+            assert scenario.participants_at(exchange)
+
+    def test_shared_participants_attend_several_exchanges(self):
+        scenario = generate_federated_scenario(
+            5, exchanges=3, participants=9, shared=2)
+        shared = [spec for spec in scenario.participants
+                  if len(spec.exchanges) > 1]
+        assert len(shared) == 2
+
+    def test_owners_announce_everywhere_they_peer(self):
+        scenario = generate_federated_scenario(9, exchanges=2, participants=6)
+        announced = {(a.exchange, a.participant, a.prefix)
+                     for a in scenario.announcements}
+        for prefix, owner in scenario.owners:
+            for exchange in scenario.presence(owner):
+                assert (exchange, owner, prefix) in announced
+
+    def test_single_exchange_request_has_no_shared_members(self):
+        scenario = generate_federated_scenario(5, exchanges=1, participants=4)
+        assert scenario.exchanges == ("IXP-A",)
+        assert all(len(spec.exchanges) == 1 for spec in scenario.participants)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_federated_scenario(1, exchanges=0)
+        with pytest.raises(ValueError):
+            generate_federated_scenario(1, exchanges=4, participants=2)
+
+
+class TestSerialisation:
+    def test_json_round_trip_is_exact(self):
+        scenario = generate_federated_scenario(
+            11, exchanges=3, participants=8, steps=6)
+        assert FederatedScenario.from_json(scenario.to_json()) == scenario
+
+    def test_hand_built_scenarios_round_trip(self):
+        for scenario in (loop_scenario(), clean_scenario()):
+            assert FederatedScenario.from_json(scenario.to_json()) == scenario
+
+    def test_json_is_deterministic(self):
+        scenario = generate_federated_scenario(11)
+        assert scenario.to_json() == scenario.to_json()
+
+    def test_unsupported_version_rejected(self):
+        payload = generate_federated_scenario(11).to_dict()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            FederatedScenario.from_dict(payload)
+
+
+class TestProjection:
+    def test_projection_keeps_registration_order(self):
+        scenario = generate_federated_scenario(13, exchanges=2, participants=7)
+        for exchange in scenario.exchanges:
+            projection = scenario.project(exchange)
+            expected = [spec.name
+                        for spec in scenario.participants_at(exchange)]
+            assert [p.name for p in projection.participants] == expected
+
+    def test_projection_restricts_state_to_the_exchange(self):
+        scenario = loop_scenario()
+        projection = scenario.project("IXP-A")
+        assert [a.participant for a in projection.announcements] == ["West"]
+        assert [p.participant for p in projection.policies] == ["East"]
+
+    def test_projection_rejects_unknown_exchange(self):
+        with pytest.raises(KeyError):
+            loop_scenario().project("IXP-Z")
+
+    def test_projection_ports_match_controller_registration(self):
+        scenario = generate_federated_scenario(17, exchanges=2, participants=6)
+        federation = scenario.build_controller(with_dataplane=False)
+        for exchange in scenario.exchanges:
+            projection = scenario.project(exchange)
+            member = federation.exchange(exchange)
+            for spec in projection.participants:
+                handle = member.participant(spec.name)
+                assert len(handle.participant.router.ports) == spec.ports
+
+
+class TestWrapScenario:
+    def test_wrap_preserves_structure(self):
+        single = generate_scenario(3, participants=4)
+        wrapped = wrap_scenario(single)
+        assert wrapped.exchanges == ("IXP-A",)
+        assert wrapped.participant_names() == tuple(
+            p.name for p in single.participants)
+        assert wrapped.owners == ()
+        assert all(len(spec.exchanges) == 1 for spec in wrapped.participants)
+
+    def test_wrap_projection_is_the_original(self):
+        single = generate_scenario(3, participants=4, steps=4)
+        projection = wrap_scenario(single).project("IXP-A")
+        # Everything except the derived seed survives the round trip.
+        assert dataclasses.replace(projection, seed=single.seed) == single
+
+
+class TestCorpus:
+    def test_corpus_is_deterministic_and_deduplicated(self):
+        scenario = generate_federated_scenario(19, exchanges=2, participants=6)
+        first = generate_federated_corpus(scenario, size=8)
+        second = generate_federated_corpus(scenario, size=8)
+        assert first == second
+        keys = [tuple(sorted((k, str(v)) for k, v in packet.items()))
+                for packet in first]
+        assert len(keys) == len(set(keys))
+
+    def test_corpus_probes_every_exchange_prefix(self):
+        scenario = clean_scenario()
+        corpus = generate_federated_corpus(scenario, size=6)
+        assert corpus

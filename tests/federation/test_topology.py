@@ -1,0 +1,131 @@
+"""Tests for the federation topology layer (exchanges/presence/origins)."""
+
+import pytest
+
+from repro.exceptions import ParticipantError
+from repro.federation import (
+    ExchangePresence,
+    FederatedParticipantSpec,
+    FederationTopology,
+    TransitLink,
+)
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+def spec(name, asn, *exchanges, ports=1):
+    return FederatedParticipantSpec(
+        name=name, asn=asn,
+        presence=tuple(ExchangePresence(e, ports) for e in exchanges))
+
+
+def two_exchange_topology():
+    topology = FederationTopology()
+    topology.add_exchange("IXP-A")
+    topology.add_exchange("IXP-B")
+    topology.add_participant(spec("T", 65001, "IXP-A", "IXP-B"))
+    topology.add_participant(spec("C", 65002, "IXP-A"))
+    topology.add_participant(spec("E", 65003, "IXP-B"))
+    return topology
+
+
+class TestRegistration:
+    def test_duplicate_exchange_rejected(self):
+        topology = FederationTopology()
+        topology.add_exchange("IXP-A")
+        with pytest.raises(ParticipantError):
+            topology.add_exchange("IXP-A")
+
+    def test_unknown_exchange_rejected(self):
+        topology = FederationTopology()
+        topology.add_exchange("IXP-A")
+        with pytest.raises(ParticipantError):
+            topology.add_participant(spec("T", 65001, "IXP-Z"))
+
+    def test_duplicate_participant_rejected(self):
+        topology = two_exchange_topology()
+        with pytest.raises(ParticipantError):
+            topology.add_participant(spec("T", 65009, "IXP-A"))
+
+    def test_empty_presence_rejected(self):
+        topology = FederationTopology()
+        topology.add_exchange("IXP-A")
+        with pytest.raises(ParticipantError):
+            topology.add_participant(
+                FederatedParticipantSpec(name="T", asn=65001, presence=()))
+
+    def test_registration_order_preserved(self):
+        topology = two_exchange_topology()
+        assert topology.exchanges() == ("IXP-A", "IXP-B")
+        assert topology.names() == ("T", "C", "E")
+        assert topology.participants_at("IXP-A") == ("T", "C")
+        assert topology.participants_at("IXP-B") == ("T", "E")
+
+
+class TestPresence:
+    def test_presence_keeps_preference_order(self):
+        topology = FederationTopology()
+        topology.add_exchange("IXP-A")
+        topology.add_exchange("IXP-B")
+        topology.add_participant(spec("T", 65001, "IXP-B", "IXP-A"))
+        assert topology.presence("T") == ("IXP-B", "IXP-A")
+
+    def test_shared_participants(self):
+        topology = two_exchange_topology()
+        assert topology.shared_participants() == ("T",)
+
+    def test_per_exchange_port_counts(self):
+        topology = FederationTopology()
+        topology.add_exchange("IXP-A")
+        topology.add_exchange("IXP-B")
+        topology.add_participant(FederatedParticipantSpec(
+            name="T", asn=65001,
+            presence=(ExchangePresence("IXP-A", 2),
+                      ExchangePresence("IXP-B", 1))))
+        record = topology.participant("T")
+        assert record.ports_at("IXP-A") == 2
+        assert record.ports_at("IXP-B") == 1
+        assert record.ports_at("IXP-Z") == 0
+        assert record.is_shared
+
+
+class TestTransitLinks:
+    def test_shared_participant_induces_one_link(self):
+        topology = two_exchange_topology()
+        assert topology.transit_links() == (
+            TransitLink("T", "IXP-A", "IXP-B"),)
+
+    def test_three_exchanges_induce_all_pairs(self):
+        topology = FederationTopology()
+        for name in ("IXP-A", "IXP-B", "IXP-C"):
+            topology.add_exchange(name)
+        topology.add_participant(spec("T", 65001, "IXP-A", "IXP-B", "IXP-C"))
+        links = topology.transit_links()
+        assert len(links) == 3
+        assert {(link.left, link.right) for link in links} == {
+            ("IXP-A", "IXP-B"), ("IXP-A", "IXP-C"), ("IXP-B", "IXP-C")}
+
+    def test_other_end(self):
+        link = TransitLink("T", "IXP-A", "IXP-B")
+        assert link.other_end("IXP-A") == "IXP-B"
+        assert link.other_end("IXP-B") == "IXP-A"
+        with pytest.raises(ParticipantError):
+            link.other_end("IXP-C")
+
+
+class TestOrigins:
+    def test_origin_lookup(self):
+        topology = two_exchange_topology()
+        topology.register_origin(IPv4Prefix("10.0.0.0/8"), "C")
+        assert topology.origin_of(IPv4Address("10.1.2.3")) == "C"
+        assert topology.origin_of(IPv4Address("11.1.2.3")) is None
+
+    def test_origin_requires_known_participant(self):
+        topology = two_exchange_topology()
+        with pytest.raises(ParticipantError):
+            topology.register_origin(IPv4Prefix("10.0.0.0/8"), "Ghost")
+
+    def test_origins_preserve_registration(self):
+        topology = two_exchange_topology()
+        prefix = IPv4Prefix("10.0.0.0/8")
+        topology.register_origin(prefix, "C")
+        assert topology.origins() == ((prefix, "C"),)

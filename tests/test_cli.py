@@ -133,6 +133,19 @@ class TestCli:
                      "--steps", "6", "--runtime"]) == 0
         assert "no divergence found" in capsys.readouterr().out
 
+    def test_fuzz_federation_mode(self, capsys):
+        assert main(["fuzz", "--seed", "7", "--scenarios", "2",
+                     "--steps", "4", "--federation"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz seed=7: 2 scenario(s)" in out
+        assert "no divergence found" in out
+
+    def test_fuzz_federation_three_exchanges(self, capsys):
+        assert main(["fuzz", "--seed", "11", "--scenarios", "1",
+                     "--steps", "3", "--federation",
+                     "--exchanges", "3"]) == 0
+        assert "no divergence found" in capsys.readouterr().out
+
     def test_soak_step_driven(self, capsys):
         assert main(["soak", "--participants", "8", "--prefixes", "60",
                      "--updates", "80", "--burst-size", "40",
@@ -238,6 +251,13 @@ class TestLintPolicies:
                      "--participants", "8", "--prefixes", "16"]) == 0
         out = capsys.readouterr().out
         assert "defect recall: 6/6 detected" in out
+
+    def test_federation_defect_recall_is_total(self, capsys):
+        assert main(["lint-policies", "--federation-defects"]) == 0
+        out = capsys.readouterr().out
+        assert "defect recall: 2/2 detected" in out
+        assert "SDX008" in out
+        assert "SDX009" in out
 
     def test_check_command_reports_statics(self, tmp_path, capsys):
         path = self.write_config(tmp_path, self.config_document())

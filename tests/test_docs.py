@@ -1,9 +1,12 @@
 """Documentation gates: every public member documented, docs in sync."""
 
 import importlib
+import importlib.util
 import inspect
 import pathlib
 import pkgutil
+
+import pytest
 
 import repro
 
@@ -94,3 +97,48 @@ class TestDocFiles:
             assert (tmp_path / "API.md").exists()
         finally:
             generator.OUTPUT = original
+
+
+def load_example(stem):
+    """Import one example module from ``examples/`` by file stem."""
+    path = REPO_ROOT / "examples" / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleSmoke:
+    """Every documented example builds (and the federated one runs)."""
+
+    BUILDERS = (
+        ("application_specific_peering", "build"),
+        ("config_file_exchange", "build_exchange"),
+        ("federated_exchanges", "build"),
+        ("inbound_traffic_engineering", "build"),
+        ("middlebox_redirection", "build"),
+        ("quickstart", "build"),
+        ("service_chaining", "build"),
+        ("synthetic_ixp", "build"),
+        ("wide_area_load_balancer", "build"),
+    )
+
+    def test_smoke_covers_every_example(self):
+        stems = sorted(path.stem
+                       for path in (REPO_ROOT / "examples").glob("*.py"))
+        assert stems == sorted(stem for stem, _ in self.BUILDERS)
+
+    @pytest.mark.parametrize("stem,builder", BUILDERS)
+    def test_example_builds(self, stem, builder):
+        module = load_example(stem)
+        built = getattr(module, builder)()
+        assert built is not None
+
+    def test_federated_example_narrative_runs(self, capsys):
+        # main() walks the full acceptance story: the loop-prone pair is
+        # flagged with a witness, strict mode rejects it at install time,
+        # and with statics off the reference forwards the witness in a
+        # cycle. Its asserts are the acceptance criteria.
+        load_example("federated_exchanges").main()
+        out = capsys.readouterr().out
+        assert "SDX008" in out

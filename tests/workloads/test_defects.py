@@ -58,3 +58,48 @@ class TestRecall:
     def test_clean_workload_has_no_errors(self):
         report = analyze_controller(seeded_controller(SEEDS[0]))
         assert [d.describe() for d in report.errors] == []
+
+
+class TestFederationDefects:
+    """Seeded federation-level defects: SDX008/SDX009 recall."""
+
+    def seeded_federation(self, seed):
+        from repro.federation import generate_federated_scenario
+
+        scenario = generate_federated_scenario(
+            seed, exchanges=2, participants=6, shared=2,
+            policies=4, steps=0)
+        return scenario.build_controller(with_dataplane=False)
+
+    def test_covers_both_federation_defect_classes(self):
+        from repro.workloads.policies import FEDERATION_DEFECT_KINDS
+
+        assert FEDERATION_DEFECT_KINDS == (
+            "federation_loop", "stitched_blackhole")
+
+    def test_injection_is_deterministic(self):
+        from repro.workloads.policies import inject_federation_defects
+
+        first = inject_federation_defects(self.seeded_federation(3), seed=11)
+        second = inject_federation_defects(self.seeded_federation(3), seed=11)
+        assert first == second
+
+    def test_unknown_kind_rejected(self):
+        from repro.workloads.policies import inject_federation_defects
+
+        with pytest.raises(ValueError):
+            inject_federation_defects(
+                self.seeded_federation(0), kinds=("made_up",))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_injected_defect_is_detected(self, seed):
+        from repro.federation import analyze_federation
+        from repro.workloads.policies import inject_federation_defects
+
+        federation = self.seeded_federation(seed)
+        defects = inject_federation_defects(federation, seed=seed)
+        assert [d.check_id for d in defects] == ["SDX008", "SDX009"]
+        report = analyze_federation(federation)
+        missed = [d.kind for d in defects
+                  if not defect_detected(d, report)]
+        assert missed == []
