@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-policies-smoke federation-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke chaos-smoke monitor-smoke clean
+.PHONY: install test lint lint-policies-smoke dataplane-lint-smoke federation-smoke bench bench-results bench-compare perf-smoke examples docs telemetry-smoke fuzz soak-smoke chaos-smoke monitor-smoke clean
 
 # Differential fuzzing session knobs (see docs/TESTING.md).
 FUZZ_SEED ?= 0
@@ -51,6 +51,28 @@ lint-policies-smoke:
 		--output artifacts/lint-policies-defects.json
 	PYTHONPATH=src $(PYTHON) -m repro lint-policies --federation-defects \
 		--output artifacts/lint-policies-federation-defects.json
+	PYTHONPATH=src $(PYTHON) -m repro lint-dataplane --defects \
+		--participants 8 --prefixes 16 \
+		--output artifacts/lint-dataplane-defects.json
+
+# The dataplane verifier over its linting surfaces: the flow rules a
+# compiled Section 6.1 workload actually installs, plus a seeded
+# dataplane defect-injection run (compiled blackhole + shadowed
+# install) that must detect both defect classes. Drops JSON artifacts
+# (CI uploads them) and exits non-zero on any error-severity
+# diagnostic or a missed defect.
+dataplane-lint-smoke:
+	@mkdir -p artifacts
+	PYTHONPATH=src $(PYTHON) -m repro lint-dataplane --workload \
+		--participants 12 --prefixes 80 \
+		--output artifacts/lint-dataplane-workload.json
+	PYTHONPATH=src $(PYTHON) -m repro lint-dataplane --defects \
+		--participants 8 --prefixes 16 \
+		--output artifacts/lint-dataplane-defects.json
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --dataplane \
+		--seed $(FUZZ_SEED) --scenarios 40 --participants 4 \
+		--prefixes 4 --policies 4 --steps 8 --time-budget $(FUZZ_BUDGET) \
+		--artifact-dir $(FUZZ_ARTIFACTS)
 
 # Multi-SDX federation cross-validation: a time-boxed federated fuzz
 # session (SDX008/SDX009 witness contracts + real-vs-reference walk

@@ -40,6 +40,8 @@ EXPERIMENTS = {
     "lint-policies": "static policy verifier: lint configs (single-exchange "
                      "or federated), examples, or generated workloads "
                      "pre-compilation",
+    "lint-dataplane": "dataplane verifier: SDX010-SDX013 analysis of the "
+                      "flow rules a compiled workload actually installs",
     "stats": "run a small workload, dump the telemetry metrics registry",
     "trace": "run a small workload, print the pipeline span tree",
     "fuzz": "differential fuzzing of the update pipeline "
@@ -134,6 +136,25 @@ def _parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", default=None, metavar="FILE",
                       help="also write the JSON report to FILE")
 
+    lintdp = sub.add_parser("lint-dataplane",
+                            help=EXPERIMENTS["lint-dataplane"])
+    lintdp.add_argument("--workload", action="store_true",
+                        help="compile a generated exchange running the "
+                             "paper's application policies and verify the "
+                             "installed flow table")
+    lintdp.add_argument("--defects", action="store_true",
+                        help="inject one seeded dataplane defect per class "
+                             "(compiled blackhole, shadowed install) into a "
+                             "compiled workload and require the verifier to "
+                             "detect every one")
+    lintdp.add_argument("--participants", type=int, default=12)
+    lintdp.add_argument("--prefixes", type=int, default=80)
+    lintdp.add_argument("--seed", type=int, default=0)
+    lintdp.add_argument("--json", action="store_true",
+                        help="emit the merged report as JSON on stdout")
+    lintdp.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+
     replay = common("replay")
     replay.add_argument("--participants", type=int, default=80)
     replay.add_argument("--prefixes", type=int, default=1_000)
@@ -181,6 +202,11 @@ def _parser() -> argparse.ArgumentParser:
                       help="also cross-validate static-analyzer verdicts "
                            "(dead clauses, route-less forwards) against "
                            "the reference interpreter")
+    fuzz.add_argument("--dataplane", action="store_true",
+                      help="also cross-validate the dataplane verifier: "
+                           "incremental-vs-full byte identity plus the "
+                           "SDX010-SDX013 witness contracts on every "
+                           "trace step")
     fuzz.add_argument("--federation", action="store_true",
                       help="fuzz multi-exchange federations instead: "
                            "SDX008/SDX009 witness contracts plus the "
@@ -432,6 +458,7 @@ def _run_fuzz(args) -> int:
         policies=args.policies, artifact_dir=args.artifact_dir,
         time_budget_seconds=args.time_budget, shrink=not args.no_shrink,
         runtime=args.runtime, statics=args.statics,
+        dataplane=args.dataplane,
         federation=args.federation, exchanges=args.exchanges))
     print(report.summary())
     return 0 if report.ok else 1
@@ -607,6 +634,83 @@ def _run_lint(args) -> int:
             text = report.render()
             if report.diagnostics:
                 print(text)
+        if defects:
+            print(f"== defect recall: {len(defects) - len(missed_defects)}"
+                  f"/{len(defects)} detected")
+            for defect in missed_defects:
+                print(f"  MISSED: {defect.description}")
+    return 1 if failed else 0
+
+
+def _lint_dataplane_defect_run(args):
+    """(report, defects, missed) for the dataplane defect recall mode."""
+    from repro.statics import analyze_controller_dataplane
+    from repro.workloads.policies import (
+        defect_detected,
+        generate_policies,
+        inject_dataplane_defects,
+        install_assignments,
+    )
+    from repro.workloads.topology import generate_ixp
+
+    ixp = generate_ixp(args.participants, args.prefixes, seed=args.seed)
+    controller = ixp.build_controller()
+    install_assignments(controller, generate_policies(ixp, seed=args.seed))
+    controller.start()
+    defects = inject_dataplane_defects(controller, seed=args.seed)
+    report = analyze_controller_dataplane(controller)
+    missed = [d for d in defects if not defect_detected(d, report)]
+    return report, defects, missed
+
+
+def _run_lint_dataplane(args) -> int:
+    import json as json_module
+
+    from repro.statics import analyze_controller_dataplane
+
+    if not (args.workload or args.defects):
+        print("lint-dataplane: nothing to verify (pass --workload or "
+              "--defects)", file=sys.stderr)
+        return 2
+
+    results = []   # (label, StaticsReport)
+    defects = []
+    missed_defects = []
+    if args.workload:
+        controller = _lint_workload_controller(args)
+        controller.start()
+        results.append(("workload", analyze_controller_dataplane(controller)))
+    if args.defects:
+        report, injected, missed = _lint_dataplane_defect_run(args)
+        results.append(("defects", report))
+        defects.extend(injected)
+        missed_defects.extend(missed)
+
+    payload = {
+        "targets": [
+            {"target": label, **report.to_dict()} for label, report in results
+        ],
+    }
+    if defects:
+        payload["defects"] = {
+            "injected": [d.description for d in defects],
+            "missed": [d.description for d in missed_defects],
+        }
+    failed = any(report.has_errors for label, report in results
+                 if label != "defects") or bool(missed_defects)
+    payload["ok"] = not failed
+
+    rendered = json_module.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    if args.json:
+        print(rendered)
+    else:
+        for label, report in results:
+            print(f"== {label}: {report.summary()}")
+            if report.diagnostics:
+                print(report.render())
         if defects:
             print(f"== defect recall: {len(defects) - len(missed_defects)}"
                   f"/{len(defects)} detected")
@@ -1030,6 +1134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.render())
     elif args.command == "lint-policies":
         return _run_lint(args)
+    elif args.command == "lint-dataplane":
+        return _run_lint_dataplane(args)
     elif args.command == "monitor":
         return _run_monitor(args)
     elif args.command == "profile":

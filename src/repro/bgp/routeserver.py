@@ -122,6 +122,12 @@ class RouteServer:
         self._update_listeners: List[UpdateListener] = []
         self._next_hop_rewriter: Optional[NextHopRewriter] = None
         self.updates_processed = 0
+        #: Monotone counter bumped by every mutation that can change a
+        #: ``best_route_for`` / ``route_exported`` answer — RIB writes
+        #: (diffed or silent) and export-policy edits. Cheap cache key
+        #: for derived views of routing state (the dataplane verifier's
+        #: committed-space provider memoizes on it).
+        self.state_version = 0
         self._last_down_changes: List[BestRouteChange] = []
 
     # ------------------------------------------------------------------
@@ -241,6 +247,7 @@ class RouteServer:
         """
         if announcer not in self._sessions:
             raise ParticipantError(f"unknown peer {announcer!r}")
+        self.state_version += 1
         self._export_deny[announcer] = set(deny)
         self._export_allow[announcer] = None if allow is None else set(allow)
 
@@ -358,6 +365,7 @@ class RouteServer:
         Shared by :meth:`bulk_load` (initial table transfer) and
         :meth:`inject_unnotified` (chaos stuck-route injection).
         """
+        self.state_version += 1
         self._count_update(update)
         self._note_community_filters(update)
         adj = self._adj_in[update.sender]
@@ -417,6 +425,7 @@ class RouteServer:
     def _apply_and_diff(self, sender: str, update: Update) -> List[BestRouteChange]:
         """Apply ``update`` to the sender's Adj-RIB-In and report every
         per-participant best-route change it caused."""
+        self.state_version += 1
         self._note_community_filters(update)
         adj = self._adj_in[sender]
         receivers = [name for name in self._sessions

@@ -120,12 +120,18 @@ class SdxController:
                  vnh_pool: IPv4Prefix = DEFAULT_VNH_POOL,
                  southbound_config: Optional[SouthboundConfig] = None,
                  telemetry: Optional[Telemetry] = None,
-                 statics_mode: str = "off"):
+                 statics_mode: str = "off",
+                 dataplane_statics_mode: str = "off"):
         if statics_mode not in ("off", "warn", "strict"):
             raise ValueError(
                 f"statics_mode must be 'off', 'warn', or 'strict', "
                 f"got {statics_mode!r}")
+        if dataplane_statics_mode not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"dataplane_statics_mode must be 'off', 'warn', or 'strict', "
+                f"got {dataplane_statics_mode!r}")
         self.statics_mode = statics_mode
+        self.dataplane_statics_mode = dataplane_statics_mode
         self.last_statics_report = None
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.route_server = RouteServer(telemetry=self.telemetry)
@@ -147,6 +153,21 @@ class SdxController:
             self.topology, self.route_server, self.allocator,
             self.compiler, self.table, self.southbound,
             telemetry=self.telemetry)
+        self.dataplane_verifier = None
+        self._committed_spaces_cache: Optional[Tuple[Tuple[int, int], list]] = None
+        if dataplane_statics_mode != "off":
+            # Verifies every southbound apply window against the installed
+            # table (SDX010-SDX014); strict mode rolls offending windows
+            # back and raises StaticDataplaneError. Imported lazily so
+            # repro.core keeps no hard dependency on repro.statics.
+            from repro.statics.dataplane import DataplaneVerifier
+            self.dataplane_verifier = DataplaneVerifier(
+                self.table,
+                committed_spaces=self._committed_spaces,
+                vmac_index=self.allocator.vmac_index,
+                mode=dataplane_statics_mode,
+                telemetry=self.telemetry)
+            self.southbound.add_observer(self.dataplane_verifier)
         self.ownership = OwnershipRegistry()
         self.started = False
         self.last_compilation: Optional[CompilationResult] = None
@@ -157,6 +178,24 @@ class SdxController:
         self._next_mac = 1
         self.route_server.add_update_listener(self._on_update)
         self.route_server.set_next_hop_rewriter(self._rewrite_next_hop)
+
+    def _committed_spaces(self) -> list:
+        """Committed-traffic spaces, memoized on routing/allocator state.
+
+        Deriving the population walks every (prefix, participant) best
+        route — far too hot to redo on every FlowMod delta the dataplane
+        verifier checks. The answer only changes when the route server's
+        RIBs/export policies or the allocator's assignments do, so the
+        walk is cached on their version counters.
+        """
+        from repro.statics.dataplane import committed_spaces_from_controller
+
+        key = (self.route_server.state_version, self.allocator.generation)
+        cached = self._committed_spaces_cache
+        if cached is None or cached[0] != key:
+            cached = (key, committed_spaces_from_controller(self))
+            self._committed_spaces_cache = cached
+        return cached[1]
 
     # ------------------------------------------------------------------
     # Construction
@@ -309,6 +348,29 @@ class SdxController:
             from repro.exceptions import StaticPolicyError
             raise StaticPolicyError(
                 f"static policy verification failed with "
+                f"{len(report.errors)} error(s); first: "
+                f"{report.errors[0].describe()}", report=report)
+        return report
+
+    def lint_dataplane(self, *, enforce: bool = False):
+        """Run the dataplane verifier over the installed flow table.
+
+        One-shot SDX010-SDX013 analysis of what is in the table right
+        now, against live allocator and routing state (the continuous
+        per-window gate is ``dataplane_statics_mode``). With
+        ``enforce=True``, error-severity findings raise
+        :class:`~repro.exceptions.StaticDataplaneError`.
+        """
+        from repro.statics.dataplane import analyze_controller_dataplane
+
+        report = analyze_controller_dataplane(self)
+        for diagnostic in report.sorted():
+            if diagnostic.severity.value == "error":
+                logger.warning("dataplane statics %s", diagnostic.describe())
+        if enforce and report.has_errors:
+            from repro.exceptions import StaticDataplaneError
+            raise StaticDataplaneError(
+                f"dataplane verification failed with "
                 f"{len(report.errors)} error(s); first: "
                 f"{report.errors[0].describe()}", report=report)
         return report

@@ -48,6 +48,11 @@ class VnhAllocator:
             "sdx_vnh_recycled_total", "Quarantined pairs released for reuse")
         self._live_gauge = registry.gauge(
             "sdx_vnh_live", "Live (VNH, VMAC) pairs, groups plus ephemerals")
+        #: Monotone counter bumped by every assignment mutation (group
+        #: reassignment, ephemeral grant/drop) — anything that can
+        #: change ``vmac_for_prefix`` / ``vmac_index`` answers. Cache
+        #: key for derived views of allocator state.
+        self.generation = 0
         self._next_offset = 1  # skip the network address
         self._next_tag = 1
         self._vnh_by_group: Dict[int, IPv4Address] = {}
@@ -93,6 +98,7 @@ class VnhAllocator:
         self._live_gauge.set(self.assignments)
 
     def _assign_groups(self, groups: Iterable[PrefixGroup]) -> None:
+        self.generation += 1
         previous: Dict[frozenset, Tuple[IPv4Address, MacAddress]] = {
             group.prefixes: (self._vnh_by_group[gid], self._vmac_by_group[gid])
             for gid, group in self._groups.items()
@@ -176,6 +182,7 @@ class VnhAllocator:
         group binding stays valid for other prefixes in the group.
         """
         with self.telemetry.span("vnh.assign", prefix=str(prefix)):
+            self.generation += 1
             vnh, vmac = self._allocate()
             self._ephemeral[prefix] = (vnh, vmac)
             self.responder.bind(vnh, vmac)
@@ -193,6 +200,7 @@ class VnhAllocator:
         """
         assigned = self._ephemeral.pop(prefix, None)
         if assigned is not None:
+            self.generation += 1
             self.responder.unbind(assigned[0])
             self._pending_retire.append(assigned)
             self._live_gauge.set(self.assignments)

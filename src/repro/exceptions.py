@@ -57,3 +57,17 @@ class StaticPolicyError(PolicyError):
     def __init__(self, message: str, report=None):
         super().__init__(message)
         self.report = report
+
+
+class StaticDataplaneError(FabricError):
+    """The dataplane verifier rejected a FlowMod apply window.
+
+    Raised by :class:`~repro.statics.dataplane.DataplaneVerifier` in
+    strict mode after rolling the offending window back out of the flow
+    table; carries the verification
+    :class:`~repro.statics.diagnostics.StaticsReport` as ``report``.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -331,6 +331,78 @@ _FEDERATION_SPECS = {
 }
 
 
+def _run_dataplane_verify(mode: str) -> Dict[str, float]:
+    """Dataplane verifier: per-delta incremental cost vs full re-analysis.
+
+    Compiles a seeded workload with the dataplane verifier attached,
+    times one whole-table analysis, then flips a spread of installed
+    rules (modify to drop and back) and times ``verify_delta`` for each
+    single-mod batch. The headline metric is the incremental speedup —
+    the whole point of equivalence-class partitioning is that a FlowMod
+    delta re-verifies orders of magnitude less than the full table. The
+    table ends byte-identical to where it started, so the structural
+    counts are deterministic for the seed.
+    """
+    from repro.policy.classifier import Action
+    from repro.policy.flowrules import FlowRule
+    from repro.southbound.diff import FlowMod
+    from repro.statics import analyze_controller_dataplane
+    from repro.workloads.policies import (
+        generate_policies,
+        install_assignments,
+    )
+    from repro.workloads.topology import generate_ixp
+
+    seed = 5
+    if mode == "quick":
+        participants, prefixes, deltas = 24, 160, 12
+    else:
+        participants, prefixes, deltas = 60, 400, 30
+
+    ixp = generate_ixp(participants, prefixes, seed=seed)
+    controller = ixp.build_controller(dataplane_statics_mode="warn")
+    install_assignments(controller, generate_policies(ixp, seed=seed + 1))
+    controller.start()
+    verifier = controller.dataplane_verifier
+
+    started = time.perf_counter()
+    report = analyze_controller_dataplane(controller)
+    full_seconds = time.perf_counter() - started
+
+    rules = list(controller.table.rules)
+    timings: List[float] = []
+    for index in range(deltas):
+        target = rules[(index * len(rules)) // deltas]
+        flipped = FlowRule(
+            priority=target.priority, match=target.match,
+            actions=(() if target.actions else (Action(port=1),)))
+        for replacement in (flipped, target):
+            mods = [FlowMod.modify(replacement)]
+            controller.table.apply_delta(mods)
+            started = time.perf_counter()
+            verifier.verify_delta(mods)
+            timings.append(time.perf_counter() - started)
+    delta_seconds = statistics.median(timings)
+    return {
+        "full_analysis_seconds": full_seconds,
+        "delta_verify_seconds": delta_seconds,
+        "incremental_speedup": full_seconds / max(delta_seconds, 1e-9),
+        "rules_analyzed": float(len(rules)),
+        "diagnostics_total": float(len(report.diagnostics)),
+    }
+
+
+_DATAPLANE_VERIFY_SPECS = {
+    "full_analysis_seconds": MetricSpec(tolerance=0.6, direction="lower"),
+    "delta_verify_seconds": MetricSpec(tolerance=0.75, direction="lower"),
+    "incremental_speedup": MetricSpec(tolerance=0.6, direction="higher"),
+    "rules_analyzed": MetricSpec(tolerance=0.02, direction="near",
+                                 timing=False),
+    "diagnostics_total": MetricSpec(tolerance=0.0, direction="near",
+                                    timing=False),
+}
+
+
 #: Every registered family, in gate order. The perf gate runs all of
 #: these in quick mode; ``repro bench --family`` selects a subset.
 FAMILIES: Dict[str, BenchFamily] = {
@@ -367,6 +439,12 @@ FAMILIES: Dict[str, BenchFamily] = {
                         "cross-fabric walk cost",
             specs=_FEDERATION_SPECS,
             runner=_run_federation_compile),
+        BenchFamily(
+            name="dataplane_verify",
+            description="Incremental dataplane verification vs full "
+                        "re-analysis",
+            specs=_DATAPLANE_VERIFY_SPECS,
+            runner=_run_dataplane_verify),
     )
 }
 

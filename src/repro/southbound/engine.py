@@ -95,6 +95,14 @@ def schedule_two_phase(mods: Iterable[FlowMod]) -> List[FlowMod]:
 
 
 #: Observer signature: called with each applied batch, in order.
+#:
+#: Observers may additionally implement any of three optional hooks the
+#: engine dispatches by duck typing around each apply window (one
+#: :meth:`SouthboundEngine._apply` call): ``on_apply_begin()`` before the
+#: first batch, ``on_batch_pending(batch)`` immediately *before* each
+#: batch reaches the table (the dataplane verifier records inverse mods
+#: there for strict-mode rollback), and ``on_apply_end()`` after the last
+#: batch — where a verifying observer may raise to reject the window.
 BatchObserver = Callable[[Sequence[FlowMod]], None]
 
 
@@ -258,13 +266,22 @@ class SouthboundEngine:
         """Drain the queue and apply everything; returns mods applied."""
         return self._apply(schedule_two_phase(self.queue.drain()))
 
+    def _dispatch_hook(self, name: str, *args) -> None:
+        """Invoke an optional observer hook on every observer that has it."""
+        for observer in self._observers:
+            hook = getattr(observer, name, None)
+            if hook is not None:
+                hook(*args)
+
     def _apply(self, ordered: Sequence[FlowMod]) -> int:
         if not ordered:
             return 0
         size = self.config.max_batch_size
+        self._dispatch_hook("on_apply_begin")
         with self.telemetry.span("southbound.apply", mods=len(ordered)):
             for start in range(0, len(ordered), size):
                 batch = ordered[start:start + size]
+                self._dispatch_hook("on_batch_pending", batch)
                 began = time.perf_counter()
                 with self.telemetry.span("flowtable.apply", mods=len(batch)):
                     self.table.apply_delta(batch)
@@ -279,6 +296,9 @@ class SouthboundEngine:
                         self.stats.deletes_sent += 1
                 for observer in self._observers:
                     observer(batch)
+        # After the spans close so a strict verifier's rejection (raised
+        # from the hook) does not leave a span open.
+        self._dispatch_hook("on_apply_end")
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug("apply %s", kv(mods=len(ordered),
                                         table_rules=len(self.table)))

@@ -16,6 +16,12 @@ Entry points:
 * ``repro lint-policies`` — the CLI frontend (text + JSON output,
   non-zero exit on error-severity diagnostics).
 
+The *dataplane* layer (:mod:`repro.statics.dataplane`, checks
+``SDX010``..``SDX014``) verifies the other end of the pipeline — the
+compiled flow rules actually installed in the table — incrementally on
+every southbound FlowMod window, with :func:`analyze_flowtable` /
+``repro lint-dataplane`` as the one-shot frontends.
+
 Every diagnostic carries a stable check ID (``SDX001``..), a severity,
 and a source clause location; the check catalogue lives in
 ``docs/ANALYSIS.md``. Dead-clause and route-less-forward verdicts are
@@ -40,6 +46,16 @@ from repro.statics.checks import (
     ShadowOverlapCheck,
     UnreachableDefaultCheck,
 )
+from repro.statics.dataplane import (
+    DATAPLANE_CHECK_IDS,
+    CommittedSpace,
+    DataplaneVerifier,
+    HeaderClass,
+    Subpartition,
+    analyze_controller_dataplane,
+    analyze_flowtable,
+    committed_spaces_from_controller,
+)
 from repro.statics.diagnostics import (
     Diagnostic,
     RawPolicyDocument,
@@ -50,6 +66,14 @@ from repro.statics.diagnostics import (
 from repro.statics.regions import ClauseRegions, clause_regions, effective_regions
 
 __all__ = [
+    "DATAPLANE_CHECK_IDS",
+    "CommittedSpace",
+    "DataplaneVerifier",
+    "HeaderClass",
+    "Subpartition",
+    "analyze_controller_dataplane",
+    "analyze_flowtable",
+    "committed_spaces_from_controller",
     "DEFAULT_CHECKS",
     "StaticsContext",
     "analyze_context",

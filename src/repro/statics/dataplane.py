@@ -1,0 +1,1016 @@
+"""Incremental static verification of *installed* flow rules.
+
+The SDX001-SDX009 checks lint policies before compilation; nothing
+verified the artifact the fabric actually runs. This module closes that
+gap with a VeriFlow-style incremental verifier over the live
+:class:`~repro.dataplane.flowtable.FlowTable`:
+
+* the installed rule set is modeled as prioritized match regions over
+  :class:`~repro.policy.headerspace.HeaderSpace` (the PR 5 region
+  algebra's constraint fragment: CIDR prefixes nest or are disjoint, so
+  every per-field domain splits into *atoms* — maximal regions on which
+  every installed match is constant);
+* header space is partitioned into equivalence classes (one atom per
+  constrained field); each class carries a concrete representative
+  packet, so "which rule wins this whole class" is a single
+  :meth:`FlowTable.lookup`;
+* a :class:`FlowMod` batch only re-verifies the classes its deltas
+  touch — untouched rules keep their cached verdicts, which is what
+  makes per-delta gating cheap enough to run inline in the southbound
+  engine.
+
+Check catalogue (stable IDs, documented in ``docs/ANALYSIS.md``):
+
+========  ==========================================================
+SDX010    fully-shadowed installed rule (never wins any packet)
+SDX011    committed traffic falls to the table miss / wildcard drop
+SDX012    VMAC rewrite to a tag with no live next-hop (blackhole)
+SDX013    intra-fabric forwarding loop across multi-switch tables
+SDX014    two-phase-swap phase violation inside one apply window
+========  ==========================================================
+
+Every spatial finding carries a witness packet; the fuzz harness
+(:mod:`repro.verification.dataplane`) re-executes witnesses through the
+reference machinery to enforce each check's soundness contract.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from itertools import product
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.net.addresses import IPv4Prefix
+from repro.net.mac import MacAddress
+from repro.net.packet import IP_FIELDS, Packet
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import Constraint, HeaderSpace
+from repro.southbound.diff import FlowMod, FlowModOp, RuleKey, rule_key
+from repro.statics.diagnostics import Diagnostic, Severity, SourceLocation, StaticsReport
+from repro.telemetry import Telemetry, get_telemetry
+
+logger = logging.getLogger("repro.statics.dataplane")
+
+#: Above this many equivalence classes a per-rule subpartition falls back
+#: to the conservative single-cover test (sound: it only *misses* union
+#: shadows, never fabricates one).
+DEFAULT_CLASS_BUDGET = 4096
+
+#: Check IDs this module owns, in catalogue order.
+DATAPLANE_CHECK_IDS: Tuple[str, ...] = (
+    "SDX010", "SDX011", "SDX012", "SDX013", "SDX014")
+
+#: Atom-key tags: an exact value, a prefix region, or the remainder.
+_VAL = "val"
+_PFX = "pfx"
+_OTHER = "other"
+
+#: One atom key: ``("val", v)``, ``("pfx", prefix)`` or ``("other",)``.
+AtomKey = Tuple[Any, ...]
+
+
+# ----------------------------------------------------------------------
+# Per-field atoms
+# ----------------------------------------------------------------------
+
+
+def _first_free_int(start: int, stop: int,
+                    taken_ranges: Sequence[Tuple[int, int]]) -> Optional[int]:
+    """The lowest integer in ``[start, stop]`` outside ``taken_ranges``.
+
+    Ranges are inclusive and must be sorted by their low end; prefixes
+    produce disjoint ranges, so one forward sweep suffices — no address
+    enumeration.
+    """
+    candidate = start
+    for low, high in taken_ranges:
+        if candidate < low:
+            break
+        candidate = max(candidate, high + 1)
+    if candidate > stop:
+        return None
+    return candidate
+
+
+def _prefix_atoms(constraints: Sequence[IPv4Prefix],
+                  base: Optional[IPv4Prefix]) -> List[Tuple[AtomKey, int]]:
+    """Atoms of one IP field: each relevant prefix minus its more-specific
+    relatives, plus the remainder of the domain. Returns inhabited atoms
+    only, as ``(key, representative_address_int)`` pairs.
+    """
+    domain_low = base.network_int if base is not None else 0
+    domain_high = (int(base.last_address) if base is not None
+                   else 0xFFFFFFFF)
+    relevant: Set[IPv4Prefix] = set()
+    for prefix in constraints:
+        clipped = prefix if base is None else base.intersection(prefix)
+        if clipped is not None:
+            relevant.add(clipped)
+    ordered = sorted(relevant, key=lambda p: (p.network_int, p.length))
+    atoms: List[Tuple[AtomKey, int]] = []
+    for prefix in ordered:
+        children = [q for q in relevant
+                    if q != prefix and prefix.contains_prefix(q)]
+        # Maximal strict children only: their ranges are disjoint.
+        maximal = [q for q in children
+                   if not any(r != q and r.contains_prefix(q) for r in children)]
+        ranges = sorted((q.network_int, int(q.last_address)) for q in maximal)
+        rep = _first_free_int(prefix.network_int, int(prefix.last_address), ranges)
+        if rep is not None:
+            atoms.append(((_PFX, prefix), rep))
+    top = [p for p in relevant
+           if not any(q != p and q.contains_prefix(p) for q in relevant)]
+    ranges = sorted((p.network_int, int(p.last_address)) for p in top)
+    rep = _first_free_int(domain_low, domain_high, ranges)
+    if rep is not None:
+        atoms.append(((_OTHER,), rep))
+    return atoms
+
+
+def _exact_atoms(values: Sequence[Any], base: Optional[Any],
+                 domain: Optional[Sequence[int]],
+                 is_mac: bool) -> List[Tuple[AtomKey, Any]]:
+    """Atoms of an exact-match field: each named value plus a remainder.
+
+    ``base`` pins the whole domain to one value; ``domain`` restricts it
+    to a finite set (the committed-traffic port check uses this for the
+    real edge-port population).
+    """
+    named = list(dict.fromkeys(values))
+    if base is not None:
+        named = [value for value in named if value == base]
+        atoms: List[Tuple[AtomKey, Any]] = [
+            ((_VAL, value), value) for value in named]
+        if not named:
+            atoms.append(((_OTHER,), base))
+        return atoms
+    if domain is not None:
+        allowed = list(dict.fromkeys(domain))
+        atoms = [((_VAL, value), value) for value in named if value in allowed]
+        rest = [value for value in allowed if value not in named]
+        if rest:
+            atoms.append(((_OTHER,), rest[0]))
+        return atoms
+    atoms = [((_VAL, value), value) for value in named]
+    taken = {int(value) for value in named}
+    candidate = 0 if not is_mac else 1
+    while candidate in taken:
+        candidate += 1
+    rep: Any = MacAddress(candidate) if is_mac else candidate
+    atoms.append(((_OTHER,), rep))
+    return atoms
+
+
+# ----------------------------------------------------------------------
+# Subpartitions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeaderClass:
+    """One inhabited equivalence class of a subpartition.
+
+    ``key`` names the atom chosen for every split field;
+    ``representative`` is a concrete packet inside the class. Every
+    installed match under consideration is constant across the class, so
+    the representative's table lookup speaks for every packet in it.
+    """
+
+    key: Tuple[Tuple[str, AtomKey], ...]
+    representative: Packet
+
+
+class Subpartition:
+    """The equivalence classes of ``base`` induced by a rule set's matches.
+
+    Only fields constrained by at least one rule are split; fields
+    constrained by ``base`` alone are fixed to a representative value,
+    and wholly unconstrained fields are left unset (they cannot
+    discriminate). ``port_domain`` restricts the ingress-port dimension
+    to a finite population — the committed-traffic check passes the real
+    edge ports. Construction raises :class:`ClassBudgetExceeded` when
+    the class count would pass ``budget``.
+    """
+
+    def __init__(self, base: HeaderSpace, rules: Sequence[FlowRule], *,
+                 port_domain: Optional[Sequence[int]] = None,
+                 budget: int = DEFAULT_CLASS_BUDGET):
+        self.base = base
+        overlapping = [rule for rule in rules
+                       if rule.match.intersect(base) is not None]
+        constraints: Dict[str, List[Constraint]] = {}
+        for rule in overlapping:
+            for fieldname, constraint in rule.match.items():
+                constraints.setdefault(fieldname, []).append(constraint)
+        if port_domain is not None:
+            constraints.setdefault("port", [])
+        self._field_atoms: Dict[str, List[Tuple[AtomKey, Any]]] = {}
+        self._relevant_prefixes: Dict[str, List[IPv4Prefix]] = {}
+        total = 1
+        for fieldname in sorted(constraints):
+            values = constraints[fieldname]
+            base_value = base.get(fieldname)
+            if fieldname in IP_FIELDS:
+                prefixes = [value for value in values
+                            if isinstance(value, IPv4Prefix)]
+                atoms_raw = _prefix_atoms(
+                    prefixes,
+                    base_value if isinstance(base_value, IPv4Prefix) else None)
+                atoms = [(key, rep) for key, rep in atoms_raw]
+                clipped = []
+                for prefix in prefixes:
+                    cut = (prefix if base_value is None
+                           else base_value.intersection(prefix))
+                    if cut is not None:
+                        clipped.append(cut)
+                self._relevant_prefixes[fieldname] = sorted(
+                    set(clipped), key=lambda p: -p.length)
+            else:
+                atoms = _exact_atoms(
+                    values, base_value,
+                    port_domain if fieldname == "port" else None,
+                    is_mac=fieldname in ("srcmac", "dstmac"))
+            if not atoms:
+                # The base pins this field to a value no atom can reach
+                # only when a finite domain excludes it; the space is
+                # then uninhabited.
+                self._field_atoms = {}
+                self._classes: Tuple[HeaderClass, ...] = ()
+                return
+            self._field_atoms[fieldname] = atoms
+            total *= len(atoms)
+            if total > budget:
+                raise ClassBudgetExceeded(
+                    f"{total}+ classes exceed budget {budget}")
+        self._fixed: Dict[str, Any] = {}
+        for fieldname, constraint in base.items():
+            if fieldname in self._field_atoms:
+                continue
+            if isinstance(constraint, IPv4Prefix):
+                self._fixed[fieldname] = constraint.first_address
+            else:
+                self._fixed[fieldname] = constraint
+        self._classes = tuple(self._enumerate())
+
+    def _enumerate(self) -> Iterable[HeaderClass]:
+        fields = sorted(self._field_atoms)
+        for combo in product(*(self._field_atoms[f] for f in fields)):
+            key = tuple((f, atom[0]) for f, atom in zip(fields, combo))
+            values = dict(self._fixed)
+            for fieldname, (_, rep) in zip(fields, combo):
+                if fieldname in IP_FIELDS:
+                    values[fieldname] = rep  # address int
+                else:
+                    values[fieldname] = rep
+            yield HeaderClass(key=key, representative=Packet(**values))
+
+    @property
+    def classes(self) -> Tuple[HeaderClass, ...]:
+        """Every inhabited class, in deterministic (sorted-atom) order."""
+        return self._classes
+
+    def classify(self, packet: Packet) -> Optional[Tuple[Tuple[str, AtomKey], ...]]:
+        """The class key containing ``packet``, or ``None`` outside ``base``.
+
+        Total on the base region: every packet lands in exactly one
+        class, which is what makes the classes a true partition.
+        """
+        if not self.base.matches(packet):
+            return None
+        key: List[Tuple[str, AtomKey]] = []
+        for fieldname in sorted(self._field_atoms):
+            value = packet.get(fieldname)
+            if fieldname in IP_FIELDS:
+                atom: AtomKey = (_OTHER,)
+                if value is not None:
+                    for prefix in self._relevant_prefixes[fieldname]:
+                        if prefix.contains_address(value):
+                            atom = (_PFX, prefix)
+                            break
+            else:
+                named = {rep for k, rep in self._field_atoms[fieldname]
+                         if k[0] == _VAL}
+                atom = (_VAL, value) if value in named else (_OTHER,)
+            key.append((fieldname, atom))
+        return tuple(key)
+
+
+class ClassBudgetExceeded(Exception):
+    """A subpartition would enumerate more classes than its budget."""
+
+
+# ----------------------------------------------------------------------
+# Committed traffic
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CommittedSpace:
+    """Traffic the control plane has promised to carry.
+
+    One (VMAC tag, FEC prefix) pair plus the finite set of ingress ports
+    whose participants hold a best route for the prefix — their border
+    routers stamp exactly this tag on exactly this traffic, so the
+    installed table must not let it fall to the miss or the catch-all
+    drop.
+    """
+
+    label: str
+    space: HeaderSpace
+    ports: Tuple[int, ...]
+
+
+def committed_spaces_from_controller(controller: Any) -> List[CommittedSpace]:
+    """Derive the committed-traffic population from live controller state.
+
+    Walks the allocator's group and fast-path assignments prefix by
+    prefix (an ephemeral override retags only its own prefix, so each
+    prefix is attributed to the tag its senders actually stamp) and
+    admits a sender's switch ports only when the route server gives it a
+    best route — a sender without one never reaches the fabric.
+    """
+    allocator = controller.allocator
+    prefixes: Set[IPv4Prefix] = set()
+    for group in allocator.groups():
+        prefixes.update(group.prefixes)
+    prefixes.update(allocator.ephemeral_prefixes())
+    spaces: List[CommittedSpace] = []
+    for prefix in sorted(prefixes):
+        vmac = allocator.vmac_for_prefix(prefix)
+        if vmac is None:
+            continue
+        ports: List[int] = []
+        for participant in controller.topology.participants():
+            if participant.is_remote:
+                continue
+            if controller.route_server.best_route_for(
+                    participant.name, prefix) is None:
+                continue
+            ports.extend(participant.switch_ports)
+        if not ports:
+            continue
+        spaces.append(CommittedSpace(
+            label=f"{vmac}->{prefix}",
+            space=HeaderSpace(dstmac=vmac, dstip=prefix),
+            ports=tuple(sorted(set(ports)))))
+    return spaces
+
+
+# ----------------------------------------------------------------------
+# The verifier
+# ----------------------------------------------------------------------
+
+#: Cache key of one state diagnostic.
+_DiagKey = Tuple[Any, ...]
+
+
+def _winner(table: Any, packet: Packet) -> Any:
+    """First-match lookup over a :class:`FlowTable` or a `Classifier`.
+
+    The multi-switch partitioner emits per-switch ``Classifier`` tables
+    (``first_match``); the live big-switch table is a ``FlowTable``
+    (``lookup``) — the loop walk accepts either.
+    """
+    first_match = getattr(table, "first_match", None)
+    if first_match is not None:
+        return first_match(packet)
+    return table.lookup(packet)
+
+
+def _diag_sort_key(diag: Diagnostic) -> Tuple[Any, ...]:
+    location = diag.location
+    return (diag.check_id, location.participant,
+            location.clause_index if location.clause_index is not None else -1,
+            diag.message)
+
+
+class DataplaneVerifier:
+    """Incremental SDX010-SDX014 verification of one installed table.
+
+    Attach an instance as a :class:`SouthboundEngine` batch observer and
+    it re-verifies exactly the rules each apply window touched, keeping
+    a diagnostic cache whose rendering is byte-identical to a fresh
+    whole-table analysis. ``mode`` mirrors the PR 5 ``statics_mode``
+    gate: ``"warn"`` logs error findings, ``"strict"`` rolls the
+    offending window's mods back out of the table and raises
+    :class:`~repro.exceptions.StaticDataplaneError`.
+
+    ``committed_spaces`` / ``vmac_index`` are zero-argument callables so
+    the verifier always sees current allocator and routing state;
+    ``topology``/``tables`` enable the multi-switch loop check
+    (SDX013) when the table under verification is partitioned.
+    """
+
+    def __init__(self, table: Any, *,
+                 committed_spaces: Optional[Callable[[], Sequence[CommittedSpace]]] = None,
+                 vmac_index: Optional[Callable[[], Mapping[MacAddress, str]]] = None,
+                 topology: Optional[Any] = None,
+                 tables: Optional[Mapping[str, Any]] = None,
+                 mode: str = "warn",
+                 switch: str = "table",
+                 class_budget: int = DEFAULT_CLASS_BUDGET,
+                 telemetry: Optional[Telemetry] = None):
+        if mode not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"dataplane statics mode must be off/warn/strict, got {mode!r}")
+        self.table = table
+        self.mode = mode
+        self.switch = switch
+        self.class_budget = class_budget
+        self._committed_spaces = committed_spaces or (lambda: ())
+        self._vmac_index = vmac_index
+        self.topology = topology
+        self.tables = tables
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
+        registry = self.telemetry.registry
+        self._runs_counter = registry.counter(
+            "sdx_statics_dataplane_runs_total",
+            "Dataplane verification passes (full or incremental)")
+        self._checks_counter = registry.counter(
+            "sdx_statics_dataplane_checks_total",
+            "Individual dataplane check evaluations")
+        self._diag_counters = {
+            check_id: registry.counter(
+                "sdx_statics_dataplane_diagnostics_total",
+                "Diagnostics emitted by the dataplane verifier",
+                check_id=check_id)
+            for check_id in DATAPLANE_CHECK_IDS
+        }
+        self._classes_counter = registry.counter(
+            "sdx_statics_dataplane_classes_total",
+            "Equivalence classes enumerated by dataplane verification")
+        self._reused_counter = registry.counter(
+            "sdx_statics_dataplane_classes_reused_total",
+            "Cached equivalence classes reused by incremental verification")
+        self._batches_counter = registry.counter(
+            "sdx_statics_dataplane_batches_total",
+            "Southbound apply windows verified")
+        # State diagnostics, keyed so incremental updates replace exactly
+        # the findings their rules own.
+        self._diags: Dict[_DiagKey, Diagnostic] = {}
+        self._rule_classes: Dict[RuleKey, int] = {}
+        self._space_snapshot: Dict[str, CommittedSpace] = {}
+        self._vmac_snapshot: Set[MacAddress] = set()
+        # Apply-window bookkeeping (observer protocol).
+        self._window: Optional[List[FlowMod]] = None
+        self._inverse: List[FlowMod] = []
+        self._window_snapshot: Optional[Tuple[
+            Dict[_DiagKey, Diagnostic], Dict[RuleKey, int],
+            Dict[str, CommittedSpace], Set[MacAddress]]] = None
+        self._pre_window_errors: Set[_DiagKey] = set()
+        self.last_report: Optional[StaticsReport] = None
+        self.refresh_full()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _build_report(self, extra: Sequence[Diagnostic] = ()) -> StaticsReport:
+        ordered = sorted(self._diags.values(), key=_diag_sort_key)
+        ordered.extend(sorted(extra, key=_diag_sort_key))
+        report = StaticsReport(checks_run=DATAPLANE_CHECK_IDS)
+        report.participants_analyzed = 1 if self.tables is None else len(self.tables)
+        report.clauses_analyzed = len(self.table.rules)
+        report.extend(ordered)
+        return report
+
+    def state_report(self) -> StaticsReport:
+        """The cached whole-table verdict (no window findings).
+
+        Byte-identical to :func:`analyze_flowtable` over the same table
+        and providers — the property the incremental soundness gate
+        asserts. Reads reconcile provider drift first: the allocator can
+        retire a VMAC or the route server can shift a committed space
+        *after* the apply window that installed the affected rules, so
+        cached verdicts are refreshed against the current index before
+        rendering.
+        """
+        self._reconcile_providers()
+        return self._build_report()
+
+    def _reconcile_providers(self) -> None:
+        """Re-verify whatever allocator/route-server drift invalidated."""
+        changed = self._changed_vmacs()
+        if changed:
+            rules = self.table.rules
+            affected = {rule_key(rule) for rule in rules
+                        if self._references_vmac(rule, changed)}
+            if affected:
+                self._invalidate_rules(affected)
+                index_of: Dict[RuleKey, int] = {}
+                for index, rule in enumerate(rules):
+                    index_of.setdefault(rule_key(rule), index)
+                for key in affected:
+                    index = index_of.get(key)
+                    if index is not None:
+                        self._verify_rule(rules, index)
+        self._verify_committed(set())
+
+    # ------------------------------------------------------------------
+    # Full and incremental verification
+    # ------------------------------------------------------------------
+
+    def refresh_full(self) -> StaticsReport:
+        """Recompute every diagnostic from scratch."""
+        with self.telemetry.span("statics.dataplane", kind="full"):
+            self._diags.clear()
+            self._rule_classes.clear()
+            self._vmac_snapshot = (set(self._vmac_index())
+                                   if self._vmac_index is not None else set())
+            rules = self.table.rules
+            for index in range(len(rules)):
+                self._verify_rule(rules, index)
+            self._space_snapshot = {}
+            self._verify_committed(set())
+            self._verify_loops()
+        self._runs_counter.inc()
+        report = self._build_report()
+        self.last_report = report
+        return report
+
+    def verify_delta(self, mods: Sequence[FlowMod]) -> StaticsReport:
+        """Re-verify only what ``mods`` can have touched.
+
+        Affected rules are the modded keys, plus every installed rule
+        whose match overlaps a modded match (shadowing is a relation
+        between overlapping rules, so nothing outside that set can
+        change a reachability verdict), plus every rule referencing a
+        VMAC whose allocator-index membership changed since the last
+        pass (a tag can die or come alive without any FlowMod touching
+        the rules that carry it). Committed spaces re-verify when their
+        space overlaps a mod or their definition changed since the last
+        pass. Returns the post-delta state report plus any
+        window-ordering (SDX014) findings for ``mods``.
+        """
+        with self.telemetry.span("statics.dataplane", kind="delta",
+                                 mods=len(mods)):
+            mod_spaces = [mod.match for mod in mods]
+            affected: Set[RuleKey] = {mod.key for mod in mods}
+            rules = self.table.rules
+            for rule in rules:
+                if any(rule.match.intersect(space) is not None
+                       for space in mod_spaces):
+                    affected.add(rule_key(rule))
+            changed_vmacs = self._changed_vmacs()
+            if changed_vmacs:
+                for rule in rules:
+                    if rule_key(rule) in affected:
+                        continue
+                    if self._references_vmac(rule, changed_vmacs):
+                        affected.add(rule_key(rule))
+            reused = sum(count for key, count in self._rule_classes.items()
+                         if key not in affected)
+            self._reused_counter.inc(reused)
+            self._invalidate_rules(affected)
+            index_of: Dict[RuleKey, int] = {}
+            for index, rule in enumerate(rules):
+                index_of.setdefault(rule_key(rule), index)
+            for key in affected:
+                index = index_of.get(key)
+                if index is not None:
+                    self._verify_rule(rules, index)
+            self._verify_committed(set(mod_spaces))
+            self._verify_loops()
+        self._runs_counter.inc()
+        ordering = list(self._check_phase_order(mods))
+        report = self._build_report(extra=ordering)
+        self.last_report = report
+        return report
+
+    def _changed_vmacs(self) -> Set[MacAddress]:
+        """VMACs that entered or left the allocator index since last pass."""
+        if self._vmac_index is None:
+            return set()
+        current = set(self._vmac_index())
+        changed = current ^ self._vmac_snapshot
+        self._vmac_snapshot = current
+        return changed
+
+    @staticmethod
+    def _references_vmac(rule: FlowRule, vmacs: Set[MacAddress]) -> bool:
+        if rule.match.get("dstmac") in vmacs:
+            return True
+        return any(action.get("dstmac") in vmacs for action in rule.actions)
+
+    def _invalidate_rules(self, keys: Set[RuleKey]) -> None:
+        stale = [diag_key for diag_key in self._diags
+                 if diag_key[0] in ("SDX010", "SDX012")
+                 and (diag_key[1], diag_key[2]) in keys]
+        for diag_key in stale:
+            del self._diags[diag_key]
+        for key in keys:
+            self._rule_classes.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # SDX010 + SDX012: per-rule verdicts
+    # ------------------------------------------------------------------
+
+    def _reachability(self, rules: Sequence[FlowRule],
+                      index: int) -> Tuple[bool, Optional[Packet]]:
+        """Whether ``rules[index]`` wins some packet, with a witness.
+
+        Reachable: the witness is a packet the rule wins. Unreachable:
+        the witness is a packet in the rule's match that a higher rule
+        steals. Budget overrun degrades to the conservative single-cover
+        test (no union shadows reported, never a false shadow).
+        """
+        rule = rules[index]
+        earlier = [r for r in rules[:index]
+                   if r.match.intersect(rule.match) is not None]
+        if not earlier:
+            # One implicit class: the whole match region.
+            self._rule_classes[rule_key(rule)] = 1
+            return True, rule.match.concretise(port=0)
+        try:
+            partition = Subpartition(rule.match, earlier,
+                                     budget=self.class_budget)
+        except ClassBudgetExceeded:
+            self._rule_classes[rule_key(rule)] = 0
+            for other in earlier:
+                if other.match.covers(rule.match):
+                    return False, rule.match.concretise(port=0)
+            return True, None
+        self._rule_classes[rule_key(rule)] = len(partition.classes)
+        self._classes_counter.inc(len(partition.classes))
+        stolen: Optional[Packet] = None
+        for cls in partition.classes:
+            if any(r.match.matches(cls.representative) for r in earlier):
+                if stolen is None:
+                    stolen = cls.representative
+            else:
+                return True, cls.representative
+        return False, stolen
+
+    def _verify_rule(self, rules: Sequence[FlowRule], index: int) -> None:
+        rule = rules[index]
+        key = rule_key(rule)
+        self._checks_counter.inc()
+        reachable, witness = self._reachability(rules, index)
+        if not reachable:
+            diag = Diagnostic(
+                check_id="SDX010", check_name="shadowed-rule",
+                severity=Severity.WARNING,
+                location=self._rule_location(rule),
+                message=(f"rule [{rule.describe()}] is fully shadowed by "
+                         "higher-priority rules and can never win a packet"),
+                witness=witness,
+                data=(("rule_priority", rule.priority),
+                      ("rule_match", rule.match)))
+            self._diags[("SDX010", key[0], key[1])] = diag
+            self._count(diag)
+            return
+        index_map = self._vmac_index() if self._vmac_index is not None else None
+        if index_map is None:
+            return
+        self._checks_counter.inc()
+        matched = rule.match.get("dstmac")
+        if (isinstance(matched, MacAddress) and matched.is_virtual
+                and matched not in index_map):
+            diag = Diagnostic(
+                check_id="SDX012", check_name="dead-vmac",
+                severity=Severity.WARNING,
+                location=self._rule_location(rule),
+                message=(f"rule [{rule.describe()}] matches VMAC {matched} "
+                         "which tags no live forwarding equivalence class"),
+                data=(("rule_priority", rule.priority),
+                      ("rule_match", rule.match),
+                      ("vmac", matched), ("kind", "match")))
+            self._diags[("SDX012", key[0], key[1], matched, "match")] = diag
+            self._count(diag)
+        for action in rule.actions:
+            rewritten = action.get("dstmac")
+            if (isinstance(rewritten, MacAddress) and rewritten.is_virtual
+                    and rewritten not in index_map):
+                diag = Diagnostic(
+                    check_id="SDX012", check_name="dead-vmac",
+                    severity=Severity.ERROR,
+                    location=self._rule_location(rule),
+                    message=(f"rule [{rule.describe()}] rewrites traffic to "
+                             f"VMAC {rewritten} with no live next-hop: "
+                             "compiled blackhole"),
+                    witness=witness,
+                    data=(("rule_priority", rule.priority),
+                          ("rule_match", rule.match),
+                          ("vmac", rewritten), ("kind", "rewrite")))
+                self._diags[("SDX012", key[0], key[1], rewritten,
+                             "rewrite")] = diag
+                self._count(diag)
+
+    def _rule_location(self, rule: FlowRule) -> SourceLocation:
+        return SourceLocation(participant=self.switch, direction="rule",
+                              clause_index=rule.priority)
+
+    # ------------------------------------------------------------------
+    # SDX011: committed traffic vs the table miss
+    # ------------------------------------------------------------------
+
+    def _verify_committed(self, mod_spaces: Set[HeaderSpace]) -> None:
+        current = {space.label: space for space in self._committed_spaces()}
+        previous = self._space_snapshot
+        stale = [diag_key for diag_key in self._diags
+                 if diag_key[0] == "SDX011" and diag_key[1] not in current]
+        for diag_key in stale:
+            del self._diags[diag_key]
+        for label, committed in current.items():
+            unchanged = previous.get(label) == committed
+            touched = any(committed.space.intersect(space) is not None
+                          for space in mod_spaces)
+            if unchanged and not touched and previous:
+                continue
+            self._diags.pop(("SDX011", label), None)
+            self._checks_counter.inc()
+            diag = self._check_committed_space(committed)
+            if diag is not None:
+                self._diags[("SDX011", label)] = diag
+                self._count(diag)
+        self._space_snapshot = current
+
+    def _check_committed_space(
+            self, committed: CommittedSpace) -> Optional[Diagnostic]:
+        rules = self.table.rules
+        try:
+            partition = Subpartition(
+                committed.space, rules, port_domain=committed.ports,
+                budget=self.class_budget)
+        except ClassBudgetExceeded:
+            return None
+        self._classes_counter.inc(len(partition.classes))
+        eaten = 0
+        witness: Optional[Packet] = None
+        for cls in partition.classes:
+            winner = self.table.lookup(cls.representative)
+            if winner is None or (winner.is_drop and winner.match.is_wildcard):
+                eaten += 1
+                if witness is None:
+                    witness = cls.representative
+        if not eaten:
+            return None
+        return Diagnostic(
+            check_id="SDX011", check_name="committed-miss",
+            severity=Severity.ERROR,
+            location=SourceLocation(participant=self.switch,
+                                    direction="committed"),
+            message=(f"committed traffic {committed.label} falls to the "
+                     f"table miss or catch-all drop in {eaten} of "
+                     f"{len(partition.classes)} traffic class(es)"),
+            witness=witness,
+            data=(("label", committed.label), ("classes_eaten", eaten),
+                  ("classes_total", len(partition.classes))))
+
+    # ------------------------------------------------------------------
+    # SDX013: inter-switch forwarding loops
+    # ------------------------------------------------------------------
+
+    def _verify_loops(self) -> None:
+        if self.topology is None or self.tables is None:
+            return
+        self._checks_counter.inc()
+        stale = [diag_key for diag_key in self._diags
+                 if diag_key[0] == "SDX013"]
+        for diag_key in stale:
+            del self._diags[diag_key]
+        macs: Set[MacAddress] = set()
+        for table in self.tables.values():
+            for rule in table.rules:
+                constraint = rule.match.get("dstmac")
+                if isinstance(constraint, MacAddress):
+                    macs.add(constraint)
+        trunk_peer: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        for link in self.topology.links:
+            trunk_peer[(link.left_switch, link.left_port)] = (
+                link.right_switch, link.right_port)
+            trunk_peer[(link.right_switch, link.right_port)] = (
+                link.left_switch, link.left_port)
+        for mac in sorted(macs):
+            cycle = self._find_loop(mac, trunk_peer)
+            if cycle is None:
+                continue
+            switches, start = cycle
+            witness = Packet(port=start[1], dstmac=mac)
+            diag = Diagnostic(
+                check_id="SDX013", check_name="fabric-loop",
+                severity=Severity.ERROR,
+                location=SourceLocation(participant=start[0],
+                                        direction="trunk",
+                                        clause_index=start[1]),
+                message=(f"traffic tagged {mac} loops across switches "
+                         f"{' -> '.join(switches)}"),
+                witness=witness,
+                data=(("dstmac", mac), ("switches", tuple(switches))))
+            self._diags[("SDX013", mac)] = diag
+            self._count(diag)
+
+    def _find_loop(self, mac: MacAddress,
+                   trunk_peer: Dict[Tuple[str, int], Tuple[str, int]],
+                   ) -> Optional[Tuple[List[str], Tuple[str, int]]]:
+        """Walk trunk forwarding for one tag from every trunk ingress."""
+        assert self.tables is not None
+        for start in sorted(trunk_peer):
+            seen: List[Tuple[str, int]] = []
+            hop: Optional[Tuple[str, int]] = start
+            while hop is not None:
+                if hop in seen:
+                    return [s for s, _ in seen[seen.index(hop):]], start
+                seen.append(hop)
+                switch, in_port = hop
+                table = self.tables.get(switch)
+                if table is None:
+                    break
+                probe = Packet(port=in_port, dstmac=mac)
+                winner = _winner(table, probe)
+                if winner is None or winner.is_drop:
+                    break
+                out_port = None
+                for action in winner.actions:
+                    out_port = action.output_port
+                    if out_port is not None:
+                        break
+                if out_port is None:
+                    break
+                hop = trunk_peer.get((switch, out_port))
+        return None
+
+    # ------------------------------------------------------------------
+    # SDX014: apply-window phase ordering
+    # ------------------------------------------------------------------
+
+    def _check_phase_order(
+            self, mods: Sequence[FlowMod]) -> Iterable[Diagnostic]:
+        """Flag installs observable *after* a delete in one window.
+
+        :func:`~repro.southbound.engine.schedule_two_phase` guarantees
+        every add/modify precedes every delete inside a flush; a delete
+        exposed before a later install means some intermediate table
+        state may drop or misroute traffic that both the old and new
+        tables carry.
+        """
+        self._checks_counter.inc()
+        first_delete: Optional[int] = None
+        for position, mod in enumerate(mods):
+            if mod.op is FlowModOp.DELETE:
+                if first_delete is None:
+                    first_delete = position
+                continue
+            if first_delete is None:
+                continue
+            diag = Diagnostic(
+                check_id="SDX014", check_name="phase-violation",
+                severity=Severity.ERROR,
+                location=SourceLocation(participant=self.switch,
+                                        direction="window",
+                                        clause_index=mod.priority),
+                message=(f"{mod.op.value} of [{mod.describe()}] observable "
+                         f"after a delete at position {first_delete} in the "
+                         "same apply window: two-phase ordering violated"),
+                data=(("position", position),
+                      ("first_delete", first_delete),
+                      ("rule_priority", mod.priority),
+                      ("rule_match", mod.match)))
+            self._count(diag)
+            yield diag
+
+    # ------------------------------------------------------------------
+    # Southbound observer protocol
+    # ------------------------------------------------------------------
+
+    def on_apply_begin(self) -> None:
+        """An apply window opens: start accumulating its batches."""
+        self._window = []
+        self._inverse = []
+        self._window_snapshot = (dict(self._diags), dict(self._rule_classes),
+                                 dict(self._space_snapshot),
+                                 set(self._vmac_snapshot))
+        self._pre_window_errors = {
+            key for key, diag in self._diags.items()
+            if diag.severity is Severity.ERROR}
+
+    def on_batch_pending(self, batch: Sequence[FlowMod]) -> None:
+        """Record the inverse of a batch before the table applies it."""
+        if self._window is None:
+            self.on_apply_begin()
+        for mod in batch:
+            existing = self.table.rule_for_key(mod.priority, mod.match)
+            if mod.op is FlowModOp.DELETE:
+                if existing is not None:
+                    self._inverse.append(FlowMod.add(existing))
+            elif existing is not None:
+                self._inverse.append(FlowMod.modify(existing))
+            else:
+                self._inverse.append(FlowMod.delete(mod.rule))
+
+    def __call__(self, batch: Sequence[FlowMod]) -> None:
+        """BatchObserver entry point: accumulate one applied batch."""
+        if self._window is None:
+            self.on_apply_begin()
+        assert self._window is not None
+        self._window.extend(batch)
+
+    def on_apply_end(self) -> None:
+        """The apply window closed: verify its whole delta at once.
+
+        Verification happens here rather than per batch because an
+        in-progress full-table swap is legitimately inconsistent between
+        batches; the two-phase schedule only promises safety for the
+        window's end state.
+        """
+        if self._window is None or self.mode == "off":
+            self._window = None
+            return
+        mods = self._window
+        self._window = None
+        self._batches_counter.inc()
+        report = self.verify_delta(mods)
+        new_errors = [
+            diag for key, diag in self._diags.items()
+            if diag.severity is Severity.ERROR
+            and key not in self._pre_window_errors
+        ]
+        new_errors.extend(d for d in report.diagnostics
+                          if d.check_id == "SDX014")
+        if not new_errors:
+            return
+        if self.mode == "warn":
+            for diag in sorted(new_errors, key=_diag_sort_key):
+                logger.warning("dataplane statics: %s", diag.describe())
+            return
+        # Strict: roll the window back out of the table, restore the
+        # cache to its pre-window rendering, and refuse the batch.
+        from repro.exceptions import StaticDataplaneError
+
+        for mod in reversed(self._inverse):
+            self.table.apply_mod(mod)
+        if self._window_snapshot is not None:
+            snapshot = self._window_snapshot
+            self._diags = dict(snapshot[0])
+            self._rule_classes = dict(snapshot[1])
+            self._space_snapshot = dict(snapshot[2])
+            self._vmac_snapshot = set(snapshot[3])
+        worst = sorted(new_errors, key=_diag_sort_key)[0]
+        raise StaticDataplaneError(
+            f"strict dataplane statics rejected an apply window: "
+            f"{len(new_errors)} new error(s), first: {worst.describe()}",
+            report=report)
+
+    def _count(self, diag: Diagnostic) -> None:
+        counter = self._diag_counters.get(diag.check_id)
+        if counter is not None:
+            counter.inc()
+
+    def __repr__(self) -> str:
+        return (f"DataplaneVerifier(mode={self.mode}, "
+                f"{len(self.table.rules)} rules, "
+                f"{len(self._diags)} cached diagnostics)")
+
+
+# ----------------------------------------------------------------------
+# Whole-table entry point
+# ----------------------------------------------------------------------
+
+
+def analyze_flowtable(table: Any, *,
+                      committed_spaces: Sequence[CommittedSpace] = (),
+                      vmac_index: Optional[Mapping[MacAddress, str]] = None,
+                      topology: Optional[Any] = None,
+                      tables: Optional[Mapping[str, Any]] = None,
+                      class_budget: int = DEFAULT_CLASS_BUDGET,
+                      telemetry: Optional[Telemetry] = None) -> StaticsReport:
+    """One-shot SDX010-SDX013 analysis of an installed flow table.
+
+    Builds a throwaway verifier and returns its state report; the
+    incremental path must render byte-identically to this for the same
+    table and inputs (the fuzz soundness gate holds it to that).
+    """
+    spaces = tuple(committed_spaces)
+    index = dict(vmac_index) if vmac_index is not None else None
+    verifier = DataplaneVerifier(
+        table,
+        committed_spaces=(lambda: spaces),
+        vmac_index=(None if index is None else (lambda: index)),
+        topology=topology, tables=tables, mode="off",
+        class_budget=class_budget, telemetry=telemetry)
+    return verifier.state_report()
+
+
+def analyze_controller_dataplane(controller: Any, *,
+                                 class_budget: int = DEFAULT_CLASS_BUDGET,
+                                 telemetry: Optional[Telemetry] = None,
+                                 ) -> StaticsReport:
+    """Analyze a controller's installed table with live committed state."""
+    return analyze_flowtable(
+        controller.table,
+        committed_spaces=committed_spaces_from_controller(controller),
+        vmac_index=controller.allocator.vmac_index(),
+        class_budget=class_budget,
+        telemetry=telemetry if telemetry is not None else controller.telemetry)

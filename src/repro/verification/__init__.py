@@ -30,6 +30,11 @@ state). This package turns both claims into executable oracles:
   policy verifier: dead-clause and route-less-forward verdicts checked
   packet-by-packet against the reference interpreter
   (``python -m repro fuzz --statics``);
+- :mod:`repro.verification.dataplane` — cross-validation of the
+  incremental dataplane verifier: byte-identity with a fresh
+  whole-table analysis plus the SDX010-SDX012 witness contracts,
+  checked against the real flow table on every trace step
+  (``python -m repro fuzz --dataplane``);
 - :mod:`repro.verification.federation` — cross-validation of the
   federation layer: SDX008/SDX009 witness contracts plus the
   real-vs-reference federated walk comparison
@@ -44,6 +49,7 @@ state). This package turns both claims into executable oracles:
 
 from repro.verification.artifact import FailureArtifact, replay_artifact
 from repro.verification.corpus import generate_corpus
+from repro.verification.dataplane import dataplane_crosscheck
 from repro.verification.federation import (
     FederationCrosscheckResult,
     federation_crosscheck,
@@ -103,6 +109,7 @@ __all__ = [
     "check_runtime_equivalence",
     "check_single_delivery",
     "compare_controllers",
+    "dataplane_crosscheck",
     "federation_crosscheck",
     "forwarding_outcomes",
     "generate_corpus",

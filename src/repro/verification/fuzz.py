@@ -39,6 +39,11 @@ class FuzzConfig:
     and route-less-forward verdicts against the reference interpreter on
     every scenario (see
     :func:`repro.verification.statics.statics_crosscheck`).
+    ``dataplane`` cross-validates the incremental dataplane verifier on
+    every scenario: incremental-vs-full byte identity, the
+    SDX010-SDX012 witness contracts, and the no-false-alarm and
+    covering contracts (see
+    :func:`repro.verification.dataplane.dataplane_crosscheck`).
     ``federation`` switches the session to multi-exchange scenarios:
     each iteration generates a federated scenario over ``exchanges``
     exchanges and runs
@@ -61,6 +66,7 @@ class FuzzConfig:
     shrink: bool = True
     runtime: bool = False
     statics: bool = False
+    dataplane: bool = False
     federation: bool = False
     exchanges: int = 2
 
@@ -233,6 +239,9 @@ def run_fuzz(config: FuzzConfig,
     statics_checks_counter = registry.counter(
         "sdx_fuzz_statics_checks_total",
         "Statics-vs-reference cross-validation replays")
+    dataplane_checks_counter = registry.counter(
+        "sdx_fuzz_dataplane_checks_total",
+        "Dataplane-verifier cross-validation replays")
 
     report = FuzzReport(config=config)
     started = time.monotonic()
@@ -260,12 +269,19 @@ def run_fuzz(config: FuzzConfig,
             scenario, corpus=generate_corpus(scenario,
                                              size=config.corpus_size))
 
+    def dataplane_check(scenario: Scenario) -> Optional[OracleFailure]:
+        if not config.dataplane:
+            return None
+        from repro.verification.dataplane import dataplane_crosscheck
+        dataplane_checks_counter.inc()
+        return dataplane_crosscheck(scenario)
+
     def runner(scenario: Scenario) -> Optional[OracleFailure]:
         oracle = DifferentialOracle(
             scenario, generate_corpus(scenario, size=config.corpus_size),
             recompile_every=config.recompile_every)
         return (oracle.run() or runtime_check(scenario)
-                or statics_check(scenario))
+                or statics_check(scenario) or dataplane_check(scenario))
 
     for index in range(config.scenarios):
         if out_of_budget():
@@ -279,7 +295,8 @@ def run_fuzz(config: FuzzConfig,
                 generate_corpus(scenario, size=config.corpus_size),
                 recompile_every=config.recompile_every)
             failure = (oracle.run() or runtime_check(scenario)
-                       or statics_check(scenario))
+                       or statics_check(scenario)
+                       or dataplane_check(scenario))
         report.scenarios_run += 1
         report.steps_executed += oracle.steps_executed
         report.comparisons += oracle.comparisons

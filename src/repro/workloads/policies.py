@@ -513,6 +513,136 @@ def defect_documents(defects: Sequence[InjectedDefect]):
 
 
 # ----------------------------------------------------------------------
+# Dataplane defect injection (SDX010/SDX012 recall testing)
+# ----------------------------------------------------------------------
+
+#: The dataplane-level defect kinds and their check IDs. Unlike the
+#: policy-level kinds these corrupt the *installed flow table* (through
+#: the southbound engine), so only `repro.statics.dataplane` can see
+#: them — the policy analyzer's view is clean by construction.
+DATAPLANE_DEFECT_KINDS: Tuple[str, ...] = (
+    "compiled_blackhole", "shadowed_install")
+
+
+def _fresh_table_dstport(controller: SdxController,
+                         rng: random.Random) -> int:
+    """A defect port no installed rule matches on."""
+    used = {rule.match.get("dstport") for rule in controller.table.rules}
+    candidates = [port for port in _DEFECT_PORTS if port not in used]
+    if not candidates:
+        raise ValueError("no fresh defect dstport available in the table")
+    return rng.choice(candidates)
+
+
+def _free_priority(controller: SdxController, priority: int, match) -> int:
+    """The highest priority <= ``priority`` whose key is uninstalled."""
+    while controller.table.rule_for_key(priority, match) is not None:
+        priority -= 1
+        if priority <= 0:
+            raise ValueError("no free priority below the requested one")
+    return priority
+
+
+def inject_compiled_blackhole(controller: SdxController, *,
+                              seed: SeedLike = 0) -> InjectedDefect:
+    """Install a rule rewriting traffic to a dead VMAC (SDX012).
+
+    The rule matches an announced prefix plus a fresh destination port at
+    a priority just under the fast-path band, and its rewrite targets a
+    virtual MAC the allocator never assigned — the compiled-artifact
+    analogue of a blackhole: the fabric tags the traffic for a next hop
+    that does not exist.
+    """
+    from repro.core.incremental import FAST_PATH_BASE
+    from repro.net.mac import vmac_for_fec
+    from repro.policy.classifier import Action
+    from repro.policy.flowrules import FlowRule
+    from repro.policy.headerspace import HeaderSpace
+
+    rng = make_rng(seed)
+    prefixes = sorted(controller.route_server.all_prefixes())
+    if not prefixes:
+        raise ValueError("no announced prefix to blackhole")
+    prefix = rng.choice(prefixes)
+    port = _fresh_table_dstport(controller, rng)
+    live = set(controller.allocator.vmac_index())
+    dead = vmac_for_fec(rng.randrange(500_000, 900_000))
+    while dead in live:  # pragma: no cover - astronomically unlikely
+        dead = vmac_for_fec(rng.randrange(500_000, 900_000))
+    egress_ports = [
+        p for participant in controller.topology.participants()
+        for p in participant.switch_ports]
+    if not egress_ports:
+        raise ValueError("no physical participant port for the rewrite")
+    space = HeaderSpace(dstip=prefix, dstport=port)
+    priority = _free_priority(controller, FAST_PATH_BASE - 1, space)
+    rule = FlowRule(priority=priority, match=space,
+                    actions=(Action(dstmac=dead, port=rng.choice(egress_ports)),))
+    controller.southbound.push_rules([rule])
+    return InjectedDefect(
+        kind="compiled_blackhole", check_id="SDX012",
+        participant="table", direction="rule", clause_index=priority,
+        description=f"table: rule #{priority} rewrites {prefix} "
+                    f"dstport={port} to dead VMAC {dead}")
+
+
+def inject_shadowed_install(controller: SdxController, *,
+                            seed: SeedLike = 0) -> InjectedDefect:
+    """Install a rule fully shadowed by an already-installed one (SDX010).
+
+    Duplicates an installed rule's match at a just-lower priority with
+    drop actions: the higher twin wins every packet, so the new rule is
+    dead weight — the installed-table analogue of a shadowed clause.
+    """
+    from repro.policy.flowrules import FlowRule
+
+    rng = make_rng(seed)
+    candidates = [rule for rule in controller.table.rules
+                  if rule.priority > 1 and len(rule.match)]
+    if not candidates:
+        raise ValueError("no installed rule to shadow")
+    victim = rng.choice(candidates)
+    priority = _free_priority(controller, victim.priority - 1, victim.match)
+    rule = FlowRule(priority=priority, match=victim.match, actions=())
+    controller.southbound.push_rules([rule])
+    return InjectedDefect(
+        kind="shadowed_install", check_id="SDX010",
+        participant="table", direction="rule", clause_index=priority,
+        description=f"table: rule #{priority} duplicates the match of "
+                    f"rule #{victim.priority} at lower priority")
+
+
+_DATAPLANE_INJECTORS = {
+    "compiled_blackhole": inject_compiled_blackhole,
+    "shadowed_install": inject_shadowed_install,
+}
+
+
+def inject_dataplane_defects(controller: SdxController, *,
+                             seed: SeedLike = 0,
+                             kinds: Sequence[str] = DATAPLANE_DEFECT_KINDS
+                             ) -> List[InjectedDefect]:
+    """Inject one seeded dataplane defect per kind, in ``kinds`` order.
+
+    The controller must be started (the injectors corrupt the installed
+    table). Detection is checked against
+    :func:`repro.statics.dataplane.analyze_flowtable` output — or the
+    live verifier's incremental report, which must agree byte for byte.
+    """
+    defects: List[InjectedDefect] = []
+    for kind in kinds:
+        try:
+            injector = _DATAPLANE_INJECTORS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown dataplane defect kind {kind!r}; known: "
+                f"{sorted(_DATAPLANE_INJECTORS)}") from None
+        defects.append(injector(
+            controller, seed=derive_seed(seed, f"defect-{kind}")))
+    return defects
+
+
+# ----------------------------------------------------------------------
 # Federation defect injection (SDX008/SDX009 recall testing)
 # ----------------------------------------------------------------------
 

@@ -224,3 +224,51 @@ def test_two_phase_intermediate_states_are_safe(old, new):
         table.apply_mod(mod)
         for packet in corpus:
             assert _outcome(table, packet) in allowed[id(packet)]
+
+
+class _WindowObserver:
+    """Records the engine's optional window hooks in dispatch order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_apply_begin(self):
+        self.events.append("begin")
+
+    def on_batch_pending(self, batch):
+        self.events.append(("pending", len(batch)))
+
+    def __call__(self, batch):
+        self.events.append(("applied", len(batch)))
+
+    def on_apply_end(self):
+        self.events.append("end")
+
+
+class TestObserverHooks:
+    def test_window_hooks_dispatch_in_order(self):
+        table = FlowTable()
+        engine = SouthboundEngine(table,
+                                  SouthboundConfig(max_batch_size=2))
+        observer = _WindowObserver()
+        engine.add_observer(observer)
+        engine.push_rules([rule(i, FWD1, dstport=1000 + i)
+                           for i in range(3)])
+        assert observer.events == [
+            "begin", ("pending", 2), ("applied", 2),
+            ("pending", 1), ("applied", 1), "end"]
+
+    def test_plain_callable_observers_still_work(self):
+        table = FlowTable()
+        engine = SouthboundEngine(table)
+        batches = []
+        engine.add_observer(batches.append)
+        engine.push_rules([rule(1, FWD1, dstport=80)])
+        assert len(batches) == 1
+
+    def test_empty_window_dispatches_no_hooks(self):
+        engine = SouthboundEngine(FlowTable())
+        observer = _WindowObserver()
+        engine.add_observer(observer)
+        engine.flush()
+        assert observer.events == []

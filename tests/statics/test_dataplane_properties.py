@@ -1,0 +1,177 @@
+"""Property tests for the dataplane verifier's core machinery.
+
+Two properties carry the whole design:
+
+* a :class:`Subpartition` is a true partition of its base region —
+  random packets inside the base land in exactly one enumerated class,
+  and every installed match is constant across each class (the
+  representative's verdict speaks for the whole class);
+* incremental re-verification after a random FlowMod delta renders
+  byte-identically to a fresh whole-table analysis of the same state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.flowtable import FlowTable
+from repro.net.addresses import IPv4Prefix
+from repro.net.packet import Packet
+from repro.policy.classifier import Action
+from repro.policy.flowrules import FlowRule
+from repro.policy.headerspace import HeaderSpace
+from repro.southbound.diff import FlowMod
+from repro.statics.dataplane import (
+    ClassBudgetExceeded,
+    DataplaneVerifier,
+    Subpartition,
+    analyze_flowtable,
+)
+
+#: A deliberately small universe so random matches collide often.
+PREFIXES = (
+    IPv4Prefix("10.0.0.0/8"),
+    IPv4Prefix("10.0.0.0/16"),
+    IPv4Prefix("10.0.0.0/24"),
+    IPv4Prefix("10.1.0.0/16"),
+    IPv4Prefix("192.168.0.0/16"),
+)
+PORTS = (80, 443, 53)
+
+ips_in_universe = st.one_of(
+    st.integers(min_value=0x0A000000, max_value=0x0A0001FF),
+    st.integers(min_value=0xC0A80000, max_value=0xC0A800FF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+
+
+@st.composite
+def matches(draw):
+    fields = {}
+    if draw(st.booleans()):
+        fields["dstip"] = draw(st.sampled_from(PREFIXES))
+    if draw(st.booleans()):
+        fields["dstport"] = draw(st.sampled_from(PORTS))
+    if draw(st.booleans()):
+        fields["srcport"] = draw(st.sampled_from(PORTS))
+    return HeaderSpace(**fields)
+
+
+@st.composite
+def rule_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    rules = []
+    for index in range(count):
+        actions = ((Action(port=draw(st.sampled_from((1, 2, 3)))),)
+                   if draw(st.booleans()) else ())
+        rules.append(FlowRule(priority=10 * (count - index),
+                              match=draw(matches()), actions=actions))
+    return rules
+
+
+@st.composite
+def probe_packets(draw):
+    fields = {"port": draw(st.sampled_from((0, 1, 2)))}
+    if draw(st.booleans()):
+        fields["dstip"] = draw(ips_in_universe)
+    if draw(st.booleans()):
+        fields["dstport"] = draw(st.sampled_from(PORTS + (6_000,)))
+    if draw(st.booleans()):
+        fields["srcport"] = draw(st.sampled_from(PORTS + (6_001,)))
+    return Packet(**fields)
+
+
+class TestPartitionProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(rule_sets(), probe_packets())
+    def test_every_base_packet_lands_in_exactly_one_class(self, rules,
+                                                          packet):
+        part = Subpartition(HeaderSpace(), rules)
+        key = part.classify(packet)
+        assert key is not None  # the base is the wildcard: total
+        assert sum(1 for cls in part.classes if cls.key == key) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(rule_sets(), probe_packets())
+    def test_matches_are_constant_across_each_class(self, rules, packet):
+        part = Subpartition(HeaderSpace(), rules)
+        key = part.classify(packet)
+        cls = next(c for c in part.classes if c.key == key)
+        for rule in rules:
+            assert (rule.match.matches(packet)
+                    == rule.match.matches(cls.representative))
+
+    @settings(max_examples=80, deadline=None)
+    @given(rule_sets())
+    def test_representatives_classify_to_their_own_class(self, rules):
+        part = Subpartition(HeaderSpace(), rules)
+        for cls in part.classes:
+            assert part.classify(cls.representative) == cls.key
+
+    @settings(max_examples=80, deadline=None)
+    @given(rule_sets(), st.sampled_from(PREFIXES))
+    def test_constrained_base_keeps_the_partition_inside_it(self, rules,
+                                                            prefix):
+        base = HeaderSpace(dstip=prefix)
+        try:
+            part = Subpartition(base, rules)
+        except ClassBudgetExceeded:
+            return
+        for cls in part.classes:
+            assert base.matches(cls.representative)
+
+
+@st.composite
+def deltas(draw, rules):
+    """A FlowMod batch over (and beyond) an installed rule set."""
+    mods = []
+    for rule in rules:
+        choice = draw(st.sampled_from(("keep", "delete", "modify")))
+        if choice == "delete":
+            mods.append(FlowMod.delete(rule))
+        elif choice == "modify":
+            flipped = (() if rule.actions else (Action(port=9),))
+            mods.append(FlowMod.modify(FlowRule(
+                priority=rule.priority, match=rule.match, actions=flipped)))
+    for extra in draw(st.lists(matches(), max_size=3)):
+        mods.append(FlowMod.add(FlowRule(
+            priority=draw(st.integers(min_value=1, max_value=200)),
+            match=extra, actions=(Action(port=5),))))
+    return mods
+
+
+@st.composite
+def tables_with_deltas(draw):
+    rules = draw(rule_sets())
+    return rules, draw(deltas(rules))
+
+
+class TestIncrementalEqualsFullProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(tables_with_deltas())
+    def test_random_delta_preserves_byte_identity(self, case):
+        rules, mods = case
+        table = FlowTable()
+        for rule in rules:
+            table.install(rule)
+        verifier = DataplaneVerifier(table, mode="off")
+        table.apply_delta(mods)
+        verifier.verify_delta(mods)
+        incremental = verifier.state_report()
+        fresh = analyze_flowtable(table)
+        assert incremental.to_json() == fresh.to_json()
+
+    @settings(max_examples=30, deadline=None)
+    @given(tables_with_deltas(), st.data())
+    def test_chained_deltas_preserve_byte_identity(self, case, data):
+        rules, mods = case
+        table = FlowTable()
+        for rule in rules:
+            table.install(rule)
+        verifier = DataplaneVerifier(table, mode="off")
+        table.apply_delta(mods)
+        verifier.verify_delta(mods)
+        second = data.draw(deltas(tuple(table.rules)))
+        table.apply_delta(second)
+        verifier.verify_delta(second)
+        assert (verifier.state_report().to_json()
+                == analyze_flowtable(table).to_json())

@@ -103,3 +103,52 @@ class TestFederationDefects:
         missed = [d.kind for d in defects
                   if not defect_detected(d, report)]
         assert missed == []
+
+
+class TestDataplaneDefects:
+    """Seeded dataplane-level defects: SDX010/SDX012 recall."""
+
+    def compiled_controller(self, seed):
+        controller = seeded_controller(seed)
+        controller.start()
+        return controller
+
+    def test_covers_both_dataplane_defect_classes(self):
+        from repro.workloads.policies import DATAPLANE_DEFECT_KINDS
+
+        assert DATAPLANE_DEFECT_KINDS == (
+            "compiled_blackhole", "shadowed_install")
+
+    def test_injection_is_deterministic(self):
+        from repro.workloads.policies import inject_dataplane_defects
+
+        first = inject_dataplane_defects(self.compiled_controller(3), seed=11)
+        second = inject_dataplane_defects(self.compiled_controller(3), seed=11)
+        assert first == second
+
+    def test_unknown_kind_rejected(self):
+        from repro.workloads.policies import inject_dataplane_defects
+
+        with pytest.raises(ValueError):
+            inject_dataplane_defects(
+                self.compiled_controller(0), kinds=("made_up",))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_injected_defect_is_detected(self, seed):
+        from repro.statics import analyze_controller_dataplane
+        from repro.workloads.policies import inject_dataplane_defects
+
+        controller = self.compiled_controller(seed)
+        defects = inject_dataplane_defects(controller, seed=seed)
+        assert [d.check_id for d in defects] == ["SDX012", "SDX010"]
+        report = analyze_controller_dataplane(controller)
+        missed = [d.kind for d in defects
+                  if not defect_detected(d, report)]
+        assert missed == []
+
+    def test_clean_compiled_workload_has_no_errors(self):
+        from repro.statics import analyze_controller_dataplane
+
+        report = analyze_controller_dataplane(
+            self.compiled_controller(SEEDS[0]))
+        assert [d.describe() for d in report.errors] == []
